@@ -1,0 +1,45 @@
+"""Ablation — the PLF simplification cap (exactness vs size vs speed).
+
+The reproduction caps the number of interpolation points per stored function
+(``max_points``) to keep pure-Python index construction tractable; the paper's
+C++ implementation stores exact functions.  This ablation quantifies what the
+cap costs in answer accuracy and what it buys in memory and construction
+time, so the substitution documented in DESIGN.md is backed by numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_simplification_ablation
+
+from harness import FULL_SWEEP, register_report
+
+DATASET = "CAL"
+CAPS = (8, 16, 32, None) if FULL_SWEEP else (8, 16, None)
+
+
+def test_report_simplification_ablation(benchmark):
+    """Run the simplification-cap ablation and register its table."""
+    rows = benchmark.pedantic(
+        lambda: run_simplification_ablation(
+            dataset=DATASET,
+            max_points_values=CAPS,
+            num_pairs=20,
+            num_intervals=3,
+            accuracy_pairs=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(
+        "ablation_simplify",
+        rows,
+        title="Ablation: PLF simplification cap vs accuracy, memory and build time",
+    )
+    by_cap = {row["max_points"]: row for row in rows}
+    exact = by_cap["exact"]
+    tightest = by_cap[min(c for c in by_cap if c != "exact")]
+    # Exact mode has zero error; capped modes trade a small, bounded error for
+    # a smaller index.
+    assert exact["max_relative_error"] <= 1e-9
+    assert tightest["max_relative_error"] <= 0.05
+    assert tightest["memory_mb"] <= exact["memory_mb"]

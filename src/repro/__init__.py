@@ -1,0 +1,47 @@
+"""repro — time-dependent shortest-path queries with tree-decomposition shortcuts.
+
+A pure-Python reproduction of *"Querying Shortest Path on Large Time-Dependent
+Road Networks with Shortcuts"* (Gong, Zeng, Chen; ICDE 2024 / arXiv:2303.03720).
+
+Quick start
+-----------
+>>> from repro import TDTreeIndex
+>>> from repro.graph import grid_network
+>>> graph = grid_network(6, 6, seed=1)
+>>> index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.3)
+>>> answer = index.query(0, 35, departure=8 * 3600)
+>>> profile = index.profile(0, 35)
+
+Package layout
+--------------
+``repro.functions``
+    Piecewise-linear travel-cost function algebra (Compound, minimum, ...).
+``repro.graph``
+    Time-dependent graph structure, generators, I/O, validation.
+``repro.core``
+    The paper's contribution: TFP tree decomposition, shortcut selection
+    (exact DP and 0.5-approximation) and the query algorithms.
+``repro.baselines``
+    TD-Dijkstra, TD-A*, TD-G-tree and TD-H2H comparison methods.
+``repro.datasets``
+    Scaled dataset catalog mirroring the paper's Table 2 and the query
+    workload generator.
+``repro.experiments``
+    Harness that regenerates every table and figure of the evaluation.
+"""
+
+from repro.core.index import TDTreeIndex
+from repro.core.query import EarliestArrivalResult, ProfileResult
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.graph.td_graph import TDGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TDGraph",
+    "TDTreeIndex",
+    "PiecewiseLinearFunction",
+    "EarliestArrivalResult",
+    "ProfileResult",
+    "__version__",
+]

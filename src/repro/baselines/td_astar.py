@@ -1,0 +1,244 @@
+"""Time-dependent A* search (non-index baseline family of Sec. 6).
+
+Two admissible heuristics are provided:
+
+* :class:`MinCostHeuristic` — one backward Dijkstra on the *free-flow* graph
+  (every edge weighted by the minimum of its profile) per target.  This is the
+  strongest admissible lower bound that ignores time of day; it is computed
+  lazily and cached per target, which matches how the related work deploys
+  goal-directed search on time-dependent networks.
+* :class:`LandmarkHeuristic` — ALT-style lower bounds from a small set of
+  landmarks using the triangle inequality on free-flow distances.  Cheaper per
+  target (no per-target Dijkstra) but weaker.
+
+Both heuristics are valid because the free-flow cost never exceeds the
+time-dependent cost, so A* with either remains exact on FIFO networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from repro.exceptions import DisconnectedQueryError, VertexNotFoundError
+from repro.graph.td_graph import TDGraph
+from repro.baselines.td_dijkstra import DijkstraResult, _unwind_path
+
+__all__ = ["MinCostHeuristic", "LandmarkHeuristic", "TDAStar", "astar_earliest_arrival"]
+
+_INF = math.inf
+
+
+def _free_flow_reverse_distances(graph: TDGraph, target: int) -> dict[int, float]:
+    """Static Dijkstra on reversed free-flow weights: lower bound to ``target``."""
+    dist = {target: 0.0}
+    counter = itertools.count()
+    heap = [(0.0, next(counter), target)]
+    done: set[int] = set()
+    while heap:
+        d, _, vertex = heapq.heappop(heap)
+        if vertex in done:
+            continue
+        done.add(vertex)
+        for predecessor, weight in graph.in_items(vertex):
+            candidate = d + weight.min_cost
+            if candidate < dist.get(predecessor, _INF):
+                dist[predecessor] = candidate
+                heapq.heappush(heap, (candidate, next(counter), predecessor))
+    return dist
+
+
+class MinCostHeuristic:
+    """Exact free-flow lower bounds to a target (cached per target)."""
+
+    def __init__(self, graph: TDGraph) -> None:
+        self.graph = graph
+        self._cache: dict[int, dict[int, float]] = {}
+
+    def prepare(self, target: int) -> None:
+        """Compute (and cache) the lower-bound table for ``target``."""
+        if target not in self._cache:
+            self._cache[target] = _free_flow_reverse_distances(self.graph, target)
+
+    def estimate(self, vertex: int, target: int) -> float:
+        """Admissible lower bound on the travel cost from ``vertex`` to ``target``."""
+        self.prepare(target)
+        return self._cache[target].get(vertex, _INF)
+
+
+class LandmarkHeuristic:
+    """ALT landmarks on the free-flow graph.
+
+    ``num_landmarks`` vertices are chosen with a farthest-point strategy; for
+    each landmark ``L`` both distance tables ``d(L, ·)`` and ``d(·, L)`` are
+    stored, and the estimate is the best triangle-inequality bound
+    ``max_L max(d(v, L) - d(t, L), d(L, t) - d(L, v))`` (clamped at zero).
+    """
+
+    def __init__(self, graph: TDGraph, num_landmarks: int = 8, seed: int = 0) -> None:
+        self.graph = graph
+        self.num_landmarks = max(1, int(num_landmarks))
+        self._rng = np.random.default_rng(seed)
+        self.landmarks: list[int] = []
+        self._to_landmark: dict[int, dict[int, float]] = {}
+        self._from_landmark: dict[int, dict[int, float]] = {}
+        self._select_landmarks()
+
+    def _forward_distances(self, source: int) -> dict[int, float]:
+        dist = {source: 0.0}
+        counter = itertools.count()
+        heap = [(0.0, next(counter), source)]
+        done: set[int] = set()
+        while heap:
+            d, _, vertex = heapq.heappop(heap)
+            if vertex in done:
+                continue
+            done.add(vertex)
+            for successor, weight in self.graph.out_items(vertex):
+                candidate = d + weight.min_cost
+                if candidate < dist.get(successor, _INF):
+                    dist[successor] = candidate
+                    heapq.heappush(heap, (candidate, next(counter), successor))
+        return dist
+
+    def _select_landmarks(self) -> None:
+        vertices = list(self.graph.vertices())
+        if not vertices:
+            return
+        first = int(self._rng.choice(vertices))
+        self.landmarks = [first]
+        self._from_landmark[first] = self._forward_distances(first)
+        self._to_landmark[first] = _free_flow_reverse_distances(self.graph, first)
+        while len(self.landmarks) < min(self.num_landmarks, len(vertices)):
+            # Farthest-point selection w.r.t. the already chosen landmarks.
+            best_vertex, best_score = None, -1.0
+            reference = self._from_landmark[self.landmarks[-1]]
+            for vertex in vertices:
+                if vertex in self.landmarks:
+                    continue
+                score = reference.get(vertex, 0.0)
+                if score > best_score:
+                    best_vertex, best_score = vertex, score
+            if best_vertex is None:
+                break
+            self.landmarks.append(best_vertex)
+            self._from_landmark[best_vertex] = self._forward_distances(best_vertex)
+            self._to_landmark[best_vertex] = _free_flow_reverse_distances(
+                self.graph, best_vertex
+            )
+
+    def prepare(self, target: int) -> None:
+        """Landmarks are target-independent; nothing to do."""
+
+    def estimate(self, vertex: int, target: int) -> float:
+        """Triangle-inequality lower bound from ``vertex`` to ``target``."""
+        best = 0.0
+        for landmark in self.landmarks:
+            to_l = self._to_landmark[landmark]
+            from_l = self._from_landmark[landmark]
+            forward = to_l.get(vertex, _INF) - to_l.get(target, _INF)
+            backward = from_l.get(target, _INF) - from_l.get(vertex, _INF)
+            for bound in (forward, backward):
+                if math.isfinite(bound) and bound > best:
+                    best = bound
+        return best
+
+
+def astar_earliest_arrival(
+    graph: TDGraph,
+    source: int,
+    target: int,
+    departure: float,
+    heuristic,
+) -> DijkstraResult:
+    """Exact earliest-arrival query with goal direction.
+
+    ``heuristic`` must provide ``prepare(target)`` and ``estimate(vertex,
+    target)`` returning an admissible lower bound on the remaining travel cost.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    heuristic.prepare(target)
+
+    arrivals: dict[int, float] = {source: departure}
+    parents: dict[int, int] = {}
+    done: set[int] = set()
+    counter = itertools.count()
+    heap = [(heuristic.estimate(source, target), next(counter), source)]
+    settled = 0
+    while heap:
+        _, _, vertex = heapq.heappop(heap)
+        if vertex in done:
+            continue
+        done.add(vertex)
+        settled += 1
+        if vertex == target:
+            break
+        arrival = arrivals[vertex]
+        for successor, weight in graph.out_items(vertex):
+            if successor in done:
+                continue
+            candidate = arrival + float(weight.evaluate(arrival))
+            if candidate < arrivals.get(successor, _INF):
+                arrivals[successor] = candidate
+                parents[successor] = vertex
+                priority = (candidate - departure) + heuristic.estimate(successor, target)
+                heapq.heappush(heap, (priority, next(counter), successor))
+    arrival = arrivals.get(target, _INF)
+    if not math.isfinite(arrival):
+        raise DisconnectedQueryError(source, target)
+    return DijkstraResult(
+        source=source,
+        target=target,
+        departure=departure,
+        cost=arrival - departure,
+        path=_unwind_path(parents, source, target),
+        settled=settled,
+    )
+
+
+class TDAStar:
+    """Facade exposing the common index-style API (``build``/``query``)."""
+
+    strategy = "astar"
+
+    def __init__(self, graph: TDGraph, heuristic=None) -> None:
+        self.graph = graph
+        self.heuristic = heuristic if heuristic is not None else MinCostHeuristic(graph)
+
+    @classmethod
+    def build(
+        cls,
+        graph: TDGraph,
+        *,
+        heuristic: str = "min-cost",
+        num_landmarks: int = 8,
+        seed: int = 0,
+        **_ignored,
+    ) -> "TDAStar":
+        """Create the search facade with the requested heuristic."""
+        if heuristic == "landmarks":
+            return cls(graph, LandmarkHeuristic(graph, num_landmarks=num_landmarks, seed=seed))
+        return cls(graph, MinCostHeuristic(graph))
+
+    def query(self, source: int, target: int, departure: float, **_ignored) -> DijkstraResult:
+        """Scalar travel-cost query (exact)."""
+        return astar_earliest_arrival(self.graph, source, target, departure, self.heuristic)
+
+    def memory_breakdown(self):
+        """A* stores only the (lazy) heuristic tables; report them as labels."""
+        from repro.utils.memory import MemoryBreakdown
+
+        cached_entries = 0
+        if isinstance(self.heuristic, MinCostHeuristic):
+            cached_entries = sum(len(t) for t in self.heuristic._cache.values())
+        elif isinstance(self.heuristic, LandmarkHeuristic):
+            cached_entries = sum(
+                len(t) for t in self.heuristic._to_landmark.values()
+            ) + sum(len(t) for t in self.heuristic._from_landmark.values())
+        return MemoryBreakdown(label_points=cached_entries, label_functions=0)

@@ -1,0 +1,206 @@
+"""Time-dependent Dijkstra — the index-free reference algorithms.
+
+Two searches are provided:
+
+* :func:`earliest_arrival` — the classic time-dependent Dijkstra for a single
+  departure time.  On FIFO networks it is exact, and it is the ground truth
+  every index in this library is tested against.
+* :func:`profile_search` — a label-correcting search whose labels are whole
+  travel-cost functions; it computes the exact shortest travel-cost *function*
+  between two vertices (the paper's "cost function query") without an index.
+
+Both run directly on the :class:`~repro.graph.TDGraph`; no preprocessing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import DisconnectedQueryError, VertexNotFoundError
+from repro.functions.compound import compound, minimum
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.graph.td_graph import TDGraph
+
+__all__ = [
+    "DijkstraResult",
+    "earliest_arrival",
+    "one_to_all",
+    "profile_search",
+    "TDDijkstra",
+]
+
+_INF = math.inf
+
+
+@dataclass
+class DijkstraResult:
+    """Result of a scalar time-dependent Dijkstra query."""
+
+    source: int
+    target: int
+    departure: float
+    cost: float
+    path: list[int]
+    settled: int
+
+    @property
+    def arrival(self) -> float:
+        return self.departure + self.cost
+
+
+def earliest_arrival(
+    graph: TDGraph, source: int, target: int, departure: float
+) -> DijkstraResult:
+    """Exact earliest-arrival query by time-dependent Dijkstra."""
+    arrivals, parents, settled = _scalar_search(graph, source, departure, target)
+    arrival = arrivals.get(target, _INF)
+    if not math.isfinite(arrival):
+        raise DisconnectedQueryError(source, target)
+    return DijkstraResult(
+        source=source,
+        target=target,
+        departure=departure,
+        cost=arrival - departure,
+        path=_unwind_path(parents, source, target),
+        settled=settled,
+    )
+
+
+def one_to_all(graph: TDGraph, source: int, departure: float) -> dict[int, float]:
+    """Earliest arrival time at every reachable vertex."""
+    arrivals, _, _ = _scalar_search(graph, source, departure, None)
+    return arrivals
+
+
+def _scalar_search(
+    graph: TDGraph, source: int, departure: float, target: int | None
+) -> tuple[dict[int, float], dict[int, int], int]:
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if target is not None and not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    arrivals: dict[int, float] = {source: departure}
+    parents: dict[int, int] = {}
+    done: set[int] = set()
+    counter = itertools.count()
+    heap: list[tuple[float, int, int]] = [(departure, next(counter), source)]
+    settled = 0
+    while heap:
+        arrival, _, vertex = heapq.heappop(heap)
+        if vertex in done:
+            continue
+        done.add(vertex)
+        settled += 1
+        if vertex == target:
+            break
+        for successor, weight in graph.out_items(vertex):
+            if successor in done:
+                continue
+            candidate = arrival + float(weight.evaluate(arrival))
+            if candidate < arrivals.get(successor, _INF):
+                arrivals[successor] = candidate
+                parents[successor] = vertex
+                heapq.heappush(heap, (candidate, next(counter), successor))
+    return arrivals, parents, settled
+
+
+def _unwind_path(parents: dict[int, int], source: int, target: int) -> list[int]:
+    path = [target]
+    cursor = target
+    while cursor != source:
+        cursor = parents[cursor]
+        path.append(cursor)
+    path.reverse()
+    return path
+
+
+def profile_search(
+    graph: TDGraph,
+    source: int,
+    target: int | None = None,
+    *,
+    max_points: int | None = None,
+) -> dict[int, PiecewiseLinearFunction]:
+    """Label-correcting profile search from ``source``.
+
+    Returns a mapping from every reachable vertex to the exact shortest
+    travel-cost function from ``source``.  When ``target`` is given the search
+    still computes all labels (profile searches cannot stop early without
+    bounds) but the caller typically only reads ``result[target]``.
+
+    ``max_points`` optionally caps label sizes, trading exactness for speed —
+    the cap is off by default because this function serves as the ground truth
+    in the test-suite.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if target is not None and not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+
+    labels: dict[int, PiecewiseLinearFunction] = {
+        source: PiecewiseLinearFunction.zero()
+    }
+    counter = itertools.count()
+    heap: list[tuple[float, int, int]] = [(0.0, next(counter), source)]
+    in_queue: set[int] = {source}
+    while heap:
+        _, _, vertex = heapq.heappop(heap)
+        in_queue.discard(vertex)
+        base = labels[vertex]
+        for successor, weight in graph.out_items(vertex):
+            candidate = compound(base, weight) if not _is_zero(base) else weight
+            if max_points is not None:
+                candidate = simplify(candidate, max_points=max_points)
+            existing = labels.get(successor)
+            if existing is None:
+                improved = candidate
+            else:
+                improved = minimum(existing, candidate)
+                if max_points is not None:
+                    improved = simplify(improved, max_points=max_points)
+                if existing.allclose(improved, tolerance=1e-9):
+                    continue
+            labels[successor] = improved
+            if successor not in in_queue:
+                in_queue.add(successor)
+                heapq.heappush(heap, (improved.min_cost, next(counter), successor))
+    return labels
+
+
+def _is_zero(func: PiecewiseLinearFunction) -> bool:
+    return func.size == 1 and func.costs[0] == 0.0
+
+
+class TDDijkstra:
+    """Facade matching the index API so experiments can treat it uniformly."""
+
+    strategy = "dijkstra"
+
+    def __init__(self, graph: TDGraph) -> None:
+        self.graph = graph
+
+    @classmethod
+    def build(cls, graph: TDGraph, **_ignored) -> "TDDijkstra":
+        """No preprocessing: the "index" is the graph itself."""
+        return cls(graph)
+
+    def query(self, source: int, target: int, departure: float, **_ignored) -> DijkstraResult:
+        """Scalar travel-cost query (exact)."""
+        return earliest_arrival(self.graph, source, target, departure)
+
+    def profile(self, source: int, target: int) -> PiecewiseLinearFunction:
+        """Exact shortest travel-cost function from ``source`` to ``target``."""
+        labels = profile_search(self.graph, source, target)
+        if target not in labels:
+            raise DisconnectedQueryError(source, target)
+        return labels[target]
+
+    def memory_breakdown(self):
+        """An index-free method stores nothing beyond the graph."""
+        from repro.utils.memory import MemoryBreakdown
+
+        return MemoryBreakdown()

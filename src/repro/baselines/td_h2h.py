@@ -1,0 +1,50 @@
+"""TD-H2H — tree decomposition with *all* shortcuts materialised.
+
+The paper's second baseline extends the static H2H labelling [Ouyang et al.,
+SIGMOD'18] to the time-dependent setting: every tree node stores the shortest
+travel-cost functions to **all** of its ancestors.  Queries are then answered
+with the constant-hop cut lookup only, which makes them extremely fast, but
+the label size grows with ``n · h(T_G)`` functions and becomes prohibitive on
+larger networks — exactly the trade-off Table 3/Table 4 and Fig. 9 document.
+
+In this library TD-H2H is simply the ``strategy="full"`` configuration of
+:class:`~repro.core.index.TDTreeIndex`; this module provides it under its own
+name so experiment code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import TDTreeIndex
+from repro.graph.td_graph import TDGraph
+
+__all__ = ["TDH2H", "build_td_h2h"]
+
+
+class TDH2H(TDTreeIndex):
+    """A :class:`TDTreeIndex` whose every candidate shortcut is materialised."""
+
+    @classmethod
+    def build(  # type: ignore[override]
+        cls,
+        graph: TDGraph,
+        *,
+        max_points: int | None = 16,
+        tolerance: float = 0.0,
+        validate: bool = True,
+        **_ignored,
+    ) -> "TDH2H":
+        """Build the full-shortcut index (budget-free, largest memory footprint)."""
+        index = TDTreeIndex.build(
+            graph,
+            strategy="full",
+            max_points=max_points,
+            tolerance=tolerance,
+            validate=validate,
+        )
+        index.__class__ = cls
+        return index  # type: ignore[return-value]
+
+
+def build_td_h2h(graph: TDGraph, **kwargs) -> TDH2H:
+    """Convenience function mirroring the other baselines' ``build`` helpers."""
+    return TDH2H.build(graph, **kwargs)

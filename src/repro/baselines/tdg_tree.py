@@ -1,0 +1,632 @@
+"""TD-G-tree — the state-of-the-art baseline the paper compares against.
+
+TD-G-tree (Wang, Li, Tang; VLDB 2019) partitions the road network
+hierarchically; every partition node keeps travel-cost-function matrices
+between *borders* (vertices with an edge leaving the partition), and queries
+assemble the answer bottom-up along the two leaf-to-LCA paths.
+
+The implementation here follows that design:
+
+* **Partitioning** — recursive balanced bisection on vertex coordinates
+  (median split, axis alternating per level), falling back to a BFS-based
+  bisection when coordinates are absent.  Leaves hold at most ``leaf_size``
+  vertices.
+* **Leaf matrices** — travel-cost functions between every vertex of the leaf
+  and every border of the leaf (both directions), computed by profile searches
+  restricted to the leaf subgraph.
+* **Internal matrices** — travel-cost functions between all borders of the
+  node's children, computed on the "border graph" (children matrices plus the
+  original edges crossing between children).
+* **Query assembly** — relax arrival times (or profiles) through the border
+  sets of every node on the source-side path, across the LCA, and down the
+  target-side path.
+
+The known weakness the paper exploits — redundancy across levels and
+assembly-induced detours for vertices that are close in the graph but far in
+the partition hierarchy — is inherent to this design and is intentionally
+reproduced rather than patched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import (
+    DisconnectedQueryError,
+    GraphError,
+    IndexBuildError,
+    VertexNotFoundError,
+)
+from repro.functions.compound import compound, minimum, minimum_of
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.graph.td_graph import TDGraph
+from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
+from repro.utils.timing import Timer
+
+__all__ = ["TDGTree", "GTreeNode", "GTreeResult"]
+
+_INF = math.inf
+
+
+@dataclass
+class GTreeNode:
+    """One partition node of the TD-G-tree."""
+
+    node_id: int
+    vertices: frozenset[int]
+    parent: int | None = None
+    children: list[int] = field(default_factory=list)
+    borders: tuple[int, ...] = ()
+    #: For leaves: functions vertex -> border and border -> vertex.
+    vertex_to_border: dict[tuple[int, int], PiecewiseLinearFunction] = field(
+        default_factory=dict, repr=False
+    )
+    border_to_vertex: dict[tuple[int, int], PiecewiseLinearFunction] = field(
+        default_factory=dict, repr=False
+    )
+    #: For internal nodes: functions between all borders of the children.
+    matrix: dict[tuple[int, int], PiecewiseLinearFunction] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def matrix_point_count(self) -> int:
+        """Interpolation points stored by this node (for the memory model)."""
+        total = sum(f.size for f in self.matrix.values())
+        total += sum(f.size for f in self.vertex_to_border.values())
+        total += sum(f.size for f in self.border_to_vertex.values())
+        return total
+
+    def matrix_function_count(self) -> int:
+        return (
+            len(self.matrix) + len(self.vertex_to_border) + len(self.border_to_vertex)
+        )
+
+
+@dataclass
+class GTreeResult:
+    """Scalar query answer of the TD-G-tree (API-compatible with the index results)."""
+
+    source: int
+    target: int
+    departure: float
+    cost: float
+    strategy: str = "tdg-tree"
+
+    @property
+    def arrival(self) -> float:
+        return self.departure + self.cost
+
+
+class TDGTree:
+    """Hierarchical border-matrix index over a time-dependent road network."""
+
+    strategy = "tdg-tree"
+
+    def __init__(
+        self,
+        graph: TDGraph,
+        nodes: dict[int, GTreeNode],
+        root_id: int,
+        leaf_of: dict[int, int],
+        *,
+        max_points: int | None,
+        build_seconds: dict[str, float] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.nodes = nodes
+        self.root_id = root_id
+        self.leaf_of = leaf_of
+        self.max_points = max_points
+        self._build_seconds = dict(build_seconds or {})
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: TDGraph,
+        *,
+        leaf_size: int = 24,
+        max_points: int | None = 16,
+        **_ignored,
+    ) -> "TDGTree":
+        """Partition the graph and materialise all border matrices."""
+        if graph.num_vertices == 0:
+            raise GraphError("cannot build a TD-G-tree over an empty graph")
+        timer = Timer()
+        with timer.measure("partition"):
+            nodes, root_id, leaf_of = _partition(graph, leaf_size)
+        tree = cls(
+            graph,
+            nodes,
+            root_id,
+            leaf_of,
+            max_points=max_points,
+            build_seconds=None,
+        )
+        with timer.measure("borders"):
+            tree._compute_borders()
+        with timer.measure("leaf_matrices"):
+            for node in tree.nodes.values():
+                if node.is_leaf:
+                    tree._build_leaf_matrices(node)
+        with timer.measure("internal_matrices"):
+            for node in tree._bottom_up_internal_nodes():
+                tree._build_internal_matrix(node)
+        tree._build_seconds = timer.as_dict()
+        return tree
+
+    def _compute_borders(self) -> None:
+        for node in self.nodes.values():
+            members = node.vertices
+            borders = []
+            for vertex in sorted(members):
+                neighbourhood = self.graph.neighbors(vertex)
+                if any(other not in members for other in neighbourhood):
+                    borders.append(vertex)
+            node.borders = tuple(borders)
+        # The root has no outside, hence no borders; give it all children
+        # borders so the cross-LCA step at the root has somewhere to meet.
+        root = self.nodes[self.root_id]
+        if not root.borders:
+            union: list[int] = []
+            for child_id in root.children:
+                union.extend(self.nodes[child_id].borders)
+            root.borders = tuple(sorted(set(union)))
+
+    def _bottom_up_internal_nodes(self) -> list[GTreeNode]:
+        depth: dict[int, int] = {self.root_id: 0}
+        order = [self.root_id]
+        for node_id in order:
+            for child in self.nodes[node_id].children:
+                depth[child] = depth[node_id] + 1
+                order.append(child)
+        internal = [self.nodes[i] for i in order if not self.nodes[i].is_leaf]
+        internal.sort(key=lambda node: -depth[node.node_id])
+        return internal
+
+    def _cap(self, func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        return simplify(func, max_points=self.max_points)
+
+    def _build_leaf_matrices(self, node: GTreeNode) -> None:
+        subgraph = self.graph.subgraph(node.vertices)
+        for border in node.borders:
+            forward = _profile_search_directed(subgraph, border, forward=True)
+            backward = _profile_search_directed(subgraph, border, forward=False)
+            for vertex in node.vertices:
+                if vertex in forward:
+                    node.border_to_vertex[(border, vertex)] = self._cap(forward[vertex])
+                if vertex in backward:
+                    node.vertex_to_border[(vertex, border)] = self._cap(backward[vertex])
+
+    def _build_internal_matrix(self, node: GTreeNode) -> None:
+        union_borders: list[int] = []
+        for child_id in node.children:
+            union_borders.extend(self.nodes[child_id].borders)
+        union_borders = sorted(set(union_borders))
+        border_graph = self._border_graph(node, union_borders)
+        for border in union_borders:
+            labels = _graph_dict_profile_search(border_graph, border)
+            for other, func in labels.items():
+                if other == border:
+                    continue
+                node.matrix[(border, other)] = self._cap(func)
+
+    def _border_graph(
+        self, node: GTreeNode, union_borders: list[int]
+    ) -> dict[int, dict[int, PiecewiseLinearFunction]]:
+        """Adjacency of the border graph used to assemble an internal matrix.
+
+        Edges are (a) the children's own matrices (leaf: vertex/border tables;
+        internal: border matrices) restricted to their borders, and (b) the
+        original road segments crossing between different children.
+        """
+        adjacency: dict[int, dict[int, PiecewiseLinearFunction]] = {
+            b: {} for b in union_borders
+        }
+
+        def add(a: int, b: int, func: PiecewiseLinearFunction) -> None:
+            existing = adjacency[a].get(b)
+            adjacency[a][b] = func if existing is None else minimum(existing, func)
+
+        for child_id in node.children:
+            child = self.nodes[child_id]
+            if child.is_leaf:
+                for border_a in child.borders:
+                    for border_b in child.borders:
+                        if border_a == border_b:
+                            continue
+                        func = child.border_to_vertex.get((border_a, border_b))
+                        if func is not None:
+                            add(border_a, border_b, func)
+            else:
+                for (border_a, border_b), func in child.matrix.items():
+                    if border_a in adjacency and border_b in adjacency:
+                        add(border_a, border_b, func)
+        member_of: dict[int, int] = {}
+        for child_id in node.children:
+            for vertex in self.nodes[child_id].vertices:
+                member_of[vertex] = child_id
+        for vertex in node.vertices:
+            for successor, weight in self.graph.out_items(vertex):
+                if successor in node.vertices and member_of.get(vertex) != member_of.get(successor):
+                    if vertex in adjacency and successor in adjacency:
+                        add(vertex, successor, weight)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _path_to_root(self, node_id: int) -> list[int]:
+        path = [node_id]
+        while self.nodes[path[-1]].parent is not None:
+            path.append(self.nodes[path[-1]].parent)
+        return path
+
+    def _lca(self, first_leaf: int, second_leaf: int) -> int:
+        first_path = set(self._path_to_root(first_leaf))
+        for node_id in self._path_to_root(second_leaf):
+            if node_id in first_path:
+                return node_id
+        raise IndexBuildError("partition nodes do not share a root")  # pragma: no cover
+
+    def query(self, source: int, target: int, departure: float, **_ignored) -> GTreeResult:
+        """Scalar travel-cost query via bottom-up border assembly."""
+        self._require(source, target)
+        if source == target:
+            return GTreeResult(source, target, departure, 0.0)
+        leaf_s = self.leaf_of[source]
+        leaf_d = self.leaf_of[target]
+        if leaf_s == leaf_d:
+            cost = _local_scalar_query(self.graph, source, target, departure)
+            return GTreeResult(source, target, departure, cost, strategy="tdg-tree-local")
+
+        lca = self._lca(leaf_s, leaf_d)
+        up_path = self._strict_path(leaf_s, lca)
+        down_path = self._strict_path(leaf_d, lca)
+
+        # Arrivals at the borders of the source leaf.
+        leaf_node = self.nodes[leaf_s]
+        arrivals: dict[int, float] = {}
+        for border in leaf_node.borders:
+            func = leaf_node.vertex_to_border.get((source, border))
+            if func is None:
+                if border == source:
+                    arrivals[border] = departure
+                continue
+            arrivals[border] = departure + float(func.evaluate(departure))
+        if source in leaf_node.borders:
+            arrivals[source] = departure
+
+        # Upward sweep: relax through the matrices of every strict ancestor
+        # below the LCA (the LCA itself is only used for the cross step).
+        for node_id in up_path[1:-1]:
+            arrivals = self._relax_scalar(
+                arrivals, self.nodes[node_id], self.nodes[node_id].borders
+            )
+        # Cross the LCA towards the borders of the target-side child.
+        target_side = down_path[-2]
+        arrivals = self._relax_scalar(
+            arrivals, self.nodes[lca], self.nodes[target_side].borders
+        )
+        # Downward sweep.
+        for node_id in reversed(down_path[1:-1]):
+            child_id = down_path[down_path.index(node_id) - 1]
+            arrivals = self._relax_scalar(
+                arrivals, self.nodes[node_id], self.nodes[child_id].borders
+            )
+
+        # Finally from the borders of the target leaf to the target itself.
+        leaf_node_d = self.nodes[leaf_d]
+        best = _INF
+        for border, arrival in arrivals.items():
+            if border == target:
+                best = min(best, arrival)
+                continue
+            func = leaf_node_d.border_to_vertex.get((border, target))
+            if func is None:
+                continue
+            best = min(best, arrival + float(func.evaluate(arrival)))
+        if not math.isfinite(best):
+            # The assembly only sees paths that stay inside each partition; on
+            # sparse planar networks a partition can be internally disconnected
+            # and the assembly finds no route even though one exists in the
+            # full graph.  Fall back to plain TD-Dijkstra in that case (the
+            # original G-tree sidesteps this by partitioning on connectivity).
+            cost = _local_scalar_query(self.graph, source, target, departure)
+            return GTreeResult(source, target, departure, cost, strategy="tdg-tree-fallback")
+        return GTreeResult(source, target, departure, best - departure)
+
+    def _strict_path(self, leaf_id: int, lca: int) -> list[int]:
+        """Nodes from ``leaf_id`` up to and including ``lca``."""
+        path = []
+        cursor = leaf_id
+        while cursor != lca:
+            path.append(cursor)
+            parent = self.nodes[cursor].parent
+            if parent is None:  # pragma: no cover - defensive
+                raise IndexBuildError("LCA walk escaped the partition tree")
+            cursor = parent
+        path.append(lca)
+        return path
+
+    def _relax_scalar(
+        self,
+        arrivals: dict[int, float],
+        through: GTreeNode,
+        target_borders: tuple[int, ...],
+    ) -> dict[int, float]:
+        """One assembly step: earliest arrivals at ``target_borders`` through a node matrix."""
+        result: dict[int, float] = {}
+        for border in target_borders:
+            best = arrivals.get(border, _INF)
+            for from_border, arrival in arrivals.items():
+                if from_border == border:
+                    continue
+                func = through.matrix.get((from_border, border))
+                if func is None:
+                    continue
+                candidate = arrival + float(func.evaluate(arrival))
+                if candidate < best:
+                    best = candidate
+            if math.isfinite(best):
+                result[border] = best
+        return result
+
+    def profile(self, source: int, target: int):
+        """Profile query: assemble travel-cost functions instead of scalars."""
+        self._require(source, target)
+        if source == target:
+            return PiecewiseLinearFunction.zero()
+        leaf_s = self.leaf_of[source]
+        leaf_d = self.leaf_of[target]
+        if leaf_s == leaf_d:
+            labels = _profile_search_directed(self.graph, source, forward=True)
+            if target not in labels:
+                raise DisconnectedQueryError(source, target)
+            return self._cap(labels[target])
+
+        lca = self._lca(leaf_s, leaf_d)
+        up_path = self._strict_path(leaf_s, lca)
+        down_path = self._strict_path(leaf_d, lca)
+
+        leaf_node = self.nodes[leaf_s]
+        labels: dict[int, PiecewiseLinearFunction] = {}
+        for border in leaf_node.borders:
+            if border == source:
+                labels[border] = PiecewiseLinearFunction.zero()
+                continue
+            func = leaf_node.vertex_to_border.get((source, border))
+            if func is not None:
+                labels[border] = func
+
+        for node_id in up_path[1:-1]:
+            labels = self._relax_profile(
+                labels, self.nodes[node_id], self.nodes[node_id].borders
+            )
+        target_side = down_path[-2]
+        labels = self._relax_profile(
+            labels, self.nodes[lca], self.nodes[target_side].borders
+        )
+        for node_id in reversed(down_path[1:-1]):
+            child_id = down_path[down_path.index(node_id) - 1]
+            labels = self._relax_profile(
+                labels, self.nodes[node_id], self.nodes[child_id].borders
+            )
+
+        leaf_node_d = self.nodes[leaf_d]
+        candidates = []
+        for border, func in labels.items():
+            if border == target:
+                candidates.append(func)
+                continue
+            last_leg = leaf_node_d.border_to_vertex.get((border, target))
+            if last_leg is None:
+                continue
+            candidates.append(compound(func, last_leg, via=border))
+        if not candidates:
+            # Same fallback as the scalar query: assembly found no route
+            # because a partition is internally disconnected.
+            labels = _profile_search_directed(self.graph, source, forward=True)
+            if target not in labels:
+                raise DisconnectedQueryError(source, target)
+            return self._cap(labels[target])
+        return self._cap(minimum_of(candidates))
+
+    def _relax_profile(
+        self,
+        labels: dict[int, PiecewiseLinearFunction],
+        through: GTreeNode,
+        target_borders: tuple[int, ...],
+    ) -> dict[int, PiecewiseLinearFunction]:
+        result: dict[int, PiecewiseLinearFunction] = {}
+        for border in target_borders:
+            candidates = []
+            if border in labels:
+                candidates.append(labels[border])
+            for from_border, func in labels.items():
+                if from_border == border:
+                    continue
+                leg = through.matrix.get((from_border, border))
+                if leg is None:
+                    continue
+                candidates.append(compound(func, leg, via=from_border))
+            if candidates:
+                result[border] = self._cap(minimum_of(candidates))
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_breakdown(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> MemoryBreakdown:
+        """Analytic memory footprint of all matrices."""
+        points = sum(node.matrix_point_count() for node in self.nodes.values())
+        functions = sum(node.matrix_function_count() for node in self.nodes.values())
+        return MemoryBreakdown(
+            label_points=points,
+            label_functions=functions,
+            structure_nodes=len(self.nodes),
+            model=model,
+        )
+
+    def statistics(self) -> dict[str, float]:
+        """Shape and build-time summary of the partition hierarchy."""
+        num_leaves = sum(1 for node in self.nodes.values() if node.is_leaf)
+        return {
+            "num_partitions": len(self.nodes),
+            "num_leaves": num_leaves,
+            "num_borders": sum(len(node.borders) for node in self.nodes.values()),
+            "build_seconds": sum(self._build_seconds.values()),
+            **{f"build_{k}_seconds": v for k, v in self._build_seconds.items()},
+        }
+
+    def _require(self, source: int, target: int) -> None:
+        if source not in self.leaf_of:
+            raise VertexNotFoundError(source)
+        if target not in self.leaf_of:
+            raise VertexNotFoundError(target)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def _partition(
+    graph: TDGraph, leaf_size: int
+) -> tuple[dict[int, GTreeNode], int, dict[int, int]]:
+    if leaf_size < 2:
+        raise IndexBuildError("leaf_size must be at least 2")
+    nodes: dict[int, GTreeNode] = {}
+    leaf_of: dict[int, int] = {}
+    counter = itertools.count()
+
+    def split(members: list[int], axis: int) -> tuple[list[int], list[int]]:
+        coords = {v: graph.coordinate(v) for v in members}
+        if all(c is not None for c in coords.values()):
+            members = sorted(members, key=lambda v: coords[v][axis % 2])
+        else:
+            members = _bfs_order(graph, members)
+        middle = len(members) // 2
+        return members[:middle], members[middle:]
+
+    def build(members: list[int], axis: int, parent: int | None) -> int:
+        node_id = next(counter)
+        node = GTreeNode(node_id=node_id, vertices=frozenset(members), parent=parent)
+        nodes[node_id] = node
+        if len(members) <= leaf_size:
+            for vertex in members:
+                leaf_of[vertex] = node_id
+            return node_id
+        left, right = split(members, axis)
+        if not left or not right:  # pragma: no cover - degenerate split
+            for vertex in members:
+                leaf_of[vertex] = node_id
+            return node_id
+        node.children.append(build(left, axis + 1, node_id))
+        node.children.append(build(right, axis + 1, node_id))
+        return node_id
+
+    root_id = build(sorted(graph.vertices()), 0, None)
+    return nodes, root_id, leaf_of
+
+
+def _bfs_order(graph: TDGraph, members: list[int]) -> list[int]:
+    member_set = set(members)
+    order: list[int] = []
+    seen: set[int] = set()
+    for start in members:
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        while queue:
+            vertex = queue.pop(0)
+            order.append(vertex)
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in member_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+    return order
+
+
+# ----------------------------------------------------------------------
+# Restricted profile searches used by the matrices
+# ----------------------------------------------------------------------
+def _profile_search_directed(
+    graph: TDGraph, origin: int, *, forward: bool
+) -> dict[int, PiecewiseLinearFunction]:
+    """Profile search from/towards ``origin`` restricted to ``graph``.
+
+    ``forward=True`` computes functions *from* ``origin`` to every vertex;
+    ``forward=False`` computes functions *from every vertex to* ``origin``
+    (relaxation over incoming edges).
+    """
+    labels: dict[int, PiecewiseLinearFunction] = {origin: PiecewiseLinearFunction.zero()}
+    counter = itertools.count()
+    heap = [(0.0, next(counter), origin)]
+    in_queue = {origin}
+    while heap:
+        _, _, vertex = heapq.heappop(heap)
+        in_queue.discard(vertex)
+        base = labels[vertex]
+        edges = graph.out_items(vertex) if forward else graph.in_items(vertex)
+        for other, weight in edges:
+            if forward:
+                candidate = compound(base, weight) if base.size > 1 or base.costs[0] else weight
+            else:
+                candidate = compound(weight, base) if base.size > 1 or base.costs[0] else weight
+            existing = labels.get(other)
+            if existing is None:
+                improved = candidate
+            else:
+                improved = minimum(existing, candidate)
+                if existing.allclose(improved, tolerance=1e-9):
+                    continue
+            labels[other] = improved
+            if other not in in_queue:
+                in_queue.add(other)
+                heapq.heappush(heap, (improved.min_cost, next(counter), other))
+    return labels
+
+
+def _graph_dict_profile_search(
+    adjacency: dict[int, dict[int, PiecewiseLinearFunction]], origin: int
+) -> dict[int, PiecewiseLinearFunction]:
+    """Forward profile search over a plain adjacency dictionary (border graphs)."""
+    labels: dict[int, PiecewiseLinearFunction] = {origin: PiecewiseLinearFunction.zero()}
+    counter = itertools.count()
+    heap = [(0.0, next(counter), origin)]
+    in_queue = {origin}
+    while heap:
+        _, _, vertex = heapq.heappop(heap)
+        in_queue.discard(vertex)
+        base = labels[vertex]
+        for other, weight in adjacency.get(vertex, {}).items():
+            candidate = compound(base, weight) if base.size > 1 or base.costs[0] else weight
+            existing = labels.get(other)
+            if existing is None:
+                improved = candidate
+            else:
+                improved = minimum(existing, candidate)
+                if existing.allclose(improved, tolerance=1e-9):
+                    continue
+            labels[other] = improved
+            if other not in in_queue:
+                in_queue.add(other)
+                heapq.heappush(heap, (improved.min_cost, next(counter), other))
+    return labels
+
+
+def _local_scalar_query(graph: TDGraph, source: int, target: int, departure: float) -> float:
+    """Same-leaf fallback: plain time-dependent Dijkstra on the full graph."""
+    from repro.baselines.td_dijkstra import earliest_arrival
+
+    return earliest_arrival(graph, source, target, departure).cost

@@ -1,0 +1,49 @@
+"""The paper's core contribution: TFP tree decomposition, shortcut selection
+and the shortcut-accelerated query algorithms, wrapped by :class:`TDTreeIndex`."""
+
+from repro.core.index import BUILD_STRATEGIES, IndexStatistics, TDTreeIndex
+from repro.core.query import (
+    EarliestArrivalResult,
+    ProfileResult,
+    basic_cost_query,
+    basic_profile_query,
+    shortcut_cost_query,
+    shortcut_profile_query,
+)
+from repro.core.selection import (
+    SelectionResult,
+    budget_from_fraction,
+    select_all,
+    select_dp,
+    select_greedy,
+    select_none,
+)
+from repro.core.shortcuts import ShortcutCatalog, ShortcutPair, build_shortcut_catalog
+from repro.core.tree_decomposition import TFPTreeDecomposition, TreeNode, decompose
+from repro.core.update import UpdateReport, apply_edge_updates
+
+__all__ = [
+    "TDTreeIndex",
+    "IndexStatistics",
+    "BUILD_STRATEGIES",
+    "TFPTreeDecomposition",
+    "TreeNode",
+    "decompose",
+    "ShortcutCatalog",
+    "ShortcutPair",
+    "build_shortcut_catalog",
+    "SelectionResult",
+    "select_dp",
+    "select_greedy",
+    "select_all",
+    "select_none",
+    "budget_from_fraction",
+    "EarliestArrivalResult",
+    "ProfileResult",
+    "basic_cost_query",
+    "basic_profile_query",
+    "shortcut_cost_query",
+    "shortcut_profile_query",
+    "UpdateReport",
+    "apply_edge_updates",
+]

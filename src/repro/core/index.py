@@ -1,0 +1,323 @@
+"""The public index facade: :class:`TDTreeIndex`.
+
+A :class:`TDTreeIndex` bundles the TFP tree decomposition, the (optionally
+selected) shortcuts and the query algorithms behind one object with four
+construction strategies that map one-to-one onto the algorithms compared in
+the paper's evaluation:
+
+========== ==================================================================
+strategy    meaning
+========== ==================================================================
+``basic``   tree decomposition only, no shortcuts (``TD-basic``)
+``dp``      shortcuts chosen by the exact DP selection (``TD-dp``)
+``approx``  shortcuts chosen by the 0.5-approximation (``TD-appro``)
+``full``    every candidate shortcut materialised (``TD-H2H``)
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import IndexBuildError, IndexNotBuiltError, SelectionError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.graph.td_graph import TDGraph
+from repro.graph.validation import validate_graph
+from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
+from repro.utils.timing import Timer
+from repro.core.query import (
+    EarliestArrivalResult,
+    ProfileResult,
+    basic_cost_query,
+    basic_profile_query,
+    shortcut_cost_query,
+    shortcut_profile_query,
+)
+from repro.core.selection import (
+    SelectionResult,
+    budget_from_fraction,
+    select_all,
+    select_dp,
+    select_greedy,
+    select_none,
+)
+from repro.core.shortcuts import ShortcutCatalog, ShortcutPair, build_shortcut_catalog
+from repro.core.tree_decomposition import TFPTreeDecomposition, decompose
+
+__all__ = ["TDTreeIndex", "IndexStatistics", "BUILD_STRATEGIES"]
+
+#: Valid values of the ``strategy`` build parameter.
+BUILD_STRATEGIES = ("basic", "dp", "approx", "full")
+
+
+@dataclass
+class IndexStatistics:
+    """Summary of a built index (used by the experiment tables)."""
+
+    strategy: str
+    num_vertices: int
+    num_edges: int
+    treewidth: int
+    treeheight: int
+    num_candidate_pairs: int
+    num_selected_pairs: int
+    selected_weight: int
+    budget: int | None
+    build_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_build_seconds(self) -> float:
+        return sum(self.build_seconds.values())
+
+
+class TDTreeIndex:
+    """Time-dependent shortest-path index with selected shortcuts.
+
+    Use :meth:`build` to construct an index; the constructor itself only wires
+    pre-built components together (which is what the update machinery and the
+    tests use).
+
+    Examples
+    --------
+    >>> from repro import TDTreeIndex
+    >>> from repro.graph import grid_network
+    >>> graph = grid_network(4, 4, seed=7)
+    >>> index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.4)
+    >>> result = index.query(0, 15, departure=8 * 3600)
+    >>> result.cost > 0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: TDGraph,
+        tree: TFPTreeDecomposition,
+        shortcuts: dict[tuple[int, int], ShortcutPair],
+        *,
+        strategy: str,
+        selection: SelectionResult,
+        catalog_size: int,
+        build_seconds: dict[str, float] | None = None,
+        max_points: int | None = 32,
+        tolerance: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.shortcuts = shortcuts
+        self.strategy = strategy
+        self.selection = selection
+        self.max_points = max_points
+        self.tolerance = tolerance
+        self._catalog_size = catalog_size
+        self._build_seconds = dict(build_seconds or {})
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: TDGraph,
+        *,
+        strategy: str = "approx",
+        budget: int | None = None,
+        budget_fraction: float | None = None,
+        max_points: int | None = 32,
+        tolerance: float = 0.0,
+        validate: bool = True,
+    ) -> "TDTreeIndex":
+        """Build an index over ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The time-dependent road network.
+        strategy:
+            One of :data:`BUILD_STRATEGIES`; see the module docstring.
+        budget:
+            Memory budget ``N`` in interpolation points for the ``dp`` and
+            ``approx`` strategies.  Ignored by ``basic`` and ``full``.
+        budget_fraction:
+            Alternative way to state the budget as a fraction of the total
+            candidate-shortcut weight (used by the scaled datasets).  Exactly
+            one of ``budget``/``budget_fraction`` may be given; when neither is
+            given a default fraction of 0.3 is used.
+        max_points:
+            Cap on interpolation points per stored function; ``None`` keeps
+            everything exact (slower, larger, but useful for verification).
+        tolerance:
+            Vertical tolerance of the lossless simplification.
+        validate:
+            Run :func:`repro.graph.validate_graph` first and raise on FIFO or
+            connectivity violations.
+        """
+        if strategy not in BUILD_STRATEGIES:
+            raise IndexBuildError(
+                f"unknown strategy {strategy!r}; expected one of {BUILD_STRATEGIES}"
+            )
+        if budget is not None and budget_fraction is not None:
+            raise SelectionError("give either budget or budget_fraction, not both")
+        if validate:
+            validate_graph(graph).raise_if_invalid()
+
+        timer = Timer()
+        with timer.measure("decomposition"):
+            tree = decompose(graph, max_points=max_points, tolerance=tolerance)
+
+        if strategy == "basic":
+            selection = select_none(ShortcutCatalog({}))
+            return cls(
+                graph,
+                tree,
+                {},
+                strategy=strategy,
+                selection=selection,
+                catalog_size=0,
+                build_seconds=timer.as_dict(),
+                max_points=max_points,
+                tolerance=tolerance,
+            )
+
+        with timer.measure("shortcut_candidates"):
+            catalog = build_shortcut_catalog(
+                tree,
+                max_points=max_points,
+                tolerance=tolerance,
+                compute_utilities=strategy in ("dp", "approx"),
+            )
+
+        with timer.measure("selection"):
+            if strategy == "full":
+                selection = select_all(catalog)
+            else:
+                if budget is None:
+                    fraction = 0.3 if budget_fraction is None else budget_fraction
+                    budget = budget_from_fraction(catalog, fraction)
+                if strategy == "dp":
+                    selection = select_dp(catalog, budget)
+                else:
+                    selection = select_greedy(catalog, budget)
+
+        with timer.measure("materialisation"):
+            shortcuts = {
+                key: catalog.pairs[key] for key in selection.selected
+            }
+
+        return cls(
+            graph,
+            tree,
+            shortcuts,
+            strategy=strategy,
+            selection=selection,
+            catalog_size=len(catalog),
+            build_seconds=timer.as_dict(),
+            max_points=max_points,
+            tolerance=tolerance,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        need_path: bool = False,
+    ) -> EarliestArrivalResult:
+        """Travel cost query: minimum cost from ``source`` at ``departure``.
+
+        With ``need_path=True`` the result records enough provenance to expand
+        the answer into original road segments via
+        :meth:`EarliestArrivalResult.path` (slightly slower, because answers
+        served purely from shortcuts re-run the tree traversal to obtain hops).
+        """
+        self._check_built()
+        if self.shortcuts:
+            result = shortcut_cost_query(
+                self.tree,
+                self.shortcuts,
+                source,
+                target,
+                departure,
+                record_hops=need_path,
+            )
+            if need_path and not result.hops and source != target:
+                return basic_cost_query(
+                    self.tree, source, target, departure, record_hops=True
+                )
+            return result
+        return basic_cost_query(
+            self.tree, source, target, departure, record_hops=need_path
+        )
+
+    def profile(self, source: int, target: int) -> ProfileResult:
+        """Shortest travel cost function query: the whole profile ``f_{s,d}(t)``."""
+        self._check_built()
+        if self.shortcuts:
+            return shortcut_profile_query(
+                self.tree, self.shortcuts, source, target, max_points=self.max_points
+            )
+        return basic_profile_query(
+            self.tree, source, target, max_points=self.max_points
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def update_edge(
+        self, source: int, target: int, weight: PiecewiseLinearFunction
+    ):
+        """Update a single edge weight; see :func:`repro.core.update.apply_edge_updates`."""
+        from repro.core.update import apply_edge_updates
+
+        return apply_edge_updates(self, {(source, target): weight})
+
+    def update_edges(self, changes: dict[tuple[int, int], PiecewiseLinearFunction]):
+        """Update several edge weights at once (Fig. 10 experiment)."""
+        from repro.core.update import apply_edge_updates
+
+        return apply_edge_updates(self, changes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_breakdown(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> MemoryBreakdown:
+        """Analytic memory footprint of the index (labels + shortcuts + structure)."""
+        self._check_built()
+        shortcut_points = sum(pair.weight for pair in self.shortcuts.values())
+        return MemoryBreakdown(
+            label_points=self.tree.label_point_count(),
+            label_functions=self.tree.label_function_count(),
+            shortcut_points=shortcut_points,
+            shortcut_functions=2 * len(self.shortcuts),
+            structure_nodes=self.tree.num_nodes,
+            model=model,
+        )
+
+    def statistics(self) -> IndexStatistics:
+        """Index statistics for the experiment tables."""
+        self._check_built()
+        return IndexStatistics(
+            strategy=self.strategy,
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            treewidth=self.tree.treewidth,
+            treeheight=self.tree.treeheight,
+            num_candidate_pairs=self._catalog_size,
+            num_selected_pairs=len(self.shortcuts),
+            selected_weight=sum(pair.weight for pair in self.shortcuts.values()),
+            budget=self.selection.budget,
+            build_seconds=dict(self._build_seconds),
+        )
+
+    def _check_built(self) -> None:
+        if self.tree is None:  # pragma: no cover - defensive
+            raise IndexNotBuiltError("the index has not been built")
+
+    def __repr__(self) -> str:
+        return (
+            f"TDTreeIndex(strategy={self.strategy!r}, vertices={self.graph.num_vertices}, "
+            f"shortcut_pairs={len(self.shortcuts)})"
+        )

@@ -1,0 +1,673 @@
+"""Query processing over the TFP tree decomposition.
+
+Two query flavours are implemented, matching the paper's evaluation:
+
+* the **travel cost query** (scalar): minimum travel cost from ``s`` to ``d``
+  when departing at a given time ``t``;
+* the **shortest travel cost function query** (profile): the whole function
+  :math:`f_{s,d}(t)` over the time horizon.
+
+Both are available
+
+* without shortcuts — the *basic* query of Algorithm 3 (``TD-basic``), and
+* with a set of selected shortcuts — Algorithm 6 (``TD-dp`` / ``TD-appro``),
+  which has three regimes: all needed shortcuts present (O(w) lookups), some
+  present (the partial shortcuts provide an upper bound that prunes the tree
+  traversal), or none (falls back to the basic query).
+
+The module also implements path unpacking: reduced weight functions carry the
+bridge vertex of every segment (``via``), which lets any tree-level hop be
+expanded recursively into original road segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import DisconnectedQueryError, ReproError
+from repro.functions.compound import compound, minimum_of
+from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.core.tree_decomposition import TFPTreeDecomposition
+
+__all__ = [
+    "EarliestArrivalResult",
+    "ProfileResult",
+    "basic_cost_query",
+    "basic_profile_query",
+    "shortcut_cost_query",
+    "shortcut_profile_query",
+    "expand_hop",
+]
+
+_INF = math.inf
+
+
+# ----------------------------------------------------------------------
+# Result objects
+# ----------------------------------------------------------------------
+@dataclass
+class EarliestArrivalResult:
+    """Answer of a scalar travel-cost query."""
+
+    source: int
+    target: int
+    departure: float
+    cost: float
+    meeting_vertex: int | None
+    #: "full_shortcuts", "partial_shortcuts", or "basic" — which regime of
+    #: Algorithm 6 (or Algorithm 3) produced the answer.
+    strategy: str
+    #: Tree-level hops (from_vertex, to_vertex, function, departure) recorded
+    #: for path expansion; empty when the query was answered purely from
+    #: shortcuts and hop recording was not requested.
+    hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = field(
+        default_factory=list, repr=False
+    )
+    #: Tree decomposition used to expand hops into original road segments.
+    tree: TFPTreeDecomposition | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def arrival(self) -> float:
+        """Arrival time at the target."""
+        return self.departure + self.cost
+
+    def path(self) -> list[int]:
+        """Expand the recorded tree-level hops into a vertex path.
+
+        Returns a list of graph vertices starting at ``source`` and ending at
+        ``target``.  When no hops were recorded (pure shortcut answers), the
+        result contains only the endpoints and the meeting vertex.
+        """
+        if self.source == self.target:
+            return [self.source]
+        if not self.hops:
+            if self.meeting_vertex is None:
+                return [self.source, self.target]
+            middle = (
+                [self.meeting_vertex]
+                if self.meeting_vertex not in (self.source, self.target)
+                else []
+            )
+            return [self.source, *middle, self.target]
+        vertices: list[int] = [self.hops[0][0]]
+        for from_vertex, to_vertex, func, depart in self.hops:
+            edges, _ = expand_hop(self.tree, from_vertex, to_vertex, func, depart)
+            for _, v in edges:
+                vertices.append(v)
+        return vertices
+
+
+@dataclass
+class ProfileResult:
+    """Answer of a shortest-travel-cost-function query."""
+
+    source: int
+    target: int
+    function: PiecewiseLinearFunction
+    strategy: str
+
+    def cost_at(self, departure: float) -> float:
+        """Evaluate the profile at one departure time."""
+        return float(self.function.evaluate(departure))
+
+    def best_departure(self, start: float, end: float, samples: int = 200) -> tuple[float, float]:
+        """Return ``(departure, cost)`` minimising the cost within a window."""
+        import numpy as np
+
+        grid = np.linspace(start, end, samples)
+        grid = np.union1d(grid, self.function.times[(self.function.times >= start) & (self.function.times <= end)])
+        values = np.asarray(self.function.evaluate(grid))
+        best = int(np.argmin(values))
+        return float(grid[best]), float(values[best])
+
+
+# ----------------------------------------------------------------------
+# Hop expansion (path unpacking)
+# ----------------------------------------------------------------------
+def expand_hop(
+    tree: TFPTreeDecomposition | None,
+    from_vertex: int,
+    to_vertex: int,
+    func: PiecewiseLinearFunction,
+    departure: float,
+    _depth: int = 0,
+) -> tuple[list[tuple[int, int]], float]:
+    """Expand one tree-level hop into original directed road segments.
+
+    ``func`` must be the weight function actually used to travel from
+    ``from_vertex`` to ``to_vertex`` departing at ``departure`` (a bag function
+    or a reduced edge).  Returns the list of original edges and the arrival
+    time according to the stored (possibly simplified) functions.
+
+    When ``tree`` is ``None`` the expansion cannot recurse and the hop is
+    returned as-is; this still yields a connected (coarse) path.
+    """
+    if _depth > 10_000:  # pragma: no cover - defensive
+        raise ReproError("path expansion exceeded the maximum recursion depth")
+    via = func.via_at(departure)
+    arrival = departure + float(func.evaluate(departure))
+    if via == NO_VIA or tree is None:
+        return [(from_vertex, to_vertex)], arrival
+    via_node = tree.nodes.get(via)
+    if via_node is None or from_vertex not in via_node.wd or to_vertex not in via_node.ws:
+        # Provenance points at a vertex we cannot expand through (can happen
+        # after lossy simplification merged segments); fall back to the coarse hop.
+        return [(from_vertex, to_vertex)], arrival
+    first_leg = via_node.wd[from_vertex]
+    second_leg = via_node.ws[to_vertex]
+    left_edges, mid_time = expand_hop(tree, from_vertex, via, first_leg, departure, _depth + 1)
+    right_edges, end_time = expand_hop(tree, via, to_vertex, second_leg, mid_time, _depth + 1)
+    return left_edges + right_edges, end_time
+
+
+# ----------------------------------------------------------------------
+# Scalar (travel cost) queries
+# ----------------------------------------------------------------------
+def _ascending_costs(
+    tree: TFPTreeDecomposition,
+    source: int,
+    departure: float,
+    *,
+    known: dict[int, float] | None = None,
+    skip: set[int] | None = None,
+    bound: float = _INF,
+) -> tuple[dict[int, float], dict[int, tuple[int, PiecewiseLinearFunction]]]:
+    """Costs from ``source`` to every vertex on its root path (Algorithm 3, lines 1-9).
+
+    ``known`` seeds already-exact costs (from shortcuts, Algorithm 6 lines 4-6);
+    vertices in ``skip`` keep their seeded value and are not relaxed further.
+    Costs exceeding ``bound`` are treated as pruned (Algorithm 6 line 20).
+    Returns the cost map and, for path recovery, the predecessor map
+    ``vertex -> (previous chain vertex, bag function used)``.
+    """
+    costs: dict[int, float] = {source: 0.0}
+    preds: dict[int, tuple[int, PiecewiseLinearFunction]] = {}
+    if known:
+        costs.update(known)
+    skip = skip or set()
+
+    for chain_vertex in tree.root_path(source):
+        base = costs.get(chain_vertex, _INF)
+        if not math.isfinite(base):
+            continue
+        node = tree.nodes[chain_vertex]
+        depart_here = departure + base
+        for upper, func in node.ws.items():
+            if upper in skip:
+                continue
+            candidate = base + float(func.evaluate(depart_here))
+            if candidate > bound:
+                continue
+            if candidate < costs.get(upper, _INF):
+                costs[upper] = candidate
+                preds[upper] = (chain_vertex, func)
+    return costs, preds
+
+
+def _descending_arrivals(
+    tree: TFPTreeDecomposition,
+    target: int,
+    seed_arrivals: dict[int, float],
+    *,
+    bound_arrival: float = _INF,
+) -> tuple[dict[int, float], dict[int, tuple[int, PiecewiseLinearFunction]]]:
+    """Earliest arrivals at every vertex of ``target``'s root path, given arrivals at seeds.
+
+    The seeds are (a superset of) the vertex cut with their earliest arrival
+    times coming from the source side.  Processing the root path top-down is a
+    topological relaxation of the descending hop DAG, which is exact for FIFO
+    weights (see the correctness discussion in the module docstring of
+    :mod:`repro.core.tree_decomposition`).
+    """
+    arrivals: dict[int, float] = dict(seed_arrivals)
+    preds: dict[int, tuple[int, PiecewiseLinearFunction]] = {}
+    chain = tree.root_path(target)
+    for chain_vertex in reversed(chain):  # root first, target last
+        node = tree.nodes[chain_vertex]
+        best = arrivals.get(chain_vertex, _INF)
+        best_pred: tuple[int, PiecewiseLinearFunction] | None = None
+        for upper, func in node.wd.items():
+            upper_arrival = arrivals.get(upper, _INF)
+            if not math.isfinite(upper_arrival) or upper_arrival > bound_arrival:
+                continue
+            candidate = upper_arrival + float(func.evaluate(upper_arrival))
+            if candidate < best:
+                best = candidate
+                best_pred = (upper, func)
+        if best < arrivals.get(chain_vertex, _INF):
+            arrivals[chain_vertex] = best
+            if best_pred is not None:
+                preds[chain_vertex] = best_pred
+    return arrivals, preds
+
+
+def _collect_hops(
+    tree: TFPTreeDecomposition,
+    source: int,
+    target: int,
+    departure: float,
+    meeting_vertex: int,
+    up_preds: dict[int, tuple[int, PiecewiseLinearFunction]],
+    down_preds: dict[int, tuple[int, PiecewiseLinearFunction]],
+) -> list[tuple[int, int, PiecewiseLinearFunction, float]]:
+    """Reconstruct the tree-level hop sequence through ``meeting_vertex``."""
+    # Source -> meeting vertex (walk the predecessor chain backwards).
+    up_sequence: list[tuple[int, int, PiecewiseLinearFunction]] = []
+    cursor = meeting_vertex
+    while cursor != source:
+        entry = up_preds.get(cursor)
+        if entry is None:
+            break
+        prev, func = entry
+        up_sequence.append((prev, cursor, func))
+        cursor = prev
+    up_sequence.reverse()
+
+    hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = []
+    clock = departure
+    for from_vertex, to_vertex, func in up_sequence:
+        hops.append((from_vertex, to_vertex, func, clock))
+        clock += float(func.evaluate(clock))
+
+    # Meeting vertex -> target (walk the descending predecessor chain backwards
+    # from the target).
+    down_sequence: list[tuple[int, int, PiecewiseLinearFunction]] = []
+    cursor = target
+    while cursor != meeting_vertex:
+        entry = down_preds.get(cursor)
+        if entry is None:
+            break
+        prev, func = entry
+        down_sequence.append((prev, cursor, func))
+        cursor = prev
+    down_sequence.reverse()
+    for from_vertex, to_vertex, func in down_sequence:
+        hops.append((from_vertex, to_vertex, func, clock))
+        clock += float(func.evaluate(clock))
+    return hops
+
+
+def basic_cost_query(
+    tree: TFPTreeDecomposition,
+    source: int,
+    target: int,
+    departure: float,
+    *,
+    record_hops: bool = True,
+) -> EarliestArrivalResult:
+    """Algorithm 3 (scalar flavour): travel cost from ``source`` at ``departure``."""
+    if source == target:
+        return EarliestArrivalResult(source, target, departure, 0.0, None, "basic")
+    _require_vertices(tree, source, target)
+
+    cut = tree.vertex_cut(source, target)
+    up_costs, up_preds = _ascending_costs(tree, source, departure)
+    seeds = {
+        w: departure + up_costs[w]
+        for w in cut
+        if math.isfinite(up_costs.get(w, _INF))
+    }
+    if source in cut:
+        seeds[source] = departure
+    if not seeds:
+        raise DisconnectedQueryError(source, target)
+    arrivals, down_preds = _descending_arrivals(tree, target, seeds)
+    arrival = arrivals.get(target, _INF)
+    if not math.isfinite(arrival):
+        raise DisconnectedQueryError(source, target)
+    cost = arrival - departure
+
+    meeting = _best_meeting_vertex(cut, up_costs, arrivals, down_preds, target)
+    hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = []
+    if record_hops:
+        hops = _collect_hops(
+            tree, source, target, departure, meeting, up_preds, down_preds
+        )
+    return EarliestArrivalResult(
+        source, target, departure, cost, meeting, "basic", hops, tree
+    )
+
+
+def _best_meeting_vertex(
+    cut: tuple[int, ...],
+    up_costs: dict[int, float],
+    arrivals: dict[int, float],
+    down_preds: dict[int, tuple[int, PiecewiseLinearFunction]],
+    target: int,
+) -> int:
+    """Identify the cut vertex where the optimal journey leaves the source side.
+
+    The descending predecessor chain from the target terminates at the seed
+    vertex whose source-side arrival started the winning chain — that seed
+    (always a cut vertex) is the meeting vertex.  Stopping at the *first* cut
+    vertex encountered instead would be wrong: the chain may pass through
+    several cut vertices, and only the terminal one carries the source-side
+    cost that the reported answer is built from.
+    """
+    cursor = target
+    seen = set()
+    while cursor in down_preds and cursor not in seen:
+        seen.add(cursor)
+        cursor = down_preds[cursor][0]
+    if cursor in cut:
+        return cursor
+    finite = [w for w in cut if math.isfinite(up_costs.get(w, _INF))]
+    return min(finite, key=lambda w: arrivals.get(w, _INF)) if finite else target
+
+
+# ----------------------------------------------------------------------
+# Profile (travel cost function) queries
+# ----------------------------------------------------------------------
+def _is_zero(func: PiecewiseLinearFunction) -> bool:
+    return func.size == 1 and func.costs[0] == 0.0
+
+
+def _ascending_profiles(
+    tree: TFPTreeDecomposition,
+    source: int,
+    *,
+    forward: bool,
+    known: dict[int, PiecewiseLinearFunction] | None = None,
+    skip: set[int] | None = None,
+    prune_above: float = _INF,
+    max_points: int | None = None,
+) -> dict[int, PiecewiseLinearFunction]:
+    """Profile variant of Algorithm 3, lines 1-9.
+
+    When ``forward`` is true the result maps each root-path vertex ``u`` to the
+    function *from* ``source`` *to* ``u`` (uses the ``Ws`` lists); otherwise to
+    the function *from* ``u`` *to* ``source`` (uses the ``Wd`` lists), which is
+    what the destination side of the query needs.
+    ``prune_above`` discards labels whose minimum cost already exceeds the
+    bound (Algorithm 6's NIL marking).
+    """
+    labels: dict[int, PiecewiseLinearFunction] = {
+        source: PiecewiseLinearFunction.zero()
+    }
+    if known:
+        labels.update(known)
+    skip = skip or set()
+
+    def shrink(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        if max_points is None:
+            return func
+        return simplify(func, max_points=max_points)
+
+    for chain_vertex in tree.root_path(source):
+        base = labels.get(chain_vertex)
+        if base is None or base.min_cost > prune_above:
+            continue
+        node = tree.nodes[chain_vertex]
+        bag_functions = node.ws if forward else node.wd
+        for upper, func in bag_functions.items():
+            if upper in skip:
+                continue
+            if _is_zero(base):
+                candidate = func
+            elif forward:
+                candidate = compound(base, func)
+            else:
+                candidate = compound(func, base)
+            candidate = shrink(candidate)
+            if candidate.min_cost > prune_above:
+                continue
+            existing = labels.get(upper)
+            if existing is None:
+                labels[upper] = candidate
+            else:
+                labels[upper] = shrink(minimum_of([existing, candidate]))
+    return labels
+
+
+def basic_profile_query(
+    tree: TFPTreeDecomposition,
+    source: int,
+    target: int,
+    *,
+    max_points: int | None = None,
+) -> ProfileResult:
+    """Algorithm 3 (profile flavour): the function ``f_{s,d}(t)``."""
+    if source == target:
+        return ProfileResult(source, target, PiecewiseLinearFunction.zero(), "basic")
+    _require_vertices(tree, source, target)
+
+    cut = tree.vertex_cut(source, target)
+    forward_labels = _ascending_profiles(
+        tree, source, forward=True, max_points=max_points
+    )
+    backward_labels = _ascending_profiles(
+        tree, target, forward=False, max_points=max_points
+    )
+    candidates = []
+    for w in cut:
+        to_w = forward_labels.get(w)
+        from_w = backward_labels.get(w)
+        if w == source:
+            to_w = PiecewiseLinearFunction.zero()
+        if w == target:
+            from_w = PiecewiseLinearFunction.zero()
+        if to_w is None or from_w is None:
+            continue
+        candidates.append(compound(to_w, from_w, via=w))
+    if not candidates:
+        raise DisconnectedQueryError(source, target)
+    profile = minimum_of(candidates)
+    if max_points is not None:
+        profile = simplify(profile, max_points=max_points)
+    return ProfileResult(source, target, profile, "basic")
+
+
+# ----------------------------------------------------------------------
+# Queries with selected shortcuts (Algorithm 6)
+# ----------------------------------------------------------------------
+def _forward_shortcut(store, source: int, w: int) -> PiecewiseLinearFunction | None:
+    """Shortcut function ``source -> w`` if selected (``w`` ancestor of ``source``)."""
+    if w == source:
+        return PiecewiseLinearFunction.zero()
+    pair = store.get((source, w))
+    return pair.forward if pair is not None else None
+
+
+def _backward_shortcut(store, target: int, w: int) -> PiecewiseLinearFunction | None:
+    """Shortcut function ``w -> target`` if selected (``w`` ancestor of ``target``)."""
+    if w == target:
+        return PiecewiseLinearFunction.zero()
+    pair = store.get((target, w))
+    return pair.backward if pair is not None else None
+
+
+def shortcut_cost_query(
+    tree: TFPTreeDecomposition,
+    shortcuts: dict[tuple[int, int], "object"],
+    source: int,
+    target: int,
+    departure: float,
+    *,
+    record_hops: bool = False,
+) -> EarliestArrivalResult:
+    """Algorithm 6 (scalar flavour): travel cost query using selected shortcuts."""
+    if source == target:
+        return EarliestArrivalResult(source, target, departure, 0.0, None, "full_shortcuts")
+    _require_vertices(tree, source, target)
+
+    cut = tree.vertex_cut(source, target)
+    forward_hits: dict[int, PiecewiseLinearFunction] = {}
+    backward_hits: dict[int, PiecewiseLinearFunction] = {}
+    for w in cut:
+        fwd = _forward_shortcut(shortcuts, source, w)
+        if fwd is not None:
+            forward_hits[w] = fwd
+        bwd = _backward_shortcut(shortcuts, target, w)
+        if bwd is not None:
+            backward_hits[w] = bwd
+
+    # Case 1: every needed shortcut is selected -> O(w(T_G)) evaluations.
+    if len(forward_hits) == len(cut) and len(backward_hits) == len(cut):
+        best_cost = _INF
+        best_w: int | None = None
+        for w in cut:
+            first = float(forward_hits[w].evaluate(departure))
+            second = float(backward_hits[w].evaluate(departure + first))
+            if first + second < best_cost:
+                best_cost = first + second
+                best_w = w
+        if not math.isfinite(best_cost):
+            raise DisconnectedQueryError(source, target)
+        return EarliestArrivalResult(
+            source, target, departure, best_cost, best_w, "full_shortcuts"
+        )
+
+    # Case 2/3: derive an upper bound from the shortcuts that are available and
+    # run the (pruned) basic traversal.
+    real_hits = any(w != source for w in forward_hits) or any(
+        w != target for w in backward_hits
+    )
+    strategy = "partial_shortcuts" if real_hits else "basic"
+    upper_bound = _INF
+    common = set(forward_hits) & set(backward_hits)
+    for w in common:
+        first = float(forward_hits[w].evaluate(departure))
+        second = float(backward_hits[w].evaluate(departure + first))
+        upper_bound = min(upper_bound, first + second)
+
+    known_costs = {
+        w: float(func.evaluate(departure)) for w, func in forward_hits.items()
+    }
+    if record_hops:
+        # Seeding cut vertices from shortcuts would leave the predecessor
+        # chains incomplete (the shortcut hides the sub-path it represents),
+        # so when the caller wants an expandable path only the pruning bound
+        # is used and the full traversal records every hop.
+        known_costs = {}
+        skip_vertices: set[int] = set()
+    else:
+        skip_vertices = set(forward_hits)
+    up_costs, up_preds = _ascending_costs(
+        tree,
+        source,
+        departure,
+        known=known_costs,
+        skip=skip_vertices,
+        bound=upper_bound,
+    )
+    seeds = {
+        w: departure + up_costs[w]
+        for w in cut
+        if math.isfinite(up_costs.get(w, _INF))
+    }
+    if source in cut:
+        seeds[source] = departure
+    if not seeds:
+        raise DisconnectedQueryError(source, target)
+    bound_arrival = departure + upper_bound if math.isfinite(upper_bound) else _INF
+    arrivals, down_preds = _descending_arrivals(
+        tree, target, seeds, bound_arrival=bound_arrival
+    )
+    arrival = arrivals.get(target, _INF)
+    # The backward shortcuts give additional candidate answers.
+    for w, func in backward_hits.items():
+        w_cost = up_costs.get(w, _INF)
+        if math.isfinite(w_cost):
+            depart_w = departure + w_cost
+            arrival = min(arrival, depart_w + float(func.evaluate(depart_w)))
+    if not math.isfinite(arrival):
+        raise DisconnectedQueryError(source, target)
+    cost = arrival - departure
+    meeting = _best_meeting_vertex(cut, up_costs, arrivals, down_preds, target)
+    hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = []
+    if record_hops:
+        hops = _collect_hops(
+            tree, source, target, departure, meeting, up_preds, down_preds
+        )
+    return EarliestArrivalResult(
+        source, target, departure, cost, meeting, strategy, hops, tree
+    )
+
+
+def shortcut_profile_query(
+    tree: TFPTreeDecomposition,
+    shortcuts: dict[tuple[int, int], "object"],
+    source: int,
+    target: int,
+    *,
+    max_points: int | None = None,
+) -> ProfileResult:
+    """Algorithm 6 (profile flavour): cost-function query using selected shortcuts."""
+    if source == target:
+        return ProfileResult(source, target, PiecewiseLinearFunction.zero(), "full_shortcuts")
+    _require_vertices(tree, source, target)
+
+    cut = tree.vertex_cut(source, target)
+    forward_hits: dict[int, PiecewiseLinearFunction] = {}
+    backward_hits: dict[int, PiecewiseLinearFunction] = {}
+    for w in cut:
+        fwd = _forward_shortcut(shortcuts, source, w)
+        if fwd is not None:
+            forward_hits[w] = fwd
+        bwd = _backward_shortcut(shortcuts, target, w)
+        if bwd is not None:
+            backward_hits[w] = bwd
+
+    if len(forward_hits) == len(cut) and len(backward_hits) == len(cut):
+        candidates = [
+            compound(forward_hits[w], backward_hits[w], via=w) for w in cut
+        ]
+        profile = minimum_of(candidates)
+        if max_points is not None:
+            profile = simplify(profile, max_points=max_points)
+        return ProfileResult(source, target, profile, "full_shortcuts")
+
+    real_hits = any(w != source for w in forward_hits) or any(
+        w != target for w in backward_hits
+    )
+    strategy = "partial_shortcuts" if real_hits else "basic"
+    prune = _INF
+    common = set(forward_hits) & set(backward_hits)
+    if common:
+        bound_func = minimum_of(
+            [compound(forward_hits[w], backward_hits[w], via=w) for w in common]
+        )
+        prune = bound_func.max_cost
+
+    forward_labels = _ascending_profiles(
+        tree,
+        source,
+        forward=True,
+        known=dict(forward_hits),
+        skip=set(forward_hits),
+        prune_above=prune,
+        max_points=max_points,
+    )
+    backward_labels = _ascending_profiles(
+        tree,
+        target,
+        forward=False,
+        known=dict(backward_hits),
+        skip=set(backward_hits),
+        prune_above=prune,
+        max_points=max_points,
+    )
+    candidates = []
+    for w in cut:
+        to_w = forward_labels.get(w)
+        from_w = backward_labels.get(w)
+        if w == source:
+            to_w = PiecewiseLinearFunction.zero()
+        if w == target:
+            from_w = PiecewiseLinearFunction.zero()
+        if to_w is None or from_w is None:
+            continue
+        candidates.append(compound(to_w, from_w, via=w))
+    if not candidates:
+        raise DisconnectedQueryError(source, target)
+    profile = minimum_of(candidates)
+    if max_points is not None:
+        profile = simplify(profile, max_points=max_points)
+    return ProfileResult(source, target, profile, strategy)
+
+
+def _require_vertices(tree: TFPTreeDecomposition, source: int, target: int) -> None:
+    tree.node(source)
+    tree.node(target)

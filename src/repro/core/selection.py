@@ -1,0 +1,215 @@
+"""Shortcut selection (Definition 8, Algorithms 4 and 5).
+
+Given the catalog of all candidate shortcut pairs, the selection problem picks
+the subset with maximum total utility whose total weight (interpolation
+points) fits in the memory budget ``N``.  The paper proves the problem
+NP-hard by reduction from 0/1 knapsack; accordingly the two solvers are
+
+* :func:`select_dp` — the exact dynamic-programming solution (Algorithm 4),
+  pseudo-polynomial in ``N``; and
+* :func:`select_greedy` — the 0.5-approximation (Algorithm 5) that runs two
+  greedy passes (by utility and by utility density) and keeps the better one.
+
+Both return a :class:`SelectionResult` listing the selected pair keys so the
+index can materialise exactly those shortcuts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SelectionError
+from repro.core.shortcuts import ShortcutCatalog, ShortcutPair
+
+__all__ = [
+    "SelectionResult",
+    "select_dp",
+    "select_greedy",
+    "select_all",
+    "select_none",
+    "budget_from_fraction",
+]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a shortcut-selection run."""
+
+    #: Keys ``(lower, upper)`` of the selected pairs.
+    selected: set[tuple[int, int]] = field(default_factory=set)
+    #: Sum of utilities of the selected pairs.
+    total_utility: float = 0.0
+    #: Sum of weights (interpolation points) of the selected pairs.
+    total_weight: int = 0
+    #: Which algorithm produced this result ("dp", "greedy", "all", "none").
+    method: str = "none"
+    #: The budget the selection was run with (``None`` for unconstrained).
+    budget: int | None = None
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected)
+
+
+def budget_from_fraction(catalog: ShortcutCatalog, fraction: float) -> int:
+    """Translate a fraction of the total candidate weight into a point budget.
+
+    The paper states absolute budgets (10M-200M interpolation points, Table 2);
+    at reduced dataset scale the equivalent knob is a fraction of the total
+    candidate weight, which keeps the selection meaningfully constrained.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise SelectionError(f"budget fraction must be within [0, 1], got {fraction}")
+    return int(round(catalog.total_weight * fraction))
+
+
+def _validate_budget(budget: int) -> int:
+    if budget < 0:
+        raise SelectionError(f"the memory budget must be non-negative, got {budget}")
+    return int(budget)
+
+
+def select_all(catalog: ShortcutCatalog) -> SelectionResult:
+    """Select every candidate (this is the TD-H2H configuration)."""
+    keys = set(catalog.pairs)
+    return SelectionResult(
+        selected=keys,
+        total_utility=catalog.total_utility,
+        total_weight=catalog.total_weight,
+        method="all",
+        budget=None,
+    )
+
+
+def select_none(catalog: ShortcutCatalog) -> SelectionResult:
+    """Select nothing (this is the TD-basic configuration)."""
+    return SelectionResult(method="none", budget=0)
+
+
+def select_greedy(catalog: ShortcutCatalog, budget: int) -> SelectionResult:
+    """Algorithm 5: the 0.5-approximation via two greedy orderings.
+
+    The first pass fills the budget in decreasing order of utility, the second
+    in decreasing order of utility density (utility per interpolation point);
+    the pass with the larger total utility wins.  The paper proves that the
+    winner achieves at least half of the optimum.
+    """
+    budget = _validate_budget(budget)
+    by_utility = _greedy_pass(catalog, budget, key=lambda p: p.utility)
+    by_density = _greedy_pass(catalog, budget, key=lambda p: p.density)
+    winner = by_utility if by_utility.total_utility >= by_density.total_utility else by_density
+    winner.method = "greedy"
+    winner.budget = budget
+    return winner
+
+
+def _greedy_pass(catalog: ShortcutCatalog, budget: int, key) -> SelectionResult:
+    """One greedy pass of Algorithm 5 with the given priority ``key``.
+
+    Uses a heap (as the paper's priority queues do) and stops at the first
+    candidate that no longer fits, mirroring Algorithm 5 lines 5-12.
+    """
+    heap: list[tuple[float, tuple[int, int]]] = [
+        (-key(pair), pair.key) for pair in catalog if pair.weight > 0
+    ]
+    heapq.heapify(heap)
+    result = SelectionResult(method="greedy-pass", budget=budget)
+    while heap and result.total_weight < budget:
+        _, pair_key = heapq.heappop(heap)
+        pair = catalog.pairs[pair_key]
+        if result.total_weight + pair.weight > budget:
+            break
+        result.selected.add(pair_key)
+        result.total_weight += pair.weight
+        result.total_utility += pair.utility
+    return result
+
+
+def select_dp(
+    catalog: ShortcutCatalog,
+    budget: int,
+    *,
+    granularity: int | None = None,
+    max_table_cells: int = 120_000_000,
+) -> SelectionResult:
+    """Algorithm 4: exact 0/1-knapsack dynamic programming over the candidates.
+
+    Parameters
+    ----------
+    catalog:
+        Candidate shortcut pairs with their utilities and weights.
+    budget:
+        Maximum total weight ``N`` (interpolation points).
+    granularity:
+        Optional weight quantum.  Item weights are rounded *up* to multiples of
+        ``granularity`` and the budget rounded *down*, which keeps the solution
+        feasible (never exceeds ``budget``) while shrinking the DP table by the
+        same factor.  ``None`` picks the smallest granularity that keeps the
+        table under ``max_table_cells`` (1 = fully exact).
+    max_table_cells:
+        Bound on ``#items × (scaled budget + 1)`` used by the automatic
+        granularity choice.
+
+    Notes
+    -----
+    The DP table is computed capacity-row by item (numpy-vectorised); the set
+    of selected pairs is recovered by backtracking over per-item decision
+    bitmaps, so the memory footprint is ``#items × (scaled budget + 1)`` bits.
+    With ``granularity > 1`` the result is still a feasible selection but may
+    be slightly below the true optimum — the paper's practicality argument for
+    the greedy approximation (Algorithm 5) in a nutshell.
+    """
+    budget = _validate_budget(budget)
+    items: list[ShortcutPair] = [pair for pair in catalog if pair.weight > 0]
+    if not items or budget == 0:
+        return SelectionResult(method="dp", budget=budget)
+
+    if granularity is None:
+        granularity = 1
+        while len(items) * (budget // granularity + 1) > max_table_cells:
+            granularity *= 2
+    elif granularity < 1:
+        raise SelectionError(f"granularity must be >= 1, got {granularity}")
+
+    scaled_budget = budget // granularity
+    if scaled_budget == 0:
+        return SelectionResult(method="dp", budget=budget)
+
+    def scaled_weight(pair: ShortcutPair) -> int:
+        return -(-pair.weight // granularity)  # ceiling division
+
+    values = np.zeros(scaled_budget + 1, dtype=np.float64)
+    decisions: list[np.ndarray] = []
+    for pair in items:
+        weight = scaled_weight(pair)
+        taken = np.zeros(scaled_budget + 1, dtype=bool)
+        if weight <= scaled_budget:
+            shifted = values[: scaled_budget + 1 - weight] + pair.utility
+            improved = shifted > values[weight:]
+            if improved.any():
+                taken[weight:] = improved
+                values[weight:] = np.where(improved, shifted, values[weight:])
+        decisions.append(np.packbits(taken))
+    total_utility = float(values[scaled_budget])
+
+    # Backtrack to recover the selected set.
+    selected: set[tuple[int, int]] = set()
+    remaining = scaled_budget
+    total_weight = 0
+    for index in range(len(items) - 1, -1, -1):
+        taken_bits = np.unpackbits(decisions[index], count=scaled_budget + 1)
+        if taken_bits[remaining]:
+            pair = items[index]
+            selected.add(pair.key)
+            total_weight += pair.weight
+            remaining -= scaled_weight(pair)
+    return SelectionResult(
+        selected=selected,
+        total_utility=total_utility,
+        total_weight=total_weight,
+        method="dp",
+        budget=budget,
+    )

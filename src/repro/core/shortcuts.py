@@ -1,0 +1,234 @@
+"""Shortcuts over the tree decomposition (Definitions 6-7 and Fact 1).
+
+A *shortcut pair instance* ``<i, j>`` connects a tree node ``X(v_i)`` with one
+of its ancestors ``X(v_j)`` and consists of the two shortest travel-cost
+functions ``s_<i,j>(t)`` (from ``v_i`` to ``v_j``) and ``s_<j,i>(t)`` (from
+``v_j`` to ``v_i``).  Its
+
+* **weight** is the number of interpolation points needed to store the pair
+  (``|I_<i,j>| + |I_<j,i>|``) — this is what the memory budget ``N`` counts;
+* **utility** estimates how much query work the pair saves:
+  ``(height(X(i)) - height(X(j))) * w(T_G) * p_<i,j>`` where ``p_<i,j>`` is the
+  fraction of vertices whose LCA with ``X(i)`` is exactly ``X(j)`` (those are
+  the destinations for which this pair short-circuits the upward traversal).
+
+The catalog is built **top-down** (Fact 1 / Lemma 6.11 of the H2H paper):
+shortcuts of a node reuse the already computed shortcuts of the bag vertices,
+so the whole candidate set costs ``O(n · h(T_G) · w(T_G))`` compound
+operations instead of one profile search per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import IndexBuildError
+from repro.functions.compound import compound, minimum_of
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.core.tree_decomposition import TFPTreeDecomposition
+
+__all__ = ["ShortcutPair", "ShortcutCatalog", "build_shortcut_catalog"]
+
+
+@dataclass
+class ShortcutPair:
+    """One candidate (or materialised) shortcut pair instance ``<lower, upper>``."""
+
+    #: The descendant vertex ``v_i``.
+    lower: int
+    #: The ancestor vertex ``v_j``.
+    upper: int
+    #: ``s_<i,j>(t)``: shortest travel-cost function from ``lower`` to ``upper``.
+    forward: PiecewiseLinearFunction | None
+    #: ``s_<j,i>(t)``: shortest travel-cost function from ``upper`` to ``lower``.
+    backward: PiecewiseLinearFunction | None
+    #: Benefit estimate used by the selection problem (Definition 7).
+    utility: float = 0.0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Dictionary key of the pair: ``(lower, upper)``."""
+        return (self.lower, self.upper)
+
+    @property
+    def weight(self) -> int:
+        """``|I_<i,j>| + |I_<j,i>|`` — interpolation points needed to store the pair."""
+        forward_size = self.forward.size if self.forward is not None else 0
+        backward_size = self.backward.size if self.backward is not None else 0
+        return forward_size + backward_size
+
+    @property
+    def density(self) -> float:
+        """Utility per stored interpolation point (Algorithm 5's second ordering)."""
+        weight = self.weight
+        return self.utility / weight if weight else 0.0
+
+
+class ShortcutCatalog:
+    """All candidate shortcut pairs of a tree decomposition.
+
+    The catalog is the input of the selection problem (Definition 8); the
+    selected subset is then materialised inside the index while the remaining
+    candidates are dropped to honour the memory budget.
+    """
+
+    def __init__(self, pairs: dict[tuple[int, int], ShortcutPair]) -> None:
+        self.pairs = pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs.values())
+
+    def get(self, lower: int, upper: int) -> ShortcutPair | None:
+        """Return the pair ``<lower, upper>`` if it exists."""
+        return self.pairs.get((lower, upper))
+
+    @property
+    def total_weight(self) -> int:
+        """Total interpolation points needed to materialise every candidate."""
+        return sum(pair.weight for pair in self.pairs.values())
+
+    @property
+    def total_utility(self) -> float:
+        """Sum of utilities over all candidates."""
+        return sum(pair.utility for pair in self.pairs.values())
+
+    def function_between(self, source: int, target: int) -> PiecewiseLinearFunction | None:
+        """Travel-cost function between two chain-related vertices, if cached.
+
+        Resolves the direction automatically: if ``source`` is the deeper
+        vertex the pair's ``forward`` function is returned, otherwise the
+        ``backward`` function of the opposite pair.
+        """
+        if source == target:
+            return PiecewiseLinearFunction.zero()
+        pair = self.pairs.get((source, target))
+        if pair is not None:
+            return pair.forward
+        pair = self.pairs.get((target, source))
+        if pair is not None:
+            return pair.backward
+        return None
+
+
+def build_shortcut_catalog(
+    tree: TFPTreeDecomposition,
+    *,
+    max_points: int | None = 32,
+    tolerance: float = 0.0,
+    compute_utilities: bool = True,
+) -> ShortcutCatalog:
+    """Compute every candidate shortcut pair, top-down (Fact 1).
+
+    Parameters
+    ----------
+    tree:
+        The TFP tree decomposition.
+    max_points:
+        Cap on the interpolation points of every shortcut function (``None``
+        keeps them exact).
+    tolerance:
+        Tolerance of the lossless simplification pass.
+    compute_utilities:
+        Whether to also compute the utility values of Definition 7 (needed by
+        the selection algorithms; can be skipped when building a full TD-H2H
+        index).
+    """
+    pairs: dict[tuple[int, int], ShortcutPair] = {}
+
+    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        # Collinear breakpoints are always removed (value-preserving), even in
+        # "exact" mode; the hard cap only applies when ``max_points`` is set.
+        return simplify(func, max_points=max_points, tolerance=tolerance)
+
+    def known_function(source: int, target: int) -> PiecewiseLinearFunction | None:
+        """Shortcut (or trivial) function between two already-processed chain vertices."""
+        if source == target:
+            return PiecewiseLinearFunction.zero()
+        pair = pairs.get((source, target))
+        if pair is not None:
+            return pair.forward
+        pair = pairs.get((target, source))
+        if pair is not None:
+            return pair.backward
+        return None
+
+    # Process nodes from the root downwards so that shortcuts of every bag
+    # vertex (all of which are ancestors) are available when a node is reached.
+    ordered = sorted(tree.nodes, key=lambda v: tree.nodes[v].height)
+    for vertex in ordered:
+        node = tree.nodes[vertex]
+        ancestors = tree.ancestors(vertex)
+        if not ancestors:
+            continue
+        for upper in ancestors:
+            forward = _combine_forward(node, upper, known_function, cap)
+            backward = _combine_backward(node, upper, known_function, cap)
+            if forward is None and backward is None:
+                continue
+            pairs[(vertex, upper)] = ShortcutPair(vertex, upper, forward, backward)
+
+    catalog = ShortcutCatalog(pairs)
+    if compute_utilities:
+        compute_catalog_utilities(tree, catalog)
+    return catalog
+
+
+def _combine_forward(node, upper, known_function, cap) -> PiecewiseLinearFunction | None:
+    """``s_<i,j>(t) = min_{v in X(i)\\{i}} Compound(X(i).Ws_v, s_<v,j>(t))``."""
+    candidates = []
+    for bag_vertex, first_leg in node.ws.items():
+        if bag_vertex == upper:
+            candidates.append(first_leg)
+            continue
+        second_leg = known_function(bag_vertex, upper)
+        if second_leg is None:
+            continue
+        candidates.append(compound(first_leg, second_leg, via=bag_vertex))
+    if not candidates:
+        return None
+    return cap(minimum_of(candidates))
+
+
+def _combine_backward(node, upper, known_function, cap) -> PiecewiseLinearFunction | None:
+    """``s_<j,i>(t) = min_{v in X(i)\\{i}} Compound(s_<j,v>(t), X(i).Wd_v)``."""
+    candidates = []
+    for bag_vertex, second_leg in node.wd.items():
+        if bag_vertex == upper:
+            candidates.append(second_leg)
+            continue
+        first_leg = known_function(upper, bag_vertex)
+        if first_leg is None:
+            continue
+        candidates.append(compound(first_leg, second_leg, via=bag_vertex))
+    if not candidates:
+        return None
+    return cap(minimum_of(candidates))
+
+
+def compute_catalog_utilities(
+    tree: TFPTreeDecomposition, catalog: ShortcutCatalog
+) -> None:
+    """Fill in the utility value of every pair (Definition 7).
+
+    ``p_<i,j>`` — the probability that the pair helps a uniformly random query
+    from ``v_i`` — is the fraction of vertices ``k`` whose LCA with ``X(i)`` is
+    exactly ``X(j)``.  With subtree sizes available this is
+    ``(|subtree(j)| - |subtree(child of j towards i)|) / |V|``.
+    """
+    total_vertices = tree.num_nodes
+    width = tree.treewidth
+    for pair in catalog:
+        lower, upper = pair.lower, pair.upper
+        height_gap = tree.height(lower) - tree.height(upper)
+        if height_gap < 0:
+            raise IndexBuildError(
+                f"shortcut pair <{lower}, {upper}> does not point at an ancestor"
+            )
+        child = tree.child_towards(upper, lower)
+        coverage = tree.subtree_size(upper) - tree.subtree_size(child)
+        probability = coverage / total_vertices
+        pair.utility = float(height_gap * width * probability)

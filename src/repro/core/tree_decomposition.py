@@ -1,0 +1,372 @@
+"""Travel-Function-Preserved (TFP) tree decomposition (Algorithms 1 and 2).
+
+The decomposition eliminates vertices in minimum-degree order.  Eliminating a
+vertex ``v`` (the *reduction operator* ``G ⊖ v``, Algorithm 1) connects every
+pair of its remaining neighbours with a reduced edge whose weight function is
+the ``Compound`` of the two incident functions (or the ``minimum`` with an
+already existing edge), so the reduced graph is a TFP-graph of the original:
+shortest travel-cost functions between the remaining vertices are preserved.
+
+Each eliminated vertex becomes a tree node ``X(v)`` that stores
+
+* its *bag* — the neighbours it had at elimination time (all of which are
+  ancestors of ``X(v)`` in the final tree, Property 2),
+* ``Ws`` — the working weight functions from ``v`` to each bag vertex, and
+* ``Wd`` — the working weight functions from each bag vertex to ``v``.
+
+The tree is assembled by parenting ``X(v)`` to the bag vertex with the
+smallest elimination order (Algorithm 2, lines 10-13).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.exceptions import (
+    DisconnectedQueryError,
+    GraphError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.functions.compound import compound, minimum
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.graph.td_graph import TDGraph
+from repro.utils.lca import LCAIndex
+
+__all__ = ["TreeNode", "TFPTreeDecomposition", "decompose"]
+
+
+@dataclass
+class TreeNode:
+    """One node ``X(v)`` of the TFP tree decomposition.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex ``v`` this node was created for (one node per vertex).
+    bag:
+        ``X(v) \\ {v}`` — the neighbours of ``v`` at elimination time, sorted by
+        elimination order (all are ancestors of this node, Property 2).
+    ws:
+        ``X(v).Ws``: weight function from ``v`` to each bag vertex.
+    wd:
+        ``X(v).Wd``: weight function from each bag vertex to ``v``.
+    parent:
+        Vertex of the parent tree node (``None`` for a root).
+    children:
+        Vertices of the child tree nodes.
+    order:
+        Elimination order ``π(v)`` (0-based; smaller = eliminated earlier).
+    height:
+        Distance from the root plus one (the root has height 1, as in the
+        paper's Example 3.2).
+    """
+
+    vertex: int
+    bag: tuple[int, ...]
+    ws: dict[int, PiecewiseLinearFunction]
+    wd: dict[int, PiecewiseLinearFunction]
+    parent: int | None = None
+    children: list[int] = field(default_factory=list)
+    order: int = 0
+    height: int = 0
+
+    @property
+    def bag_size(self) -> int:
+        """``|X(v)|`` — bag vertices plus ``v`` itself."""
+        return len(self.bag) + 1
+
+
+class TFPTreeDecomposition:
+    """The tree decomposition of a time-dependent graph, with cost metadata.
+
+    Use :func:`decompose` (or :meth:`TFPTreeDecomposition.build`) to construct
+    one; the constructor only wires the pieces together.
+    """
+
+    def __init__(self, nodes: dict[int, TreeNode], roots: list[int]) -> None:
+        if not nodes:
+            raise GraphError("cannot build a tree decomposition of an empty graph")
+        self.nodes = nodes
+        self.roots = roots
+        self._lca = LCAIndex({v: node.parent for v, node in nodes.items()})
+        self._compute_heights()
+        self._subtree_sizes = self._compute_subtree_sizes()
+        self._ancestor_cache: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: TDGraph,
+        *,
+        max_points: int | None = 32,
+        tolerance: float = 0.0,
+    ) -> "TFPTreeDecomposition":
+        """Run the TFP tree decomposition (Algorithm 2) on ``graph``."""
+        return decompose(graph, max_points=max_points, tolerance=tolerance)
+
+    def _compute_heights(self) -> None:
+        for root in self.roots:
+            stack = [(root, 1)]
+            while stack:
+                vertex, height = stack.pop()
+                node = self.nodes[vertex]
+                node.height = height
+                for child in node.children:
+                    stack.append((child, height + 1))
+
+    def _compute_subtree_sizes(self) -> dict[int, int]:
+        sizes = {v: 1 for v in self.nodes}
+        # Accumulate bottom-up: children have larger height than parents, so a
+        # single pass over vertices sorted by decreasing height suffices.
+        for vertex in sorted(self.nodes, key=lambda v: -self.nodes[v].height):
+            parent = self.nodes[vertex].parent
+            if parent is not None:
+                sizes[parent] += sizes[vertex]
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Tree statistics (Definition 4)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes (= number of graph vertices)."""
+        return len(self.nodes)
+
+    @property
+    def treewidth(self) -> int:
+        """``w(T_G)``: the maximum bag size minus one."""
+        return max(node.bag_size for node in self.nodes.values()) - 1
+
+    @property
+    def treeheight(self) -> int:
+        """``h(T_G)``: the maximum node height (root has height 1)."""
+        return max(node.height for node in self.nodes.values())
+
+    def height(self, vertex: int) -> int:
+        """Height of the tree node of ``vertex``."""
+        return self._node(vertex).height
+
+    def subtree_size(self, vertex: int) -> int:
+        """Number of tree nodes in the subtree rooted at ``X(vertex)``."""
+        return self._subtree_sizes[vertex]
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def _node(self, vertex: int) -> TreeNode:
+        try:
+            return self.nodes[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def node(self, vertex: int) -> TreeNode:
+        """Return the tree node ``X(vertex)``."""
+        return self._node(vertex)
+
+    def parent(self, vertex: int) -> int | None:
+        """Vertex of the parent node of ``X(vertex)``."""
+        return self._node(vertex).parent
+
+    def ancestors(self, vertex: int) -> tuple[int, ...]:
+        """``Anc(X(v))``: ancestor vertices ordered by increasing height (root first)."""
+        cached = self._ancestor_cache.get(vertex)
+        if cached is not None:
+            return cached
+        chain: list[int] = []
+        current = self._node(vertex).parent
+        while current is not None:
+            chain.append(current)
+            current = self.nodes[current].parent
+        result = tuple(reversed(chain))
+        self._ancestor_cache[vertex] = result
+        return result
+
+    def root_path(self, vertex: int) -> tuple[int, ...]:
+        """``vertex`` followed by its ancestors from deepest to the root."""
+        return (vertex,) + tuple(reversed(self.ancestors(vertex)))
+
+    def lca(self, first: int, second: int) -> int:
+        """Vertex of the lowest common ancestor node of ``X(first)`` and ``X(second)``.
+
+        Raises :class:`~repro.exceptions.DisconnectedQueryError` when the two
+        vertices live in different trees of the decomposition forest (which
+        happens exactly when the underlying graph is disconnected).
+        """
+        if first == second:
+            return first
+        try:
+            return self._lca.lca(first, second)
+        except ReproError as exc:
+            raise DisconnectedQueryError(first, second) from exc
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``X(ancestor)`` is an ancestor of (or equal to) ``X(descendant)``."""
+        if ancestor == descendant:
+            return True
+        return self._lca.is_ancestor(ancestor, descendant)
+
+    def vertex_cut(self, source: int, target: int) -> tuple[int, ...]:
+        """The vertex cut between ``source`` and ``target`` (Property 1).
+
+        This is the bag of the LCA node, including the LCA vertex itself, with
+        ``source``/``target`` listed first when they happen to lie inside it.
+        """
+        lca_vertex = self.lca(source, target)
+        node = self.nodes[lca_vertex]
+        cut = [lca_vertex, *node.bag]
+        return tuple(dict.fromkeys(cut))
+
+    def child_towards(self, ancestor: int, descendant: int) -> int:
+        """The child of ``X(ancestor)`` lying on the path to ``X(descendant)``."""
+        if ancestor == descendant:
+            raise GraphError("descendant must differ from ancestor")
+        current = descendant
+        while True:
+            parent = self.nodes[current].parent
+            if parent is None:
+                raise GraphError(
+                    f"{ancestor} is not an ancestor of {descendant}"
+                )
+            if parent == ancestor:
+                return current
+            current = parent
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def label_point_count(self) -> int:
+        """Total interpolation points stored in all ``Ws``/``Wd`` lists."""
+        total = 0
+        for node in self.nodes.values():
+            total += sum(f.size for f in node.ws.values())
+            total += sum(f.size for f in node.wd.values())
+        return total
+
+    def label_function_count(self) -> int:
+        """Total number of ``Ws``/``Wd`` functions stored."""
+        return sum(len(node.ws) + len(node.wd) for node in self.nodes.values())
+
+
+def decompose(
+    graph: TDGraph,
+    *,
+    max_points: int | None = 32,
+    tolerance: float = 0.0,
+) -> TFPTreeDecomposition:
+    """Algorithm 2: TFP tree decomposition by minimum-degree elimination.
+
+    Parameters
+    ----------
+    graph:
+        The time-dependent road network.  It is not modified; the elimination
+        works on lightweight adjacency copies.
+    max_points:
+        Cap on the number of interpolation points of every reduced weight
+        function (``None`` disables the cap and keeps the decomposition exact).
+    tolerance:
+        Vertical tolerance for the lossless part of the simplification.
+
+    Returns
+    -------
+    TFPTreeDecomposition
+    """
+    if graph.num_vertices == 0:
+        raise GraphError("cannot decompose an empty graph")
+
+    # Working adjacency: forward[u][v] is the current reduced weight u -> v.
+    forward: dict[int, dict[int, PiecewiseLinearFunction]] = {
+        v: dict(graph.out_items(v)) for v in graph.vertices()
+    }
+    backward: dict[int, dict[int, PiecewiseLinearFunction]] = {
+        v: dict(graph.in_items(v)) for v in graph.vertices()
+    }
+    neighbors: dict[int, set[int]] = {
+        v: set(forward[v]) | set(backward[v]) for v in graph.vertices()
+    }
+
+    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        # Even in "exact" mode (max_points=None, tolerance=0) collinear points
+        # are dropped: that is value-preserving and keeps reduced functions at
+        # their true complexity instead of accumulating redundant breakpoints.
+        return simplify(func, max_points=max_points, tolerance=tolerance)
+
+    heap: list[tuple[int, int]] = [(len(neighbors[v]), v) for v in neighbors]
+    heapq.heapify(heap)
+    eliminated: set[int] = set()
+    nodes: dict[int, TreeNode] = {}
+    order_of: dict[int, int] = {}
+
+    order = 0
+    while heap:
+        degree, vertex = heapq.heappop(heap)
+        if vertex in eliminated:
+            continue
+        if degree != len(neighbors[vertex]):
+            heapq.heappush(heap, (len(neighbors[vertex]), vertex))
+            continue
+
+        bag = sorted(neighbors[vertex])
+        ws = {u: forward[vertex][u] for u in bag if u in forward[vertex]}
+        wd = {u: backward[vertex][u] for u in bag if u in backward[vertex]}
+        nodes[vertex] = TreeNode(
+            vertex=vertex,
+            bag=tuple(bag),
+            ws=ws,
+            wd=wd,
+            order=order,
+        )
+        order_of[vertex] = order
+        order += 1
+        eliminated.add(vertex)
+
+        # Reduction operator (Algorithm 1): connect every ordered pair of
+        # remaining neighbours through ``vertex``.
+        for i in bag:
+            for j in bag:
+                if i == j:
+                    continue
+                via_first = forward[i].get(vertex)
+                via_second = forward[vertex].get(j)
+                if via_first is None or via_second is None:
+                    continue
+                candidate = cap(compound(via_first, via_second, via=vertex))
+                existing = forward[i].get(j)
+                if existing is None:
+                    merged = candidate
+                else:
+                    merged = cap(minimum(existing, candidate))
+                forward[i][j] = merged
+                backward[j][i] = merged
+                neighbors[i].add(j)
+                neighbors[j].add(i)
+
+        # Disconnect ``vertex`` from the working graph and refresh degrees.
+        for u in bag:
+            forward[u].pop(vertex, None)
+            backward[u].pop(vertex, None)
+            neighbors[u].discard(vertex)
+            heapq.heappush(heap, (len(neighbors[u]), u))
+        forward.pop(vertex, None)
+        backward.pop(vertex, None)
+        neighbors.pop(vertex, None)
+
+    # Algorithm 2, lines 10-13: the parent of X(v) is the bag vertex with the
+    # smallest elimination order.
+    roots: list[int] = []
+    for vertex, node in nodes.items():
+        if not node.bag:
+            roots.append(vertex)
+            continue
+        parent = min(node.bag, key=lambda u: order_of[u])
+        node.parent = parent
+        nodes[parent].children.append(vertex)
+    if not roots:
+        raise GraphError("tree decomposition produced no root (cyclic parents?)")
+
+    return TFPTreeDecomposition(nodes, roots)

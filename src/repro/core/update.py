@@ -1,0 +1,273 @@
+"""Incremental index maintenance under edge-weight updates (Sec. 5.2, Fig. 10).
+
+Traffic conditions change during the day; the paper's update experiment
+perturbs the weight functions of a growing number of edges and measures how
+long it takes to bring the index back in sync.  Rebuilding from scratch is the
+trivial upper bound; the incremental algorithm implemented here exploits two
+structural facts of the TFP decomposition:
+
+1. The bag functions stored at ``X(v)`` are exactly the working-graph weights
+   between ``v`` and its neighbours at elimination time, and the working-graph
+   weight of an edge ``(x, y)`` equals the minimum of the original weight and
+   the contributions ``Compound(X(z).Wd_x, X(z).Ws_y)`` over every vertex ``z``
+   eliminated before both with ``x, y`` in its bag.  A changed edge therefore
+   only dirties bag functions along the *ancestor cone* of its lower endpoint,
+   and every dirty function can be recomputed from already-stored material.
+
+2. A selected shortcut of node ``i`` only depends on bag functions of nodes on
+   ``i``'s root path, so only descendants of dirty vertices need their
+   shortcuts refreshed — and each refresh is a single upward profile sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import EdgeNotFoundError, InvalidFunctionError
+from repro.functions.compound import compound, minimum_of
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.core.query import _ascending_profiles  # shared upward sweep
+from repro.core.shortcuts import ShortcutPair
+
+__all__ = ["UpdateReport", "apply_edge_updates"]
+
+
+@dataclass
+class UpdateReport:
+    """What an incremental update touched (returned by ``TDTreeIndex.update_edges``)."""
+
+    num_changed_edges: int
+    num_dirty_vertices: int = 0
+    num_recomputed_labels: int = 0
+    num_refreshed_shortcut_nodes: int = 0
+    num_refreshed_shortcut_pairs: int = 0
+    seconds: float = 0.0
+    details: dict[str, float] = field(default_factory=dict)
+
+
+def apply_edge_updates(
+    index,
+    changes: dict[tuple[int, int], PiecewiseLinearFunction],
+) -> UpdateReport:
+    """Apply edge-weight changes to ``index`` and repair labels and shortcuts.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.index.TDTreeIndex`.
+    changes:
+        Mapping ``(source, target) -> new weight function``.  Every referenced
+        edge must already exist (topology changes are out of scope, as in the
+        paper's update experiment).
+
+    Returns
+    -------
+    UpdateReport
+        Counters describing the amount of recomputation performed.
+    """
+    import time
+
+    started = time.perf_counter()
+    report = UpdateReport(num_changed_edges=len(changes))
+    if not changes:
+        return report
+
+    graph = index.graph
+    tree = index.tree
+
+    # Phase 1: apply the changes to the base graph and seed the dirty sets.
+    dirty_edges: set[tuple[int, int]] = set()
+    dirty_vertices: set[int] = set()
+    for (source, target), weight in changes.items():
+        if not graph.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        if not weight.is_nonnegative():
+            raise InvalidFunctionError(
+                f"new weight for edge ({source}, {target}) has negative costs"
+            )
+        graph.set_weight(source, target, weight)
+        dirty_edges.add((source, target))
+        dirty_edges.add((target, source))
+        lower = min((source, target), key=lambda v: tree.nodes[v].order)
+        dirty_vertices.add(lower)
+
+    # Phase 2: repair bag functions bottom-up in elimination order.
+    contributors = _pair_contributors(tree)
+    changed_bag_vertices: set[int] = set()
+    pending = sorted(dirty_vertices, key=lambda v: tree.nodes[v].order)
+    processed: set[int] = set()
+    while pending:
+        vertex = pending.pop(0)
+        if vertex in processed:
+            continue
+        processed.add(vertex)
+        node = tree.nodes[vertex]
+        vertex_changed = False
+        for bag_vertex in node.bag:
+            for direction, store in (("fwd", node.ws), ("bwd", node.wd)):
+                if direction == "fwd":
+                    edge = (vertex, bag_vertex)
+                else:
+                    edge = (bag_vertex, vertex)
+                if edge not in dirty_edges:
+                    continue
+                new_value = _recompute_working_edge(
+                    graph, tree, contributors, edge, index.max_points, index.tolerance
+                )
+                report.num_recomputed_labels += 1
+                old_value = store.get(bag_vertex)
+                if new_value is None:
+                    continue
+                if old_value is not None and old_value.allclose(new_value, tolerance=1e-9):
+                    continue
+                store[bag_vertex] = new_value
+                vertex_changed = True
+        if vertex_changed:
+            changed_bag_vertices.add(vertex)
+            # Every edge this vertex wrote during elimination may now differ.
+            for a in node.bag:
+                for b in node.bag:
+                    if a == b:
+                        continue
+                    dirty_edges.add((a, b))
+            for b in node.bag:
+                if b not in processed:
+                    pending.append(b)
+            pending.sort(key=lambda v: tree.nodes[v].order)
+    report.num_dirty_vertices = len(processed)
+
+    # Phase 3: refresh the selected shortcuts of every affected node.  A node
+    # is affected when a vertex whose bag functions changed lies on its root
+    # path.  For localised changes the per-node upward sweep is cheapest; when
+    # a large fraction of the tree is affected, re-running the (Fact 1)
+    # top-down shortcut construction over the repaired tree is cheaper, so the
+    # update degrades gracefully towards the shortcut-construction cost and
+    # never towards more than a full rebuild.
+    if index.shortcuts and changed_bag_vertices:
+        affected_lowers = {
+            lower
+            for (lower, _upper) in index.shortcuts
+            if _chain_intersects(tree, lower, changed_bag_vertices)
+        }
+        report.num_refreshed_shortcut_nodes = len(affected_lowers)
+        distinct_lowers = {lower for (lower, _upper) in index.shortcuts}
+        if affected_lowers and len(affected_lowers) > 0.25 * max(len(distinct_lowers), 1):
+            report.num_refreshed_shortcut_pairs = _rebuild_selected_shortcuts(index)
+        else:
+            for lower in affected_lowers:
+                refreshed = _refresh_shortcuts_of(index, lower)
+                report.num_refreshed_shortcut_pairs += refreshed
+
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _pair_contributors(tree) -> dict[tuple[int, int], list[int]]:
+    """Map each ordered vertex pair to the vertices whose elimination wrote to it.
+
+    A vertex ``z`` contributes to the working edge ``(x, y)`` exactly when both
+    ``x`` and ``y`` are in its bag (they were neighbours of ``z`` when it was
+    eliminated, so the reduction operator updated the edge between them).
+    """
+    table: dict[tuple[int, int], list[int]] = {}
+    for vertex, node in tree.nodes.items():
+        for a in node.bag:
+            for b in node.bag:
+                if a == b:
+                    continue
+                table.setdefault((a, b), []).append(vertex)
+    return table
+
+
+def _recompute_working_edge(
+    graph,
+    tree,
+    contributors: dict[tuple[int, int], list[int]],
+    edge: tuple[int, int],
+    max_points: int | None,
+    tolerance: float,
+) -> PiecewiseLinearFunction | None:
+    """Recompute the working-graph weight of ``edge`` from stored material."""
+    x, y = edge
+    candidates: list[PiecewiseLinearFunction] = []
+    if graph.has_edge(x, y):
+        candidates.append(graph.weight(x, y))
+    order_x = tree.nodes[x].order
+    order_y = tree.nodes[y].order
+    for z in contributors.get(edge, ()):  # z eliminated before both endpoints
+        node_z = tree.nodes[z]
+        if node_z.order >= min(order_x, order_y):
+            continue
+        first = node_z.wd.get(x)
+        second = node_z.ws.get(y)
+        if first is None or second is None:
+            continue
+        candidates.append(compound(first, second, via=z))
+    if not candidates:
+        return None
+    merged = minimum_of(candidates)
+    if max_points is not None or tolerance:
+        merged = simplify(merged, max_points=max_points, tolerance=tolerance)
+    return merged
+
+
+def _chain_intersects(tree, vertex: int, dirty: set[int]) -> bool:
+    """Whether the root path of ``vertex`` contains any dirty vertex."""
+    return any(v in dirty for v in tree.root_path(vertex))
+
+
+def _rebuild_selected_shortcuts(index) -> int:
+    """Recompute the selected shortcut pairs via the Fact-1 top-down pass.
+
+    Used when most of the tree is affected: building the candidate catalog
+    over the already-repaired bag functions costs the same as the shortcut
+    phase of a fresh build, which is strictly less than a full rebuild
+    (no re-decomposition, no re-selection).
+    """
+    from repro.core.shortcuts import build_shortcut_catalog
+
+    catalog = build_shortcut_catalog(
+        index.tree,
+        max_points=index.max_points,
+        tolerance=index.tolerance,
+        compute_utilities=False,
+    )
+    refreshed = 0
+    for key, old_pair in list(index.shortcuts.items()):
+        new_pair = catalog.pairs.get(key)
+        if new_pair is None:
+            continue
+        new_pair.utility = old_pair.utility
+        index.shortcuts[key] = new_pair
+        refreshed += 1
+    return refreshed
+
+
+def _refresh_shortcuts_of(index, lower: int) -> int:
+    """Recompute all selected shortcut pairs ``<lower, *>`` with upward sweeps."""
+    tree = index.tree
+    forward_labels = _ascending_profiles(
+        tree, lower, forward=True, max_points=index.max_points
+    )
+    backward_labels = _ascending_profiles(
+        tree, lower, forward=False, max_points=index.max_points
+    )
+    refreshed = 0
+    for (pair_lower, upper), pair in list(index.shortcuts.items()):
+        if pair_lower != lower:
+            continue
+        forward = forward_labels.get(upper, pair.forward)
+        backward = backward_labels.get(upper, pair.backward)
+        index.shortcuts[(pair_lower, upper)] = ShortcutPair(
+            lower=pair_lower,
+            upper=upper,
+            forward=forward,
+            backward=backward,
+            utility=pair.utility,
+        )
+        refreshed += 1
+    return refreshed

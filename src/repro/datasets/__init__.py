@@ -1,0 +1,22 @@
+"""Scaled dataset catalog (Table 2) and query-workload generation (Sec. 5)."""
+
+from repro.datasets.catalog import (
+    CATALOG,
+    DatasetSpec,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from repro.datasets.queries import Query, QueryWorkload, generate_pairs, generate_queries
+
+__all__ = [
+    "CATALOG",
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "Query",
+    "QueryWorkload",
+    "generate_pairs",
+    "generate_queries",
+]

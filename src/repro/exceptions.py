@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidFunctionError",
+    "GraphError",
+    "EdgeNotFoundError",
+    "VertexNotFoundError",
+    "DisconnectedQueryError",
+    "IndexNotBuiltError",
+    "IndexBuildError",
+    "SelectionError",
+    "DatasetError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidFunctionError(ReproError, ValueError):
+    """A piecewise-linear travel-cost function is malformed.
+
+    Raised when breakpoint times are not strictly increasing, costs are
+    negative, array shapes disagree, or a function violates the FIFO property
+    in a context that requires it.
+    """
+
+
+class GraphError(ReproError, ValueError):
+    """A time-dependent graph is malformed or an operation on it is invalid."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A referenced vertex does not exist in the graph."""
+
+    def __init__(self, vertex: object):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, source: object, target: object):
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DisconnectedQueryError(ReproError):
+    """The destination is not reachable from the source at the query time."""
+
+    def __init__(self, source: object, target: object):
+        super().__init__(
+            f"no time-dependent path from {source!r} to {target!r} exists"
+        )
+        self.source = source
+        self.target = target
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """An index operation was attempted before the index was built."""
+
+
+class IndexBuildError(ReproError, RuntimeError):
+    """Index construction failed."""
+
+
+class SelectionError(ReproError, ValueError):
+    """Shortcut selection received invalid parameters (e.g. negative budget)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name or configuration is unknown or inconsistent."""
+
+
+class SerializationError(ReproError, ValueError):
+    """Loading or saving a graph/index from disk failed."""

@@ -1,0 +1,189 @@
+"""Measurement helpers shared by all experiment runners.
+
+Each compared method is registered here with a uniform ``build`` signature so
+the per-table runners can loop over method names exactly like the paper's
+evaluation loops over its five algorithms:
+
+======================= ======================================================
+paper name               implementation
+======================= ======================================================
+``TD-G-tree``            :class:`repro.baselines.TDGTree`
+``TD-H2H``               :class:`repro.baselines.TDH2H` (full shortcuts)
+``TD-basic``             :class:`repro.core.TDTreeIndex` with ``strategy="basic"``
+``TD-dp``                :class:`repro.core.TDTreeIndex` with ``strategy="dp"``
+``TD-appro``             :class:`repro.core.TDTreeIndex` with ``strategy="approx"``
+``TD-Dijkstra``          :class:`repro.baselines.TDDijkstra` (no index)
+``TD-A*``                :class:`repro.baselines.TDAStar` (no index)
+======================= ======================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.baselines.td_astar import TDAStar
+from repro.baselines.td_dijkstra import TDDijkstra
+from repro.baselines.td_h2h import TDH2H
+from repro.baselines.tdg_tree import TDGTree
+from repro.core.index import TDTreeIndex
+from repro.datasets.queries import Query
+from repro.exceptions import DatasetError
+from repro.graph.td_graph import TDGraph
+
+__all__ = [
+    "METHODS",
+    "BuildMeasurement",
+    "QueryMeasurement",
+    "build_method",
+    "measure_build",
+    "measure_cost_queries",
+    "measure_profile_queries",
+]
+
+
+def _build_td_tree(strategy: str) -> Callable[..., TDTreeIndex]:
+    def factory(graph: TDGraph, **kwargs) -> TDTreeIndex:
+        kwargs.setdefault("max_points", 16)
+        return TDTreeIndex.build(graph, strategy=strategy, **kwargs)
+
+    return factory
+
+
+def _build_gtree(graph: TDGraph, **kwargs) -> TDGTree:
+    kwargs.pop("budget_fraction", None)
+    kwargs.pop("budget", None)
+    kwargs.setdefault("max_points", 16)
+    return TDGTree.build(graph, **kwargs)
+
+
+def _build_h2h(graph: TDGraph, **kwargs) -> TDH2H:
+    kwargs.pop("budget_fraction", None)
+    kwargs.pop("budget", None)
+    kwargs.setdefault("max_points", 16)
+    return TDH2H.build(graph, **kwargs)
+
+
+def _build_dijkstra(graph: TDGraph, **kwargs) -> TDDijkstra:
+    return TDDijkstra.build(graph)
+
+
+def _build_astar(graph: TDGraph, **kwargs) -> TDAStar:
+    return TDAStar.build(graph)
+
+
+#: Registry of method name -> build callable.
+METHODS: dict[str, Callable[..., object]] = {
+    "TD-G-tree": _build_gtree,
+    "TD-H2H": _build_h2h,
+    "TD-basic": _build_td_tree("basic"),
+    "TD-dp": _build_td_tree("dp"),
+    "TD-appro": _build_td_tree("approx"),
+    "TD-Dijkstra": _build_dijkstra,
+    "TD-A*": _build_astar,
+}
+
+
+@dataclass
+class BuildMeasurement:
+    """Construction time and memory of one built index."""
+
+    method: str
+    dataset: str
+    num_points: int
+    build_seconds: float
+    memory_mb: float
+    index: object = field(repr=False, default=None)
+
+
+@dataclass
+class QueryMeasurement:
+    """Average latency over a query batch."""
+
+    method: str
+    dataset: str
+    num_points: int
+    kind: str  # "cost" or "profile"
+    num_queries: int
+    mean_ms: float
+    total_seconds: float
+
+
+def build_method(name: str, graph: TDGraph, **kwargs):
+    """Build the method registered under ``name`` over ``graph``."""
+    if name not in METHODS:
+        raise DatasetError(f"unknown method {name!r}; available: {', '.join(METHODS)}")
+    return METHODS[name](graph, **kwargs)
+
+
+def measure_build(
+    name: str,
+    graph: TDGraph,
+    *,
+    dataset: str = "",
+    num_points: int = 3,
+    **kwargs,
+) -> BuildMeasurement:
+    """Build a method and record wall-clock time plus modelled memory."""
+    started = time.perf_counter()
+    index = build_method(name, graph, **kwargs)
+    seconds = time.perf_counter() - started
+    memory = index.memory_breakdown().total_megabytes if hasattr(index, "memory_breakdown") else 0.0
+    return BuildMeasurement(
+        method=name,
+        dataset=dataset,
+        num_points=num_points,
+        build_seconds=seconds,
+        memory_mb=memory,
+        index=index,
+    )
+
+
+def measure_cost_queries(
+    index,
+    queries: Iterable[Query],
+    *,
+    method: str = "",
+    dataset: str = "",
+    num_points: int = 3,
+) -> QueryMeasurement:
+    """Average latency of scalar travel-cost queries over a workload."""
+    batch = list(queries)
+    started = time.perf_counter()
+    for query in batch:
+        index.query(query.source, query.target, query.departure)
+    total = time.perf_counter() - started
+    return QueryMeasurement(
+        method=method,
+        dataset=dataset,
+        num_points=num_points,
+        kind="cost",
+        num_queries=len(batch),
+        mean_ms=total * 1000.0 / max(len(batch), 1),
+        total_seconds=total,
+    )
+
+
+def measure_profile_queries(
+    index,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    method: str = "",
+    dataset: str = "",
+    num_points: int = 3,
+) -> QueryMeasurement:
+    """Average latency of shortest-travel-cost-function queries over pairs."""
+    started = time.perf_counter()
+    for source, target in pairs:
+        index.profile(source, target)
+    total = time.perf_counter() - started
+    return QueryMeasurement(
+        method=method,
+        dataset=dataset,
+        num_points=num_points,
+        kind="profile",
+        num_queries=len(pairs),
+        mean_ms=total * 1000.0 / max(len(pairs), 1),
+        total_seconds=total,
+    )

@@ -1,0 +1,98 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper reports results as tables (Tables 2-4) and line charts (Figs 8-11).
+A terminal reproduction cannot draw the charts, so every figure is rendered as
+the table of series it plots: one row per (dataset, method, x-value) with the
+measured y-value — which is also the most convenient form for regression
+checks and for re-plotting with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "write_csv", "format_series"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in table:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Serialise dict rows as CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write dict rows to a CSV file."""
+    Path(path).write_text(rows_to_csv(rows, columns), encoding="utf-8")
+
+
+def format_series(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    x: str,
+    y: str,
+    series: str,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure data as one line per series: ``name: y@x1, y@x2, ...``."""
+    grouped: dict[str, list[tuple[object, object]]] = {}
+    for row in rows:
+        grouped.setdefault(str(row[series]), []).append((row[x], row[y]))
+    lines = []
+    for name in sorted(grouped):
+        points = ", ".join(
+            f"{float_format.format(value) if isinstance(value, float) else value}@{key}"
+            for key, value in grouped[name]
+        )
+        lines.append(f"{name}: {points}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Piecewise-linear travel-cost function algebra.
+
+This package is the mathematical substrate of the whole library: every edge
+weight, every bag/label function stored by the tree decomposition, every
+shortcut and every query answer is a :class:`PiecewiseLinearFunction`, and the
+index algorithms manipulate them exclusively through :func:`compound`,
+:func:`minimum` and :func:`simplify`.
+"""
+
+from repro.functions.compound import compound, minimum, minimum_of
+from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
+from repro.functions.profile import (
+    DAY_SECONDS,
+    average_cost,
+    lower_bound,
+    merge_profiles,
+    relative_error,
+    sample_profile,
+    upper_bound,
+)
+from repro.functions.simplify import count_points, remove_collinear, simplify
+
+__all__ = [
+    "PiecewiseLinearFunction",
+    "NO_VIA",
+    "compound",
+    "minimum",
+    "minimum_of",
+    "simplify",
+    "remove_collinear",
+    "count_points",
+    "DAY_SECONDS",
+    "lower_bound",
+    "upper_bound",
+    "sample_profile",
+    "merge_profiles",
+    "average_cost",
+    "relative_error",
+]

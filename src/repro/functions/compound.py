@@ -1,0 +1,322 @@
+"""The ``Compound`` and ``minimum`` operators on piecewise-linear functions.
+
+``compound(f, g)`` is the paper's ``Compound()`` operator (Definition 2): it
+returns the travel-cost function of traversing first the sub-path described by
+``f`` and then the sub-path described by ``g``,
+
+.. math::
+
+    h(t) = f(t) + g(t + f(t)).
+
+``minimum(f, g)`` is the pointwise minimum of two travel-cost functions and is
+what merges alternative routes (Example 2.2).  Both operators are exact for
+piecewise-linear inputs: the result's breakpoints are computed analytically,
+not sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
+
+__all__ = ["compound", "minimum", "minimum_of", "upper_envelope_constant"]
+
+_EPS = 1e-9
+
+
+def compound(
+    first: PiecewiseLinearFunction,
+    second: PiecewiseLinearFunction,
+    *,
+    via: int | None = None,
+) -> PiecewiseLinearFunction:
+    """Link two travel-cost functions: travel ``first`` then ``second``.
+
+    Parameters
+    ----------
+    first:
+        Travel-cost function of the first sub-path (departure at ``t``).
+    second:
+        Travel-cost function of the second sub-path (departure at the arrival
+        time of the first, ``t + first(t)``).
+    via:
+        Optional bridge vertex recorded on every segment of the result.  This
+        is how the graph-reduction operator (Algorithm 1) and the shortcut
+        constructor (Fact 1) remember through which vertex a reduced edge or
+        shortcut travels.  When ``None`` the result carries ``NO_VIA``.
+
+    Returns
+    -------
+    PiecewiseLinearFunction
+        The exact function ``h(t) = first(t) + second(t + first(t))``.
+
+    Notes
+    -----
+    For FIFO inputs the arrival function ``A(t) = t + first(t)`` is
+    non-decreasing, so the exact breakpoints of ``h`` are the breakpoints of
+    ``first`` plus the pre-images ``A^{-1}(b)`` of every breakpoint ``b`` of
+    ``second``.  Non-FIFO inputs are still handled (the operator remains a
+    valid upper approximation evaluated on the same breakpoint set), but
+    exactness is only guaranteed under FIFO, which all generators in this
+    library enforce.
+    """
+    # Fast path: second is constant -> h(t) = first(t) + c with first's shape.
+    if second.size == 1:
+        costs = first.costs + second.costs[0]
+        out_via = _fill_via(first.via, via)
+        return PiecewiseLinearFunction(first.times, costs, out_via, validate=False)
+    # Fast path: first is constant -> h(t) = c + second(t + c), a shift of second.
+    if first.size == 1:
+        c = float(first.costs[0])
+        times = second.times - c
+        costs = second.costs + c
+        out_via = _fill_via(second.via, via)
+        return PiecewiseLinearFunction(times, costs, out_via, validate=False)
+
+    breakpoints = _compound_breakpoints(first, second)
+    f_vals = first.evaluate(breakpoints)
+    arrival = breakpoints + f_vals
+    costs = f_vals + second.evaluate(arrival)
+    times, costs = _dedupe_breakpoints(breakpoints, costs)
+    if via is None:
+        out_via = np.full(times.shape, NO_VIA, dtype=np.int64)
+    else:
+        out_via = np.full(times.shape, int(via), dtype=np.int64)
+    return PiecewiseLinearFunction(times, costs, out_via, validate=False)
+
+
+def minimum(
+    first: PiecewiseLinearFunction,
+    second: PiecewiseLinearFunction,
+) -> PiecewiseLinearFunction:
+    """Return the pointwise minimum of two travel-cost functions.
+
+    The result's ``via`` metadata is inherited, segment by segment, from
+    whichever input attains the minimum on that segment (ties favour
+    ``first``).  Exact intersection points between the two functions are
+    inserted as breakpoints so the result is an exact lower envelope.
+    """
+    if first.size == 1 and second.size == 1:
+        if first.costs[0] <= second.costs[0]:
+            return first
+        return second
+    # Cheap certain-dominance screen: if the best value one function ever takes
+    # is no better than the worst value of the other, the other wins outright.
+    if second.costs.min() >= first.costs.max():
+        return first
+    if first.costs.min() >= second.costs.max():
+        return second
+
+    grid = np.union1d(first.times, second.times)
+    f_vals = first.evaluate(grid)
+    g_vals = second.evaluate(grid)
+    diff = f_vals - g_vals
+
+    # Both functions are linear between the shared grid points, so comparing
+    # them on the grid decides dominance everywhere.
+    if np.all(diff <= _EPS):
+        return first
+    if np.all(diff >= -_EPS):
+        return second
+
+    # Locate sign changes of (f - g) between consecutive grid points and solve
+    # for the exact crossing time on each such interval.
+    crossing_times = _crossings(grid, diff)
+    if crossing_times.size:
+        grid = np.union1d(grid, crossing_times)
+        f_vals = first.evaluate(grid)
+        g_vals = second.evaluate(grid)
+
+    min_vals = np.minimum(f_vals, g_vals)
+
+    # Decide the winner per segment from the segment endpoint sums (both
+    # functions are linear on a segment, so the comparison at the midpoint
+    # equals the comparison of the endpoint sums); the last entry covers the
+    # clamped region after the final breakpoint.
+    if grid.size == 1:
+        winner_first = f_vals <= g_vals
+    else:
+        seg_first = (f_vals[:-1] + f_vals[1:]) <= (g_vals[:-1] + g_vals[1:]) + _EPS
+        winner_first = np.concatenate([seg_first, [f_vals[-1] <= g_vals[-1] + _EPS]])
+    via = np.where(
+        winner_first,
+        _via_lookup(first, grid),
+        _via_lookup(second, grid),
+    )
+
+    times, costs, via = _dedupe_breakpoints_with_via(grid, min_vals, via)
+    return PiecewiseLinearFunction(times, costs, via, validate=False)
+
+
+def minimum_of(
+    functions: Iterable[PiecewiseLinearFunction],
+) -> PiecewiseLinearFunction:
+    """Return the pointwise minimum of a non-empty iterable of functions."""
+    result: PiecewiseLinearFunction | None = None
+    for func in functions:
+        result = func if result is None else minimum(result, func)
+    if result is None:
+        raise InvalidFunctionError("minimum_of() requires at least one function")
+    return result
+
+
+def upper_envelope_constant(func: PiecewiseLinearFunction) -> float:
+    """Return the tightest constant upper bound of a travel-cost function."""
+    return func.max_cost
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _fill_via(template: np.ndarray, via: int | None) -> np.ndarray:
+    if via is None:
+        return np.full(template.shape, NO_VIA, dtype=np.int64)
+    return np.full(template.shape, int(via), dtype=np.int64)
+
+
+def _compound_breakpoints(
+    first: PiecewiseLinearFunction, second: PiecewiseLinearFunction
+) -> np.ndarray:
+    """Breakpoint times of ``compound(first, second)``.
+
+    These are the breakpoints of ``first`` together with the pre-images of the
+    breakpoints of ``second`` under the (non-decreasing, for FIFO inputs)
+    arrival function of ``first``.
+    """
+    f_times = first.times
+    arrivals = f_times + first.costs
+
+    if np.all(np.diff(arrivals) >= 0):
+        preimage_arr = _vectorised_preimages(f_times, arrivals, second.times)
+    else:
+        # Non-FIFO first leg: fall back to the per-target scan (rare; only the
+        # exactness on the evaluated breakpoints is guaranteed in this case).
+        collected: list[float] = []
+        for target in second.times:
+            collected.extend(_arrival_preimages(f_times, arrivals, float(target)))
+        preimage_arr = np.asarray(collected, dtype=np.float64)
+
+    if preimage_arr.size:
+        candidate = np.concatenate([f_times, preimage_arr])
+    else:
+        candidate = f_times
+    candidate = np.unique(candidate)
+    return candidate
+
+
+def _vectorised_preimages(
+    f_times: np.ndarray, arrivals: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Pre-images of ``targets`` under a non-decreasing arrival function.
+
+    Inside the breakpoint range the arrival function is inverted with
+    :func:`numpy.interp` (swapping axes); outside the range it has slope 1
+    because the cost is clamped, so the pre-image is ``target - clamped_cost``.
+    """
+    first_cost = arrivals[0] - f_times[0]
+    last_cost = arrivals[-1] - f_times[-1]
+    below = targets < arrivals[0]
+    above = targets > arrivals[-1]
+    inside = ~below & ~above
+    parts = []
+    if below.any():
+        parts.append(targets[below] - first_cost)
+    if inside.any():
+        parts.append(np.interp(targets[inside], arrivals, f_times))
+    if above.any():
+        parts.append(targets[above] - last_cost)
+    if not parts:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def _arrival_preimages(
+    f_times: np.ndarray, arrivals: np.ndarray, target: float
+) -> list[float]:
+    """Departure times ``t`` with ``t + f(t) == target``.
+
+    The arrival function is linear between the breakpoints of ``f`` and has
+    slope exactly 1 outside the breakpoint range (because the cost is clamped
+    there).  For FIFO functions this pre-image is a point or an interval per
+    segment; returning one representative per segment is sufficient to make
+    the compound exact because the compound is linear in between.
+    """
+    result: list[float] = []
+    # Region before the first breakpoint: arrival = t + c_1, slope 1.
+    if target < arrivals[0] - _EPS:
+        first_cost = float(arrivals[0] - f_times[0])
+        result.append(float(target) - first_cost)
+        return result
+    # Region after the last breakpoint: arrival = t + c_k, slope 1.
+    if target > arrivals[-1] + _EPS:
+        result.append(target - (arrivals[-1] - f_times[-1]))
+        return result
+    # Inside: locate the segments whose arrival range brackets the target.  For
+    # FIFO inputs `arrivals` is non-decreasing; for robustness we scan the
+    # (few) segments rather than bisect on a possibly non-monotone array.
+    for i in range(len(f_times) - 1):
+        lo, hi = arrivals[i], arrivals[i + 1]
+        a, b = (lo, hi) if lo <= hi else (hi, lo)
+        if a - _EPS <= target <= b + _EPS:
+            if abs(hi - lo) < _EPS:
+                result.append(float(f_times[i]))
+            else:
+                frac = (target - lo) / (hi - lo)
+                frac = min(max(frac, 0.0), 1.0)
+                result.append(float(f_times[i] + frac * (f_times[i + 1] - f_times[i])))
+    if abs(target - arrivals[0]) <= _EPS:
+        result.append(float(f_times[0]))
+    if abs(target - arrivals[-1]) <= _EPS:
+        result.append(float(f_times[-1]))
+    return result
+
+
+def _crossings(grid: np.ndarray, diff: np.ndarray) -> np.ndarray:
+    """Exact crossing times where ``diff`` (piecewise linear on grid) hits 0."""
+    if grid.size < 2:
+        return np.empty(0, dtype=np.float64)
+    d0 = diff[:-1]
+    d1 = diff[1:]
+    mask = ((d0 > _EPS) & (d1 < -_EPS)) | ((d0 < -_EPS) & (d1 > _EPS))
+    if not mask.any():
+        return np.empty(0, dtype=np.float64)
+    t0 = grid[:-1][mask]
+    t1 = grid[1:][mask]
+    y0 = d0[mask]
+    y1 = d1[mask]
+    return t0 + (t1 - t0) * (y0 / (y0 - y1))
+
+
+def _via_lookup(func: PiecewiseLinearFunction, grid: np.ndarray) -> np.ndarray:
+    """Vectorised ``via_at`` for every grid point."""
+    if not func.has_via or func.size == 1:
+        return np.full(grid.shape, func.via[0], dtype=np.int64)
+    idx = np.clip(np.searchsorted(func.times, grid, side="right") - 1, 0, func.size - 1)
+    return func.via[idx]
+
+
+def _dedupe_breakpoints(
+    times: np.ndarray, costs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop breakpoints closer than the numeric tolerance."""
+    if times.size <= 1:
+        return times, costs
+    keep = np.concatenate([[True], np.diff(times) > _EPS])
+    return times[keep], costs[keep]
+
+
+def _dedupe_breakpoints_with_via(
+    times: np.ndarray, costs: np.ndarray, via: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if times.size <= 1:
+        return times, costs, via
+    keep = np.concatenate([[True], np.diff(times) > _EPS])
+    return times[keep], costs[keep], via[keep]
+
+
+def _as_sequence(values: Sequence[float] | np.ndarray) -> np.ndarray:  # pragma: no cover
+    return np.asarray(values, dtype=np.float64)

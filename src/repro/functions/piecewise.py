@@ -1,0 +1,343 @@
+"""Piecewise-linear travel-cost functions (PLFs).
+
+A time-dependent edge weight :math:`w_{u,v}(t)` is represented, following the
+paper (Definition 1), by a list of interpolation points
+``{(t_1, c_1), ..., (t_k, c_k)}``.  Between consecutive breakpoints the cost is
+linearly interpolated; before ``t_1`` and after ``t_k`` the cost is clamped to
+``c_1`` and ``c_k`` respectively (constant extrapolation), which matches the
+conventional treatment of daily travel-time profiles.
+
+The class stores, next to the breakpoints, an optional per-segment ``via``
+array that records the bridge vertex through which a *reduced* edge (built by
+the graph-reduction operator, Algorithm 1) travels.  This provenance is what
+allows shortest paths to be unpacked back into original road segments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+
+__all__ = ["PiecewiseLinearFunction", "NO_VIA"]
+
+#: Sentinel stored in the ``via`` array for segments that correspond to an
+#: original (non-reduced) road segment.
+NO_VIA: int = -1
+
+# Numerical tolerance used when comparing breakpoint times and costs.
+_TIME_EPS = 1e-9
+_COST_EPS = 1e-9
+
+
+class PiecewiseLinearFunction:
+    """An immutable piecewise-linear function ``f(t)`` of departure time.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing breakpoint times (seconds).
+    costs:
+        Travel costs at each breakpoint (seconds); must be non-negative.
+    via:
+        Optional per-breakpoint provenance.  ``via[i]`` is the bridge vertex of
+        the segment that *starts* at ``times[i]`` (and, for ``i == 0``, of the
+        clamped region before the first breakpoint).  ``NO_VIA`` marks an
+        original edge segment.  May be given as a scalar, in which case it is
+        broadcast to every segment.
+    validate:
+        If true (default), verify the invariants and raise
+        :class:`~repro.exceptions.InvalidFunctionError` on violation.  Internal
+        constructors pass ``False`` once the arrays are known to be valid.
+
+    Notes
+    -----
+    Instances are treated as immutable: the underlying numpy arrays are marked
+    read-only.  All operators return new instances.
+    """
+
+    __slots__ = ("times", "costs", "via", "has_via")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        costs: Sequence[float] | np.ndarray,
+        via: int | Sequence[int] | np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        times_arr = np.asarray(times, dtype=np.float64)
+        costs_arr = np.asarray(costs, dtype=np.float64)
+        if via is None:
+            via_arr = np.full(times_arr.shape, NO_VIA, dtype=np.int64)
+            has_via = False
+        elif np.isscalar(via):
+            via_arr = np.full(times_arr.shape, int(via), dtype=np.int64)
+            has_via = int(via) != NO_VIA
+        else:
+            via_arr = np.asarray(via, dtype=np.int64)
+            has_via = bool((via_arr != NO_VIA).any())
+
+        if validate:
+            _validate_arrays(times_arr, costs_arr, via_arr)
+
+        times_arr.flags.writeable = False
+        costs_arr.flags.writeable = False
+        via_arr.flags.writeable = False
+        self.times = times_arr
+        self.costs = costs_arr
+        self.via = via_arr
+        #: Whether any segment records a bridge vertex (fast path for operators).
+        self.has_via = has_via
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, cost: float, *, via: int = NO_VIA) -> "PiecewiseLinearFunction":
+        """Return a constant function ``f(t) = cost``."""
+        return cls(
+            np.array([0.0]),
+            np.array([float(cost)]),
+            np.array([via], dtype=np.int64),
+            validate=cost >= 0.0,
+        )
+
+    @classmethod
+    def zero(cls) -> "PiecewiseLinearFunction":
+        """Return the zero function (used as the identity of ``compound``)."""
+        return cls.constant(0.0)
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[tuple[float, float]],
+        *,
+        via: int | Sequence[int] | None = None,
+    ) -> "PiecewiseLinearFunction":
+        """Build a function from an iterable of ``(time, cost)`` pairs.
+
+        The pairs do not need to be sorted; they are sorted by time here.
+        Duplicate times raise :class:`InvalidFunctionError`.
+        """
+        pts = sorted(points)
+        if not pts:
+            raise InvalidFunctionError("at least one interpolation point is required")
+        times = np.array([p[0] for p in pts], dtype=np.float64)
+        costs = np.array([p[1] for p in pts], dtype=np.float64)
+        return cls(times, costs, via)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of interpolation points (the paper's ``|I|``)."""
+        return int(self.times.shape[0])
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The ``(first, last)`` breakpoint times."""
+        return float(self.times[0]), float(self.times[-1])
+
+    @property
+    def min_cost(self) -> float:
+        """Smallest cost attained by the function."""
+        return float(self.costs.min())
+
+    @property
+    def max_cost(self) -> float:
+        """Largest cost attained by the function."""
+        return float(self.costs.max())
+
+    def points(self) -> list[tuple[float, float]]:
+        """Return the interpolation points as a list of ``(time, cost)`` pairs."""
+        return [(float(t), float(c)) for t, c in zip(self.times, self.costs)]
+
+    def is_constant(self, tolerance: float = 0.0) -> bool:
+        """Return ``True`` if the function is constant (within ``tolerance``)."""
+        return bool(self.costs.max() - self.costs.min() <= tolerance)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.size
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({t:g}, {c:g})" for t, c in zip(self.times[:4], self.costs[:4]))
+        suffix = ", ..." if self.size > 4 else ""
+        return f"PiecewiseLinearFunction([{pts}{suffix}], size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseLinearFunction):
+            return NotImplemented
+        return (
+            self.times.shape == other.times.shape
+            and bool(np.array_equal(self.times, other.times))
+            and bool(np.array_equal(self.costs, other.costs))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.times.tobytes(), self.costs.tobytes()))
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        return self.evaluate(t)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Return ``f(t)``; accepts a scalar or a numpy array of times.
+
+        Outside the breakpoint range the cost is clamped to the first/last
+        breakpoint cost.
+        """
+        if self.size == 1:
+            if np.isscalar(t):
+                return float(self.costs[0])
+            return np.full(np.shape(t), self.costs[0], dtype=np.float64)
+        result = np.interp(t, self.times, self.costs)
+        if np.isscalar(t):
+            return float(result)
+        return result
+
+    def arrival(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Return the arrival time ``t + f(t)`` for departure time ``t``."""
+        value = self.evaluate(t)
+        if np.isscalar(t):
+            return float(t) + value
+        return np.asarray(t, dtype=np.float64) + value
+
+    def via_at(self, t: float) -> int:
+        """Return the bridge vertex recorded for the segment containing ``t``.
+
+        ``NO_VIA`` means the segment corresponds to an original road segment.
+        """
+        if self.size == 1:
+            return int(self.via[0])
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        idx = min(max(idx, 0), self.size - 1)
+        return int(self.via[idx])
+
+    # ------------------------------------------------------------------
+    # Properties of time-dependent travel costs
+    # ------------------------------------------------------------------
+    def is_fifo(self, tolerance: float = 1e-7) -> bool:
+        """Check the FIFO (non-overtaking) property.
+
+        A travel-cost function satisfies FIFO when the arrival function
+        ``t + f(t)`` is non-decreasing, i.e. all slopes are at least ``-1``.
+        """
+        if self.size == 1:
+            return True
+        dt = np.diff(self.times)
+        dc = np.diff(self.costs)
+        return bool(np.all(dc >= -dt - tolerance))
+
+    def is_nonnegative(self) -> bool:
+        """Return ``True`` when every cost value is non-negative."""
+        return bool(np.all(self.costs >= 0.0))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_via(self, via: int) -> "PiecewiseLinearFunction":
+        """Return a copy whose every segment records ``via`` as bridge vertex."""
+        return PiecewiseLinearFunction(
+            self.times,
+            self.costs,
+            np.full(self.times.shape, int(via), dtype=np.int64),
+            validate=False,
+        )
+
+    def shift(self, delta_cost: float) -> "PiecewiseLinearFunction":
+        """Return ``f(t) + delta_cost`` (used for lower/upper bound envelopes)."""
+        new_costs = self.costs + float(delta_cost)
+        if np.any(new_costs < 0):
+            raise InvalidFunctionError("shift would produce negative travel costs")
+        return PiecewiseLinearFunction(self.times, new_costs, self.via, validate=False)
+
+    def restrict(self, start: float, end: float) -> "PiecewiseLinearFunction":
+        """Restrict the breakpoints to the window ``[start, end]``.
+
+        The function value is preserved inside the window (the window edges are
+        inserted as breakpoints); breakpoints outside the window are dropped.
+        Because evaluation clamps outside the breakpoint range, the restricted
+        function remains defined for all ``t`` but is only guaranteed to match
+        the original inside ``[start, end]``.
+        """
+        if end < start:
+            raise InvalidFunctionError(f"invalid restriction window [{start}, {end}]")
+        if self.size == 1:
+            return self
+        inside = (self.times >= start) & (self.times <= end)
+        new_times = [start] if not inside.any() or self.times[inside][0] > start + _TIME_EPS else []
+        new_times = np.concatenate(
+            [
+                np.asarray(new_times, dtype=np.float64),
+                self.times[inside],
+            ]
+        )
+        if new_times.size == 0 or new_times[-1] < end - _TIME_EPS:
+            new_times = np.append(new_times, end)
+        new_times = np.unique(new_times)
+        new_costs = self.evaluate(new_times)
+        new_via = self.via[
+            np.clip(np.searchsorted(self.times, new_times, side="right") - 1, 0, self.size - 1)
+        ]
+        return PiecewiseLinearFunction(new_times, np.asarray(new_costs), new_via, validate=False)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+    def allclose(
+        self,
+        other: "PiecewiseLinearFunction",
+        tolerance: float = 1e-6,
+        samples: int = 0,
+    ) -> bool:
+        """Return ``True`` if ``self`` and ``other`` agree everywhere.
+
+        Both functions are evaluated on the union of their breakpoints (which is
+        sufficient for exact piecewise-linear comparison) plus ``samples``
+        additional evenly spaced probe times.
+        """
+        return self.max_difference(other, samples=samples) <= tolerance
+
+    def max_difference(
+        self, other: "PiecewiseLinearFunction", samples: int = 0
+    ) -> float:
+        """Return ``max_t |self(t) - other(t)|`` over the union of breakpoints."""
+        grid = np.union1d(self.times, other.times)
+        if samples > 0:
+            lo = min(grid[0], 0.0)
+            hi = max(grid[-1], lo + 1.0)
+            grid = np.union1d(grid, np.linspace(lo, hi, samples))
+        return float(np.max(np.abs(self.evaluate(grid) - other.evaluate(grid))))
+
+    def definite_integral(self, start: float, end: float) -> float:
+        """Integrate the function over ``[start, end]`` (trapezoidal, exact)."""
+        if end < start:
+            raise InvalidFunctionError("integration window is reversed")
+        grid = np.union1d(self.times, np.array([start, end]))
+        grid = grid[(grid >= start) & (grid <= end)]
+        values = self.evaluate(grid)
+        return float(np.trapezoid(values, grid))
+
+
+def _validate_arrays(times: np.ndarray, costs: np.ndarray, via: np.ndarray) -> None:
+    """Validate breakpoint arrays; raise :class:`InvalidFunctionError` on error."""
+    if times.ndim != 1 or costs.ndim != 1 or via.ndim != 1:
+        raise InvalidFunctionError("breakpoint arrays must be one-dimensional")
+    if times.shape[0] == 0:
+        raise InvalidFunctionError("a PLF needs at least one interpolation point")
+    if times.shape != costs.shape or times.shape != via.shape:
+        raise InvalidFunctionError(
+            f"array length mismatch: times={times.shape}, costs={costs.shape}, via={via.shape}"
+        )
+    if not np.all(np.isfinite(times)) or not np.all(np.isfinite(costs)):
+        raise InvalidFunctionError("breakpoints must be finite numbers")
+    if np.any(np.diff(times) <= 0):
+        raise InvalidFunctionError("breakpoint times must be strictly increasing")
+    if np.any(costs < 0):
+        raise InvalidFunctionError("travel costs must be non-negative")

@@ -1,0 +1,102 @@
+"""Helpers for working with whole-day travel-cost profiles.
+
+The paper's evaluation distinguishes two query types:
+
+* the *travel cost query* — a scalar: the minimum travel cost when departing at
+  one specific time ``t``; and
+* the *shortest travel cost function query* — the whole profile
+  :math:`f_{s,d}(t)` over the time horizon.
+
+This module contains the small pieces of profile arithmetic that sit on top of
+:mod:`repro.functions.piecewise` but below the index/algorithms layer:
+building daily profiles, computing bounds, and sampling profiles for
+comparisons in tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions.compound import minimum_of
+from repro.functions.piecewise import PiecewiseLinearFunction
+
+__all__ = [
+    "DAY_SECONDS",
+    "lower_bound",
+    "upper_bound",
+    "sample_profile",
+    "merge_profiles",
+    "average_cost",
+    "relative_error",
+]
+
+#: The paper sets the time domain to one day (86 400 seconds).
+DAY_SECONDS: float = 86_400.0
+
+
+def lower_bound(func: PiecewiseLinearFunction) -> float:
+    """Tightest constant lower bound of a profile (used by A* heuristics)."""
+    return func.min_cost
+
+
+def upper_bound(func: PiecewiseLinearFunction) -> float:
+    """Tightest constant upper bound of a profile (used for pruning)."""
+    return func.max_cost
+
+
+def sample_profile(
+    func: PiecewiseLinearFunction,
+    start: float = 0.0,
+    end: float = DAY_SECONDS,
+    samples: int = 97,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a profile on an evenly spaced grid.
+
+    Returns the grid and the sampled costs; useful for plotting and for the
+    statistical comparisons in EXPERIMENTS.md.
+    """
+    if samples < 2:
+        raise InvalidFunctionError("sampling requires at least two points")
+    grid = np.linspace(start, end, samples)
+    return grid, np.asarray(func.evaluate(grid), dtype=np.float64)
+
+
+def merge_profiles(
+    profiles: Iterable[PiecewiseLinearFunction],
+) -> PiecewiseLinearFunction:
+    """Lower envelope of several alternative route profiles."""
+    return minimum_of(profiles)
+
+
+def average_cost(
+    func: PiecewiseLinearFunction,
+    start: float = 0.0,
+    end: float = DAY_SECONDS,
+) -> float:
+    """Mean travel cost of a profile over ``[start, end]``."""
+    if end <= start:
+        raise InvalidFunctionError("averaging window must have positive length")
+    return func.definite_integral(start, end) / (end - start)
+
+
+def relative_error(
+    candidate: PiecewiseLinearFunction,
+    reference: PiecewiseLinearFunction,
+    samples: int = 193,
+    start: float = 0.0,
+    end: float = DAY_SECONDS,
+) -> float:
+    """Maximum relative error of ``candidate`` against ``reference``.
+
+    Used by the test-suite to check that approximate (point-capped) indexes
+    stay within their configured error budget of the exact TD-Dijkstra
+    profile.
+    """
+    grid = np.linspace(start, end, samples)
+    cand = np.asarray(candidate.evaluate(grid))
+    ref = np.asarray(reference.evaluate(grid))
+    denom = np.maximum(ref, 1e-9)
+    return float(np.max(np.abs(cand - ref) / denom))

@@ -1,0 +1,143 @@
+"""Breakpoint reduction for piecewise-linear travel-cost functions.
+
+Repeated application of ``compound`` and ``minimum`` makes the number of
+interpolation points of intermediate functions grow.  Practical time-dependent
+indexes (including the implementations the paper compares against) therefore
+bound the number of points per function.  This module provides two reductions:
+
+* :func:`remove_collinear` — lossless: drops points that lie (within a
+  tolerance) on the segment spanned by their neighbours.
+* :func:`simplify` — lossy but error-bounded: Visvalingam-style greedy removal
+  of the point whose removal introduces the least vertical error, until the
+  function fits in ``max_points`` points or no removal stays within
+  ``tolerance``.
+
+Both preserve the first and last breakpoints, never increase the pointwise
+error beyond the requested tolerance, and keep the per-segment ``via``
+provenance of the retained breakpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.piecewise import PiecewiseLinearFunction
+
+__all__ = ["remove_collinear", "simplify", "count_points"]
+
+
+def remove_collinear(
+    func: PiecewiseLinearFunction, tolerance: float = 1e-9
+) -> PiecewiseLinearFunction:
+    """Drop interior breakpoints that are collinear with their neighbours.
+
+    A point is dropped when its vertical distance to the straight segment
+    joining its two neighbours is at most ``tolerance``.  This is a lossless
+    simplification for ``tolerance == 0`` (up to floating point round-off).
+    """
+    if func.size <= 2:
+        return func
+    times, costs, via = func.times, func.costs, func.via
+    keep = np.ones(func.size, dtype=bool)
+    # Vectorised collinearity test for all interior points at once.
+    t_prev, t_mid, t_next = times[:-2], times[1:-1], times[2:]
+    c_prev, c_mid, c_next = costs[:-2], costs[1:-1], costs[2:]
+    span = t_next - t_prev
+    interp = c_prev + (t_mid - t_prev) * (c_next - c_prev) / span
+    collinear = np.abs(interp - c_mid) <= tolerance
+    # Dropping consecutive collinear points simultaneously can move the
+    # reference neighbours; resolve this with a sequential pass over the
+    # candidates only (cheap because candidates are usually few).
+    candidate_idx = np.nonzero(collinear)[0] + 1
+    if candidate_idx.size == 0:
+        return func
+    candidates = set(candidate_idx.tolist())
+    last_kept = 0
+    for idx in range(1, func.size - 1):
+        if idx not in candidates:
+            last_kept = idx
+            continue
+        nxt = idx + 1
+        span = times[nxt] - times[last_kept]
+        interp = costs[last_kept] + (times[idx] - times[last_kept]) * (
+            costs[nxt] - costs[last_kept]
+        ) / span
+        if abs(interp - costs[idx]) <= tolerance:
+            keep[idx] = False
+        else:
+            last_kept = idx
+    if keep.all():
+        return func
+    return PiecewiseLinearFunction(times[keep], costs[keep], via[keep], validate=False)
+
+
+def simplify(
+    func: PiecewiseLinearFunction,
+    max_points: int | None = None,
+    tolerance: float = 0.0,
+) -> PiecewiseLinearFunction:
+    """Reduce the number of breakpoints of ``func``.
+
+    Parameters
+    ----------
+    func:
+        The function to simplify.
+    max_points:
+        Upper bound on the number of interpolation points of the result.  When
+        ``None`` only the lossless collinear removal (plus the ``tolerance``
+        slack) is applied.
+    tolerance:
+        Maximum vertical error allowed for a single point removal during the
+        collinear pass.  The greedy cap phase (when ``max_points`` forces
+        further removals) ignores the tolerance: it always removes the point
+        with the smallest induced error, so the result is the best effort under
+        the hard cap.
+
+    Returns
+    -------
+    PiecewiseLinearFunction
+        A function with at most ``max_points`` breakpoints (when given) that
+        deviates from ``func`` as little as the greedy strategy allows.
+    """
+    if max_points is not None and func.size <= max_points:
+        # Already under the cap: skip the collinear scan entirely.  Capped
+        # functions are produced in hot loops (index construction, profile
+        # queries), where this fast path matters.
+        return func
+    reduced = remove_collinear(func, tolerance=max(tolerance, 1e-9))
+    if max_points is None or reduced.size <= max_points:
+        return reduced
+    if max_points < 2:
+        # Degenerate cap: collapse to the mean cost as a constant function.
+        mean_cost = float(reduced.definite_integral(*reduced.domain)) / max(
+            reduced.domain[1] - reduced.domain[0], 1e-12
+        )
+        return PiecewiseLinearFunction.constant(max(mean_cost, 0.0), via=int(reduced.via[0]))
+
+    times = reduced.times.copy()
+    costs = reduced.costs.copy()
+    via = reduced.via.copy()
+    # Greedy Visvalingam-style removal: repeatedly drop the interior point with
+    # the smallest vertical deviation from the segment spanned by its current
+    # neighbours.  Quadratic in the number of removals, which is fine because
+    # index construction caps sizes at a few dozen points.
+    while times.size > max_points:
+        t_prev, t_mid, t_next = times[:-2], times[1:-1], times[2:]
+        c_prev, c_mid, c_next = costs[:-2], costs[1:-1], costs[2:]
+        interp = c_prev + (t_mid - t_prev) * (c_next - c_prev) / (t_next - t_prev)
+        errors = np.abs(interp - c_mid)
+        drop = int(np.argmin(errors)) + 1
+        times = np.delete(times, drop)
+        costs = np.delete(costs, drop)
+        via = np.delete(via, drop)
+    return PiecewiseLinearFunction(times, np.maximum(costs, 0.0), via, validate=False)
+
+
+def count_points(functions) -> int:
+    """Total number of interpolation points across an iterable of functions.
+
+    This is the quantity the paper's selection constraint ``N`` counts
+    (Definition 7/8): each selected shortcut pair contributes
+    ``|I_<i,j>| + |I_<j,i>|`` points.
+    """
+    return sum(f.size for f in functions)

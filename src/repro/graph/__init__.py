@@ -1,0 +1,53 @@
+"""Time-dependent road-network substrate.
+
+Contains the :class:`TDGraph` data structure plus everything needed to obtain
+one: synthetic road-network generators, synthetic congestion-profile
+generators, file I/O and validation.
+"""
+
+from repro.graph.builders import (
+    from_networkx,
+    from_static_edge_list,
+    from_td_edge_list,
+    paper_example_graph,
+    to_networkx,
+)
+from repro.graph.generators import (
+    ensure_connected,
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+)
+from repro.graph.io import (
+    load_graph_dimacs,
+    load_graph_json,
+    save_graph_dimacs,
+    save_graph_json,
+)
+from repro.graph.td_graph import TDGraph
+from repro.graph.validation import ValidationReport, is_strongly_connected, validate_graph
+from repro.graph.weights import WeightGenerator, constant_weight, daily_profile, enforce_fifo
+
+__all__ = [
+    "TDGraph",
+    "WeightGenerator",
+    "constant_weight",
+    "daily_profile",
+    "enforce_fifo",
+    "grid_network",
+    "ring_radial_network",
+    "random_geometric_network",
+    "ensure_connected",
+    "from_static_edge_list",
+    "from_td_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "paper_example_graph",
+    "save_graph_json",
+    "load_graph_json",
+    "save_graph_dimacs",
+    "load_graph_dimacs",
+    "validate_graph",
+    "ValidationReport",
+    "is_strongly_connected",
+]

@@ -1,0 +1,160 @@
+"""Convenience constructors for :class:`~repro.graph.TDGraph`.
+
+These builders cover the common ways users hold road-network data before
+adopting this library: flat edge lists with static costs, edge lists with
+explicit interpolation points, and :mod:`networkx` graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import GraphError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.graph.td_graph import TDGraph
+from repro.graph.weights import WeightGenerator
+
+__all__ = [
+    "from_static_edge_list",
+    "from_td_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "paper_example_graph",
+]
+
+
+def from_static_edge_list(
+    edges: Iterable[tuple[int, int, float]],
+    *,
+    bidirectional: bool = True,
+    num_points: int = 1,
+    seed: int = 0,
+    coordinates: Mapping[int, tuple[float, float]] | None = None,
+) -> TDGraph:
+    """Build a time-dependent graph from static ``(u, v, cost)`` triples.
+
+    When ``num_points`` is 1 the costs stay constant; otherwise each edge gets a
+    synthetic daily congestion profile whose free-flow cost equals the static
+    cost (so the static graph is the lower envelope of the generated one).
+    """
+    generator = WeightGenerator(num_points, seed=seed) if num_points > 1 else None
+    graph = TDGraph()
+    for u, v, cost in edges:
+        if cost < 0:
+            raise GraphError(f"edge ({u}, {v}) has a negative static cost")
+        if generator is None:
+            weight: PiecewiseLinearFunction = PiecewiseLinearFunction.constant(cost)
+            reverse = weight
+        else:
+            weight = generator.profile_for(cost)
+            reverse = generator.profile_for(cost)
+        if bidirectional:
+            graph.add_bidirectional_edge(u, v, weight, reverse)
+        else:
+            graph.add_edge(u, v, weight)
+    if coordinates:
+        for vertex, coord in coordinates.items():
+            graph.add_vertex(vertex, coord)
+    return graph
+
+
+def from_td_edge_list(
+    edges: Iterable[tuple[int, int, Sequence[tuple[float, float]]]],
+    *,
+    bidirectional: bool = False,
+    coordinates: Mapping[int, tuple[float, float]] | None = None,
+) -> TDGraph:
+    """Build a graph from ``(u, v, [(t, c), ...])`` triples."""
+    graph = TDGraph()
+    for u, v, points in edges:
+        weight = PiecewiseLinearFunction.from_points(points)
+        if bidirectional:
+            graph.add_bidirectional_edge(u, v, weight)
+        else:
+            graph.add_edge(u, v, weight)
+    if coordinates:
+        for vertex, coord in coordinates.items():
+            graph.add_vertex(vertex, coord)
+    return graph
+
+
+def from_networkx(nx_graph, weight_attribute: str = "weight") -> TDGraph:
+    """Convert a networkx (Di)Graph into a :class:`TDGraph`.
+
+    Edge attributes may be either :class:`PiecewiseLinearFunction` instances,
+    lists of ``(t, c)`` pairs, or plain numbers (interpreted as constant
+    costs).  Node attribute ``pos`` is carried over as the coordinate.
+    """
+    graph = TDGraph()
+    for node, data in nx_graph.nodes(data=True):
+        position = data.get("pos")
+        graph.add_vertex(int(node), tuple(position) if position is not None else None)
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        raw = data.get(weight_attribute, 1.0)
+        weight = _coerce_weight(raw)
+        if directed:
+            graph.add_edge(int(u), int(v), weight)
+        else:
+            graph.add_bidirectional_edge(int(u), int(v), weight)
+    return graph
+
+
+def to_networkx(graph: TDGraph):
+    """Convert to a :class:`networkx.DiGraph` (weights become PLF attributes)."""
+    import networkx as nx  # local import: optional dependency in practice
+
+    nx_graph = nx.DiGraph()
+    for vertex in graph.vertices():
+        coordinate = graph.coordinate(vertex)
+        if coordinate is not None:
+            nx_graph.add_node(vertex, pos=coordinate)
+        else:
+            nx_graph.add_node(vertex)
+    for u, v, weight in graph.edges():
+        nx_graph.add_edge(u, v, weight=weight, free_flow=weight.min_cost)
+    return nx_graph
+
+
+def _coerce_weight(raw) -> PiecewiseLinearFunction:
+    if isinstance(raw, PiecewiseLinearFunction):
+        return raw
+    if isinstance(raw, (int, float)):
+        return PiecewiseLinearFunction.constant(float(raw))
+    return PiecewiseLinearFunction.from_points(raw)
+
+
+def paper_example_graph() -> TDGraph:
+    """The 15-vertex running example of the paper (Fig. 1a).
+
+    Edge weights for ``e_{1,2}``, ``e_{2,9}``, ``e_{1,4}`` and ``e_{4,9}`` follow
+    Fig. 1b exactly (times in minutes); the remaining edges carry simple
+    synthetic profiles.  Vertices are numbered 1..15 like in the paper.
+    The graph is undirected in the paper's sense: ``w_{u,v}(t) = w_{v,u}(t)``.
+    """
+    figure_weights = {
+        (1, 2): [(0, 10), (20, 10), (60, 15)],
+        (2, 9): [(0, 5), (30, 10), (60, 15)],
+        (1, 4): [(0, 5), (30, 15), (60, 25)],
+        (4, 9): [(0, 5), (60, 15)],
+    }
+    # Topology of Fig. 1a (17 undirected edges over 15 vertices).
+    topology = [
+        (1, 2), (1, 3), (1, 4), (2, 3), (2, 9), (3, 5), (4, 5), (4, 9),
+        (4, 10), (5, 10), (3, 6), (6, 7), (6, 8), (2, 8), (10, 12), (10, 13),
+        (1, 11), (11, 15), (5, 14),
+    ]
+    graph = TDGraph()
+    default_points = {
+        0: [(0, 8), (30, 12), (60, 9)],
+        1: [(0, 6), (25, 9), (60, 7)],
+        2: [(0, 12), (20, 16), (60, 11)],
+        3: [(0, 7), (40, 10), (60, 8)],
+    }
+    for index, (u, v) in enumerate(topology):
+        points = figure_weights.get((u, v)) or figure_weights.get((v, u))
+        if points is None:
+            points = default_points[index % len(default_points)]
+        weight = PiecewiseLinearFunction.from_points(points)
+        graph.add_bidirectional_edge(u, v, weight)
+    return graph

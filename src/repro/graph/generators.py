@@ -1,0 +1,285 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on five real DIMACS road networks (California, San
+Francisco, Colorado, Florida, Western USA).  Those graphs have millions of
+edges and are not shipped here; instead this module generates planar,
+road-like networks with the structural properties that matter for the
+algorithms under study:
+
+* low, slowly growing treewidth (grids, ring-radial "spider webs" and Delaunay
+  triangulations of random points all have this property),
+* average degree between 2 and 4 like real road graphs,
+* 2-D coordinates (needed by the TD-G-tree spatial partitioning baseline and
+  by the A* heuristic),
+* bidirectional edges with daily time-dependent congestion profiles.
+
+Every generator is deterministic given its ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.td_graph import TDGraph
+from repro.graph.weights import WeightGenerator
+
+__all__ = [
+    "grid_network",
+    "ring_radial_network",
+    "random_geometric_network",
+    "ensure_connected",
+]
+
+#: Travel speed used to convert Euclidean edge length to free-flow seconds.
+_FREE_FLOW_SPEED = 13.9  # metres per second (~50 km/h)
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    *,
+    num_points: int = 3,
+    seed: int = 0,
+    cell_size: float = 500.0,
+    diagonal_probability: float = 0.1,
+    removal_probability: float = 0.05,
+) -> TDGraph:
+    """Generate a Manhattan-style grid road network.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the graph has ``rows * cols`` vertices.
+    num_points:
+        Interpolation points per edge profile (the paper's ``c``).
+    seed:
+        Seed controlling profiles, diagonals and road removals.
+    cell_size:
+        Edge length of a grid cell in metres.
+    diagonal_probability:
+        Probability of adding a diagonal road inside a cell (adds realism and
+        slightly raises the treewidth).
+    removal_probability:
+        Probability of removing a non-bridge grid road (dead ends, one-ways
+        collapsed), keeping the network connected.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError("grid_network requires at least a 2x2 grid")
+    rng = np.random.default_rng(seed)
+    weights = WeightGenerator(num_points, seed=seed + 1)
+    graph = TDGraph()
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex(vid(r, c), (c * cell_size, r * cell_size))
+
+    candidate_edges: list[tuple[int, int, float]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                candidate_edges.append((vid(r, c), vid(r, c + 1), cell_size))
+            if r + 1 < rows:
+                candidate_edges.append((vid(r, c), vid(r + 1, c), cell_size))
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_probability
+            ):
+                candidate_edges.append(
+                    (vid(r, c), vid(r + 1, c + 1), cell_size * math.sqrt(2.0))
+                )
+
+    keep_mask = rng.random(len(candidate_edges)) >= removal_probability
+    for keep, (u, v, length) in zip(keep_mask, candidate_edges):
+        if not keep:
+            continue
+        base_cost = length / _FREE_FLOW_SPEED
+        graph.add_bidirectional_edge(
+            u, v, weights.profile_for(base_cost), weights.profile_for(base_cost)
+        )
+    ensure_connected(graph, weights)
+    return graph
+
+
+def ring_radial_network(
+    rings: int,
+    spokes: int,
+    *,
+    num_points: int = 3,
+    seed: int = 0,
+    ring_spacing: float = 800.0,
+) -> TDGraph:
+    """Generate a ring-and-radial ("spider web") road network.
+
+    This topology mimics cities with a dense centre and arterial roads: ``rings``
+    concentric rings each containing ``spokes`` vertices, connected along the
+    rings and radially, plus a central vertex.
+    """
+    if rings < 1 or spokes < 3:
+        raise GraphError("ring_radial_network requires rings >= 1 and spokes >= 3")
+    weights = WeightGenerator(num_points, seed=seed + 1)
+    graph = TDGraph()
+
+    centre = 0
+    graph.add_vertex(centre, (0.0, 0.0))
+
+    def vid(ring: int, spoke: int) -> int:
+        return 1 + ring * spokes + (spoke % spokes)
+
+    for ring in range(rings):
+        radius = (ring + 1) * ring_spacing
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            graph.add_vertex(
+                vid(ring, spoke), (radius * math.cos(angle), radius * math.sin(angle))
+            )
+
+    def add_road(u: int, v: int) -> None:
+        (x1, y1), (x2, y2) = graph.coordinate(u), graph.coordinate(v)
+        length = math.hypot(x1 - x2, y1 - y2)
+        base_cost = max(length, 1.0) / _FREE_FLOW_SPEED
+        graph.add_bidirectional_edge(
+            u, v, weights.profile_for(base_cost), weights.profile_for(base_cost)
+        )
+
+    for spoke in range(spokes):
+        add_road(centre, vid(0, spoke))
+        for ring in range(rings):
+            add_road(vid(ring, spoke), vid(ring, spoke + 1))
+            if ring + 1 < rings:
+                add_road(vid(ring, spoke), vid(ring + 1, spoke))
+    return graph
+
+
+def random_geometric_network(
+    num_vertices: int,
+    *,
+    num_points: int = 3,
+    seed: int = 0,
+    area_size: float = 20_000.0,
+    edge_keep_probability: float = 0.55,
+) -> TDGraph:
+    """Generate a planar road network from a Delaunay triangulation.
+
+    Random points are scattered over a square area, triangulated (scipy's
+    Delaunay), and a random subset of the triangulation edges is kept so the
+    average degree lands in the road-network range (~2.5–4).  Connectivity is
+    then restored by re-adding the cheapest dropped edges between components.
+    """
+    if num_vertices < 4:
+        raise GraphError("random_geometric_network requires at least 4 vertices")
+    from scipy.spatial import Delaunay  # local import: scipy is heavyweight
+
+    rng = np.random.default_rng(seed)
+    weights = WeightGenerator(num_points, seed=seed + 1)
+    points = rng.uniform(0.0, area_size, size=(num_vertices, 2))
+    triangulation = Delaunay(points)
+
+    graph = TDGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, (float(points[vertex, 0]), float(points[vertex, 1])))
+
+    edge_set: set[tuple[int, int]] = set()
+    for simplex in triangulation.simplices:
+        for i in range(3):
+            u, v = int(simplex[i]), int(simplex[(i + 1) % 3])
+            edge_set.add((min(u, v), max(u, v)))
+
+    dropped: list[tuple[int, int]] = []
+    for u, v in sorted(edge_set):
+        if rng.random() > edge_keep_probability:
+            dropped.append((u, v))
+            continue
+        length = float(np.linalg.norm(points[u] - points[v]))
+        base_cost = max(length, 1.0) / _FREE_FLOW_SPEED
+        graph.add_bidirectional_edge(
+            u, v, weights.profile_for(base_cost), weights.profile_for(base_cost)
+        )
+
+    # Restore connectivity with the dropped Delaunay edges (they are planar, so
+    # re-adding them keeps the network road-like).
+    components = _connected_components(graph)
+    while len(components) > 1:
+        comp_of = {}
+        for idx, comp in enumerate(components):
+            for vertex in comp:
+                comp_of[vertex] = idx
+        added = False
+        for u, v in dropped:
+            if comp_of[u] != comp_of[v]:
+                length = float(np.linalg.norm(points[u] - points[v]))
+                base_cost = max(length, 1.0) / _FREE_FLOW_SPEED
+                graph.add_bidirectional_edge(
+                    u, v, weights.profile_for(base_cost), weights.profile_for(base_cost)
+                )
+                added = True
+                break
+        if not added:  # pragma: no cover - Delaunay graphs are connected
+            ensure_connected(graph, weights)
+            break
+        components = _connected_components(graph)
+    return graph
+
+
+def ensure_connected(graph: TDGraph, weights: WeightGenerator) -> None:
+    """Connect all components of ``graph`` by adding short bridging roads.
+
+    Components are linked through their (coordinate-wise) closest vertex pair;
+    vertices without coordinates are linked arbitrarily.  The operation is a
+    no-op for connected graphs.
+    """
+    components = _connected_components(graph)
+    while len(components) > 1:
+        base = components[0]
+        other = components[1]
+        u, v, length = _closest_pair(graph, base, other)
+        base_cost = max(length, 1.0) / _FREE_FLOW_SPEED
+        graph.add_bidirectional_edge(
+            u, v, weights.profile_for(base_cost), weights.profile_for(base_cost)
+        )
+        components = _connected_components(graph)
+
+
+def _connected_components(graph: TDGraph) -> list[list[int]]:
+    """Connected components of the undirected skeleton (BFS)."""
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        component = []
+        while queue:
+            vertex = queue.pop()
+            component.append(vertex)
+            for neighbor in graph.neighbors(vertex):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def _closest_pair(
+    graph: TDGraph, first: list[int], second: list[int]
+) -> tuple[int, int, float]:
+    """Closest vertex pair between two components (Euclidean, if coordinates exist)."""
+    best: tuple[int, int, float] | None = None
+    for u in first:
+        cu = graph.coordinate(u)
+        for v in second:
+            cv = graph.coordinate(v)
+            if cu is None or cv is None:
+                return first[0], second[0], 1000.0
+            dist = math.hypot(cu[0] - cv[0], cu[1] - cv[1])
+            if best is None or dist < best[2]:
+                best = (u, v, dist)
+    assert best is not None
+    return best

@@ -1,0 +1,125 @@
+"""Serialisation of time-dependent graphs.
+
+Two formats are supported:
+
+* **JSON** — self-describing, versioned; the default for examples and tests.
+* **TD-DIMACS text** — a line-based format modelled on the DIMACS shortest-path
+  challenge files the paper's datasets come from, extended with interpolation
+  points: ``a <u> <v> <k> <t1> <c1> ... <tk> <ck>``.  This keeps the repository
+  interoperable with tooling that consumes the original benchmark files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.graph.td_graph import TDGraph
+
+__all__ = [
+    "save_graph_json",
+    "load_graph_json",
+    "save_graph_dimacs",
+    "load_graph_dimacs",
+]
+
+_JSON_FORMAT_VERSION = 1
+
+
+def save_graph_json(graph: TDGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in the library's JSON format."""
+    payload = {
+        "format": "repro-td-graph",
+        "version": _JSON_FORMAT_VERSION,
+        "vertices": [
+            {"id": v, "coordinate": graph.coordinate(v)} for v in sorted(graph.vertices())
+        ],
+        "edges": [
+            {
+                "source": u,
+                "target": v,
+                "points": [[float(t), float(c)] for t, c in weight.points()],
+            }
+            for u, v, weight in sorted(graph.edges(), key=lambda e: (e[0], e[1]))
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_graph_json(path: str | Path) -> TDGraph:
+    """Load a graph written by :func:`save_graph_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read graph JSON from {path}: {exc}") from exc
+    if payload.get("format") != "repro-td-graph":
+        raise SerializationError(f"{path} is not a repro time-dependent graph file")
+    if payload.get("version") != _JSON_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported graph file version {payload.get('version')!r}"
+        )
+    graph = TDGraph()
+    for vertex in payload.get("vertices", []):
+        coordinate = vertex.get("coordinate")
+        graph.add_vertex(
+            int(vertex["id"]),
+            tuple(coordinate) if coordinate is not None else None,
+        )
+    for edge in payload.get("edges", []):
+        weight = PiecewiseLinearFunction.from_points(
+            [(float(t), float(c)) for t, c in edge["points"]]
+        )
+        graph.add_edge(int(edge["source"]), int(edge["target"]), weight)
+    return graph
+
+
+def save_graph_dimacs(graph: TDGraph, path: str | Path, comment: str = "") -> None:
+    """Write ``graph`` in the extended TD-DIMACS text format."""
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p sp {graph.num_vertices} {graph.num_edges}")
+    for vertex in sorted(graph.vertices()):
+        coordinate = graph.coordinate(vertex)
+        if coordinate is not None:
+            lines.append(f"v {vertex} {coordinate[0]:.3f} {coordinate[1]:.3f}")
+    for u, v, weight in sorted(graph.edges(), key=lambda e: (e[0], e[1])):
+        points = " ".join(f"{t:.3f} {c:.6f}" for t, c in weight.points())
+        lines.append(f"a {u} {v} {weight.size} {points}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_graph_dimacs(path: str | Path) -> TDGraph:
+    """Load a graph written by :func:`save_graph_dimacs`."""
+    graph = TDGraph()
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"cannot read graph from {path}: {exc}") from exc
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("c") or line.startswith("p"):
+            continue
+        fields = line.split()
+        try:
+            if fields[0] == "v":
+                graph.add_vertex(int(fields[1]), (float(fields[2]), float(fields[3])))
+            elif fields[0] == "a":
+                u, v, count = int(fields[1]), int(fields[2]), int(fields[3])
+                raw = [float(x) for x in fields[4 : 4 + 2 * count]]
+                if len(raw) != 2 * count:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected {count} interpolation points"
+                    )
+                points = list(zip(raw[0::2], raw[1::2]))
+                graph.add_edge(u, v, PiecewiseLinearFunction.from_points(points))
+            else:
+                raise SerializationError(
+                    f"{path}:{line_number}: unknown record type {fields[0]!r}"
+                )
+        except (ValueError, IndexError) as exc:
+            raise SerializationError(f"{path}:{line_number}: malformed line") from exc
+    return graph

@@ -1,0 +1,255 @@
+"""The time-dependent directed graph (Definition 1).
+
+A :class:`TDGraph` is a directed graph whose every edge ``(u, v)`` carries a
+piecewise-linear travel-cost function ``w_{u,v}(t)``.  Vertices are
+non-negative integers (which is what lets the provenance metadata inside
+:class:`~repro.functions.PiecewiseLinearFunction` reference them compactly);
+optional 2-D coordinates can be attached for generators, partition-based
+baselines and visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+)
+from repro.functions.piecewise import PiecewiseLinearFunction
+
+__all__ = ["TDGraph"]
+
+
+class TDGraph:
+    """A directed graph with time-dependent (PLF) edge weights.
+
+    The class intentionally exposes a small, dictionary-backed API rather than
+    wrapping :mod:`networkx`: the index-construction algorithms mutate working
+    copies heavily (vertex elimination) and profit from the direct adjacency
+    access.
+
+    Examples
+    --------
+    >>> from repro import TDGraph, PiecewiseLinearFunction
+    >>> g = TDGraph()
+    >>> f = PiecewiseLinearFunction.from_points([(0, 10), (20, 10), (60, 15)])
+    >>> g.add_bidirectional_edge(1, 2, f)
+    >>> g.weight(1, 2)(0.0)
+    10.0
+    """
+
+    __slots__ = ("_out", "_in", "_coordinates")
+
+    def __init__(self) -> None:
+        # vertex -> {neighbor -> PiecewiseLinearFunction}
+        self._out: dict[int, dict[int, PiecewiseLinearFunction]] = {}
+        self._in: dict[int, dict[int, PiecewiseLinearFunction]] = {}
+        self._coordinates: dict[int, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int, coordinate: tuple[float, float] | None = None) -> None:
+        """Add a vertex (idempotent).  Vertices must be non-negative integers."""
+        _check_vertex_id(vertex)
+        if vertex not in self._out:
+            self._out[vertex] = {}
+            self._in[vertex] = {}
+        if coordinate is not None:
+            self._coordinates[vertex] = (float(coordinate[0]), float(coordinate[1]))
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Return whether ``vertex`` is in the graph."""
+        return vertex in self._out
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Remove ``vertex`` and every incident edge."""
+        if vertex not in self._out:
+            raise VertexNotFoundError(vertex)
+        for succ in list(self._out[vertex]):
+            del self._in[succ][vertex]
+        for pred in list(self._in[vertex]):
+            del self._out[pred][vertex]
+        del self._out[vertex]
+        del self._in[vertex]
+        self._coordinates.pop(vertex, None)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over the vertex identifiers."""
+        return iter(self._out)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n = |V|``."""
+        return len(self._out)
+
+    def coordinate(self, vertex: int) -> tuple[float, float] | None:
+        """Return the vertex coordinate, or ``None`` if not set."""
+        return self._coordinates.get(vertex)
+
+    def coordinates(self) -> dict[int, tuple[float, float]]:
+        """Return a copy of the coordinate table."""
+        return dict(self._coordinates)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(
+        self, source: int, target: int, weight: PiecewiseLinearFunction
+    ) -> None:
+        """Add (or replace) the directed edge ``source -> target``."""
+        if source == target:
+            raise GraphError(f"self-loop on vertex {source} is not allowed")
+        if not isinstance(weight, PiecewiseLinearFunction):
+            raise GraphError("edge weights must be PiecewiseLinearFunction instances")
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._out[source][target] = weight
+        self._in[target][source] = weight
+
+    def add_bidirectional_edge(
+        self,
+        u: int,
+        v: int,
+        weight: PiecewiseLinearFunction,
+        reverse_weight: PiecewiseLinearFunction | None = None,
+    ) -> None:
+        """Add both ``u -> v`` and ``v -> u``.
+
+        When ``reverse_weight`` is omitted, the same function is used in both
+        directions (the setting of the paper's running example, where
+        ``w_{u,v}(t) = w_{v,u}(t)``).
+        """
+        self.add_edge(u, v, weight)
+        self.add_edge(v, u, reverse_weight if reverse_weight is not None else weight)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return whether the directed edge ``source -> target`` exists."""
+        return source in self._out and target in self._out[source]
+
+    def weight(self, source: int, target: int) -> PiecewiseLinearFunction:
+        """Return the weight function of ``source -> target``."""
+        try:
+            return self._out[source][target]
+        except KeyError:
+            if source not in self._out:
+                raise VertexNotFoundError(source) from None
+            raise EdgeNotFoundError(source, target) from None
+
+    def set_weight(
+        self, source: int, target: int, weight: PiecewiseLinearFunction
+    ) -> None:
+        """Replace the weight of an existing edge (used by index updates)."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        self._out[source][target] = weight
+        self._in[target][source] = weight
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove the directed edge ``source -> target``."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        del self._out[source][target]
+        del self._in[target][source]
+
+    def edges(self) -> Iterator[tuple[int, int, PiecewiseLinearFunction]]:
+        """Iterate over ``(source, target, weight)`` triples."""
+        for source, succ in self._out.items():
+            for target, weight in succ.items():
+                yield source, target, weight
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m = |E|``."""
+        return sum(len(succ) for succ in self._out.values())
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods
+    # ------------------------------------------------------------------
+    def out_neighbors(self, vertex: int) -> Iterator[int]:
+        """Successors of ``vertex``."""
+        try:
+            return iter(self._out[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_neighbors(self, vertex: int) -> Iterator[int]:
+        """Predecessors of ``vertex``."""
+        try:
+            return iter(self._in[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_items(self, vertex: int) -> Iterable[tuple[int, PiecewiseLinearFunction]]:
+        """``(successor, weight)`` pairs of ``vertex``."""
+        try:
+            return self._out[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_items(self, vertex: int) -> Iterable[tuple[int, PiecewiseLinearFunction]]:
+        """``(predecessor, weight)`` pairs of ``vertex``."""
+        try:
+            return self._in[vertex].items()
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """Undirected neighbourhood ``N(v)``: union of successors and predecessors."""
+        if vertex not in self._out:
+            raise VertexNotFoundError(vertex)
+        return set(self._out[vertex]) | set(self._in[vertex])
+
+    def degree(self, vertex: int) -> int:
+        """Undirected degree of ``vertex`` (size of :meth:`neighbors`)."""
+        return len(self.neighbors(vertex))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def copy(self) -> "TDGraph":
+        """Return a shallow copy (weight functions are shared, structure is not)."""
+        clone = TDGraph()
+        for vertex in self._out:
+            clone._out[vertex] = dict(self._out[vertex])
+            clone._in[vertex] = dict(self._in[vertex])
+        clone._coordinates = dict(self._coordinates)
+        return clone
+
+    def subgraph(self, vertices: Iterable[int]) -> "TDGraph":
+        """Return the subgraph induced by ``vertices``."""
+        selected = set(vertices)
+        missing = [v for v in selected if v not in self._out]
+        if missing:
+            raise VertexNotFoundError(missing[0])
+        sub = TDGraph()
+        for vertex in selected:
+            sub.add_vertex(vertex, self._coordinates.get(vertex))
+        for vertex in selected:
+            for target, weight in self._out[vertex].items():
+                if target in selected:
+                    sub.add_edge(vertex, target, weight)
+        return sub
+
+    def total_interpolation_points(self) -> int:
+        """Total number of interpolation points stored on all directed edges."""
+        return sum(weight.size for _, _, weight in self.edges())
+
+    def undirected_adjacency(self) -> dict[int, set[int]]:
+        """Return the undirected skeleton as an adjacency dictionary."""
+        return {v: self.neighbors(v) for v in self._out}
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._out
+
+    def __repr__(self) -> str:
+        return f"TDGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+
+
+def _check_vertex_id(vertex: int) -> None:
+    if not isinstance(vertex, (int,)) or isinstance(vertex, bool) or vertex < 0:
+        raise GraphError(
+            f"vertices must be non-negative integers, got {vertex!r}"
+        )

@@ -1,0 +1,119 @@
+"""Validation of time-dependent graphs.
+
+The index-construction and query algorithms assume that the input graph is
+
+* non-empty,
+* (strongly) connected, so every query has an answer,
+* FIFO: no edge allows overtaking by departing later,
+* non-negative in cost.
+
+:func:`validate_graph` checks all of these and returns a structured report so
+callers can decide whether a violation is fatal for their use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphError
+from repro.graph.td_graph import TDGraph
+
+__all__ = ["ValidationReport", "validate_graph", "is_strongly_connected"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`."""
+
+    num_vertices: int
+    num_edges: int
+    is_connected: bool
+    is_strongly_connected: bool
+    non_fifo_edges: list[tuple[int, int]] = field(default_factory=list)
+    negative_cost_edges: list[tuple[int, int]] = field(default_factory=list)
+    isolated_vertices: list[int] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the graph satisfies every assumption of the index."""
+        return (
+            self.num_vertices > 0
+            and self.is_strongly_connected
+            and not self.non_fifo_edges
+            and not self.negative_cost_edges
+        )
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.exceptions.GraphError` describing the first problem."""
+        if self.num_vertices == 0:
+            raise GraphError("the graph has no vertices")
+        if self.negative_cost_edges:
+            u, v = self.negative_cost_edges[0]
+            raise GraphError(f"edge ({u}, {v}) has negative travel costs")
+        if self.non_fifo_edges:
+            u, v = self.non_fifo_edges[0]
+            raise GraphError(f"edge ({u}, {v}) violates the FIFO property")
+        if not self.is_strongly_connected:
+            raise GraphError("the graph is not strongly connected")
+
+
+def validate_graph(graph: TDGraph, fifo_tolerance: float = 1e-6) -> ValidationReport:
+    """Check structural and functional invariants of a time-dependent graph."""
+    non_fifo: list[tuple[int, int]] = []
+    negative: list[tuple[int, int]] = []
+    for u, v, weight in graph.edges():
+        if not weight.is_nonnegative():
+            negative.append((u, v))
+        if not weight.is_fifo(tolerance=fifo_tolerance):
+            non_fifo.append((u, v))
+    isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
+    connected = _is_weakly_connected(graph)
+    strongly = is_strongly_connected(graph)
+    return ValidationReport(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        is_connected=connected,
+        is_strongly_connected=strongly,
+        non_fifo_edges=non_fifo,
+        negative_cost_edges=negative,
+        isolated_vertices=isolated,
+    )
+
+
+def is_strongly_connected(graph: TDGraph) -> bool:
+    """Return whether every vertex can reach every other along directed edges."""
+    if graph.num_vertices == 0:
+        return False
+    start = next(iter(graph.vertices()))
+    return (
+        len(_reachable(graph, start, forward=True)) == graph.num_vertices
+        and len(_reachable(graph, start, forward=False)) == graph.num_vertices
+    )
+
+
+def _is_weakly_connected(graph: TDGraph) -> bool:
+    if graph.num_vertices == 0:
+        return False
+    start = next(iter(graph.vertices()))
+    seen = {start}
+    stack = [start]
+    while stack:
+        vertex = stack.pop()
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == graph.num_vertices
+
+
+def _reachable(graph: TDGraph, start: int, forward: bool) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        vertex = stack.pop()
+        neighbors = graph.out_neighbors(vertex) if forward else graph.in_neighbors(vertex)
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen

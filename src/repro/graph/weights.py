@@ -1,0 +1,189 @@
+"""Synthetic time-dependent edge-weight generation.
+
+The paper derives time-dependent weights from static road networks following
+Li et al. [17]: each edge carries a daily piecewise-linear profile with a
+configurable number of interpolation points ``c`` (2 to 6).  Real traffic
+traces are not publicly available, so this module synthesises congestion
+profiles with the same structure:
+
+* a free-flow base cost derived from the edge length,
+* one or two rush-hour peaks at configurable times of day,
+* exactly ``c`` interpolation points over an 86 400-second horizon,
+* the FIFO (non-overtaking) property enforced, which every algorithm in this
+  library relies on for correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.profile import DAY_SECONDS
+
+__all__ = [
+    "WeightGenerator",
+    "constant_weight",
+    "daily_profile",
+    "enforce_fifo",
+]
+
+#: Default rush-hour peak centres (8:00 and 17:30) in seconds since midnight.
+_DEFAULT_PEAKS = (8 * 3600.0, 17.5 * 3600.0)
+
+
+def constant_weight(cost: float) -> PiecewiseLinearFunction:
+    """A time-independent edge weight (used for static baselines and tests)."""
+    if cost < 0:
+        raise InvalidFunctionError("edge costs must be non-negative")
+    return PiecewiseLinearFunction.constant(cost)
+
+
+def enforce_fifo(
+    times: np.ndarray, costs: np.ndarray, margin: float = 1e-3
+) -> np.ndarray:
+    """Adjust ``costs`` in place-order so the profile satisfies FIFO.
+
+    The FIFO property requires every slope to be at least ``-1``; equivalently
+    ``c_{i+1} >= c_i - (t_{i+1} - t_i)``.  A single forward pass raises any
+    violating cost to the smallest admissible value (plus ``margin``).
+    """
+    fixed = np.array(costs, dtype=np.float64, copy=True)
+    for i in range(1, fixed.shape[0]):
+        lower = fixed[i - 1] - (times[i] - times[i - 1]) + margin
+        if fixed[i] < lower:
+            fixed[i] = lower
+    return np.maximum(fixed, margin)
+
+
+def daily_profile(
+    base_cost: float,
+    num_points: int = 3,
+    *,
+    peak_factor: float = 1.8,
+    peak_times: tuple[float, ...] = _DEFAULT_PEAKS,
+    peak_width: float = 2.5 * 3600.0,
+    horizon: float = DAY_SECONDS,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.15,
+) -> PiecewiseLinearFunction:
+    """Build a daily congestion profile with ``num_points`` interpolation points.
+
+    Parameters
+    ----------
+    base_cost:
+        Free-flow travel cost of the edge in seconds (must be positive).
+    num_points:
+        Number of interpolation points ``c`` (the paper sweeps 2..6).
+    peak_factor:
+        Multiplicative slowdown at the centre of a rush-hour peak.
+    peak_times / peak_width:
+        Centres and width (seconds) of the Gaussian-shaped congestion bumps.
+    horizon:
+        Length of the time domain (defaults to one day).
+    rng:
+        Optional random generator used to jitter sampling times and peak
+        heights so that different edges get different profiles.
+    jitter:
+        Relative magnitude of the random perturbation applied to the congestion
+        multiplier at every sampled point.
+
+    Returns
+    -------
+    PiecewiseLinearFunction
+        A FIFO-compliant profile with exactly ``num_points`` points whose value
+        never falls below ``base_cost``.
+    """
+    if base_cost <= 0:
+        raise InvalidFunctionError("base_cost must be positive")
+    if num_points < 1:
+        raise InvalidFunctionError("num_points must be at least 1")
+    if num_points == 1:
+        return PiecewiseLinearFunction.constant(base_cost)
+
+    if rng is None:
+        rng = np.random.default_rng()
+
+    # Sample times: evenly spaced over the horizon with a small jitter, always
+    # keeping t_1 = 0 and t_c = horizon so the whole day is covered.
+    times = np.linspace(0.0, horizon, num_points)
+    if num_points > 2:
+        span = horizon / (num_points - 1)
+        offsets = rng.uniform(-0.25, 0.25, size=num_points - 2) * span
+        times[1:-1] = times[1:-1] + offsets
+        times = np.sort(times)
+        # Guarantee strict monotonicity even under adverse jitter.
+        for i in range(1, num_points):
+            if times[i] <= times[i - 1]:
+                times[i] = times[i - 1] + 1.0
+
+    multiplier = np.ones(num_points, dtype=np.float64)
+    for centre in peak_times:
+        bump = (peak_factor - 1.0) * np.exp(
+            -0.5 * ((times - centre) / peak_width) ** 2
+        )
+        multiplier += bump
+    if jitter > 0:
+        multiplier *= 1.0 + rng.uniform(-jitter, jitter, size=num_points)
+    multiplier = np.maximum(multiplier, 1.0)
+
+    costs = base_cost * multiplier
+    costs = enforce_fifo(times, costs)
+    costs = np.maximum(costs, base_cost * 0.5)
+    return PiecewiseLinearFunction(times, costs, validate=False)
+
+
+class WeightGenerator:
+    """Reusable, seeded factory of daily congestion profiles.
+
+    The generator guarantees reproducibility: the profile attached to an edge
+    depends only on the seed and on the order of :meth:`profile_for` calls,
+    which the dataset catalog fixes.
+
+    Parameters
+    ----------
+    num_points:
+        Number of interpolation points per edge (the paper's ``c``).
+    seed:
+        Seed of the internal :class:`numpy.random.Generator`.
+    peak_factor, jitter, horizon:
+        Passed through to :func:`daily_profile`.
+    """
+
+    def __init__(
+        self,
+        num_points: int = 3,
+        seed: int = 0,
+        *,
+        peak_factor: float = 1.8,
+        jitter: float = 0.15,
+        horizon: float = DAY_SECONDS,
+    ) -> None:
+        if num_points < 1:
+            raise InvalidFunctionError("num_points must be at least 1")
+        self.num_points = int(num_points)
+        self.peak_factor = float(peak_factor)
+        self.jitter = float(jitter)
+        self.horizon = float(horizon)
+        self._rng = np.random.default_rng(seed)
+
+    def profile_for(self, base_cost: float) -> PiecewiseLinearFunction:
+        """Return a fresh daily profile whose free-flow cost is ``base_cost``."""
+        return daily_profile(
+            base_cost,
+            self.num_points,
+            peak_factor=self.peak_factor,
+            jitter=self.jitter,
+            horizon=self.horizon,
+            rng=self._rng,
+        )
+
+    def perturbed(self, weight: PiecewiseLinearFunction, scale: float = 0.2) -> PiecewiseLinearFunction:
+        """Return a randomly perturbed copy of an existing weight function.
+
+        Used by the index-update experiment (Fig. 10): a traffic incident
+        changes the cost profile of an edge without changing the topology.
+        """
+        factor = 1.0 + self._rng.uniform(-scale, scale, size=weight.size)
+        costs = enforce_fifo(weight.times, np.maximum(weight.costs * factor, 1e-3))
+        return PiecewiseLinearFunction(weight.times, costs, weight.via, validate=False)

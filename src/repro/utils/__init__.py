@@ -1,0 +1,15 @@
+"""Generic utilities: LCA queries, timing, and the analytic memory model."""
+
+from repro.utils.lca import LCAIndex
+from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
+from repro.utils.timing import Stopwatch, Timer, time_call
+
+__all__ = [
+    "LCAIndex",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "DEFAULT_MEMORY_MODEL",
+    "Stopwatch",
+    "Timer",
+    "time_call",
+]

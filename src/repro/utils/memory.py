@@ -1,0 +1,85 @@
+"""Analytic memory model for index-size reporting.
+
+The paper reports index sizes in gigabytes of resident memory.  A pure-Python
+reproduction cannot reproduce C++ struct layouts, so instead the library uses
+an analytic model: every stored interpolation point costs a fixed number of
+bytes (time + cost as doubles plus the provenance integer) and every stored
+function/dictionary entry adds a constant overhead.  Because every compared
+index is measured with the *same* model, the relative comparisons — which is
+what the paper's memory figures demonstrate — are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel", "MemoryBreakdown", "DEFAULT_MEMORY_MODEL"]
+
+#: Bytes per interpolation point: float64 time + float64 cost + int64 via.
+_BYTES_PER_POINT = 24
+#: Fixed per-function overhead (array headers, dict slot).
+_BYTES_PER_FUNCTION = 64
+#: Fixed per-structure (tree node / partition node) overhead.
+_BYTES_PER_NODE = 96
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Parameters of the analytic memory model (bytes)."""
+
+    bytes_per_point: int = _BYTES_PER_POINT
+    bytes_per_function: int = _BYTES_PER_FUNCTION
+    bytes_per_node: int = _BYTES_PER_NODE
+
+    def functions_bytes(self, total_points: int, num_functions: int) -> int:
+        """Bytes needed to store ``num_functions`` PLFs with ``total_points`` points."""
+        return total_points * self.bytes_per_point + num_functions * self.bytes_per_function
+
+    def nodes_bytes(self, num_nodes: int) -> int:
+        """Bytes of per-node structural overhead."""
+        return num_nodes * self.bytes_per_node
+
+
+DEFAULT_MEMORY_MODEL = MemoryModel()
+
+
+@dataclass
+class MemoryBreakdown:
+    """Index memory decomposed into its structural parts (all in bytes)."""
+
+    label_points: int = 0
+    label_functions: int = 0
+    shortcut_points: int = 0
+    shortcut_functions: int = 0
+    structure_nodes: int = 0
+    model: MemoryModel = DEFAULT_MEMORY_MODEL
+
+    @property
+    def label_bytes(self) -> int:
+        return self.model.functions_bytes(self.label_points, self.label_functions)
+
+    @property
+    def shortcut_bytes(self) -> int:
+        return self.model.functions_bytes(self.shortcut_points, self.shortcut_functions)
+
+    @property
+    def structure_bytes(self) -> int:
+        return self.model.nodes_bytes(self.structure_nodes)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.label_bytes + self.shortcut_bytes + self.structure_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    def __add__(self, other: "MemoryBreakdown") -> "MemoryBreakdown":
+        return MemoryBreakdown(
+            label_points=self.label_points + other.label_points,
+            label_functions=self.label_functions + other.label_functions,
+            shortcut_points=self.shortcut_points + other.shortcut_points,
+            shortcut_functions=self.shortcut_functions + other.shortcut_functions,
+            structure_nodes=self.structure_nodes + other.structure_nodes,
+            model=self.model,
+        )

@@ -1,0 +1,74 @@
+"""Lightweight timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Timer", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across multiple start/stop cycles."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+
+class Timer:
+    """Named timer registry, e.g. to split index construction into phases."""
+
+    def __init__(self) -> None:
+        self._watches: dict[str, Stopwatch] = {}
+
+    @contextmanager
+    def measure(self, name: str):
+        watch = self._watches.setdefault(name, Stopwatch())
+        watch.start()
+        try:
+            yield watch
+        finally:
+            watch.stop()
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never measured)."""
+        watch = self._watches.get(name)
+        return watch.elapsed if watch else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: watch.elapsed for name, watch in self._watches.items()}
+
+
+def time_call(func, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Call ``func`` ``repeat`` times and return (average seconds, last result)."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    result = None
+    started = time.perf_counter()
+    for _ in range(repeat):
+        result = func(*args, **kwargs)
+    elapsed = (time.perf_counter() - started) / repeat
+    return elapsed, result

@@ -1,0 +1,104 @@
+"""Tests for the time-dependent A* baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    LandmarkHeuristic,
+    MinCostHeuristic,
+    TDAStar,
+    astar_earliest_arrival,
+    earliest_arrival,
+)
+from repro.exceptions import VertexNotFoundError
+
+
+class TestHeuristics:
+    def test_min_cost_heuristic_is_admissible(self, small_grid, random_od_pairs):
+        heuristic = MinCostHeuristic(small_grid)
+        for source, target, departure in random_od_pairs[:10]:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            assert heuristic.estimate(source, target) <= reference.cost + 1e-6
+
+    def test_min_cost_heuristic_zero_at_target(self, small_grid):
+        heuristic = MinCostHeuristic(small_grid)
+        assert heuristic.estimate(7, 7) == 0.0
+
+    def test_min_cost_heuristic_caches_per_target(self, small_grid):
+        heuristic = MinCostHeuristic(small_grid)
+        heuristic.prepare(5)
+        assert 5 in heuristic._cache
+        heuristic.estimate(0, 5)
+        assert len(heuristic._cache) == 1
+
+    def test_landmark_heuristic_is_admissible(self, small_grid, random_od_pairs):
+        heuristic = LandmarkHeuristic(small_grid, num_landmarks=4, seed=1)
+        for source, target, departure in random_od_pairs[:10]:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            assert heuristic.estimate(source, target) <= reference.cost + 1e-6
+
+    def test_landmark_count(self, small_grid):
+        heuristic = LandmarkHeuristic(small_grid, num_landmarks=4, seed=0)
+        assert len(heuristic.landmarks) == 4
+
+    def test_landmark_estimates_are_nonnegative(self, small_grid):
+        heuristic = LandmarkHeuristic(small_grid, num_landmarks=3, seed=2)
+        assert heuristic.estimate(0, 24) >= 0.0
+
+
+class TestAStarSearch:
+    def test_matches_dijkstra(self, small_grid, random_od_pairs):
+        heuristic = MinCostHeuristic(small_grid)
+        for source, target, departure in random_od_pairs:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = astar_earliest_arrival(
+                small_grid, source, target, departure, heuristic
+            )
+            assert result.cost == pytest.approx(reference.cost, rel=1e-9)
+
+    def test_goal_direction_settles_no_more_vertices(self, small_grid, random_od_pairs):
+        heuristic = MinCostHeuristic(small_grid)
+        total_astar = total_dijkstra = 0
+        for source, target, departure in random_od_pairs[:10]:
+            total_dijkstra += earliest_arrival(small_grid, source, target, departure).settled
+            total_astar += astar_earliest_arrival(
+                small_grid, source, target, departure, heuristic
+            ).settled
+        assert total_astar <= total_dijkstra
+
+    def test_path_is_valid(self, small_grid):
+        heuristic = MinCostHeuristic(small_grid)
+        result = astar_earliest_arrival(small_grid, 0, 24, 30_000.0, heuristic)
+        for a, b in zip(result.path, result.path[1:]):
+            assert small_grid.has_edge(a, b)
+
+    def test_unknown_vertices_raise(self, small_grid):
+        heuristic = MinCostHeuristic(small_grid)
+        with pytest.raises(VertexNotFoundError):
+            astar_earliest_arrival(small_grid, 0, 999, 0.0, heuristic)
+        with pytest.raises(VertexNotFoundError):
+            astar_earliest_arrival(small_grid, 999, 0, 0.0, heuristic)
+
+
+class TestFacade:
+    def test_default_build_uses_min_cost_heuristic(self, small_grid):
+        engine = TDAStar.build(small_grid)
+        assert isinstance(engine.heuristic, MinCostHeuristic)
+        assert engine.query(0, 24, 0.0).cost > 0
+
+    def test_landmark_build(self, small_grid, random_od_pairs):
+        engine = TDAStar.build(small_grid, heuristic="landmarks", num_landmarks=4, seed=3)
+        assert isinstance(engine.heuristic, LandmarkHeuristic)
+        source, target, departure = random_od_pairs[0]
+        reference = earliest_arrival(small_grid, source, target, departure)
+        assert engine.query(source, target, departure).cost == pytest.approx(
+            reference.cost, rel=1e-9
+        )
+
+    def test_memory_breakdown_counts_cached_tables(self, small_grid):
+        engine = TDAStar.build(small_grid)
+        before = engine.memory_breakdown().total_bytes
+        engine.query(0, 24, 0.0)
+        after = engine.memory_breakdown().total_bytes
+        assert after >= before

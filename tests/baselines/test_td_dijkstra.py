@@ -1,0 +1,121 @@
+"""Tests for the time-dependent Dijkstra reference algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import TDDijkstra, earliest_arrival, one_to_all, profile_search
+from repro.exceptions import DisconnectedQueryError, VertexNotFoundError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import TDGraph
+
+
+class TestEarliestArrival:
+    def test_triangle_takes_detour_when_direct_is_congested(self, triangle_graph):
+        # At noon the direct edge costs 400 while the detour costs 250.
+        result = earliest_arrival(triangle_graph, 0, 1, 43_200.0)
+        assert result.cost == pytest.approx(250.0, abs=1.0)
+        assert result.path == [0, 2, 1]
+
+    def test_triangle_takes_direct_edge_at_night(self, triangle_graph):
+        result = earliest_arrival(triangle_graph, 0, 1, 0.0)
+        assert result.cost == pytest.approx(100.0)
+        assert result.path == [0, 1]
+
+    def test_line_graph_costs_accumulate(self, line_graph):
+        result = earliest_arrival(line_graph, 0, 4, 0.0)
+        assert result.cost == pytest.approx(10 + 20 + 30 + 40)
+        assert result.path == [0, 1, 2, 3, 4]
+
+    def test_waiting_is_never_beneficial_on_fifo_networks(self, small_grid):
+        early = earliest_arrival(small_grid, 0, 24, 7 * 3600.0)
+        later = earliest_arrival(small_grid, 0, 24, 7 * 3600.0 + 600.0)
+        assert later.arrival + 1e-6 >= early.arrival
+
+    def test_source_equals_target(self, line_graph):
+        result = earliest_arrival(line_graph, 2, 2, 100.0)
+        assert result.cost == 0.0
+        assert result.path == [2]
+
+    def test_unknown_vertices_raise(self, line_graph):
+        with pytest.raises(VertexNotFoundError):
+            earliest_arrival(line_graph, 0, 99, 0.0)
+        with pytest.raises(VertexNotFoundError):
+            earliest_arrival(line_graph, 99, 0, 0.0)
+
+    def test_disconnected_target_raises(self):
+        graph = TDGraph()
+        graph.add_edge(0, 1, PiecewiseLinearFunction.constant(1.0))
+        graph.add_vertex(5)
+        with pytest.raises(DisconnectedQueryError):
+            earliest_arrival(graph, 0, 5, 0.0)
+
+    def test_path_is_time_consistent(self, small_grid, random_od_pairs):
+        for source, target, departure in random_od_pairs[:10]:
+            result = earliest_arrival(small_grid, source, target, departure)
+            clock = departure
+            for a, b in zip(result.path, result.path[1:]):
+                clock += float(small_grid.weight(a, b).evaluate(clock))
+            assert clock == pytest.approx(result.arrival, rel=1e-9)
+
+    def test_settled_counter_positive(self, small_grid):
+        result = earliest_arrival(small_grid, 0, 24, 0.0)
+        assert result.settled >= 2
+
+
+class TestOneToAll:
+    def test_covers_every_vertex_of_connected_graph(self, small_grid):
+        arrivals = one_to_all(small_grid, 0, 0.0)
+        assert set(arrivals) == set(small_grid.vertices())
+        assert arrivals[0] == 0.0
+
+    def test_matches_point_queries(self, small_grid):
+        arrivals = one_to_all(small_grid, 0, 3_600.0)
+        for target in (5, 12, 24):
+            single = earliest_arrival(small_grid, 0, target, 3_600.0)
+            assert arrivals[target] == pytest.approx(single.arrival, rel=1e-9)
+
+
+class TestProfileSearch:
+    def test_profile_envelopes_scalar_queries(self, triangle_graph):
+        profile = profile_search(triangle_graph, 0)[1]
+        for departure in np.linspace(0, 86_400, 25):
+            scalar = earliest_arrival(triangle_graph, 0, 1, float(departure))
+            assert profile.evaluate(float(departure)) == pytest.approx(
+                scalar.cost, rel=1e-6, abs=1e-6
+            )
+
+    def test_profile_of_source_is_zero(self, triangle_graph):
+        assert profile_search(triangle_graph, 0)[0].evaluate(12.0) == 0.0
+
+    def test_max_points_caps_labels(self, small_grid):
+        labels = profile_search(small_grid, 0, max_points=6)
+        assert all(func.size <= 6 for func in labels.values())
+
+    def test_unknown_source_raises(self, line_graph):
+        with pytest.raises(VertexNotFoundError):
+            profile_search(line_graph, 99)
+
+
+class TestFacade:
+    def test_build_and_query(self, small_grid):
+        engine = TDDijkstra.build(small_grid)
+        result = engine.query(0, 24, 0.0)
+        assert result.cost > 0
+
+    def test_profile_method(self, triangle_graph):
+        engine = TDDijkstra.build(triangle_graph)
+        func = engine.profile(0, 1)
+        assert func.evaluate(0.0) == pytest.approx(100.0)
+
+    def test_profile_to_unreachable_vertex_raises(self):
+        graph = TDGraph()
+        graph.add_edge(0, 1, PiecewiseLinearFunction.constant(1.0))
+        graph.add_vertex(7)
+        engine = TDDijkstra.build(graph)
+        with pytest.raises(DisconnectedQueryError):
+            engine.profile(0, 7)
+
+    def test_memory_breakdown_is_empty(self, small_grid):
+        assert TDDijkstra.build(small_grid).memory_breakdown().total_bytes == 0

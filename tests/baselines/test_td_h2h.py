@@ -1,0 +1,50 @@
+"""Tests for the TD-H2H baseline (full-shortcut tree decomposition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TDH2H, build_td_h2h, earliest_arrival
+from repro.core import TDTreeIndex
+
+
+@pytest.fixture(scope="module")
+def h2h(request):
+    small_grid = request.getfixturevalue("small_grid")
+    return TDH2H.build(small_grid, max_points=None)
+
+
+class TestConstruction:
+    def test_is_a_full_strategy_index(self, h2h):
+        assert isinstance(h2h, TDTreeIndex)
+        assert h2h.strategy == "full"
+        stats = h2h.statistics()
+        assert stats.num_selected_pairs == stats.num_candidate_pairs
+
+    def test_helper_function(self, small_grid):
+        index = build_td_h2h(small_grid, max_points=8)
+        assert isinstance(index, TDH2H)
+
+    def test_largest_memory_footprint(self, small_grid, h2h):
+        basic = TDTreeIndex.build(small_grid, strategy="basic", max_points=None)
+        approx = TDTreeIndex.build(
+            small_grid, strategy="approx", budget_fraction=0.3, max_points=None
+        )
+        assert (
+            h2h.memory_breakdown().total_bytes
+            > approx.memory_breakdown().total_bytes
+            > basic.memory_breakdown().total_bytes
+        )
+
+
+class TestQueries:
+    def test_exact_answers(self, small_grid, h2h, random_od_pairs):
+        for source, target, departure in random_od_pairs:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            assert h2h.query(source, target, departure).cost == pytest.approx(
+                reference.cost, rel=1e-6
+            )
+
+    def test_all_queries_take_the_fast_path(self, h2h, random_od_pairs):
+        for source, target, departure in random_od_pairs[:10]:
+            assert h2h.query(source, target, departure).strategy == "full_shortcuts"

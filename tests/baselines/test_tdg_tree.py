@@ -1,0 +1,130 @@
+"""Tests for the TD-G-tree baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TDGTree, earliest_arrival, profile_search
+from repro.exceptions import GraphError, IndexBuildError, VertexNotFoundError
+from repro.graph import TDGraph
+
+
+@pytest.fixture(scope="module")
+def gtree(request):
+    small_grid = request.getfixturevalue("small_grid")
+    return TDGTree.build(small_grid, leaf_size=8, max_points=None)
+
+
+class TestPartitioning:
+    def test_every_vertex_assigned_to_exactly_one_leaf(self, small_grid, gtree):
+        assert set(gtree.leaf_of) == set(small_grid.vertices())
+        for vertex, leaf_id in gtree.leaf_of.items():
+            assert vertex in gtree.nodes[leaf_id].vertices
+            assert gtree.nodes[leaf_id].is_leaf
+
+    def test_leaf_size_respected(self, gtree):
+        for node in gtree.nodes.values():
+            if node.is_leaf:
+                assert len(node.vertices) <= 8
+
+    def test_children_partition_their_parent(self, gtree):
+        for node in gtree.nodes.values():
+            if node.is_leaf:
+                continue
+            union = set()
+            for child_id in node.children:
+                child = gtree.nodes[child_id]
+                assert child.vertices <= node.vertices
+                assert not (union & child.vertices)
+                union |= child.vertices
+            assert union == set(node.vertices)
+
+    def test_root_contains_everything(self, small_grid, gtree):
+        assert gtree.nodes[gtree.root_id].vertices == frozenset(small_grid.vertices())
+
+    def test_borders_have_outside_edges(self, small_grid, gtree):
+        for node in gtree.nodes.values():
+            if node.node_id == gtree.root_id:
+                continue
+            for border in node.borders:
+                assert any(
+                    neighbor not in node.vertices
+                    for neighbor in small_grid.neighbors(border)
+                )
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(GraphError):
+            TDGTree.build(TDGraph())
+
+    def test_rejects_degenerate_leaf_size(self, small_grid):
+        with pytest.raises(IndexBuildError):
+            TDGTree.build(small_grid, leaf_size=1)
+
+
+class TestQueries:
+    def test_costs_never_undershoot_dijkstra(self, small_grid, gtree, random_od_pairs):
+        """The assembly is restricted to within-partition matrices, so its
+        answers are valid path costs: never below the true optimum."""
+        for source, target, departure in random_od_pairs:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = gtree.query(source, target, departure)
+            assert result.cost >= reference.cost - 1e-6
+
+    def test_costs_are_close_to_optimal_on_average(
+        self, small_grid, gtree, random_od_pairs
+    ):
+        """The documented partition-assembly detour stays small on grids."""
+        gaps = []
+        for source, target, departure in random_od_pairs:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = gtree.query(source, target, departure)
+            gaps.append((result.cost - reference.cost) / max(reference.cost, 1e-9))
+        assert sum(gaps) / len(gaps) < 0.02
+        assert max(gaps) < 0.25
+
+    def test_same_leaf_query_is_exact(self, small_grid, gtree):
+        # Two vertices in the same leaf: answered by plain Dijkstra.
+        leaf = next(node for node in gtree.nodes.values() if node.is_leaf)
+        members = sorted(leaf.vertices)
+        source, target = members[0], members[-1]
+        reference = earliest_arrival(small_grid, source, target, 10_000.0)
+        result = gtree.query(source, target, 10_000.0)
+        assert result.cost == pytest.approx(reference.cost, rel=1e-9)
+        assert result.strategy == "tdg-tree-local"
+
+    def test_source_equals_target(self, gtree):
+        assert gtree.query(5, 5, 0.0).cost == 0.0
+
+    def test_unknown_vertex_raises(self, gtree):
+        with pytest.raises(VertexNotFoundError):
+            gtree.query(0, 999, 0.0)
+
+    def test_profile_envelopes_scalar_answers(self, gtree):
+        source, target = 0, 24
+        profile = gtree.profile(source, target)
+        for departure in (0.0, 21_600.0, 43_200.0, 64_800.0):
+            scalar = gtree.query(source, target, departure)
+            assert profile.evaluate(departure) <= scalar.cost + 1e-6
+
+    def test_profile_never_undershoots_true_profile(self, small_grid, gtree):
+        reference = profile_search(small_grid, 0)[24]
+        result = gtree.profile(0, 24)
+        for departure in (0.0, 21_600.0, 43_200.0, 64_800.0, 86_400.0):
+            assert result.evaluate(departure) >= reference.evaluate(departure) - 1e-6
+
+
+class TestIntrospection:
+    def test_memory_breakdown_counts_matrices(self, gtree):
+        breakdown = gtree.memory_breakdown()
+        assert breakdown.label_points > 0
+        assert breakdown.total_bytes > 0
+
+    def test_statistics(self, gtree):
+        stats = gtree.statistics()
+        assert stats["num_partitions"] >= stats["num_leaves"] >= 2
+        assert stats["build_seconds"] > 0
+
+    def test_memory_grows_with_smaller_leaves(self, small_grid):
+        coarse = TDGTree.build(small_grid, leaf_size=16, max_points=8)
+        fine = TDGTree.build(small_grid, leaf_size=4, max_points=8)
+        assert fine.statistics()["num_partitions"] > coarse.statistics()["num_partitions"]

@@ -1,0 +1,135 @@
+"""Shared fixtures for the test-suite.
+
+The expensive objects (generated road networks and built indexes) are session
+scoped: they are deterministic, read-only in the tests that use them, and
+building them once keeps the whole suite fast.  Tests that mutate an index
+(e.g. the update tests) build their own private copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TDGraph, TDTreeIndex
+from repro.baselines import TDDijkstra
+from repro.core import decompose
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import grid_network, paper_example_graph, random_geometric_network
+
+
+# ----------------------------------------------------------------------
+# Small hand-built graphs
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def triangle_graph() -> TDGraph:
+    """Three vertices, time-dependent detour: 0->1 direct vs 0->2->1."""
+    graph = TDGraph()
+    direct = PiecewiseLinearFunction.from_points([(0, 100), (43200, 400), (86400, 100)])
+    leg_a = PiecewiseLinearFunction.from_points([(0, 120), (86400, 120)])
+    leg_b = PiecewiseLinearFunction.from_points([(0, 130), (86400, 130)])
+    graph.add_bidirectional_edge(0, 1, direct)
+    graph.add_bidirectional_edge(0, 2, leg_a)
+    graph.add_bidirectional_edge(2, 1, leg_b)
+    return graph
+
+
+@pytest.fixture()
+def line_graph() -> TDGraph:
+    """A 5-vertex path with constant weights (easy to reason about)."""
+    graph = TDGraph()
+    for i in range(4):
+        weight = PiecewiseLinearFunction.constant(10.0 * (i + 1))
+        graph.add_bidirectional_edge(i, i + 1, weight)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def example_graph() -> TDGraph:
+    """The paper's 15-vertex running example (Fig. 1a)."""
+    return paper_example_graph()
+
+
+# ----------------------------------------------------------------------
+# Generated road networks (session scoped, read-only)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_grid() -> TDGraph:
+    """5x5 grid city with c=3 profiles: small enough for exact comparisons."""
+    return grid_network(5, 5, num_points=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> TDGraph:
+    """7x7 grid used where a little more structure is needed."""
+    return grid_network(7, 7, num_points=3, seed=17)
+
+
+@pytest.fixture(scope="session")
+def planar_network() -> TDGraph:
+    """A 120-vertex Delaunay road network (used by index-level tests)."""
+    return random_geometric_network(120, num_points=3, seed=29)
+
+
+# ----------------------------------------------------------------------
+# Built indexes (session scoped, read-only)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_tree(small_grid):
+    """Exact TFP tree decomposition of the small grid."""
+    return decompose(small_grid, max_points=None)
+
+
+@pytest.fixture(scope="session")
+def basic_index(small_grid) -> TDTreeIndex:
+    """TD-basic over the small grid, exact functions."""
+    return TDTreeIndex.build(small_grid, strategy="basic", max_points=None)
+
+
+@pytest.fixture(scope="session")
+def full_index(small_grid) -> TDTreeIndex:
+    """TD-H2H (all shortcuts) over the small grid, exact functions."""
+    return TDTreeIndex.build(small_grid, strategy="full", max_points=None)
+
+
+@pytest.fixture(scope="session")
+def approx_index(small_grid) -> TDTreeIndex:
+    """TD-appro over the small grid with a 40% budget and capped functions."""
+    return TDTreeIndex.build(
+        small_grid, strategy="approx", budget_fraction=0.4, max_points=16
+    )
+
+
+@pytest.fixture(scope="session")
+def dp_index(small_grid) -> TDTreeIndex:
+    """TD-dp over the small grid with a 40% budget and capped functions."""
+    return TDTreeIndex.build(
+        small_grid, strategy="dp", budget_fraction=0.4, max_points=16
+    )
+
+
+@pytest.fixture(scope="session")
+def dijkstra(small_grid) -> TDDijkstra:
+    """Index-free reference engine over the small grid."""
+    return TDDijkstra.build(small_grid)
+
+
+# ----------------------------------------------------------------------
+# Query batches
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def random_od_pairs(small_grid) -> list[tuple[int, int, float]]:
+    """A deterministic batch of (source, target, departure) triples."""
+    rng = np.random.default_rng(123)
+    vertices = np.asarray(sorted(small_grid.vertices()))
+    batch = []
+    for _ in range(25):
+        source, target = rng.choice(vertices, size=2, replace=False)
+        departure = float(rng.uniform(0.0, 86_400.0))
+        batch.append((int(source), int(target), departure))
+    return batch
+
+
+def assert_cost_close(expected: float, actual: float, *, rel: float = 1e-6) -> None:
+    """Assert two travel costs agree within a relative tolerance."""
+    assert actual == pytest.approx(expected, rel=rel, abs=1e-6)

@@ -1,0 +1,162 @@
+"""White-box tests for the query-algorithm internals.
+
+The public query API is covered elsewhere (against TD-Dijkstra); these tests
+pin down the behaviour of the building blocks — the ascending/descending
+relaxations, pruning bounds and hop expansion — so regressions show up next to
+the responsible helper rather than as an opaque end-to-end mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import earliest_arrival, one_to_all
+from repro.core.query import (
+    _ascending_costs,
+    _ascending_profiles,
+    _descending_arrivals,
+    expand_hop,
+)
+
+
+class TestAscendingCosts:
+    def test_costs_cover_the_whole_root_path(self, small_tree):
+        source = max(small_tree.nodes, key=lambda v: small_tree.height(v))
+        costs, _ = _ascending_costs(small_tree, source, 3_600.0)
+        for vertex in small_tree.root_path(source):
+            assert vertex in costs
+            assert math.isfinite(costs[vertex])
+
+    def test_costs_equal_true_distances_to_ancestors(self, small_grid, small_tree):
+        source = 0
+        departure = 28_800.0
+        costs, _ = _ascending_costs(small_tree, source, departure)
+        arrivals = one_to_all(small_grid, source, departure)
+        for vertex, cost in costs.items():
+            assert cost == pytest.approx(arrivals[vertex] - departure, rel=1e-6)
+
+    def test_source_cost_is_zero(self, small_tree):
+        costs, _ = _ascending_costs(small_tree, 7, 0.0)
+        assert costs[7] == 0.0
+
+    def test_bound_prunes_expensive_labels(self, small_tree):
+        source = 0
+        unbounded, _ = _ascending_costs(small_tree, source, 0.0)
+        bound = sorted(unbounded.values())[len(unbounded) // 2]
+        bounded, _ = _ascending_costs(small_tree, source, 0.0, bound=bound)
+        assert all(cost <= bound + 1e-9 for cost in bounded.values())
+        assert len(bounded) <= len(unbounded)
+
+    def test_known_seeds_are_respected(self, small_tree):
+        source = 0
+        ancestors = small_tree.ancestors(source)
+        seeded_vertex = ancestors[-1]
+        costs, _ = _ascending_costs(
+            small_tree,
+            source,
+            0.0,
+            known={seeded_vertex: 1.0},
+            skip={seeded_vertex},
+        )
+        assert costs[seeded_vertex] == 1.0
+
+    def test_predecessors_point_to_chain_vertices(self, small_tree):
+        source = 0
+        _, preds = _ascending_costs(small_tree, source, 0.0)
+        chain = set(small_tree.root_path(source))
+        for vertex, (pred, _func) in preds.items():
+            assert pred in chain
+            assert vertex != pred
+
+
+class TestDescendingArrivals:
+    def test_seeded_cut_reaches_the_target(self, small_grid, small_tree):
+        source, target, departure = 0, 24, 10_000.0
+        cut = small_tree.vertex_cut(source, target)
+        up_costs, _ = _ascending_costs(small_tree, source, departure)
+        seeds = {w: departure + up_costs[w] for w in cut if w in up_costs}
+        arrivals, _ = _descending_arrivals(small_tree, target, seeds)
+        reference = earliest_arrival(small_grid, source, target, departure)
+        assert arrivals[target] == pytest.approx(reference.arrival, rel=1e-6)
+
+    def test_unreachable_without_seeds(self, small_tree):
+        arrivals, preds = _descending_arrivals(small_tree, 24, {})
+        assert 24 not in arrivals
+        assert not preds
+
+    def test_arrival_bound_never_improves_the_result(self, small_tree):
+        """The bound only prunes relaxation sources; it must never produce a
+        better (smaller) arrival than the unbounded relaxation, and it cannot
+        reach more vertices."""
+        source, target, departure = 0, 24, 0.0
+        cut = small_tree.vertex_cut(source, target)
+        up_costs, _ = _ascending_costs(small_tree, source, departure)
+        seeds = {w: departure + up_costs[w] for w in cut if w in up_costs}
+        unbounded, _ = _descending_arrivals(small_tree, target, seeds)
+        tight_bound = min(seeds.values())
+        bounded, _ = _descending_arrivals(
+            small_tree, target, seeds, bound_arrival=tight_bound
+        )
+        assert set(bounded) <= set(unbounded)
+        for vertex, arrival in bounded.items():
+            assert arrival >= unbounded[vertex] - 1e-9
+
+
+class TestAscendingProfiles:
+    def test_forward_labels_match_scalar_relaxation(self, small_tree):
+        labels = _ascending_profiles(small_tree, 0, forward=True)
+        costs, _ = _ascending_costs(small_tree, 0, 43_200.0)
+        for vertex, func in labels.items():
+            assert float(func.evaluate(43_200.0)) == pytest.approx(
+                costs[vertex], rel=1e-6, abs=1e-6
+            )
+
+    def test_backward_labels_are_costs_towards_the_origin(self, small_grid, small_tree):
+        target = 24
+        labels = _ascending_profiles(small_tree, target, forward=False)
+        for vertex in list(labels)[:5]:
+            reference = earliest_arrival(small_grid, vertex, target, 21_600.0)
+            assert float(labels[vertex].evaluate(21_600.0)) == pytest.approx(
+                reference.cost, rel=1e-6, abs=1e-6
+            )
+
+    def test_max_points_is_respected(self, small_tree):
+        labels = _ascending_profiles(small_tree, 0, forward=True, max_points=6)
+        assert all(func.size <= 6 for func in labels.values())
+
+
+class TestExpandHop:
+    def test_expansion_terminates_and_connects(self, small_grid, small_tree):
+        checked = 0
+        for vertex in list(small_tree.nodes)[:8]:
+            node = small_tree.nodes[vertex]
+            for upper, func in node.ws.items():
+                edges, arrival = expand_hop(small_tree, vertex, upper, func, 30_000.0)
+                # Edges form a connected chain from vertex to upper.
+                assert edges[0][0] == vertex
+                assert edges[-1][1] == upper
+                for (a, b), (c, _d) in zip(edges, edges[1:]):
+                    assert b == c
+                # Every expanded edge is an original road segment.
+                for a, b in edges:
+                    assert small_grid.has_edge(a, b)
+                assert arrival > 30_000.0
+                checked += 1
+        assert checked > 0
+
+    def test_expansion_cost_matches_function_value(self, small_grid, small_tree):
+        vertex = max(small_tree.nodes, key=lambda v: small_tree.height(v))
+        node = small_tree.nodes[vertex]
+        upper, func = next(iter(node.ws.items()))
+        departure = 45_000.0
+        edges, arrival = expand_hop(small_tree, vertex, upper, func, departure)
+        walked = departure
+        for a, b in edges:
+            walked += float(small_grid.weight(a, b).evaluate(walked))
+        # The stored (exact) function and the walked original edges agree.
+        assert walked == pytest.approx(arrival, rel=1e-6)
+        assert arrival - departure == pytest.approx(
+            float(func.evaluate(departure)), rel=1e-6
+        )

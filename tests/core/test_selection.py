@@ -1,0 +1,226 @@
+"""Tests for the shortcut-selection algorithms (Algorithms 4 and 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    SelectionResult,
+    budget_from_fraction,
+    select_all,
+    select_dp,
+    select_greedy,
+    select_none,
+)
+from repro.core.shortcuts import ShortcutCatalog, ShortcutPair
+from repro.exceptions import SelectionError
+from repro.functions import PiecewiseLinearFunction
+
+
+def make_catalog(items: list[tuple[float, int]]) -> ShortcutCatalog:
+    """Build a synthetic catalog from (utility, weight) tuples.
+
+    Weights are realised as interpolation-point counts split across the two
+    directions of each pair, so ``pair.weight`` equals the requested weight.
+    """
+    pairs = {}
+    for index, (utility, weight) in enumerate(items):
+        forward_points = max(1, weight - 1)
+        backward_points = weight - forward_points
+        forward = PiecewiseLinearFunction(
+            np.arange(forward_points, dtype=float),
+            np.full(forward_points, 10.0),
+            validate=False,
+        )
+        backward = (
+            PiecewiseLinearFunction(
+                np.arange(backward_points, dtype=float),
+                np.full(backward_points, 10.0),
+                validate=False,
+            )
+            if backward_points
+            else None
+        )
+        lower, upper = index + 100, index
+        pairs[(lower, upper)] = ShortcutPair(
+            lower=lower, upper=upper, forward=forward, backward=backward, utility=utility
+        )
+    return ShortcutCatalog(pairs)
+
+
+def brute_force_optimum(items: list[tuple[float, int]], budget: int) -> float:
+    best = 0.0
+    for mask in range(1 << len(items)):
+        utility = weight = 0
+        for bit, (u, w) in enumerate(items):
+            if mask >> bit & 1:
+                utility += u
+                weight += w
+        if weight <= budget:
+            best = max(best, utility)
+    return best
+
+
+class TestSelectionBasics:
+    def test_select_all_and_none(self):
+        catalog = make_catalog([(5.0, 3), (2.0, 4)])
+        everything = select_all(catalog)
+        nothing = select_none(catalog)
+        assert everything.num_selected == 2
+        assert everything.total_weight == catalog.total_weight
+        assert nothing.num_selected == 0
+        assert nothing.total_utility == 0.0
+
+    def test_budget_from_fraction(self):
+        catalog = make_catalog([(5.0, 10), (2.0, 10)])
+        assert budget_from_fraction(catalog, 0.5) == 10
+        assert budget_from_fraction(catalog, 0.0) == 0
+        with pytest.raises(SelectionError):
+            budget_from_fraction(catalog, 1.5)
+
+    def test_negative_budget_rejected(self):
+        catalog = make_catalog([(5.0, 3)])
+        with pytest.raises(SelectionError):
+            select_greedy(catalog, -1)
+        with pytest.raises(SelectionError):
+            select_dp(catalog, -1)
+
+    def test_zero_budget_selects_nothing(self):
+        catalog = make_catalog([(5.0, 3), (2.0, 4)])
+        assert select_greedy(catalog, 0).num_selected == 0
+        assert select_dp(catalog, 0).num_selected == 0
+
+
+class TestDPSelection:
+    def test_matches_brute_force_optimum(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            items = [
+                (float(rng.integers(1, 50)), int(rng.integers(2, 12)))
+                for _ in range(int(rng.integers(3, 10)))
+            ]
+            budget = int(rng.integers(5, 40))
+            catalog = make_catalog(items)
+            result = select_dp(catalog, budget)
+            assert result.total_weight <= budget
+            assert result.total_utility == pytest.approx(
+                brute_force_optimum(items, budget)
+            )
+
+    def test_reported_weight_matches_selected_pairs(self):
+        catalog = make_catalog([(10.0, 4), (9.0, 4), (1.0, 4)])
+        result = select_dp(catalog, 8)
+        assert result.total_weight == sum(
+            catalog.pairs[key].weight for key in result.selected
+        )
+        assert result.total_utility == pytest.approx(
+            sum(catalog.pairs[key].utility for key in result.selected)
+        )
+
+    def test_classic_knapsack_instance(self):
+        # Items: (value, weight): optimal is {B, C} = 220 under capacity 50.
+        catalog = make_catalog([(60.0, 10), (100.0, 20), (120.0, 30)])
+        result = select_dp(catalog, 50)
+        assert result.total_utility == pytest.approx(220.0)
+        assert result.num_selected == 2
+
+    def test_granularity_keeps_solution_feasible(self):
+        items = [(float(i + 1), 7) for i in range(30)]
+        catalog = make_catalog(items)
+        exact = select_dp(catalog, 70, granularity=1)
+        coarse = select_dp(catalog, 70, granularity=4)
+        assert coarse.total_weight <= 70
+        assert coarse.total_utility <= exact.total_utility + 1e-9
+        # Coarsening by a small factor should not destroy most of the value.
+        assert coarse.total_utility >= 0.6 * exact.total_utility
+
+    def test_invalid_granularity_rejected(self):
+        catalog = make_catalog([(1.0, 2)])
+        with pytest.raises(SelectionError):
+            select_dp(catalog, 10, granularity=0)
+
+    def test_automatic_granularity_for_huge_budgets(self):
+        items = [(float(i % 7 + 1), 5) for i in range(50)]
+        catalog = make_catalog(items)
+        result = select_dp(catalog, 10_000_000, max_table_cells=100_000)
+        # Everything fits under such a large budget.
+        assert result.num_selected == len(items)
+
+    def test_method_label_and_budget_recorded(self):
+        catalog = make_catalog([(1.0, 2)])
+        result = select_dp(catalog, 10)
+        assert result.method == "dp"
+        assert result.budget == 10
+
+
+class TestGreedySelection:
+    def test_respects_budget(self):
+        rng = np.random.default_rng(3)
+        items = [
+            (float(rng.integers(1, 100)), int(rng.integers(2, 15))) for _ in range(40)
+        ]
+        catalog = make_catalog(items)
+        result = select_greedy(catalog, 60)
+        assert result.total_weight <= 60
+
+    def test_achieves_half_of_optimum(self):
+        """Theorem 2: the greedy pair-of-strategies is a 0.5-approximation."""
+        rng = np.random.default_rng(5)
+        for _ in range(12):
+            items = [
+                (float(rng.integers(1, 60)), int(rng.integers(2, 12)))
+                for _ in range(int(rng.integers(4, 11)))
+            ]
+            budget = int(rng.integers(6, 45))
+            catalog = make_catalog(items)
+            greedy = select_greedy(catalog, budget)
+            optimum = brute_force_optimum(items, budget)
+            assert greedy.total_utility >= 0.5 * optimum - 1e-9
+
+    def test_prefers_high_density_when_it_wins(self):
+        # One huge-utility but huge-weight item vs many small dense ones.
+        items = [(100.0, 100)] + [(30.0, 10)] * 5
+        catalog = make_catalog(items)
+        result = select_greedy(catalog, 50)
+        assert result.total_utility == pytest.approx(150.0)
+
+    def test_prefers_high_utility_when_it_wins(self):
+        # A single high-utility item the density ordering would skip.
+        items = [(100.0, 50), (10.0, 5), (10.0, 5)]
+        catalog = make_catalog(items)
+        result = select_greedy(catalog, 50)
+        assert result.total_utility == pytest.approx(100.0)
+
+    def test_method_label(self):
+        catalog = make_catalog([(1.0, 2)])
+        assert select_greedy(catalog, 10).method == "greedy"
+
+    def test_greedy_never_beats_dp(self):
+        rng = np.random.default_rng(11)
+        for _ in range(8):
+            items = [
+                (float(rng.integers(1, 60)), int(rng.integers(2, 12)))
+                for _ in range(12)
+            ]
+            budget = 40
+            catalog = make_catalog(items)
+            assert (
+                select_greedy(catalog, budget).total_utility
+                <= select_dp(catalog, budget).total_utility + 1e-9
+            )
+
+
+class TestSelectionOnRealCatalog:
+    def test_dp_and_greedy_on_decomposition_catalog(self, small_tree):
+        from repro.core import build_shortcut_catalog
+
+        catalog = build_shortcut_catalog(small_tree, max_points=8)
+        budget = budget_from_fraction(catalog, 0.3)
+        dp = select_dp(catalog, budget)
+        greedy = select_greedy(catalog, budget)
+        assert dp.total_weight <= budget
+        assert greedy.total_weight <= budget
+        assert greedy.total_utility >= 0.5 * dp.total_utility
+        assert dp.total_utility >= greedy.total_utility - 1e-9
+        assert 0 < dp.num_selected < len(catalog)

@@ -1,0 +1,113 @@
+"""Property-based tests for the shortcut-selection solvers.
+
+Random knapsack instances (utilities/weights in the ranges real catalogs
+produce) must satisfy, for every budget:
+
+* feasibility — neither solver ever exceeds the budget;
+* optimality — DP matches a brute-force optimum on small instances;
+* the 0.5-approximation guarantee of Algorithm 5 relative to the DP optimum;
+* monotonicity — a larger budget never yields a worse DP objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selection import select_dp, select_greedy
+from repro.core.shortcuts import ShortcutCatalog, ShortcutPair
+from repro.functions import PiecewiseLinearFunction
+
+
+def _catalog_from(items: list[tuple[float, int]]) -> ShortcutCatalog:
+    pairs = {}
+    for index, (utility, weight) in enumerate(items):
+        forward_points = max(1, weight // 2)
+        backward_points = weight - forward_points
+        forward = PiecewiseLinearFunction(
+            np.arange(forward_points, dtype=float),
+            np.full(forward_points, 1.0),
+            validate=False,
+        )
+        backward = (
+            PiecewiseLinearFunction(
+                np.arange(backward_points, dtype=float),
+                np.full(backward_points, 1.0),
+                validate=False,
+            )
+            if backward_points > 0
+            else None
+        )
+        pairs[(index + 1000, index)] = ShortcutPair(
+            lower=index + 1000,
+            upper=index,
+            forward=forward,
+            backward=backward,
+            utility=float(utility),
+        )
+    return ShortcutCatalog(pairs)
+
+
+def _brute_force(items: list[tuple[float, int]], budget: int) -> float:
+    best = 0.0
+    for mask in range(1 << len(items)):
+        utility = weight = 0
+        for bit, (u, w) in enumerate(items):
+            if mask >> bit & 1:
+                utility += u
+                weight += w
+        if weight <= budget:
+            best = max(best, utility)
+    return best
+
+
+items_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(min_value=2, max_value=20),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=items_strategy, budget=st.integers(min_value=0, max_value=80))
+def test_both_solvers_respect_the_budget(items, budget):
+    catalog = _catalog_from(items)
+    for result in (select_dp(catalog, budget), select_greedy(catalog, budget)):
+        assert result.total_weight <= budget
+        assert result.total_weight == sum(
+            catalog.pairs[key].weight for key in result.selected
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=items_strategy, budget=st.integers(min_value=1, max_value=60))
+def test_dp_is_optimal_and_greedy_is_half_approximate(items, budget):
+    catalog = _catalog_from(items)
+    optimum = _brute_force(items, budget)
+    dp = select_dp(catalog, budget)
+    greedy = select_greedy(catalog, budget)
+    assert dp.total_utility == pytest_approx(optimum)
+    assert greedy.total_utility <= dp.total_utility + 1e-9
+    assert greedy.total_utility >= 0.5 * optimum - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=items_strategy,
+    small_budget=st.integers(min_value=0, max_value=40),
+    extra=st.integers(min_value=0, max_value=40),
+)
+def test_dp_objective_is_monotone_in_the_budget(items, small_budget, extra):
+    catalog = _catalog_from(items)
+    small = select_dp(catalog, small_budget)
+    large = select_dp(catalog, small_budget + extra)
+    assert large.total_utility >= small.total_utility - 1e-9
+
+
+def pytest_approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-9)

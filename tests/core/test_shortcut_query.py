@@ -1,0 +1,142 @@
+"""Tests for the query with shortcuts (Algorithm 6) — all three regimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import earliest_arrival, profile_search
+from repro.core import (
+    build_shortcut_catalog,
+    select_all,
+    shortcut_cost_query,
+    shortcut_profile_query,
+)
+
+
+@pytest.fixture(scope="module")
+def exact_catalog(request):
+    small_tree = request.getfixturevalue("small_tree")
+    return build_shortcut_catalog(small_tree, max_points=None, compute_utilities=False)
+
+
+@pytest.fixture(scope="module")
+def all_shortcuts(exact_catalog):
+    """Every candidate materialised: forces the full-shortcut regime."""
+    return dict(exact_catalog.pairs)
+
+
+def _partial_store(tree, catalog, source, target, *, keep_source_side: bool) -> dict:
+    """Keep only the source-side (or target-side) shortcuts towards the cut."""
+    cut = tree.vertex_cut(source, target)
+    store = {}
+    for w in cut:
+        key = (source, w) if keep_source_side else (target, w)
+        pair = catalog.pairs.get(key)
+        if pair is not None:
+            store[key] = pair
+    return store
+
+
+class TestFullShortcutRegime:
+    def test_matches_dijkstra(self, small_grid, small_tree, all_shortcuts, random_od_pairs):
+        for source, target, departure in random_od_pairs:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = shortcut_cost_query(
+                small_tree, all_shortcuts, source, target, departure
+            )
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_strategy_is_full(self, small_tree, all_shortcuts):
+        result = shortcut_cost_query(small_tree, all_shortcuts, 0, 24, 0.0)
+        assert result.strategy == "full_shortcuts"
+
+    def test_profile_matches_profile_search(self, small_grid, small_tree, all_shortcuts):
+        reference = profile_search(small_grid, 1)[23]
+        result = shortcut_profile_query(small_tree, all_shortcuts, 1, 23)
+        assert result.strategy == "full_shortcuts"
+        assert reference.max_difference(result.function, samples=300) < 1e-6
+
+
+class TestPartialShortcutRegime:
+    def test_partial_source_side_still_exact(
+        self, small_grid, small_tree, exact_catalog, random_od_pairs
+    ):
+        for source, target, departure in random_od_pairs[:12]:
+            store = _partial_store(
+                small_tree, exact_catalog, source, target, keep_source_side=True
+            )
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = shortcut_cost_query(small_tree, store, source, target, departure)
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_partial_target_side_still_exact(
+        self, small_grid, small_tree, exact_catalog, random_od_pairs
+    ):
+        for source, target, departure in random_od_pairs[:12]:
+            store = _partial_store(
+                small_tree, exact_catalog, source, target, keep_source_side=False
+            )
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = shortcut_cost_query(small_tree, store, source, target, departure)
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_strategy_is_partial_when_some_shortcuts_exist(
+        self, small_tree, exact_catalog
+    ):
+        source, target = 0, 24
+        store = _partial_store(
+            small_tree, exact_catalog, source, target, keep_source_side=True
+        )
+        if not store:
+            pytest.skip("no source-side shortcuts intersect this cut")
+        result = shortcut_cost_query(small_tree, store, source, target, 0.0)
+        assert result.strategy in ("partial_shortcuts", "full_shortcuts")
+
+    def test_partial_profile_query_exact(self, small_grid, small_tree, exact_catalog):
+        source, target = 4, 20
+        store = _partial_store(
+            small_tree, exact_catalog, source, target, keep_source_side=True
+        )
+        reference = profile_search(small_grid, source)[target]
+        result = shortcut_profile_query(small_tree, store, source, target)
+        assert reference.max_difference(result.function, samples=300) < 1e-6
+
+
+class TestEmptyShortcutRegime:
+    def test_falls_back_to_basic(self, small_grid, small_tree, random_od_pairs):
+        for source, target, departure in random_od_pairs[:8]:
+            reference = earliest_arrival(small_grid, source, target, departure)
+            result = shortcut_cost_query(small_tree, {}, source, target, departure)
+            assert result.strategy == "basic"
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_profile_falls_back_to_basic(self, small_grid, small_tree):
+        reference = profile_search(small_grid, 3)[21]
+        result = shortcut_profile_query(small_tree, {}, 3, 21)
+        assert result.strategy == "basic"
+        assert reference.max_difference(result.function, samples=300) < 1e-6
+
+
+class TestSelectedSubsets:
+    def test_random_selected_subsets_remain_exact(
+        self, small_grid, small_tree, exact_catalog, random_od_pairs
+    ):
+        """Any subset of exact shortcuts must leave answers exact (they only
+        prune and seed the traversal, never replace it with something lossy)."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        keys = list(exact_catalog.pairs)
+        for fraction in (0.1, 0.5):
+            chosen = rng.choice(len(keys), size=int(len(keys) * fraction), replace=False)
+            store = {keys[int(i)]: exact_catalog.pairs[keys[int(i)]] for i in chosen}
+            for source, target, departure in random_od_pairs[:8]:
+                reference = earliest_arrival(small_grid, source, target, departure)
+                result = shortcut_cost_query(
+                    small_tree, store, source, target, departure
+                )
+                assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_select_all_matches_manual_store(self, small_tree, exact_catalog):
+        selection = select_all(exact_catalog)
+        assert selection.selected == set(exact_catalog.pairs)

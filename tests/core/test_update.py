@@ -1,0 +1,131 @@
+"""Tests for incremental index maintenance under edge-weight updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TDTreeIndex
+from repro.baselines import earliest_arrival
+from repro.exceptions import EdgeNotFoundError, InvalidFunctionError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import WeightGenerator, grid_network
+
+
+@pytest.fixture()
+def fresh_index():
+    """A private (mutable) index over a small grid."""
+    graph = grid_network(5, 5, num_points=3, seed=51)
+    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.4, max_points=None)
+    return graph, index
+
+
+def scaled(weight: PiecewiseLinearFunction, factor: float) -> PiecewiseLinearFunction:
+    return PiecewiseLinearFunction(weight.times, weight.costs * factor, weight.via, validate=False)
+
+
+class TestUpdateValidation:
+    def test_unknown_edge_rejected(self, fresh_index):
+        _, index = fresh_index
+        with pytest.raises(EdgeNotFoundError):
+            index.update_edge(0, 23, PiecewiseLinearFunction.constant(1.0))
+
+    def test_negative_weight_rejected(self, fresh_index):
+        graph, index = fresh_index
+        u, v, _ = next(iter(graph.edges()))
+        bad = PiecewiseLinearFunction([0.0, 10.0], [5.0, -1.0], validate=False)
+        with pytest.raises(InvalidFunctionError):
+            index.update_edge(u, v, bad)
+
+    def test_empty_update_is_a_noop(self, fresh_index):
+        _, index = fresh_index
+        report = index.update_edges({})
+        assert report.num_changed_edges == 0
+        assert report.num_dirty_vertices == 0
+
+
+class TestUpdateCorrectness:
+    def test_single_edge_slowdown(self, fresh_index, random_od_pairs):
+        graph, index = fresh_index
+        u, v, weight = sorted(graph.edges())[7]
+        report = index.update_edges(
+            {(u, v): scaled(weight, 4.0), (v, u): scaled(graph.weight(v, u), 4.0)}
+        )
+        assert report.num_changed_edges == 2
+        for source, target, departure in random_od_pairs[:12]:
+            reference = earliest_arrival(graph, source, target, departure)
+            result = index.query(source, target, departure)
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_speedup_update(self, fresh_index, random_od_pairs):
+        """Costs can also go down; the repaired index must pick the new route."""
+        graph, index = fresh_index
+        u, v, weight = sorted(graph.edges())[3]
+        index.update_edges(
+            {(u, v): scaled(weight, 0.25), (v, u): scaled(graph.weight(v, u), 0.25)}
+        )
+        for source, target, departure in random_od_pairs[:12]:
+            reference = earliest_arrival(graph, source, target, departure)
+            result = index.query(source, target, departure)
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_many_random_perturbations(self, fresh_index, random_od_pairs):
+        import numpy as np
+
+        graph, index = fresh_index
+        rng = np.random.default_rng(9)
+        generator = WeightGenerator(3, seed=99)
+        edges = sorted(graph.edges())
+        chosen = rng.choice(len(edges), size=20, replace=False)
+        changes = {}
+        for edge_index in chosen:
+            u, v, weight = edges[int(edge_index)]
+            changes[(u, v)] = generator.perturbed(weight, scale=0.5)
+        report = index.update_edges(changes)
+        assert report.num_changed_edges == len(changes)
+        assert report.num_dirty_vertices > 0
+        for source, target, departure in random_od_pairs[:15]:
+            reference = earliest_arrival(graph, source, target, departure)
+            result = index.query(source, target, departure)
+            assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_profile_queries_after_update(self, fresh_index):
+        from repro.baselines import profile_search
+
+        graph, index = fresh_index
+        u, v, weight = sorted(graph.edges())[11]
+        index.update_edges(
+            {(u, v): scaled(weight, 3.0), (v, u): scaled(graph.weight(v, u), 3.0)}
+        )
+        reference = profile_search(graph, 0)[24]
+        result = index.profile(0, 24)
+        assert reference.max_difference(result.function, samples=300) < 1e-6
+
+    def test_update_on_basic_index(self, random_od_pairs):
+        """An index without shortcuts only needs its bag functions repaired."""
+        graph = grid_network(5, 5, num_points=3, seed=52)
+        index = TDTreeIndex.build(graph, strategy="basic", max_points=None)
+        u, v, weight = sorted(graph.edges())[5]
+        report = index.update_edges({(u, v): scaled(weight, 5.0)})
+        assert report.num_refreshed_shortcut_pairs == 0
+        for source, target, departure in random_od_pairs[:10]:
+            reference = earliest_arrival(graph, source, target, departure)
+            assert index.query(source, target, departure).cost == pytest.approx(
+                reference.cost, rel=1e-6
+            )
+
+
+class TestUpdateReport:
+    def test_report_counts_touched_structures(self, fresh_index):
+        graph, index = fresh_index
+        u, v, weight = sorted(graph.edges())[0]
+        report = index.update_edge(u, v, scaled(weight, 2.0))
+        assert report.num_changed_edges == 1
+        assert report.seconds >= 0.0
+        assert report.num_dirty_vertices >= 1
+
+    def test_identity_update_touches_little(self, fresh_index):
+        """Re-writing the same weight must not cascade into shortcut refreshes."""
+        graph, index = fresh_index
+        u, v, weight = sorted(graph.edges())[0]
+        report = index.update_edge(u, v, weight)
+        assert report.num_refreshed_shortcut_nodes == 0

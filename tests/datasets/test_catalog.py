@@ -1,0 +1,78 @@
+"""Tests for the scaled dataset catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import CATALOG, dataset_names, get_spec, load_dataset
+from repro.exceptions import DatasetError
+from repro.graph import validate_graph
+
+
+class TestCatalogContents:
+    def test_five_paper_datasets_present(self):
+        assert dataset_names() == ["CAL", "SF", "COL", "FLA", "W-USA"]
+
+    def test_paper_statistics_recorded(self):
+        spec = get_spec("FLA")
+        assert spec.paper_vertices == 1_070_376
+        assert spec.paper_edges == 2_712_798
+        assert spec.paper_budget == "100M"
+
+    def test_scaled_sizes_preserve_the_paper_ordering(self):
+        sizes = [CATALOG[name].size for name in dataset_names()]
+        # CAL is a grid (size = side length) so compare from SF onwards.
+        assert sizes[1] < sizes[2] < sizes[3] < sizes[4]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_spec("cal").name == "CAL"
+        assert get_spec("w-usa").name == "W-USA"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("MARS")
+        with pytest.raises(DatasetError):
+            load_dataset("MARS")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["CAL", "SF"])
+    def test_loaded_networks_are_valid(self, name):
+        graph = load_dataset(name, num_points=3)
+        report = validate_graph(graph)
+        assert report.is_valid
+        assert graph.num_vertices >= 50
+
+    def test_deterministic(self):
+        first = load_dataset("CAL", num_points=3)
+        second = load_dataset("CAL", num_points=3)
+        assert first.num_edges == second.num_edges
+        assert sorted((u, v) for u, v, _ in first.edges()) == sorted(
+            (u, v) for u, v, _ in second.edges()
+        )
+
+    def test_seed_offset_gives_an_independent_instance(self):
+        first = load_dataset("CAL", num_points=3)
+        second = load_dataset("CAL", num_points=3, seed_offset=5)
+        # Same scale and both valid, but an independent random instance.
+        assert first.num_vertices == second.num_vertices
+        assert validate_graph(second).is_valid
+        assert sorted((u, v) for u, v, _ in first.edges()) != sorted(
+            (u, v) for u, v, _ in second.edges()
+        )
+
+    def test_c_parameter_controls_profile_size(self):
+        for c in (2, 4):
+            graph = load_dataset("CAL", num_points=c)
+            assert max(w.size for _, _, w in graph.edges()) <= c
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("CAL", num_points=0)
+
+    def test_spec_generate_unknown_kind(self):
+        from dataclasses import replace
+
+        spec = replace(get_spec("CAL"), kind="moebius")
+        with pytest.raises(DatasetError):
+            spec.generate()

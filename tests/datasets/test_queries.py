@@ -1,0 +1,95 @@
+"""Tests for the query-workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_pairs, generate_queries
+from repro.exceptions import DatasetError
+from repro.functions import DAY_SECONDS
+from repro.graph import TDGraph
+from repro.functions import PiecewiseLinearFunction
+
+
+class TestGeneratePairs:
+    def test_count_and_validity(self, small_grid):
+        pairs = generate_pairs(small_grid, 50, seed=1)
+        assert len(pairs) == 50
+        vertices = set(small_grid.vertices())
+        for source, target in pairs:
+            assert source in vertices and target in vertices
+            assert source != target
+
+    def test_deterministic(self, small_grid):
+        assert generate_pairs(small_grid, 20, seed=3) == generate_pairs(
+            small_grid, 20, seed=3
+        )
+
+    def test_different_seeds_differ(self, small_grid):
+        assert generate_pairs(small_grid, 20, seed=3) != generate_pairs(
+            small_grid, 20, seed=4
+        )
+
+    def test_rejects_nonpositive_count(self, small_grid):
+        with pytest.raises(DatasetError):
+            generate_pairs(small_grid, 0)
+
+    def test_rejects_tiny_graphs(self):
+        graph = TDGraph()
+        graph.add_vertex(0)
+        with pytest.raises(DatasetError):
+            generate_pairs(graph, 5)
+
+
+class TestGenerateQueries:
+    def test_paper_scheme_pairs_times_intervals(self, small_grid):
+        workload = generate_queries(small_grid, num_pairs=10, num_intervals=10, seed=0)
+        assert len(workload) == 100
+
+    def test_departures_cover_their_interval(self, small_grid):
+        workload = generate_queries(small_grid, num_pairs=3, num_intervals=4, seed=2)
+        interval = DAY_SECONDS / 4
+        per_pair = {}
+        for query in workload:
+            per_pair.setdefault((query.source, query.target), []).append(query.departure)
+        for departures in per_pair.values():
+            assert len(departures) == 4
+            for index, departure in enumerate(departures):
+                assert index * interval <= departure <= (index + 1) * interval
+
+    def test_pairs_method_deduplicates_in_order(self, small_grid):
+        workload = generate_queries(small_grid, num_pairs=5, num_intervals=3, seed=1)
+        pairs = workload.pairs()
+        assert len(pairs) == 5
+        assert len(set(pairs)) == 5
+
+    def test_queries_reference_existing_vertices(self, small_grid):
+        workload = generate_queries(small_grid, num_pairs=8, num_intervals=2, seed=9)
+        vertices = set(small_grid.vertices())
+        for query in workload:
+            assert query.source in vertices
+            assert query.target in vertices
+            assert 0.0 <= query.departure <= DAY_SECONDS
+
+    def test_dataset_label_carried(self, small_grid):
+        workload = generate_queries(
+            small_grid, num_pairs=2, num_intervals=2, seed=0, dataset="CAL"
+        )
+        assert workload.dataset == "CAL"
+
+    def test_invalid_intervals_rejected(self, small_grid):
+        with pytest.raises(DatasetError):
+            generate_queries(small_grid, num_pairs=2, num_intervals=0)
+
+    def test_workload_is_deterministic(self, small_grid):
+        first = generate_queries(small_grid, num_pairs=4, num_intervals=3, seed=7)
+        second = generate_queries(small_grid, num_pairs=4, num_intervals=3, seed=7)
+        assert list(first) == list(second)
+
+
+def test_query_dataclass_is_frozen():
+    from repro.datasets import Query
+
+    query = Query(1, 2, 3.0)
+    with pytest.raises(AttributeError):
+        query.source = 9  # type: ignore[misc]

@@ -1,0 +1,71 @@
+"""Tests for the experiment reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments import format_series, format_table, rows_to_csv, write_csv
+
+
+ROWS = [
+    {"dataset": "CAL", "method": "TD-appro", "c": 2, "time_ms": 1.234},
+    {"dataset": "CAL", "method": "TD-appro", "c": 3, "time_ms": 2.5},
+    {"dataset": "CAL", "method": "TD-G-tree", "c": 2, "time_ms": 4.0},
+]
+
+
+class TestFormatTable:
+    def test_contains_every_cell(self):
+        text = format_table(ROWS)
+        assert "TD-G-tree" in text
+        assert "1.234" in text
+        assert "dataset" in text
+
+    def test_title_and_alignment(self):
+        text = format_table(ROWS, title="Fig 8")
+        lines = text.splitlines()
+        assert lines[0] == "Fig 8"
+        # All data lines have the same width as the header line.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_column_subset(self):
+        text = format_table(ROWS, columns=["method", "time_ms"])
+        assert "dataset" not in text
+        assert "TD-appro" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_float_format(self):
+        text = format_table(ROWS, float_format="{:.1f}")
+        assert "1.2" in text
+        assert "1.234" not in text
+
+
+class TestCsv:
+    def test_rows_to_csv_round_trip(self):
+        csv_text = rows_to_csv(ROWS)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "dataset,method,c,time_ms"
+        assert len(lines) == 4
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(ROWS, path)
+        assert path.read_text().startswith("dataset,method")
+
+
+class TestFormatSeries:
+    def test_one_line_per_series(self):
+        text = format_series(ROWS, x="c", y="time_ms", series="method")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert any(line.startswith("TD-appro:") for line in lines)
+        assert any(line.startswith("TD-G-tree:") for line in lines)
+
+    def test_points_are_y_at_x(self):
+        text = format_series(ROWS, x="c", y="time_ms", series="method")
+        assert "1.234@2" in text
+        assert "2.500@3" in text

@@ -1,0 +1,131 @@
+"""Tests for the per-table/figure experiment runners.
+
+Each runner is exercised in a heavily reduced configuration (smallest dataset,
+few queries, short sweeps): the goal here is to verify that every experiment
+of the paper can be regenerated end-to-end and produces rows of the expected
+shape, while the benchmarks under ``benchmarks/`` run the fuller versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_simplification_ablation,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_utility_ablation,
+)
+
+
+pytestmark = pytest.mark.experiment
+
+
+class TestTableRunners:
+    def test_table2_rows(self):
+        rows = run_table2(datasets=("CAL",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "CAL"
+        assert row["paper_vertices"] == 21_048
+        assert row["scaled_vertices"] > 0
+        assert row["treewidth"] >= 1
+        assert row["treeheight"] >= 2
+        assert row["scaled_budget_N"] > 0
+        assert "CAL" in format_table(rows)
+
+    def test_table3_shapes_and_ordering(self):
+        rows = run_table3(num_pairs=6, num_intervals=2, profile_pairs=2)
+        by_method = {row["method"]: row for row in rows}
+        assert set(by_method) == {"TD-G-tree", "TD-H2H", "TD-basic"}
+        # The paper's qualitative ordering on CAL: TD-H2H answers cost queries
+        # fastest; TD-basic is cheapest to build and smallest in memory but has
+        # the slowest cost-function queries.
+        assert by_method["TD-H2H"]["cost_query_ms"] <= by_method["TD-basic"]["cost_query_ms"]
+        assert by_method["TD-basic"]["memory_mb"] <= by_method["TD-H2H"]["memory_mb"]
+        assert (
+            by_method["TD-basic"]["profile_query_ms"]
+            >= by_method["TD-H2H"]["profile_query_ms"]
+        )
+
+    def test_table4_skips_h2h_like_the_paper(self):
+        rows = run_table4(num_pairs=4, num_intervals=2, profile_pairs=1)
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["TD-H2H"]["cost_query_ms"] == "N/A"
+        assert by_method["TD-basic"]["construction_s"] != "N/A"
+
+
+class TestFigureRunners:
+    def test_fig8_reduced_sweep(self):
+        rows = run_fig8(
+            datasets=("CAL",),
+            c_values=(2, 3),
+            num_pairs=5,
+            num_intervals=2,
+            profile_pairs=2,
+        )
+        assert {row["c"] for row in rows} == {2, 3}
+        assert {row["method"] for row in rows} == {"TD-G-tree", "TD-basic", "TD-H2H"}
+        for row in rows:
+            assert row["cost_query_ms"] > 0
+            assert row["profile_query_ms"] > 0
+
+    def test_fig9_reports_construction_and_memory(self):
+        rows = run_fig9(datasets=("CAL",), c_values=(3,), methods=("TD-appro",))
+        assert len(rows) == 1
+        assert rows[0]["construction_s"] > 0
+        assert rows[0]["memory_mb"] > 0
+
+    def test_fig10_update_cost_grows_with_changes(self):
+        rows = run_fig10(dataset="CAL", update_counts=(2, 40), num_points=3)
+        assert len(rows) == 2
+        assert rows[0]["num_updated_edges"] == 2
+        assert rows[1]["num_updated_edges"] == 40
+        assert all(row["update_seconds"] > 0 for row in rows)
+        # More changed edges never touch fewer labels.
+        assert rows[1]["dirty_vertices"] >= rows[0]["dirty_vertices"]
+
+    def test_fig11_memory_grows_with_budget(self):
+        rows = run_fig11(
+            dataset="CAL",
+            budget_fractions=(0.1, 0.5),
+            num_pairs=5,
+            num_intervals=2,
+            profile_pairs=2,
+        )
+        assert len(rows) == 2
+        assert rows[1]["memory_mb"] > rows[0]["memory_mb"]
+        assert rows[1]["selected_pairs"] > rows[0]["selected_pairs"]
+        assert rows[1]["budget_N"] > rows[0]["budget_N"]
+
+
+class TestAblations:
+    def test_utility_ablation_rows(self):
+        rows = run_utility_ablation(
+            dataset="CAL", budget_fraction=0.3, num_pairs=5, num_intervals=2
+        )
+        labels = [row["utility"] for row in rows]
+        assert labels[0].startswith("paper")
+        assert len(rows) == 3
+        assert all(row["cost_query_ms"] > 0 for row in rows)
+
+    def test_simplification_ablation_rows(self):
+        rows = run_simplification_ablation(
+            dataset="CAL",
+            max_points_values=(8, None),
+            num_pairs=4,
+            num_intervals=2,
+            accuracy_pairs=4,
+        )
+        by_cap = {row["max_points"]: row for row in rows}
+        assert set(by_cap) == {8, "exact"}
+        # The exact configuration has zero error and at least as much memory.
+        assert by_cap["exact"]["max_relative_error"] <= 1e-9
+        assert by_cap["exact"]["memory_mb"] >= by_cap[8]["memory_mb"]
+        assert by_cap[8]["max_relative_error"] < 0.05

@@ -1,0 +1,144 @@
+"""Unit tests for the ``Compound`` operator (Definition 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import NO_VIA, PiecewiseLinearFunction, compound
+
+
+def brute_force_compound(first, second, grid):
+    """Reference: h(t) = first(t) + second(t + first(t)) evaluated pointwise."""
+    f_vals = np.asarray(first.evaluate(grid))
+    return f_vals + np.asarray(second.evaluate(grid + f_vals))
+
+
+class TestCompoundBasics:
+    def test_constant_then_constant(self):
+        result = compound(
+            PiecewiseLinearFunction.constant(10.0), PiecewiseLinearFunction.constant(5.0)
+        )
+        assert result.is_constant()
+        assert result.evaluate(0.0) == 15.0
+
+    def test_zero_is_left_identity(self):
+        second = PiecewiseLinearFunction.from_points([(0, 10), (50, 30), (100, 10)])
+        result = compound(PiecewiseLinearFunction.zero(), second)
+        grid = np.linspace(-10, 150, 70)
+        assert np.allclose(result.evaluate(grid), second.evaluate(grid))
+
+    def test_zero_is_right_identity(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (50, 30), (100, 10)])
+        result = compound(first, PiecewiseLinearFunction.zero())
+        grid = np.linspace(-10, 150, 70)
+        assert np.allclose(result.evaluate(grid), first.evaluate(grid))
+
+    def test_paper_example_path_1_4_9(self):
+        """Fig. 1b / Fig. 2: compound of w_{1,4} and w_{4,9} at t=0 costs 10."""
+        w_1_4 = PiecewiseLinearFunction.from_points([(0, 5), (30, 15), (60, 25)])
+        w_4_9 = PiecewiseLinearFunction.from_points([(0, 5), (60, 15)])
+        result = compound(w_1_4, w_4_9)
+        # Departing at 0: travel 5 on (1,4), arrive at 5, then w_4_9(5)=5/6*... ≈ 5.83.
+        expected = 5 + w_4_9.evaluate(5.0)
+        assert result.evaluate(0.0) == pytest.approx(expected)
+
+    def test_paper_example_path_1_2_9(self):
+        w_1_2 = PiecewiseLinearFunction.from_points([(0, 10), (20, 10), (60, 15)])
+        w_2_9 = PiecewiseLinearFunction.from_points([(0, 5), (30, 10), (60, 15)])
+        result = compound(w_1_2, w_2_9)
+        expected = 10 + w_2_9.evaluate(10.0)
+        assert result.evaluate(0.0) == pytest.approx(expected)
+
+    def test_constant_first_shifts_second(self):
+        first = PiecewiseLinearFunction.constant(10.0)
+        second = PiecewiseLinearFunction.from_points([(0, 5), (100, 50)])
+        result = compound(first, second)
+        for t in (-20.0, 0.0, 45.0, 120.0):
+            assert result.evaluate(t) == pytest.approx(10.0 + second.evaluate(t + 10.0))
+
+
+class TestCompoundExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force_on_dense_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        times_a = np.sort(rng.uniform(0, 86_400, size=5))
+        times_a[0] = 0.0
+        costs_a = rng.uniform(60, 600, size=5)
+        # Enforce FIFO so the analytic breakpoints are exact.
+        for i in range(1, 5):
+            costs_a[i] = max(costs_a[i], costs_a[i - 1] - (times_a[i] - times_a[i - 1]) + 1)
+        times_b = np.sort(rng.uniform(0, 86_400, size=4))
+        costs_b = rng.uniform(60, 600, size=4)
+        for i in range(1, 4):
+            costs_b[i] = max(costs_b[i], costs_b[i - 1] - (times_b[i] - times_b[i - 1]) + 1)
+        first = PiecewiseLinearFunction(times_a, costs_a)
+        second = PiecewiseLinearFunction(times_b, costs_b)
+
+        result = compound(first, second)
+        grid = np.linspace(-1000, 90_000, 2_000)
+        assert np.allclose(result.evaluate(grid), brute_force_compound(first, second, grid), atol=1e-6)
+
+    def test_result_breakpoints_include_preimages(self):
+        first = PiecewiseLinearFunction.from_points([(0, 100), (1000, 100)])
+        second = PiecewiseLinearFunction.from_points([(0, 10), (500, 200), (1000, 10)])
+        result = compound(first, second)
+        # The kink of `second` at t=500 must appear as a kink of the result at
+        # departure time 400 (arrival 400 + 100 = 500).
+        assert np.any(np.isclose(result.times, 400.0))
+
+    def test_fifo_preserved_under_compound(self):
+        first = PiecewiseLinearFunction.from_points([(0, 100), (3600, 400), (7200, 150)])
+        second = PiecewiseLinearFunction.from_points([(0, 200), (3600, 700), (7200, 250)])
+        assert first.is_fifo() and second.is_fifo()
+        assert compound(first, second).is_fifo()
+
+    def test_costs_remain_nonnegative(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 20)])
+        second = PiecewiseLinearFunction.from_points([(0, 0), (100, 5)])
+        assert compound(first, second).is_nonnegative()
+
+
+class TestCompoundVia:
+    def test_via_is_recorded_on_every_segment(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 20)])
+        second = PiecewiseLinearFunction.from_points([(0, 5), (100, 15)])
+        result = compound(first, second, via=42)
+        assert set(result.via.tolist()) == {42}
+        assert result.has_via
+
+    def test_default_via_is_no_via(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 20)])
+        second = PiecewiseLinearFunction.from_points([(0, 5), (100, 15)])
+        result = compound(first, second)
+        assert set(result.via.tolist()) == {NO_VIA}
+
+    def test_via_recorded_with_constant_operands(self):
+        result = compound(
+            PiecewiseLinearFunction.constant(1.0),
+            PiecewiseLinearFunction.from_points([(0, 5), (10, 6)]),
+            via=3,
+        )
+        assert set(result.via.tolist()) == {3}
+        result = compound(
+            PiecewiseLinearFunction.from_points([(0, 5), (10, 6)]),
+            PiecewiseLinearFunction.constant(1.0),
+            via=4,
+        )
+        assert set(result.via.tolist()) == {4}
+
+
+class TestCompoundAssociativityLikeBehaviour:
+    def test_chaining_three_legs_matches_pointwise(self):
+        rng = np.random.default_rng(9)
+        legs = []
+        for _ in range(3):
+            times = np.array([0.0, 30_000.0, 60_000.0, 86_400.0])
+            costs = rng.uniform(100, 900, size=4)
+            for i in range(1, 4):
+                costs[i] = max(costs[i], costs[i - 1] - (times[i] - times[i - 1]) + 1)
+            legs.append(PiecewiseLinearFunction(times, costs))
+        left = compound(compound(legs[0], legs[1]), legs[2])
+        right = compound(legs[0], compound(legs[1], legs[2]))
+        grid = np.linspace(0, 86_400, 1_500)
+        assert np.allclose(left.evaluate(grid), right.evaluate(grid), atol=1e-6)

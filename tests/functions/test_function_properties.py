@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the PLF algebra.
+
+These check the algebraic invariants every index algorithm silently relies on:
+
+* ``compound`` equals the pointwise definition ``f(t) + g(t + f(t))`` for FIFO
+  inputs (exactness of the analytic breakpoint construction);
+* ``minimum`` is the exact lower envelope, commutative and idempotent;
+* FIFO and non-negativity are closed under both operators;
+* ``simplify`` never exceeds its cap and is the identity in value for the
+  lossless configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.functions import (
+    PiecewiseLinearFunction,
+    compound,
+    minimum,
+    remove_collinear,
+    simplify,
+)
+
+_HORIZON = 86_400.0
+
+
+@st.composite
+def fifo_functions(draw, max_points: int = 6):
+    """Random FIFO-compliant travel-cost functions over one day."""
+    size = draw(st.integers(min_value=1, max_value=max_points))
+    raw_times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=_HORIZON, allow_nan=False),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    times = np.sort(np.asarray(raw_times, dtype=np.float64))
+    # Guarantee a minimum spacing so slopes stay finite and well conditioned.
+    for i in range(1, len(times)):
+        if times[i] - times[i - 1] < 1.0:
+            times[i] = times[i - 1] + 1.0
+    costs = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=5_000.0, allow_nan=False),
+                min_size=size,
+                max_size=size,
+            )
+        ),
+        dtype=np.float64,
+    )
+    # FIFO repair: slope >= -1.
+    for i in range(1, len(costs)):
+        lower = costs[i - 1] - (times[i] - times[i - 1]) + 0.001
+        if costs[i] < lower:
+            costs[i] = lower
+    costs = np.maximum(costs, 0.001)
+    return PiecewiseLinearFunction(times, costs)
+
+
+_grid = np.linspace(-5_000.0, _HORIZON + 5_000.0, 700)
+
+
+@settings(max_examples=60, deadline=None)
+@given(first=fifo_functions(), second=fifo_functions())
+def test_compound_matches_pointwise_definition(first, second):
+    result = compound(first, second)
+    f_vals = np.asarray(first.evaluate(_grid))
+    expected = f_vals + np.asarray(second.evaluate(_grid + f_vals))
+    assert np.allclose(result.evaluate(_grid), expected, atol=1e-6, rtol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(first=fifo_functions(), second=fifo_functions())
+def test_compound_preserves_fifo_and_nonnegativity(first, second):
+    result = compound(first, second)
+    assert result.is_nonnegative()
+    assert result.is_fifo(tolerance=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(first=fifo_functions(), second=fifo_functions())
+def test_minimum_is_exact_lower_envelope(first, second):
+    result = minimum(first, second)
+    expected = np.minimum(first.evaluate(_grid), second.evaluate(_grid))
+    assert np.allclose(result.evaluate(_grid), expected, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(first=fifo_functions(), second=fifo_functions())
+def test_minimum_is_commutative_in_value(first, second):
+    left = minimum(first, second)
+    right = minimum(second, first)
+    assert np.allclose(left.evaluate(_grid), right.evaluate(_grid), atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(func=fifo_functions())
+def test_minimum_is_idempotent(func):
+    assert minimum(func, func).allclose(func, tolerance=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(first=fifo_functions(), second=fifo_functions(), third=fifo_functions())
+def test_minimum_is_associative_in_value(first, second, third):
+    left = minimum(minimum(first, second), third)
+    right = minimum(first, minimum(second, third))
+    assert np.allclose(left.evaluate(_grid), right.evaluate(_grid), atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(func=fifo_functions(max_points=6))
+def test_collinear_removal_is_lossless(func):
+    reduced = remove_collinear(func)
+    assert reduced.size <= func.size
+    assert np.allclose(reduced.evaluate(_grid), func.evaluate(_grid), atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(func=fifo_functions(max_points=6), cap=st.integers(min_value=2, max_value=8))
+def test_simplify_respects_cap_and_nonnegativity(func, cap):
+    reduced = simplify(func, max_points=cap)
+    assert reduced.size <= max(cap, 2)
+    assert reduced.is_nonnegative()
+
+
+@settings(max_examples=60, deadline=None)
+@given(func=fifo_functions())
+def test_arrival_function_is_nondecreasing(func):
+    arrivals = np.asarray(func.arrival(_grid))
+    assert np.all(np.diff(arrivals) >= -1e-6)

@@ -1,0 +1,100 @@
+"""Unit tests for the pointwise ``minimum`` operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions import PiecewiseLinearFunction, minimum, minimum_of
+
+
+class TestMinimumBasics:
+    def test_constant_functions(self):
+        low = PiecewiseLinearFunction.constant(5.0)
+        high = PiecewiseLinearFunction.constant(9.0)
+        assert minimum(low, high) is low
+        assert minimum(high, low) is low
+
+    def test_dominated_function_is_returned_unchanged(self):
+        low = PiecewiseLinearFunction.from_points([(0, 10), (100, 20)])
+        high = PiecewiseLinearFunction.from_points([(0, 30), (100, 40)])
+        assert minimum(low, high) is low
+        assert minimum(high, low) is low
+
+    def test_pointwise_values_are_the_minimum(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 30)])
+        second = PiecewiseLinearFunction.from_points([(0, 30), (100, 10)])
+        result = minimum(first, second)
+        grid = np.linspace(-50, 150, 500)
+        expected = np.minimum(first.evaluate(grid), second.evaluate(grid))
+        assert np.allclose(result.evaluate(grid), expected, atol=1e-9)
+
+    def test_crossing_point_becomes_breakpoint(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 30)])
+        second = PiecewiseLinearFunction.from_points([(0, 30), (100, 10)])
+        result = minimum(first, second)
+        # They cross exactly at t=50.
+        assert np.any(np.isclose(result.times, 50.0))
+        assert result.evaluate(50.0) == pytest.approx(20.0)
+
+    def test_result_never_exceeds_either_input(self):
+        rng = np.random.default_rng(4)
+        times = np.linspace(0, 86_400, 6)
+        first = PiecewiseLinearFunction(times, rng.uniform(100, 1000, size=6))
+        second = PiecewiseLinearFunction(times, rng.uniform(100, 1000, size=6))
+        result = minimum(first, second)
+        grid = np.linspace(0, 86_400, 3_000)
+        assert np.all(result.evaluate(grid) <= first.evaluate(grid) + 1e-9)
+        assert np.all(result.evaluate(grid) <= second.evaluate(grid) + 1e-9)
+
+    def test_commutative_in_value(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (50, 40), (100, 5)])
+        second = PiecewiseLinearFunction.from_points([(0, 20), (60, 8), (100, 25)])
+        grid = np.linspace(0, 100, 400)
+        assert np.allclose(
+            minimum(first, second).evaluate(grid),
+            minimum(second, first).evaluate(grid),
+            atol=1e-9,
+        )
+
+
+class TestMinimumVia:
+    def test_via_tracks_the_winner(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 30)], via=1)
+        second = PiecewiseLinearFunction.from_points([(0, 30), (100, 10)], via=2)
+        result = minimum(first, second)
+        assert result.via_at(10.0) == 1  # first wins early
+        assert result.via_at(90.0) == 2  # second wins late
+
+    def test_tie_prefers_first(self):
+        first = PiecewiseLinearFunction.from_points([(0, 10), (100, 10)], via=1)
+        second = PiecewiseLinearFunction.from_points([(0, 10), (100, 10)], via=2)
+        result = minimum(first, second)
+        assert result.via_at(50.0) == 1
+
+
+class TestMinimumOf:
+    def test_requires_at_least_one_function(self):
+        with pytest.raises(InvalidFunctionError):
+            minimum_of([])
+
+    def test_single_function_returned_as_is(self):
+        func = PiecewiseLinearFunction.constant(3.0)
+        assert minimum_of([func]) is func
+
+    def test_many_functions(self):
+        funcs = [
+            PiecewiseLinearFunction.from_points([(0, 10 + i), (100, 40 - i)])
+            for i in range(5)
+        ]
+        result = minimum_of(funcs)
+        grid = np.linspace(0, 100, 300)
+        expected = np.min([f.evaluate(grid) for f in funcs], axis=0)
+        assert np.allclose(result.evaluate(grid), expected, atol=1e-9)
+
+    def test_accepts_generators(self):
+        result = minimum_of(
+            PiecewiseLinearFunction.constant(float(c)) for c in (7.0, 3.0, 9.0)
+        )
+        assert result.evaluate(0.0) == 3.0

@@ -1,0 +1,226 @@
+"""Unit tests for :class:`repro.functions.PiecewiseLinearFunction`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions import NO_VIA, PiecewiseLinearFunction
+
+
+@pytest.fixture()
+def paper_edge_function() -> PiecewiseLinearFunction:
+    """The weight of edge e_{1,2} from the paper's Fig. 1b."""
+    return PiecewiseLinearFunction.from_points([(0, 10), (20, 10), (60, 15)])
+
+
+class TestConstruction:
+    def test_from_points_sorts_input(self):
+        func = PiecewiseLinearFunction.from_points([(60, 15), (0, 10), (20, 10)])
+        assert func.points() == [(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]
+
+    def test_from_points_requires_at_least_one_point(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction.from_points([])
+
+    def test_constant_function(self):
+        func = PiecewiseLinearFunction.constant(42.0)
+        assert func.size == 1
+        assert func.evaluate(0.0) == 42.0
+        assert func.evaluate(1e6) == 42.0
+
+    def test_zero_function(self):
+        func = PiecewiseLinearFunction.zero()
+        assert func.evaluate(12345.0) == 0.0
+        assert func.is_constant()
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0.0, 0.0, 10.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([10.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0.0, 10.0], [1.0, -2.0])
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0.0, np.inf], [1.0, 2.0])
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0.0, 10.0], [1.0, np.nan])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0.0, 10.0], [1.0])
+
+    def test_rejects_multidimensional_arrays(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_scalar_via_is_broadcast(self):
+        func = PiecewiseLinearFunction([0.0, 10.0], [1.0, 2.0], via=7)
+        assert list(func.via) == [7, 7]
+        assert func.has_via
+
+    def test_default_via_is_no_via(self):
+        func = PiecewiseLinearFunction([0.0, 10.0], [1.0, 2.0])
+        assert list(func.via) == [NO_VIA, NO_VIA]
+        assert not func.has_via
+
+    def test_arrays_are_read_only(self, paper_edge_function):
+        with pytest.raises(ValueError):
+            paper_edge_function.times[0] = 5.0
+        with pytest.raises(ValueError):
+            paper_edge_function.costs[0] = 5.0
+
+
+class TestEvaluation:
+    def test_exact_breakpoints(self, paper_edge_function):
+        assert paper_edge_function.evaluate(0.0) == 10.0
+        assert paper_edge_function.evaluate(20.0) == 10.0
+        assert paper_edge_function.evaluate(60.0) == 15.0
+
+    def test_linear_interpolation_between_breakpoints(self, paper_edge_function):
+        # Between t=20 (10) and t=60 (15): slope 1/8.
+        assert paper_edge_function.evaluate(40.0) == pytest.approx(12.5)
+
+    def test_clamps_before_first_breakpoint(self, paper_edge_function):
+        assert paper_edge_function.evaluate(-100.0) == 10.0
+
+    def test_clamps_after_last_breakpoint(self, paper_edge_function):
+        assert paper_edge_function.evaluate(1_000.0) == 15.0
+
+    def test_vectorised_evaluation(self, paper_edge_function):
+        grid = np.array([0.0, 20.0, 40.0, 60.0, 100.0])
+        values = paper_edge_function.evaluate(grid)
+        assert np.allclose(values, [10.0, 10.0, 12.5, 15.0, 15.0])
+
+    def test_callable_protocol(self, paper_edge_function):
+        assert paper_edge_function(40.0) == paper_edge_function.evaluate(40.0)
+
+    def test_arrival_adds_departure(self, paper_edge_function):
+        assert paper_edge_function.arrival(20.0) == 30.0
+
+    def test_arrival_vectorised(self, paper_edge_function):
+        grid = np.array([0.0, 20.0])
+        assert np.allclose(paper_edge_function.arrival(grid), [10.0, 30.0])
+
+    def test_via_at_returns_segment_provenance(self):
+        func = PiecewiseLinearFunction([0.0, 10.0, 20.0], [1.0, 2.0, 3.0], via=[5, 6, 7])
+        assert func.via_at(-1.0) == 5
+        assert func.via_at(5.0) == 5
+        assert func.via_at(15.0) == 6
+        assert func.via_at(25.0) == 7
+
+
+class TestProperties:
+    def test_size_and_domain(self, paper_edge_function):
+        assert paper_edge_function.size == 3
+        assert paper_edge_function.domain == (0.0, 60.0)
+
+    def test_min_and_max_cost(self, paper_edge_function):
+        assert paper_edge_function.min_cost == 10.0
+        assert paper_edge_function.max_cost == 15.0
+
+    def test_is_constant(self):
+        assert PiecewiseLinearFunction.constant(3.0).is_constant()
+        assert not PiecewiseLinearFunction.from_points([(0, 1), (10, 5)]).is_constant()
+        assert PiecewiseLinearFunction.from_points([(0, 1), (10, 1.5)]).is_constant(
+            tolerance=1.0
+        )
+
+    def test_fifo_holds_for_paper_edge(self, paper_edge_function):
+        assert paper_edge_function.is_fifo()
+
+    def test_fifo_violation_detected(self):
+        # Cost drops by 100 over 10 seconds: slope -10 < -1, overtaking possible.
+        func = PiecewiseLinearFunction([0.0, 10.0], [200.0, 100.0])
+        assert not func.is_fifo()
+
+    def test_fifo_boundary_slope_minus_one(self):
+        func = PiecewiseLinearFunction([0.0, 10.0], [20.0, 10.0])
+        assert func.is_fifo()
+
+    def test_nonnegative(self, paper_edge_function):
+        assert paper_edge_function.is_nonnegative()
+
+    def test_equality_and_hash(self, paper_edge_function):
+        clone = PiecewiseLinearFunction.from_points([(0, 10), (20, 10), (60, 15)])
+        assert clone == paper_edge_function
+        assert hash(clone) == hash(paper_edge_function)
+        other = PiecewiseLinearFunction.from_points([(0, 10), (20, 11), (60, 15)])
+        assert other != paper_edge_function
+
+    def test_equality_against_other_types(self, paper_edge_function):
+        assert paper_edge_function != "not a function"
+
+    def test_repr_mentions_size(self, paper_edge_function):
+        assert "size=3" in repr(paper_edge_function)
+
+    def test_len(self, paper_edge_function):
+        assert len(paper_edge_function) == 3
+
+
+class TestTransformations:
+    def test_with_via_rewrites_every_segment(self, paper_edge_function):
+        rewritten = paper_edge_function.with_via(9)
+        assert set(rewritten.via.tolist()) == {9}
+        # Original untouched (immutability).
+        assert set(paper_edge_function.via.tolist()) == {NO_VIA}
+
+    def test_shift_adds_constant(self, paper_edge_function):
+        shifted = paper_edge_function.shift(5.0)
+        assert shifted.evaluate(0.0) == 15.0
+        assert shifted.evaluate(60.0) == 20.0
+
+    def test_shift_rejects_negative_results(self, paper_edge_function):
+        with pytest.raises(InvalidFunctionError):
+            paper_edge_function.shift(-100.0)
+
+    def test_restrict_preserves_values_inside_window(self, paper_edge_function):
+        restricted = paper_edge_function.restrict(10.0, 50.0)
+        for t in (10.0, 25.0, 40.0, 50.0):
+            assert restricted.evaluate(t) == pytest.approx(
+                paper_edge_function.evaluate(t)
+            )
+        assert restricted.domain[0] >= 10.0 - 1e-9
+        assert restricted.domain[1] <= 50.0 + 1e-9
+
+    def test_restrict_rejects_reversed_window(self, paper_edge_function):
+        with pytest.raises(InvalidFunctionError):
+            paper_edge_function.restrict(50.0, 10.0)
+
+    def test_restrict_of_constant_is_identity(self):
+        func = PiecewiseLinearFunction.constant(5.0)
+        assert func.restrict(0.0, 10.0) is func
+
+
+class TestComparisons:
+    def test_allclose_true_for_identical(self, paper_edge_function):
+        assert paper_edge_function.allclose(paper_edge_function)
+
+    def test_allclose_detects_differences(self, paper_edge_function):
+        other = PiecewiseLinearFunction.from_points([(0, 10), (20, 12), (60, 15)])
+        assert not paper_edge_function.allclose(other, tolerance=0.5)
+
+    def test_max_difference_uses_breakpoint_union(self):
+        first = PiecewiseLinearFunction.from_points([(0, 0), (100, 100)])
+        second = PiecewiseLinearFunction.from_points([(0, 0), (50, 80), (100, 100)])
+        assert first.max_difference(second) == pytest.approx(30.0)
+
+    def test_definite_integral_of_constant(self):
+        func = PiecewiseLinearFunction.constant(2.0)
+        assert func.definite_integral(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_definite_integral_of_ramp(self):
+        func = PiecewiseLinearFunction.from_points([(0, 0), (10, 10)])
+        assert func.definite_integral(0.0, 10.0) == pytest.approx(50.0)
+
+    def test_definite_integral_rejects_reversed_window(self):
+        func = PiecewiseLinearFunction.constant(2.0)
+        with pytest.raises(InvalidFunctionError):
+            func.definite_integral(10.0, 0.0)

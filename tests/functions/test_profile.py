@@ -1,0 +1,81 @@
+"""Unit tests for the profile helpers (:mod:`repro.functions.profile`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions import (
+    DAY_SECONDS,
+    PiecewiseLinearFunction,
+    average_cost,
+    lower_bound,
+    merge_profiles,
+    relative_error,
+    sample_profile,
+    upper_bound,
+)
+
+
+@pytest.fixture()
+def wavy_profile() -> PiecewiseLinearFunction:
+    return PiecewiseLinearFunction.from_points(
+        [(0, 100), (21_600, 300), (43_200, 150), (64_800, 350), (86_400, 120)]
+    )
+
+
+class TestBounds:
+    def test_lower_bound(self, wavy_profile):
+        assert lower_bound(wavy_profile) == 100.0
+
+    def test_upper_bound(self, wavy_profile):
+        assert upper_bound(wavy_profile) == 350.0
+
+    def test_day_constant(self):
+        assert DAY_SECONDS == 86_400.0
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, wavy_profile):
+        grid, values = sample_profile(wavy_profile, samples=25)
+        assert grid.shape == (25,)
+        assert values.shape == (25,)
+        assert grid[0] == 0.0
+        assert grid[-1] == DAY_SECONDS
+
+    def test_sample_values_match_evaluation(self, wavy_profile):
+        grid, values = sample_profile(wavy_profile, samples=11)
+        assert np.allclose(values, wavy_profile.evaluate(grid))
+
+    def test_sample_requires_two_points(self, wavy_profile):
+        with pytest.raises(InvalidFunctionError):
+            sample_profile(wavy_profile, samples=1)
+
+
+class TestMergeAndError:
+    def test_merge_profiles_is_lower_envelope(self, wavy_profile):
+        alternative = PiecewiseLinearFunction.constant(200.0)
+        merged = merge_profiles([wavy_profile, alternative])
+        grid = np.linspace(0, DAY_SECONDS, 500)
+        expected = np.minimum(wavy_profile.evaluate(grid), 200.0)
+        assert np.allclose(merged.evaluate(grid), expected)
+
+    def test_average_cost_of_constant(self):
+        func = PiecewiseLinearFunction.constant(120.0)
+        assert average_cost(func) == pytest.approx(120.0)
+
+    def test_average_cost_rejects_empty_window(self):
+        func = PiecewiseLinearFunction.constant(120.0)
+        with pytest.raises(InvalidFunctionError):
+            average_cost(func, start=10.0, end=10.0)
+
+    def test_relative_error_zero_for_identical(self, wavy_profile):
+        assert relative_error(wavy_profile, wavy_profile) == 0.0
+
+    def test_relative_error_detects_scaling(self, wavy_profile):
+        scaled = PiecewiseLinearFunction(
+            wavy_profile.times, wavy_profile.costs * 1.1, validate=False
+        )
+        error = relative_error(scaled, wavy_profile)
+        assert error == pytest.approx(0.1, rel=1e-3)

@@ -1,0 +1,105 @@
+"""Unit tests for breakpoint simplification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import PiecewiseLinearFunction, count_points, remove_collinear, simplify
+
+
+class TestRemoveCollinear:
+    def test_drops_points_on_a_straight_line(self):
+        func = PiecewiseLinearFunction.from_points(
+            [(0, 0), (10, 10), (20, 20), (30, 30)]
+        )
+        reduced = remove_collinear(func)
+        assert reduced.size == 2
+        grid = np.linspace(0, 30, 100)
+        assert np.allclose(reduced.evaluate(grid), func.evaluate(grid))
+
+    def test_keeps_genuine_kinks(self):
+        func = PiecewiseLinearFunction.from_points([(0, 0), (10, 10), (20, 5)])
+        assert remove_collinear(func).size == 3
+
+    def test_consecutive_collinear_points(self):
+        func = PiecewiseLinearFunction.from_points(
+            [(0, 0), (5, 5), (10, 10), (15, 15), (20, 40)]
+        )
+        reduced = remove_collinear(func)
+        assert reduced.size == 3
+        grid = np.linspace(0, 20, 200)
+        assert np.allclose(reduced.evaluate(grid), func.evaluate(grid))
+
+    def test_tolerance_permits_small_wobble(self):
+        func = PiecewiseLinearFunction.from_points([(0, 0), (10, 10.05), (20, 20)])
+        assert remove_collinear(func, tolerance=0.1).size == 2
+        assert remove_collinear(func, tolerance=0.001).size == 3
+
+    def test_short_functions_untouched(self):
+        func = PiecewiseLinearFunction.from_points([(0, 1), (10, 2)])
+        assert remove_collinear(func) is func
+
+
+class TestSimplify:
+    def test_no_cap_only_removes_collinear(self):
+        func = PiecewiseLinearFunction.from_points(
+            [(0, 0), (10, 10), (20, 20), (30, 10)]
+        )
+        reduced = simplify(func)
+        assert reduced.size == 3
+
+    def test_cap_is_respected(self):
+        rng = np.random.default_rng(0)
+        times = np.linspace(0, 86_400, 40)
+        costs = rng.uniform(100, 200, size=40)
+        func = PiecewiseLinearFunction(times, costs)
+        reduced = simplify(func, max_points=10)
+        assert reduced.size <= 10
+
+    def test_cap_keeps_endpoints(self):
+        times = np.linspace(0, 1000, 30)
+        costs = np.abs(np.sin(times / 100.0)) * 100 + 50
+        func = PiecewiseLinearFunction(times, costs)
+        reduced = simplify(func, max_points=5)
+        assert reduced.times[0] == func.times[0]
+        assert reduced.times[-1] == func.times[-1]
+
+    def test_under_cap_returns_same_object(self):
+        func = PiecewiseLinearFunction.from_points([(0, 1), (10, 2), (20, 1)])
+        assert simplify(func, max_points=10) is func
+
+    def test_error_stays_moderate_for_smooth_functions(self):
+        times = np.linspace(0, 86_400, 60)
+        costs = 300 + 100 * np.sin(times / 86_400 * 2 * np.pi)
+        func = PiecewiseLinearFunction(times, costs)
+        reduced = simplify(func, max_points=12)
+        assert reduced.size <= 12
+        # A 12-point approximation of a smooth sinusoid should stay within a
+        # few percent of the original.
+        assert func.max_difference(reduced, samples=500) < 0.05 * func.max_cost
+
+    def test_degenerate_cap_collapses_to_constant(self):
+        func = PiecewiseLinearFunction.from_points([(0, 10), (50, 30), (100, 10)])
+        reduced = simplify(func, max_points=1)
+        assert reduced.size == 1
+        assert reduced.costs[0] >= 0.0
+
+    def test_costs_never_become_negative(self):
+        func = PiecewiseLinearFunction.from_points(
+            [(0, 0.0), (10, 5.0), (20, 0.0), (30, 5.0), (40, 0.0)]
+        )
+        reduced = simplify(func, max_points=3)
+        assert reduced.is_nonnegative()
+
+
+class TestCountPoints:
+    def test_counts_across_iterable(self):
+        funcs = [
+            PiecewiseLinearFunction.constant(1.0),
+            PiecewiseLinearFunction.from_points([(0, 1), (10, 2), (20, 3)]),
+        ]
+        assert count_points(funcs) == 4
+
+    def test_empty_iterable(self):
+        assert count_points([]) == 0

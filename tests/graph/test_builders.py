@@ -1,0 +1,109 @@
+"""Unit tests for the graph builders (edge lists, networkx, paper example)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import (
+    from_networkx,
+    from_static_edge_list,
+    from_td_edge_list,
+    paper_example_graph,
+    to_networkx,
+    validate_graph,
+)
+
+
+class TestFromStaticEdgeList:
+    def test_constant_weights(self):
+        graph = from_static_edge_list([(0, 1, 10.0), (1, 2, 20.0)])
+        assert graph.weight(0, 1).is_constant()
+        assert graph.weight(0, 1).evaluate(0.0) == 10.0
+        # bidirectional by default
+        assert graph.has_edge(1, 0)
+
+    def test_directed_only(self):
+        graph = from_static_edge_list([(0, 1, 10.0)], bidirectional=False)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_time_dependent_weights_from_static_costs(self):
+        graph = from_static_edge_list([(0, 1, 60.0)], num_points=4, seed=1)
+        weight = graph.weight(0, 1)
+        assert weight.size == 4
+        # The static cost is the free-flow (minimum) cost of the profile.
+        assert weight.min_cost >= 0.5 * 60.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(GraphError):
+            from_static_edge_list([(0, 1, -5.0)])
+
+    def test_coordinates_attached(self):
+        graph = from_static_edge_list(
+            [(0, 1, 5.0)], coordinates={0: (0.0, 0.0), 1: (3.0, 4.0)}
+        )
+        assert graph.coordinate(1) == (3.0, 4.0)
+
+
+class TestFromTdEdgeList:
+    def test_explicit_interpolation_points(self):
+        graph = from_td_edge_list([(0, 1, [(0, 10), (100, 20)])])
+        assert graph.weight(0, 1).evaluate(50.0) == pytest.approx(15.0)
+
+    def test_bidirectional_option(self):
+        graph = from_td_edge_list([(0, 1, [(0, 10)])], bidirectional=True)
+        assert graph.has_edge(1, 0)
+
+
+class TestNetworkxConversion:
+    def test_from_networkx_numeric_weights(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1, weight=7.0)
+        nx_graph.add_node(0, pos=(0.0, 1.0))
+        graph = from_networkx(nx_graph)
+        assert graph.weight(0, 1).evaluate(0.0) == 7.0
+        assert graph.has_edge(1, 0)  # undirected source -> both directions
+        assert graph.coordinate(0) == (0.0, 1.0)
+
+    def test_from_networkx_directed(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1, weight=7.0)
+        graph = from_networkx(nx_graph)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_from_networkx_plf_weights(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1, weight=PiecewiseLinearFunction.constant(3.0))
+        nx_graph.add_edge(1, 0, weight=[(0, 4), (10, 6)])
+        graph = from_networkx(nx_graph)
+        assert graph.weight(0, 1).evaluate(0.0) == 3.0
+        assert graph.weight(1, 0).evaluate(10.0) == 6.0
+
+    def test_round_trip_to_networkx(self):
+        graph = from_static_edge_list([(0, 1, 5.0), (1, 2, 6.0)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == graph.num_edges
+        assert nx_graph[0][1]["free_flow"] == 5.0
+
+
+class TestPaperExampleGraph:
+    def test_size_matches_figure(self):
+        graph = paper_example_graph()
+        assert graph.num_vertices == 15
+
+    def test_figure_1b_weights(self):
+        graph = paper_example_graph()
+        assert graph.weight(1, 2).points() == [(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]
+        assert graph.weight(4, 9).points() == [(0.0, 5.0), (60.0, 15.0)]
+
+    def test_symmetric_weights(self):
+        graph = paper_example_graph()
+        assert graph.weight(1, 2).allclose(graph.weight(2, 1))
+
+    def test_valid(self):
+        assert validate_graph(paper_example_graph()).is_valid

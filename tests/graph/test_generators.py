@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    WeightGenerator,
+    ensure_connected,
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+    validate_graph,
+)
+
+
+class TestGridNetwork:
+    def test_vertex_count(self):
+        graph = grid_network(4, 5, seed=0)
+        assert graph.num_vertices == 20
+
+    def test_all_vertices_have_coordinates(self):
+        graph = grid_network(3, 3, seed=0)
+        assert all(graph.coordinate(v) is not None for v in graph.vertices())
+
+    def test_edges_are_bidirectional(self):
+        graph = grid_network(4, 4, seed=1)
+        for u, v, _ in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_valid_time_dependent_graph(self):
+        graph = grid_network(5, 5, seed=2)
+        report = validate_graph(graph)
+        assert report.is_valid, report
+
+    def test_deterministic_given_seed(self):
+        a = grid_network(4, 4, seed=3)
+        b = grid_network(4, 4, seed=3)
+        assert a.num_edges == b.num_edges
+        assert sorted((u, v) for u, v, _ in a.edges()) == sorted(
+            (u, v) for u, v, _ in b.edges()
+        )
+
+    def test_num_points_parameter_controls_profile_size(self):
+        graph = grid_network(3, 3, num_points=5, seed=0)
+        sizes = {weight.size for _, _, weight in graph.edges()}
+        assert max(sizes) <= 5
+        assert 5 in sizes
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_network(1, 5)
+
+
+class TestRingRadialNetwork:
+    def test_vertex_count(self):
+        graph = ring_radial_network(3, 6, seed=0)
+        assert graph.num_vertices == 1 + 3 * 6
+
+    def test_strongly_connected(self):
+        graph = ring_radial_network(2, 8, seed=1)
+        assert validate_graph(graph).is_strongly_connected
+
+    def test_rejects_too_few_spokes(self):
+        with pytest.raises(GraphError):
+            ring_radial_network(2, 2)
+
+
+class TestRandomGeometricNetwork:
+    def test_vertex_count_and_connectivity(self):
+        graph = random_geometric_network(80, seed=5)
+        assert graph.num_vertices == 80
+        report = validate_graph(graph)
+        assert report.is_strongly_connected
+
+    def test_road_like_average_degree(self):
+        graph = random_geometric_network(150, seed=6)
+        average_degree = graph.num_edges / graph.num_vertices
+        # Directed edges, so road networks land roughly between 2 and 8.
+        assert 2.0 <= average_degree <= 8.0
+
+    def test_deterministic_given_seed(self):
+        a = random_geometric_network(60, seed=9)
+        b = random_geometric_network(60, seed=9)
+        assert a.num_edges == b.num_edges
+
+    def test_different_seed_changes_topology(self):
+        a = random_geometric_network(60, seed=9)
+        b = random_geometric_network(60, seed=10)
+        assert sorted((u, v) for u, v, _ in a.edges()) != sorted(
+            (u, v) for u, v, _ in b.edges()
+        )
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GraphError):
+            random_geometric_network(3)
+
+    def test_weights_are_fifo(self):
+        graph = random_geometric_network(50, seed=11)
+        assert all(weight.is_fifo() for _, _, weight in graph.edges())
+
+
+class TestEnsureConnected:
+    def test_connects_two_components(self):
+        from repro.graph import TDGraph
+        from repro.functions import PiecewiseLinearFunction
+
+        graph = TDGraph()
+        graph.add_vertex(0, (0.0, 0.0))
+        graph.add_vertex(1, (10.0, 0.0))
+        graph.add_vertex(2, (1_000.0, 0.0))
+        graph.add_vertex(3, (1_010.0, 0.0))
+        weight = PiecewiseLinearFunction.constant(5.0)
+        graph.add_bidirectional_edge(0, 1, weight)
+        graph.add_bidirectional_edge(2, 3, weight)
+        ensure_connected(graph, WeightGenerator(3, seed=0))
+        assert validate_graph(graph).is_strongly_connected
+
+    def test_noop_on_connected_graph(self):
+        graph = grid_network(3, 3, seed=0)
+        edges_before = graph.num_edges
+        ensure_connected(graph, WeightGenerator(3, seed=0))
+        assert graph.num_edges == edges_before

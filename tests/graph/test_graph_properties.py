@@ -1,0 +1,84 @@
+"""Property-based tests for the graph substrate.
+
+Random sequences of mutations must keep the adjacency structure internally
+consistent (out/in views agree), and generated networks must always satisfy
+the invariants the index relies on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import TDGraph, grid_network, validate_graph
+
+
+@st.composite
+def edge_operations(draw):
+    """A random sequence of add/remove operations over a small vertex universe."""
+    size = draw(st.integers(min_value=8, max_value=40))
+    operations = []
+    for _ in range(size):
+        kind = draw(st.sampled_from(["add", "remove_edge", "remove_vertex"]))
+        u = draw(st.integers(min_value=0, max_value=9))
+        v = draw(st.integers(min_value=0, max_value=9))
+        cost = draw(st.floats(min_value=0.5, max_value=500.0))
+        operations.append((kind, u, v, cost))
+    return operations
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=edge_operations())
+def test_out_and_in_views_stay_consistent(operations):
+    graph = TDGraph()
+    for kind, u, v, cost in operations:
+        if u == v:
+            continue
+        if kind == "add":
+            graph.add_edge(u, v, PiecewiseLinearFunction.constant(cost))
+        elif kind == "remove_edge" and graph.has_edge(u, v):
+            graph.remove_edge(u, v)
+        elif kind == "remove_vertex" and graph.has_vertex(u):
+            graph.remove_vertex(u)
+    # Invariant: forward and backward adjacency describe the same edge set.
+    forward = {(u, v) for u, v, _ in graph.edges()}
+    backward = {
+        (pred, v) for v in graph.vertices() for pred, _ in graph.in_items(v)
+    }
+    assert forward == backward
+    assert graph.num_edges == len(forward)
+    # Degrees are consistent with the neighbourhood view.
+    for vertex in graph.vertices():
+        assert graph.degree(vertex) == len(graph.neighbors(vertex))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    cols=st.integers(min_value=2, max_value=6),
+    c=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_generated_grids_always_satisfy_index_assumptions(rows, cols, c, seed):
+    graph = grid_network(rows, cols, num_points=c, seed=seed)
+    report = validate_graph(graph)
+    assert report.is_valid
+    assert graph.num_vertices == rows * cols
+    assert all(weight.size <= c for _, _, weight in graph.edges())
+    assert all(weight.min_cost > 0 for _, _, weight in graph.edges())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cost=st.floats(min_value=0.1, max_value=1_000.0),
+)
+def test_copy_and_subgraph_do_not_alias_structure(seed, cost):
+    graph = grid_network(3, 3, seed=seed % 50)
+    clone = graph.copy()
+    u, v, _ = next(iter(graph.edges()))
+    clone.set_weight(u, v, PiecewiseLinearFunction.constant(cost))
+    # Changing the clone must not change the original's weight object.
+    assert graph.weight(u, v) is not clone.weight(u, v)
+    sub = graph.subgraph(list(graph.vertices()))
+    assert sub.num_edges == graph.num_edges

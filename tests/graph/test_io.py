@@ -1,0 +1,105 @@
+"""Unit tests for graph serialisation (JSON and TD-DIMACS)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph import (
+    grid_network,
+    load_graph_dimacs,
+    load_graph_json,
+    paper_example_graph,
+    save_graph_dimacs,
+    save_graph_json,
+)
+
+
+def graphs_equal(first, second) -> bool:
+    if first.num_vertices != second.num_vertices or first.num_edges != second.num_edges:
+        return False
+    for u, v, weight in first.edges():
+        if not second.has_edge(u, v):
+            return False
+        if not weight.allclose(second.weight(u, v), tolerance=1e-6):
+            return False
+    return True
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_grid(self, tmp_path):
+        graph = grid_network(4, 4, seed=1)
+        path = tmp_path / "grid.json"
+        save_graph_json(graph, path)
+        loaded = load_graph_json(path)
+        assert graphs_equal(graph, loaded)
+
+    def test_round_trip_preserves_coordinates(self, tmp_path):
+        graph = grid_network(3, 3, seed=1)
+        path = tmp_path / "grid.json"
+        save_graph_json(graph, path)
+        loaded = load_graph_json(path)
+        for vertex in graph.vertices():
+            assert loaded.coordinate(vertex) == pytest.approx(graph.coordinate(vertex))
+
+    def test_round_trip_paper_example(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "example.json"
+        save_graph_json(graph, path)
+        assert graphs_equal(graph, load_graph_json(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_graph_json(tmp_path / "nothing.json")
+
+    def test_wrong_format_marker_raises(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(SerializationError):
+            load_graph_json(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "repro-td-graph", "version": 999}))
+        with pytest.raises(SerializationError):
+            load_graph_json(path)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_graph_json(path)
+
+
+class TestDimacsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        graph = grid_network(4, 4, seed=2)
+        path = tmp_path / "grid.gr"
+        save_graph_dimacs(graph, path, comment="scaled grid network")
+        loaded = load_graph_dimacs(path)
+        assert graphs_equal(graph, loaded)
+
+    def test_comment_written(self, tmp_path):
+        graph = grid_network(3, 3, seed=2)
+        path = tmp_path / "grid.gr"
+        save_graph_dimacs(graph, path, comment="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("c line one\nc line two\n")
+
+    def test_unknown_record_raises(self, tmp_path):
+        path = tmp_path / "broken.gr"
+        path.write_text("p sp 2 1\nx 1 2 3\n")
+        with pytest.raises(SerializationError):
+            load_graph_dimacs(path)
+
+    def test_truncated_interpolation_points_raise(self, tmp_path):
+        path = tmp_path / "broken.gr"
+        path.write_text("a 1 2 3 0 10 20 10\n")
+        with pytest.raises(SerializationError):
+            load_graph_dimacs(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_graph_dimacs(tmp_path / "nope.gr")

@@ -1,0 +1,189 @@
+"""Unit tests for :class:`repro.graph.TDGraph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import TDGraph
+
+
+@pytest.fixture()
+def simple_graph() -> TDGraph:
+    graph = TDGraph()
+    w01 = PiecewiseLinearFunction.from_points([(0, 10), (100, 20)])
+    w12 = PiecewiseLinearFunction.constant(5.0)
+    graph.add_edge(0, 1, w01)
+    graph.add_edge(1, 2, w12)
+    graph.add_edge(2, 0, PiecewiseLinearFunction.constant(7.0))
+    return graph
+
+
+class TestVertices:
+    def test_add_vertex_is_idempotent(self):
+        graph = TDGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices == 1
+
+    def test_vertex_with_coordinate(self):
+        graph = TDGraph()
+        graph.add_vertex(3, (1.5, 2.5))
+        assert graph.coordinate(3) == (1.5, 2.5)
+        assert graph.coordinate(99) is None
+
+    def test_coordinates_returns_copy(self):
+        graph = TDGraph()
+        graph.add_vertex(1, (0.0, 0.0))
+        coords = graph.coordinates()
+        coords[1] = (9.0, 9.0)
+        assert graph.coordinate(1) == (0.0, 0.0)
+
+    def test_rejects_negative_vertex_ids(self):
+        graph = TDGraph()
+        with pytest.raises(GraphError):
+            graph.add_vertex(-1)
+
+    def test_rejects_non_integer_vertices(self):
+        graph = TDGraph()
+        with pytest.raises(GraphError):
+            graph.add_vertex("a")  # type: ignore[arg-type]
+        with pytest.raises(GraphError):
+            graph.add_vertex(True)  # bools are not valid vertex ids
+
+    def test_contains_protocol(self, simple_graph):
+        assert 0 in simple_graph
+        assert 99 not in simple_graph
+
+    def test_remove_vertex_drops_incident_edges(self, simple_graph):
+        simple_graph.remove_vertex(1)
+        assert not simple_graph.has_vertex(1)
+        assert not simple_graph.has_edge(0, 1)
+        assert not simple_graph.has_edge(1, 2)
+        assert simple_graph.has_edge(2, 0)
+
+    def test_remove_missing_vertex_raises(self, simple_graph):
+        with pytest.raises(VertexNotFoundError):
+            simple_graph.remove_vertex(42)
+
+
+class TestEdges:
+    def test_counts(self, simple_graph):
+        assert simple_graph.num_vertices == 3
+        assert simple_graph.num_edges == 3
+
+    def test_weight_lookup(self, simple_graph):
+        assert simple_graph.weight(1, 2).evaluate(0.0) == 5.0
+
+    def test_weight_missing_edge_raises(self, simple_graph):
+        with pytest.raises(EdgeNotFoundError):
+            simple_graph.weight(0, 2)
+
+    def test_weight_missing_vertex_raises(self, simple_graph):
+        with pytest.raises(VertexNotFoundError):
+            simple_graph.weight(42, 0)
+
+    def test_add_edge_rejects_self_loop(self):
+        graph = TDGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, PiecewiseLinearFunction.constant(1.0))
+
+    def test_add_edge_rejects_non_plf_weight(self):
+        graph = TDGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, 5.0)  # type: ignore[arg-type]
+
+    def test_add_edge_replaces_existing(self, simple_graph):
+        simple_graph.add_edge(0, 1, PiecewiseLinearFunction.constant(99.0))
+        assert simple_graph.weight(0, 1).evaluate(0.0) == 99.0
+        assert simple_graph.num_edges == 3
+
+    def test_bidirectional_edge_shares_function_by_default(self):
+        graph = TDGraph()
+        weight = PiecewiseLinearFunction.constant(4.0)
+        graph.add_bidirectional_edge(0, 1, weight)
+        assert graph.weight(0, 1) is weight
+        assert graph.weight(1, 0) is weight
+
+    def test_bidirectional_edge_with_distinct_reverse(self):
+        graph = TDGraph()
+        forward = PiecewiseLinearFunction.constant(4.0)
+        backward = PiecewiseLinearFunction.constant(6.0)
+        graph.add_bidirectional_edge(0, 1, forward, backward)
+        assert graph.weight(0, 1).evaluate(0) == 4.0
+        assert graph.weight(1, 0).evaluate(0) == 6.0
+
+    def test_set_weight_requires_existing_edge(self, simple_graph):
+        with pytest.raises(EdgeNotFoundError):
+            simple_graph.set_weight(0, 2, PiecewiseLinearFunction.constant(1.0))
+
+    def test_set_weight_updates_both_directions_of_lookup(self, simple_graph):
+        new_weight = PiecewiseLinearFunction.constant(123.0)
+        simple_graph.set_weight(0, 1, new_weight)
+        assert simple_graph.weight(0, 1) is new_weight
+        assert dict(simple_graph.in_items(1))[0] is new_weight
+
+    def test_remove_edge(self, simple_graph):
+        simple_graph.remove_edge(0, 1)
+        assert not simple_graph.has_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            simple_graph.remove_edge(0, 1)
+
+    def test_edges_iterator_yields_triples(self, simple_graph):
+        triples = list(simple_graph.edges())
+        assert len(triples) == 3
+        assert all(isinstance(w, PiecewiseLinearFunction) for _, _, w in triples)
+
+    def test_total_interpolation_points(self, simple_graph):
+        assert simple_graph.total_interpolation_points() == 2 + 1 + 1
+
+
+class TestNeighbourhoods:
+    def test_out_and_in_neighbors(self, simple_graph):
+        assert set(simple_graph.out_neighbors(0)) == {1}
+        assert set(simple_graph.in_neighbors(0)) == {2}
+
+    def test_neighbors_is_union(self, simple_graph):
+        assert simple_graph.neighbors(0) == {1, 2}
+
+    def test_degree_is_undirected(self, simple_graph):
+        assert simple_graph.degree(0) == 2
+
+    def test_missing_vertex_raises(self, simple_graph):
+        with pytest.raises(VertexNotFoundError):
+            list(simple_graph.out_neighbors(42))
+        with pytest.raises(VertexNotFoundError):
+            list(simple_graph.in_neighbors(42))
+        with pytest.raises(VertexNotFoundError):
+            simple_graph.neighbors(42)
+
+    def test_undirected_adjacency(self, simple_graph):
+        adjacency = simple_graph.undirected_adjacency()
+        assert adjacency[1] == {0, 2}
+
+
+class TestViews:
+    def test_copy_is_structurally_independent(self, simple_graph):
+        clone = simple_graph.copy()
+        clone.remove_edge(0, 1)
+        assert simple_graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_copy_preserves_coordinates(self):
+        graph = TDGraph()
+        graph.add_vertex(5, (1.0, 2.0))
+        assert graph.copy().coordinate(5) == (1.0, 2.0)
+
+    def test_subgraph_keeps_internal_edges_only(self, simple_graph):
+        sub = simple_graph.subgraph([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 2)
+
+    def test_subgraph_missing_vertex_raises(self, simple_graph):
+        with pytest.raises(VertexNotFoundError):
+            simple_graph.subgraph([0, 99])
+
+    def test_repr(self, simple_graph):
+        assert "num_vertices=3" in repr(simple_graph)

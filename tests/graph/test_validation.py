@@ -1,0 +1,87 @@
+"""Unit tests for graph validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import TDGraph, grid_network, is_strongly_connected, validate_graph
+
+
+def two_cycle() -> TDGraph:
+    graph = TDGraph()
+    weight = PiecewiseLinearFunction.constant(3.0)
+    graph.add_bidirectional_edge(0, 1, weight)
+    return graph
+
+
+class TestValidateGraph:
+    def test_valid_generated_network(self):
+        report = validate_graph(grid_network(4, 4, seed=0))
+        assert report.is_valid
+        assert report.is_connected
+        assert report.is_strongly_connected
+        assert not report.non_fifo_edges
+        assert not report.negative_cost_edges
+
+    def test_empty_graph_is_invalid(self):
+        report = validate_graph(TDGraph())
+        assert not report.is_valid
+        with pytest.raises(GraphError):
+            report.raise_if_invalid()
+
+    def test_detects_non_fifo_edge(self):
+        graph = two_cycle()
+        graph.add_edge(
+            1, 2, PiecewiseLinearFunction([0.0, 10.0], [500.0, 10.0], validate=False)
+        )
+        graph.add_edge(2, 1, PiecewiseLinearFunction.constant(5.0))
+        graph.add_edge(2, 0, PiecewiseLinearFunction.constant(5.0))
+        graph.add_edge(0, 2, PiecewiseLinearFunction.constant(5.0))
+        report = validate_graph(graph)
+        assert (1, 2) in report.non_fifo_edges
+        assert not report.is_valid
+        with pytest.raises(GraphError, match="FIFO"):
+            report.raise_if_invalid()
+
+    def test_detects_weak_connectivity_only(self):
+        graph = two_cycle()
+        # One-way street into a dead end: weakly but not strongly connected.
+        graph.add_edge(1, 2, PiecewiseLinearFunction.constant(1.0))
+        report = validate_graph(graph)
+        assert report.is_connected
+        assert not report.is_strongly_connected
+        assert not report.is_valid
+        with pytest.raises(GraphError, match="strongly connected"):
+            report.raise_if_invalid()
+
+    def test_detects_disconnected_components(self):
+        graph = two_cycle()
+        graph.add_bidirectional_edge(5, 6, PiecewiseLinearFunction.constant(2.0))
+        report = validate_graph(graph)
+        assert not report.is_connected
+        assert not report.is_strongly_connected
+
+    def test_isolated_vertices_reported(self):
+        graph = two_cycle()
+        graph.add_vertex(9)
+        report = validate_graph(graph)
+        assert report.isolated_vertices == [9]
+
+    def test_valid_report_raises_nothing(self):
+        validate_graph(two_cycle()).raise_if_invalid()
+
+
+class TestStrongConnectivity:
+    def test_two_cycle_is_strongly_connected(self):
+        assert is_strongly_connected(two_cycle())
+
+    def test_empty_graph_is_not(self):
+        assert not is_strongly_connected(TDGraph())
+
+    def test_one_way_chain_is_not(self):
+        graph = TDGraph()
+        graph.add_edge(0, 1, PiecewiseLinearFunction.constant(1.0))
+        graph.add_edge(1, 2, PiecewiseLinearFunction.constant(1.0))
+        assert not is_strongly_connected(graph)

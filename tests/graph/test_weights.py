@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic congestion-profile generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions import DAY_SECONDS
+from repro.graph import WeightGenerator, constant_weight, daily_profile, enforce_fifo
+
+
+class TestEnforceFifo:
+    def test_no_change_when_already_fifo(self):
+        times = np.array([0.0, 100.0, 200.0])
+        costs = np.array([50.0, 60.0, 55.0])
+        fixed = enforce_fifo(times, costs)
+        assert np.allclose(fixed, costs)
+
+    def test_repairs_violation(self):
+        times = np.array([0.0, 10.0])
+        costs = np.array([200.0, 50.0])  # slope -15 < -1
+        fixed = enforce_fifo(times, costs)
+        assert fixed[1] >= costs[0] - 10.0
+        # The repaired profile is FIFO.
+        assert np.all(np.diff(fixed) >= -np.diff(times) - 1e-9)
+
+    def test_result_is_positive(self):
+        times = np.array([0.0, 10.0])
+        costs = np.array([0.0, 0.0])
+        assert np.all(enforce_fifo(times, costs) > 0)
+
+    def test_input_not_mutated(self):
+        times = np.array([0.0, 10.0])
+        costs = np.array([200.0, 50.0])
+        enforce_fifo(times, costs)
+        assert costs[1] == 50.0
+
+
+class TestDailyProfile:
+    def test_exact_number_of_points(self):
+        for c in range(2, 7):
+            profile = daily_profile(100.0, c, rng=np.random.default_rng(1))
+            assert profile.size == c
+
+    def test_single_point_profile_is_constant(self):
+        profile = daily_profile(100.0, 1)
+        assert profile.is_constant()
+        assert profile.evaluate(0.0) == 100.0
+
+    def test_profiles_are_fifo(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            profile = daily_profile(rng.uniform(10, 500), 5, rng=rng)
+            assert profile.is_fifo()
+
+    def test_profiles_cover_the_whole_day(self):
+        profile = daily_profile(100.0, 4, rng=np.random.default_rng(0))
+        assert profile.times[0] == 0.0
+        assert profile.times[-1] == DAY_SECONDS
+
+    def test_costs_never_fall_below_half_base(self):
+        rng = np.random.default_rng(5)
+        profile = daily_profile(100.0, 6, rng=rng)
+        assert profile.min_cost >= 50.0
+
+    def test_peak_factor_increases_rush_hour_cost(self):
+        calm = daily_profile(100.0, 6, peak_factor=1.0, jitter=0.0, rng=np.random.default_rng(2))
+        rush = daily_profile(100.0, 6, peak_factor=3.0, jitter=0.0, rng=np.random.default_rng(2))
+        assert rush.max_cost > calm.max_cost
+
+    def test_rejects_nonpositive_base_cost(self):
+        with pytest.raises(InvalidFunctionError):
+            daily_profile(0.0, 3)
+        with pytest.raises(InvalidFunctionError):
+            daily_profile(-5.0, 3)
+
+    def test_rejects_nonpositive_num_points(self):
+        with pytest.raises(InvalidFunctionError):
+            daily_profile(10.0, 0)
+
+
+class TestConstantWeight:
+    def test_constant_weight(self):
+        assert constant_weight(12.0).evaluate(5_000.0) == 12.0
+
+    def test_constant_weight_rejects_negative(self):
+        with pytest.raises(InvalidFunctionError):
+            constant_weight(-1.0)
+
+
+class TestWeightGenerator:
+    def test_deterministic_given_seed(self):
+        first = WeightGenerator(3, seed=7)
+        second = WeightGenerator(3, seed=7)
+        a = first.profile_for(100.0)
+        b = second.profile_for(100.0)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = WeightGenerator(4, seed=1).profile_for(100.0)
+        b = WeightGenerator(4, seed=2).profile_for(100.0)
+        assert not a.allclose(b)
+
+    def test_generator_respects_num_points(self):
+        generator = WeightGenerator(5, seed=0)
+        assert generator.profile_for(60.0).size == 5
+
+    def test_rejects_invalid_num_points(self):
+        with pytest.raises(InvalidFunctionError):
+            WeightGenerator(0)
+
+    def test_perturbed_keeps_shape_and_fifo(self):
+        generator = WeightGenerator(4, seed=0)
+        original = generator.profile_for(100.0)
+        perturbed = generator.perturbed(original, scale=0.3)
+        assert perturbed.size == original.size
+        assert perturbed.is_fifo()
+        assert perturbed.is_nonnegative()
+
+    def test_perturbed_changes_costs(self):
+        generator = WeightGenerator(4, seed=0)
+        original = generator.profile_for(100.0)
+        perturbed = generator.perturbed(original, scale=0.3)
+        assert not original.allclose(perturbed, tolerance=1e-6)

@@ -1,0 +1,59 @@
+"""Smoke tests for the runnable example scripts.
+
+The examples double as living documentation; these tests make sure each one
+imports, exposes a ``main`` function, and the cheapest one runs end-to-end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_FILES = [
+    "quickstart.py",
+    "commute_planner.py",
+    "fleet_dispatch.py",
+    "traffic_incident_update.py",
+    "index_tuning.py",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_examples_directory_has_all_scripts(self):
+        present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert set(EXAMPLE_FILES) <= present
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_defines_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_has_module_docstring(self, name):
+        module = load_example(name)
+        assert module.__doc__ and len(module.__doc__) > 80
+
+
+@pytest.mark.integration
+class TestQuickstartRuns:
+    def test_quickstart_main_executes(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "network:" in output
+        assert "query 0 ->" in output
+        assert "profile query" in output

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_every_library_error_is_a_repro_error(self):
+        for name in exceptions.__all__:
+            if name == "ReproError":
+                continue
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError), name
+
+    def test_value_error_compatibility(self):
+        assert issubclass(exceptions.InvalidFunctionError, ValueError)
+        assert issubclass(exceptions.GraphError, ValueError)
+        assert issubclass(exceptions.SelectionError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(exceptions.VertexNotFoundError, KeyError)
+        assert issubclass(exceptions.EdgeNotFoundError, KeyError)
+
+    def test_vertex_not_found_carries_vertex(self):
+        error = exceptions.VertexNotFoundError(42)
+        assert error.vertex == 42
+        assert "42" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = exceptions.EdgeNotFoundError(1, 2)
+        assert (error.source, error.target) == (1, 2)
+
+    def test_disconnected_query_error_message(self):
+        error = exceptions.DisconnectedQueryError(3, 9)
+        assert "3" in str(error) and "9" in str(error)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.IndexNotBuiltError("not built")
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.DatasetError("unknown dataset")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.functions
+        import repro.graph
+        import repro.utils
+
+        assert repro.core.TDTreeIndex is repro.TDTreeIndex

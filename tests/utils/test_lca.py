@@ -1,0 +1,96 @@
+"""Unit tests for the binary-lifting LCA index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils import LCAIndex
+
+
+@pytest.fixture()
+def sample_tree() -> LCAIndex:
+    #        0
+    #      /   \
+    #     1     2
+    #    / \     \
+    #   3   4     5
+    #  /
+    # 6
+    parents = {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3}
+    return LCAIndex(parents)
+
+
+class TestDepth:
+    def test_root_depth(self, sample_tree):
+        assert sample_tree.depth(0) == 0
+
+    def test_leaf_depth(self, sample_tree):
+        assert sample_tree.depth(6) == 3
+
+
+class TestLCA:
+    def test_siblings(self, sample_tree):
+        assert sample_tree.lca(3, 4) == 1
+
+    def test_different_subtrees(self, sample_tree):
+        assert sample_tree.lca(6, 5) == 0
+
+    def test_ancestor_descendant(self, sample_tree):
+        assert sample_tree.lca(1, 6) == 1
+        assert sample_tree.lca(6, 1) == 1
+
+    def test_same_node(self, sample_tree):
+        assert sample_tree.lca(4, 4) == 4
+
+    def test_root_with_anything(self, sample_tree):
+        assert sample_tree.lca(0, 6) == 0
+
+    def test_is_ancestor(self, sample_tree):
+        assert sample_tree.is_ancestor(0, 6)
+        assert sample_tree.is_ancestor(1, 3)
+        assert not sample_tree.is_ancestor(2, 3)
+        assert sample_tree.is_ancestor(5, 5)
+
+    def test_forest_raises_across_trees(self):
+        index = LCAIndex({0: None, 1: 0, 2: None, 3: 2})
+        with pytest.raises(ReproError):
+            index.lca(1, 3)
+        assert not index.is_ancestor(0, 3)
+
+    def test_cycle_detection(self):
+        with pytest.raises(ReproError):
+            LCAIndex({0: 1, 1: 0})
+
+
+class TestAgainstBruteForce:
+    def test_random_trees(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            size = int(rng.integers(2, 60))
+            parents = {0: None}
+            for node in range(1, size):
+                parents[node] = int(rng.integers(0, node))
+            index = LCAIndex(parents)
+
+            def root_path(node):
+                path = [node]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return path
+
+            for _ in range(20):
+                a, b = int(rng.integers(0, size)), int(rng.integers(0, size))
+                path_a = root_path(a)
+                ancestors_b = set(root_path(b))
+                expected = next(v for v in path_a if v in ancestors_b)
+                assert index.lca(a, b) == expected
+
+    def test_deep_chain(self):
+        parents = {0: None}
+        for node in range(1, 200):
+            parents[node] = node - 1
+        index = LCAIndex(parents)
+        assert index.lca(150, 199) == 150
+        assert index.depth(199) == 199

@@ -1,0 +1,57 @@
+"""Unit tests for the analytic memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
+
+
+class TestMemoryModel:
+    def test_functions_bytes_scale_with_points(self):
+        model = MemoryModel()
+        small = model.functions_bytes(10, 2)
+        large = model.functions_bytes(100, 2)
+        assert large > small
+        assert large - small == 90 * model.bytes_per_point
+
+    def test_nodes_bytes(self):
+        model = MemoryModel(bytes_per_node=100)
+        assert model.nodes_bytes(7) == 700
+
+    def test_default_model_is_shared(self):
+        assert DEFAULT_MEMORY_MODEL.bytes_per_point > 0
+
+
+class TestMemoryBreakdown:
+    def test_total_combines_all_parts(self):
+        breakdown = MemoryBreakdown(
+            label_points=100,
+            label_functions=10,
+            shortcut_points=50,
+            shortcut_functions=5,
+            structure_nodes=20,
+        )
+        assert breakdown.total_bytes == (
+            breakdown.label_bytes + breakdown.shortcut_bytes + breakdown.structure_bytes
+        )
+        assert breakdown.total_megabytes == pytest.approx(
+            breakdown.total_bytes / (1024 * 1024)
+        )
+
+    def test_empty_breakdown_is_zero(self):
+        assert MemoryBreakdown().total_bytes == 0
+
+    def test_addition(self):
+        first = MemoryBreakdown(label_points=10, label_functions=1, structure_nodes=2)
+        second = MemoryBreakdown(shortcut_points=20, shortcut_functions=2)
+        combined = first + second
+        assert combined.label_points == 10
+        assert combined.shortcut_points == 20
+        assert combined.structure_nodes == 2
+        assert combined.total_bytes == first.total_bytes + second.total_bytes
+
+    def test_more_points_means_more_memory(self):
+        small = MemoryBreakdown(shortcut_points=100, shortcut_functions=10)
+        large = MemoryBreakdown(shortcut_points=1000, shortcut_functions=10)
+        assert large.total_bytes > small.total_bytes

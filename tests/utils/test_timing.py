@@ -1,0 +1,94 @@
+"""Unit tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils import Stopwatch, Timer, time_call
+
+
+class TestStopwatch:
+    def test_accumulates_elapsed_time(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        assert first > 0
+        watch.start()
+        time.sleep(0.01)
+        watch.stop()
+        assert watch.elapsed >= first
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestTimer:
+    def test_measure_accumulates_per_name(self):
+        timer = Timer()
+        with timer.measure("phase"):
+            time.sleep(0.005)
+        with timer.measure("phase"):
+            time.sleep(0.005)
+        assert timer.elapsed("phase") >= 0.01
+
+    def test_unknown_phase_is_zero(self):
+        assert Timer().elapsed("nothing") == 0.0
+
+    def test_as_dict(self):
+        timer = Timer()
+        with timer.measure("a"):
+            pass
+        with timer.measure("b"):
+            pass
+        assert set(timer.as_dict()) == {"a", "b"}
+
+    def test_exception_inside_measure_still_stops(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer.measure("x"):
+                raise ValueError("boom")
+        assert timer.elapsed("x") >= 0.0
+        # The stopwatch must not be left running.
+        with timer.measure("x"):
+            pass
+
+
+class TestTimeCall:
+    def test_returns_result_and_positive_time(self):
+        seconds, result = time_call(lambda: sum(range(100)))
+        assert result == 4950
+        assert seconds >= 0.0
+
+    def test_repeat_averages(self):
+        seconds, _ = time_call(time.sleep, 0.005, repeat=2)
+        assert seconds >= 0.004
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
