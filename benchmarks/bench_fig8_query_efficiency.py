@@ -5,17 +5,27 @@ on CAL, SF, COL and FLA, sweeping c from 2 to 6.  The benchmarked operations
 are the two query types per (dataset, method, c) combination; the registered
 report prints the same series the figure plots.
 
+The module also benchmarks the **batch query engine**
+(:meth:`TDTreeIndex.batch_query`): the same scalar workload submitted as one
+vectorized call instead of a per-query Python loop.  The batch workload uses
+the paper's 10 departure timestamps per OD pair (the loop/batch comparison is
+run on identical queries and asserts bit-identical costs).
+
 By default a reduced sweep (CAL + SF, c in {2, 3, 5}) is run; set
 ``REPRO_BENCH_FULL=1`` for the paper's full grid.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.experiments import run_fig8
 
 from harness import (
+    BATCH_INTERVALS,
     C_VALUES,
     FIG8_DATASETS,
     NUM_PAIRS,
@@ -57,6 +67,97 @@ def test_cost_query_vs_c(benchmark, dataset, method, c):
     result = benchmark(run_one)
     benchmark.extra_info.update({"dataset": dataset, "method": method, "c": c})
     assert result.cost >= 0
+
+
+def _workload_arrays(dataset: str, c: int, *, num_intervals: int):
+    workload = workload_for(dataset, c, num_intervals=num_intervals)
+    queries = list(workload)
+    return (
+        np.array([q.source for q in queries], dtype=np.int64),
+        np.array([q.target for q in queries], dtype=np.int64),
+        np.array([q.departure for q in queries], dtype=np.float64),
+    )
+
+
+@pytest.mark.parametrize(
+    "dataset,method,c",
+    [cfg for cfg in CONFIGS if cfg[1] != "TD-G-tree" and cfg[2] == C_VALUES[0]],
+)
+def test_batch_cost_query_throughput(benchmark, dataset, method, c):
+    """Benchmark: the whole scalar workload served by one batch_query call."""
+    build = built_index(method, dataset, c)
+    sources, targets, departures = _workload_arrays(
+        dataset, c, num_intervals=BATCH_INTERVALS
+    )
+    build.index.batch_query(sources, targets, departures)  # warm label caches
+
+    result = benchmark(lambda: build.index.batch_query(sources, targets, departures))
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "method": method,
+            "c": c,
+            "num_queries": int(sources.size),
+        }
+    )
+    assert np.all(result.costs >= 0)
+
+
+def test_report_batch_vs_loop_cal():
+    """Batch engine acceptance: >= 3x throughput over the per-call loop on CAL.
+
+    Runs the paper-style workload (NUM_PAIRS OD pairs x 10 departure
+    timestamps) through both entry points for every CAL index method, asserts
+    the costs are bit-identical, registers the speedup table, and enforces the
+    3x target for the batch engine.
+    """
+    c = C_VALUES[0]
+    sources, targets, departures = _workload_arrays(
+        "CAL", c, num_intervals=BATCH_INTERVALS
+    )
+    rows = []
+    for method in _methods_for("CAL"):
+        build = built_index(method, "CAL", c)
+        index = build.index
+        if not hasattr(index, "batch_query"):
+            continue
+        index.batch_query(sources, targets, departures)  # warm label caches
+        loop_best = batch_best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            loop_costs = [
+                index.query(int(s), int(t), float(d)).cost
+                for s, t, d in zip(sources, targets, departures)
+            ]
+            loop_best = min(loop_best, time.perf_counter() - started)
+            started = time.perf_counter()
+            batch_result = index.batch_query(sources, targets, departures)
+            batch_best = min(batch_best, time.perf_counter() - started)
+        assert np.array_equal(np.asarray(loop_costs), batch_result.costs)
+        rows.append(
+            {
+                "dataset": "CAL",
+                "method": method,
+                "c": c,
+                "num_queries": int(sources.size),
+                "loop_ms": loop_best * 1000.0,
+                "batch_ms": batch_best * 1000.0,
+                "speedup": loop_best / batch_best,
+            }
+        )
+    register_report(
+        "fig8_batch_speedup",
+        rows,
+        title=(
+            "Batch query engine vs per-call loop on CAL "
+            f"({NUM_PAIRS} pairs x {BATCH_INTERVALS} departures, best of 3)"
+        ),
+    )
+    assert rows, "no CAL method exposes batch_query"
+    for row in rows:
+        assert row["speedup"] >= 3.0, (
+            f"{row['method']}: batch speedup {row['speedup']:.2f}x below the 3x target"
+        )
 
 
 @pytest.mark.parametrize(

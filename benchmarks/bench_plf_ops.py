@@ -1,0 +1,159 @@
+"""Micro-benchmarks of the PLF kernel layer: scalar operators vs batch kernels.
+
+Every index algorithm bottoms out in ``compound``/``minimum``/``evaluate``
+calls on small piecewise-linear functions (2-64 interpolation points).  This
+module tracks the per-operation cost of both the scalar operators and the
+vectorized batch kernels (:mod:`repro.functions.batch`) across PRs, so
+regressions in the hot kernel layer are visible immediately.
+
+Each benchmark processes ``PAIRS_PER_CALL`` function pairs — as one Python
+loop over the scalar operators or as a single batched kernel call — and the
+registered report summarises the measured speedups.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    PLFBatch,
+    PiecewiseLinearFunction,
+    compound,
+    compound_many,
+    evaluate_many,
+    minimum,
+    minimum_many,
+)
+
+from harness import register_report
+
+#: Interpolation point counts covered by the sweep (the index caps functions
+#: at a few dozen points, so this brackets everything the hot paths see).
+SIZES = (2, 4, 8, 16, 32, 64)
+
+#: Function pairs processed per measured call.
+PAIRS_PER_CALL = 64
+
+_HORIZON = 86_400.0
+
+
+def _random_fifo(rng: np.random.Generator, size: int) -> PiecewiseLinearFunction:
+    """One random FIFO travel-cost function with ``size`` breakpoints."""
+    times = np.sort(rng.uniform(0.0, _HORIZON, size))
+    times += np.arange(size)  # enforce strictly increasing, >= 1s spacing
+    costs = rng.uniform(60.0, 4_000.0, size)
+    if size > 1:
+        # FIFO repair: arrival function must be non-decreasing (slope >= -1).
+        floors = np.diff(times)
+        for i in range(1, size):
+            costs[i] = max(costs[i], costs[i - 1] - floors[i - 1] + 1e-3)
+    return PiecewiseLinearFunction(times, costs)
+
+
+def _pair_sets(size: int, seed: int = 11):
+    rng = np.random.default_rng(seed + size)
+    firsts = [_random_fifo(rng, size) for _ in range(PAIRS_PER_CALL)]
+    seconds = [_random_fifo(rng, size) for _ in range(PAIRS_PER_CALL)]
+    return firsts, seconds
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_compound_ops(benchmark, mode, size):
+    """Benchmark: 64 compound operations, looped vs one compound_many call."""
+    firsts, seconds = _pair_sets(size)
+    if mode == "scalar":
+        run = lambda: [compound(f, g) for f, g in zip(firsts, seconds)]
+    else:
+        fb, gb = PLFBatch.from_functions(firsts), PLFBatch.from_functions(seconds)
+        run = lambda: compound_many(fb, gb)
+    benchmark(run)
+    benchmark.extra_info.update({"op": "compound", "mode": mode, "size": size})
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_minimum_ops(benchmark, mode, size):
+    """Benchmark: 64 minimum operations, looped vs one minimum_many call."""
+    firsts, seconds = _pair_sets(size)
+    if mode == "scalar":
+        run = lambda: [minimum(f, g) for f, g in zip(firsts, seconds)]
+    else:
+        fb, gb = PLFBatch.from_functions(firsts), PLFBatch.from_functions(seconds)
+        run = lambda: minimum_many(fb, gb)
+    benchmark(run)
+    benchmark.extra_info.update({"op": "minimum", "mode": mode, "size": size})
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_evaluate_ops(benchmark, mode, size):
+    """Benchmark: 64 scalar evaluations, looped vs one evaluate_many call."""
+    firsts, _ = _pair_sets(size)
+    rng = np.random.default_rng(size)
+    ts = rng.uniform(0.0, _HORIZON, PAIRS_PER_CALL)
+    if mode == "scalar":
+        run = lambda: [f.evaluate(float(t)) for f, t in zip(firsts, ts)]
+    else:
+        fb = PLFBatch.from_functions(firsts)
+        fb.evaluate(ts)  # build the cached evaluation tables once
+        run = lambda: evaluate_many(fb, ts)
+    benchmark(run)
+    benchmark.extra_info.update({"op": "evaluate", "mode": mode, "size": size})
+
+
+def _best_of(callable_, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_report_plf_ops():
+    """Register the scalar-vs-batch speedup table for the terminal summary."""
+    rows = []
+    for size in SIZES:
+        firsts, seconds = _pair_sets(size)
+        fb, gb = PLFBatch.from_functions(firsts), PLFBatch.from_functions(seconds)
+        rng = np.random.default_rng(size)
+        ts = rng.uniform(0.0, _HORIZON, PAIRS_PER_CALL)
+        fb.evaluate(ts)  # warm the cached evaluation tables
+        measurements = {
+            "compound": (
+                _best_of(lambda: [compound(f, g) for f, g in zip(firsts, seconds)]),
+                _best_of(lambda: compound_many(fb, gb)),
+            ),
+            "minimum": (
+                _best_of(lambda: [minimum(f, g) for f, g in zip(firsts, seconds)]),
+                _best_of(lambda: minimum_many(fb, gb)),
+            ),
+            "evaluate": (
+                _best_of(lambda: [f.evaluate(float(t)) for f, t in zip(firsts, ts)]),
+                _best_of(lambda: evaluate_many(fb, ts)),
+            ),
+        }
+        for op, (scalar_s, batch_s) in measurements.items():
+            rows.append(
+                {
+                    "op": op,
+                    "size": size,
+                    "pairs_per_call": PAIRS_PER_CALL,
+                    "scalar_ms": scalar_s * 1000.0,
+                    "batch_ms": batch_s * 1000.0,
+                    "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+                }
+            )
+    register_report(
+        "plf_ops_scalar_vs_batch",
+        rows,
+        title="PLF kernels: scalar loop vs batched call (64 ops per call)",
+    )
+    # The batch kernels must never lose to the scalar loop by more than noise
+    # on the sizes the index actually stores.
+    batchable = [r for r in rows if r["op"] == "evaluate"]
+    assert all(r["speedup"] > 1.0 for r in batchable)

@@ -35,6 +35,9 @@ REPORTS: dict[str, str] = {}
 FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 NUM_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "30"))
 NUM_INTERVALS = 4
+#: Departure timestamps per OD pair for the batch-query benchmarks (the
+#: paper's workload uses 10 timestamps per pair).
+BATCH_INTERVALS = 10
 PROFILE_PAIRS = 6
 
 #: Datasets and c values used by the sweep figures.
@@ -58,13 +61,19 @@ def built_index(method: str, dataset: str, c: int, *, budget_fraction: float | N
     return _built(method, dataset, c, budget_fraction=budget_fraction)
 
 
-def workload_for(dataset: str, c: int, *, num_pairs: int | None = None):
+def workload_for(
+    dataset: str,
+    c: int,
+    *,
+    num_pairs: int | None = None,
+    num_intervals: int | None = None,
+):
     """Deterministic query workload over the scaled dataset."""
     graph = load_dataset(dataset, num_points=c)
     return generate_queries(
         graph,
         num_pairs=num_pairs or NUM_PAIRS,
-        num_intervals=NUM_INTERVALS,
+        num_intervals=num_intervals or NUM_INTERVALS,
         seed=get_spec(dataset).seed + c,
         dataset=dataset,
     )

@@ -3,10 +3,12 @@ and the shortcut-accelerated query algorithms, wrapped by :class:`TDTreeIndex`."
 
 from repro.core.index import BUILD_STRATEGIES, IndexStatistics, TDTreeIndex
 from repro.core.query import (
+    BatchQueryResult,
     EarliestArrivalResult,
     ProfileResult,
     basic_cost_query,
     basic_profile_query,
+    batch_cost_query,
     shortcut_cost_query,
     shortcut_profile_query,
 )
@@ -40,8 +42,10 @@ __all__ = [
     "budget_from_fraction",
     "EarliestArrivalResult",
     "ProfileResult",
+    "BatchQueryResult",
     "basic_cost_query",
     "basic_profile_query",
+    "batch_cost_query",
     "shortcut_cost_query",
     "shortcut_profile_query",
     "UpdateReport",

@@ -26,10 +26,12 @@ from repro.graph.validation import validate_graph
 from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
 from repro.utils.timing import Timer
 from repro.core.query import (
+    BatchQueryResult,
     EarliestArrivalResult,
     ProfileResult,
     basic_cost_query,
     basic_profile_query,
+    batch_cost_query,
     shortcut_cost_query,
     shortcut_profile_query,
 )
@@ -110,6 +112,8 @@ class TDTreeIndex:
         self.tolerance = tolerance
         self._catalog_size = catalog_size
         self._build_seconds = dict(build_seconds or {})
+        #: Per-OD-pair memo of the batch query engine; cleared on updates.
+        self._batch_query_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -250,6 +254,25 @@ class TDTreeIndex:
             return result
         return basic_cost_query(
             self.tree, source, target, departure, record_hops=need_path
+        )
+
+    def batch_query(self, sources, targets, departures) -> BatchQueryResult:
+        """Answer many scalar travel-cost queries in one vectorized pass.
+
+        ``sources``/``targets``/``departures`` are aligned arrays (one query
+        per row).  The costs are bit-identical to calling :meth:`query` in a
+        loop — the batch engine only amortises the per-function Python
+        overhead of the tree sweeps — which makes this the right entry point
+        for serving batched query traffic and for the throughput benchmarks.
+        """
+        self._check_built()
+        return batch_cost_query(
+            self.tree,
+            sources,
+            targets,
+            departures,
+            shortcuts=self.shortcuts if self.shortcuts else None,
+            cache=self._batch_query_cache,
         )
 
     def profile(self, source: int, target: int) -> ProfileResult:

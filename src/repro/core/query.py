@@ -18,6 +18,18 @@ Both are available
 The module also implements path unpacking: reduced weight functions carry the
 bridge vertex of every segment (``via``), which lets any tree-level hop be
 expanded recursively into original road segments.
+
+**Batch API.**  :func:`batch_cost_query` answers many scalar (OD, departure)
+queries in one call.  Instead of one tree sweep per query, the whole batch
+shares two *global* sweeps over a matrix with one row per tree node and one
+column per query: every node relaxes once (in height order) with a single
+vectorized kernel call (:mod:`repro.functions.batch`) covering all of its
+label functions and all query columns.  For an individual query, nodes off
+its source/target root path carry ``inf`` state and contribute exact no-ops,
+so the returned costs are bit-identical to looping
+:func:`basic_cost_query` / :func:`shortcut_cost_query` over the same queries
+— the batch kernels and the scalar fast path share one interpolation formula
+— and the batch engine is a pure throughput optimisation.
 """
 
 from __future__ import annotations
@@ -25,7 +37,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import DisconnectedQueryError, ReproError
+from repro.functions.batch import PLFBatch, evaluate_grid, evaluate_many
 from repro.functions.compound import compound, minimum_of
 from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
 from repro.functions.simplify import simplify
@@ -34,10 +49,12 @@ from repro.core.tree_decomposition import TFPTreeDecomposition
 __all__ = [
     "EarliestArrivalResult",
     "ProfileResult",
+    "BatchQueryResult",
     "basic_cost_query",
     "basic_profile_query",
     "shortcut_cost_query",
     "shortcut_profile_query",
+    "batch_cost_query",
     "expand_hop",
 ]
 
@@ -671,3 +688,436 @@ def shortcut_profile_query(
 def _require_vertices(tree: TFPTreeDecomposition, source: int, target: int) -> None:
     tree.node(source)
     tree.node(target)
+
+
+# ----------------------------------------------------------------------
+# Batched scalar queries (vectorized engine)
+# ----------------------------------------------------------------------
+@dataclass
+class BatchQueryResult:
+    """Answer of a batched travel-cost query (aligned arrays, one row per query)."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+    departures: np.ndarray
+    costs: np.ndarray
+    #: "shortcuts" when the index's selected shortcuts were consulted,
+    #: "basic" for the pure tree traversal.
+    strategy: str
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        """Arrival times at the targets."""
+        return self.departures + self.costs
+
+    def __len__(self) -> int:
+        return int(self.costs.size)
+
+
+def _group_indices(keys: np.ndarray) -> dict:
+    """Map each distinct key to the (ordered) query indices carrying it."""
+    groups: dict = {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.nonzero(
+        np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+    )[0]
+    for i, start in enumerate(boundaries):
+        end = boundaries[i + 1] if i + 1 < boundaries.size else sorted_keys.size
+        groups[int(sorted_keys[start])] = order[start:end]
+    return groups
+
+
+def _pair_groups(
+    sources: np.ndarray, targets: np.ndarray, queries: np.ndarray
+) -> list[tuple[int, int, np.ndarray]]:
+    """Group the given query indices by their (source, target) pair.
+
+    Returns ``(source, target, positions)`` triples where ``positions`` index
+    into ``queries`` (not the original arrays), in stable order.
+    """
+    pair_key = sources[queries] * (int(targets.max()) + 1) + targets[queries]
+    return [
+        (int(sources[queries[cols[0]]]), int(targets[queries[cols[0]]]), cols)
+        for cols in _group_indices(pair_key).values()
+    ]
+
+
+#: Trees up to this many nodes use the cached whole-tree sweep plan; larger
+#: trees get a per-call plan restricted to the union of the batch's root
+#: paths, keeping the sweep matrices at O(union x queries) instead of
+#: O(num_tree_nodes x queries).
+_GLOBAL_PLAN_MAX_ROWS = 4096
+
+#: Upper bound on memoised per-OD-pair shortcut lookups (see ``_pair_info``).
+_PAIR_CACHE_MAX_ENTRIES = 65_536
+
+
+def _sweep_plan_for(
+    tree: TFPTreeDecomposition, endpoints: np.ndarray, kind: str
+) -> tuple[dict[int, int], tuple]:
+    """Row map and relaxation steps for one direction of the batched sweep.
+
+    Small trees reuse the cached whole-tree plan (off-chain rows are exact
+    ``inf`` no-ops).  For large trees a compact plan over the union of the
+    endpoints' root paths is built instead: the union is ancestor-closed, so
+    every relaxation a query's chain performs stays inside it and the
+    per-column results are unchanged.  The size check comes first so a large
+    tree never pays for (or caches) the whole-tree plan.
+    """
+    if len(tree.nodes) <= _GLOBAL_PLAN_MAX_ROWS:
+        row_of, asc_steps, desc_steps = tree.sweep_plan()
+        return row_of, (asc_steps if kind == "asc" else desc_steps)
+    union: set[int] = set()
+    for vertex in endpoints:
+        union.update(tree.root_path(int(vertex)))
+    ordered = sorted(union, key=lambda u: -tree.nodes[u].height)
+    rows = {u: i for i, u in enumerate(ordered)}
+    steps = []
+    for u in ordered:
+        node = tree.nodes[u]
+        if kind == "asc":
+            if not node.ws:
+                continue
+            batch, uppers = tree.ws_batch(u)
+        else:
+            if not node.wd:
+                continue
+            batch, uppers = tree.wd_batch(u)
+        upper_rows = np.fromiter((rows[w] for w in uppers), np.int64, len(uppers))
+        steps.append((rows[u], uppers, batch, upper_rows))
+    if kind == "desc":
+        steps.reverse()  # increasing height: root side relaxes first
+    return rows, tuple(steps)
+
+
+def _ascend_sweep(
+    asc_steps: tuple,
+    departures: np.ndarray,
+    mat: np.ndarray,
+    *,
+    bound: np.ndarray | None = None,
+    skip_cols: dict[int, np.ndarray] | None = None,
+) -> None:
+    """Batched Algorithm 3 lines 1-9 over a whole column batch.
+
+    ``mat`` is a ``(rows, Q)`` cost matrix (rows in the plan's order)
+    pre-seeded with zeros at each column's source row (and any known shortcut
+    seeds).  Every plan node relaxes once, deepest first; for a given column
+    only the nodes on its source's root path carry finite state, so off-chain
+    relaxations are ``inf`` no-ops and the per-column result equals the
+    scalar sweep bit for bit.  ``bound`` prunes per column; ``skip_cols[v]``
+    lists columns that must not be relaxed *into* vertex ``v`` (their value
+    is a seeded exact cost, Algorithm 6 lines 4-6).
+    """
+    for row, uppers, batch, upper_rows in asc_steps:
+        base = mat[row]
+        if not np.isfinite(base).any():
+            continue
+        candidates = base[None, :] + evaluate_grid(batch, departures + base)
+        if bound is not None:
+            candidates = np.where(candidates > bound[None, :], np.inf, candidates)
+        if skip_cols:
+            for i, upper in enumerate(uppers):
+                cols = skip_cols.get(upper)
+                if cols is not None:
+                    candidates[i, cols] = np.inf
+        mat[upper_rows] = np.minimum(mat[upper_rows], candidates)
+
+
+def _descend_sweep(
+    desc_steps: tuple,
+    mat: np.ndarray,
+    *,
+    bound_arrival: np.ndarray | None = None,
+) -> None:
+    """Batched descending relaxation over a whole column batch.
+
+    ``mat`` is a ``(rows, Q)`` arrival matrix pre-seeded with each column's
+    cut-vertex arrivals (``inf`` = no seed).  Nodes relax root side first; a
+    node reads only its ``Wd`` uppers (all ancestors), so for any column the
+    values read along its target's root path are exactly the scalar sweep's
+    — state leaking onto off-chain rows is never read for that column's
+    answer.
+    """
+    for row, _uppers, batch, upper_rows in desc_steps:
+        t_mat = mat[upper_rows]
+        usable = np.isfinite(t_mat)
+        if bound_arrival is not None:
+            usable &= t_mat <= bound_arrival[None, :]
+        if not usable.any():
+            continue
+        candidates = np.where(usable, t_mat + evaluate_many(batch, t_mat), np.inf)
+        mat[row] = np.minimum(mat[row], candidates.min(axis=0))
+
+
+def _seed_descent(
+    row_up: dict[int, int],
+    row_down: dict[int, int],
+    mat_up: np.ndarray,
+    mat_down: np.ndarray,
+    dep: np.ndarray,
+    source: int,
+    target: int,
+    cut: tuple[int, ...],
+    cols: np.ndarray,
+) -> None:
+    """Seed ``mat_down`` with one pair group's cut-vertex arrivals.
+
+    Mirrors the scalar seeding exactly: seeds are ``departure + up_cost`` at
+    every cut vertex (``inf`` = unreachable = absent), the source itself seeds
+    its plain departure time, and a query with no finite seed is disconnected.
+    The cut lies on both endpoints' root paths, so it has rows in both maps.
+    """
+    up_rows = np.fromiter((row_up[w] for w in cut), np.int64, len(cut))
+    down_rows = np.fromiter((row_down[w] for w in cut), np.int64, len(cut))
+    up = mat_up[np.ix_(up_rows, cols)]
+    mat_down[np.ix_(down_rows, cols)] = dep[cols][None, :] + up
+    has_seed = np.isfinite(up).any(axis=0)
+    if source in cut:
+        mat_down[row_down[source], cols] = dep[cols]
+    elif not has_seed.all():
+        raise DisconnectedQueryError(source, target)
+
+
+def _batch_costs_basic(
+    tree: TFPTreeDecomposition,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    departures: np.ndarray,
+    out: np.ndarray,
+    queries: np.ndarray,
+) -> None:
+    """Batched Algorithm 3: fill ``out[queries]`` with basic travel costs."""
+    row_up, asc_steps = _sweep_plan_for(tree, sources[queries], "asc")
+    row_down, desc_steps = _sweep_plan_for(tree, targets[queries], "desc")
+    q = queries.size
+    dep = departures[queries]
+    cols_all = np.arange(q)
+    src_rows = np.fromiter((row_up[int(v)] for v in sources[queries]), np.int64, q)
+    tgt_rows = np.fromiter((row_down[int(v)] for v in targets[queries]), np.int64, q)
+
+    mat_up = np.full((len(row_up), q), np.inf)
+    mat_up[src_rows, cols_all] = 0.0
+    _ascend_sweep(asc_steps, dep, mat_up)
+
+    mat_down = np.full((len(row_down), q), np.inf)
+    for source, target, cols in _pair_groups(sources, targets, queries):
+        cut = tree.vertex_cut(source, target)
+        _seed_descent(
+            row_up, row_down, mat_up, mat_down, dep, source, target, cut, cols
+        )
+    _descend_sweep(desc_steps, mat_down)
+
+    arrival = mat_down[tgt_rows, cols_all]
+    bad = ~np.isfinite(arrival)
+    if bad.any():
+        first = queries[np.nonzero(bad)[0][0]]
+        raise DisconnectedQueryError(int(sources[first]), int(targets[first]))
+    out[queries] = arrival - dep
+
+
+def _pair_info(
+    tree: TFPTreeDecomposition,
+    shortcuts: dict[tuple[int, int], "object"],
+    source: int,
+    target: int,
+    cache: dict | None,
+):
+    """Resolve (and memoise) one OD pair's cut and shortcut hits.
+
+    Returns ``(cut, forward_hits, backward_hits, batches)`` where ``batches``
+    is the packed ``(forward, backward)`` :class:`PLFBatch` pair when *every*
+    needed shortcut is selected (Algorithm 6 case 1) and ``None`` otherwise.
+    """
+    cached = cache.get((source, target)) if cache is not None else None
+    if cached is None:
+        if cache is not None and len(cache) >= _PAIR_CACHE_MAX_ENTRIES:
+            # Bound the per-pair memo: a long-running server touching ever
+            # new OD pairs must not grow the index footprint without limit.
+            cache.clear()
+        cut = tree.vertex_cut(source, target)
+        forward_hits: dict[int, PiecewiseLinearFunction] = {}
+        backward_hits: dict[int, PiecewiseLinearFunction] = {}
+        for w in cut:
+            fwd = _forward_shortcut(shortcuts, source, w)
+            if fwd is not None:
+                forward_hits[w] = fwd
+            bwd = _backward_shortcut(shortcuts, target, w)
+            if bwd is not None:
+                backward_hits[w] = bwd
+        if len(forward_hits) == len(cut) and len(backward_hits) == len(cut):
+            batches = (
+                PLFBatch.from_functions([forward_hits[w] for w in cut]),
+                PLFBatch.from_functions([backward_hits[w] for w in cut]),
+            )
+        else:
+            batches = None
+        cached = (cut, forward_hits, backward_hits, batches)
+        if cache is not None:
+            cache[(source, target)] = cached
+    return cached
+
+
+def _batch_costs_full(
+    batches: tuple[PLFBatch, PLFBatch],
+    source: int,
+    target: int,
+    departures: np.ndarray,
+) -> np.ndarray:
+    """Algorithm 6 case 1 for one pair: two kernel passes over the cut."""
+    forward_batch, backward_batch = batches
+    first = evaluate_grid(forward_batch, departures)
+    second = evaluate_many(backward_batch, departures[None, :] + first)
+    best = (first + second).min(axis=0)
+    if not np.isfinite(best).all():
+        raise DisconnectedQueryError(source, target)
+    return best
+
+
+def _batch_costs_partial(
+    tree: TFPTreeDecomposition,
+    groups: list[tuple[int, int, np.ndarray, tuple, dict, dict]],
+    departures: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Batched Algorithm 6 cases 2/3 for all partially-covered pairs at once.
+
+    Every group's available shortcuts seed the ascending sweep (exact costs,
+    skipped from further relaxation) and bound the traversal per column; the
+    shared sweeps then run once for all groups together.
+    """
+    all_q = np.concatenate([g[2] for g in groups])
+    group_sources = np.array([g[0] for g in groups], dtype=np.int64)
+    group_targets = np.array([g[1] for g in groups], dtype=np.int64)
+    row_up, asc_steps = _sweep_plan_for(tree, group_sources, "asc")
+    row_down, desc_steps = _sweep_plan_for(tree, group_targets, "desc")
+    q = all_q.size
+    dep = departures[all_q]
+    cols_all = np.arange(q)
+
+    mat_up = np.full((len(row_up), q), np.inf)
+    upper_bound = np.full(q, np.inf)
+    skip_lists: dict[int, list[np.ndarray]] = {}
+    offset = 0
+    col_slices = []
+    for source, target, qidx, cut, forward_hits, backward_hits in groups:
+        cols = cols_all[offset : offset + qidx.size]
+        col_slices.append(cols)
+        offset += qidx.size
+        dep_cols = dep[cols]
+        mat_up[row_up[source], cols] = 0.0
+        forward_values: dict[int, np.ndarray] = {}
+        for w, func in forward_hits.items():
+            values = np.asarray(func.evaluate(dep_cols), dtype=np.float64)
+            forward_values[w] = values
+            mat_up[row_up[w], cols] = values
+            skip_lists.setdefault(w, []).append(cols)
+        for w in set(forward_hits) & set(backward_hits):
+            first = forward_values[w]
+            second = np.asarray(
+                backward_hits[w].evaluate(dep_cols + first), dtype=np.float64
+            )
+            upper_bound[cols] = np.minimum(upper_bound[cols], first + second)
+    skip_cols = {
+        w: parts[0] if len(parts) == 1 else np.concatenate(parts)
+        for w, parts in skip_lists.items()
+    }
+    _ascend_sweep(asc_steps, dep, mat_up, bound=upper_bound, skip_cols=skip_cols)
+
+    mat_down = np.full((len(row_down), q), np.inf)
+    for (source, target, qidx, cut, _fwd, _bwd), cols in zip(groups, col_slices):
+        _seed_descent(
+            row_up, row_down, mat_up, mat_down, dep, source, target, cut, cols
+        )
+    bound_arrival = np.where(np.isfinite(upper_bound), dep + upper_bound, np.inf)
+    _descend_sweep(desc_steps, mat_down, bound_arrival=bound_arrival)
+
+    for (source, target, qidx, _cut, _fwd, backward_hits), cols in zip(
+        groups, col_slices
+    ):
+        arrival = mat_down[row_down[target], cols]
+        dep_cols = dep[cols]
+        # The backward shortcuts give additional candidate answers.
+        for w, func in backward_hits.items():
+            w_cost = mat_up[row_up[w], cols]
+            depart_w = dep_cols + w_cost
+            arrival = np.minimum(
+                arrival,
+                depart_w + np.asarray(func.evaluate(depart_w), dtype=np.float64),
+            )
+        if not np.isfinite(arrival).all():
+            raise DisconnectedQueryError(source, target)
+        out[qidx] = arrival - dep_cols
+
+
+def batch_cost_query(
+    tree: TFPTreeDecomposition,
+    sources,
+    targets,
+    departures,
+    *,
+    shortcuts: dict[tuple[int, int], "object"] | None = None,
+    cache: dict | None = None,
+) -> BatchQueryResult:
+    """Answer many scalar travel-cost queries in one vectorized pass.
+
+    Parameters
+    ----------
+    tree:
+        The TFP tree decomposition.
+    sources, targets, departures:
+        Aligned arrays describing one query per row.
+    shortcuts:
+        Selected shortcut pairs (Algorithm 6).  ``None`` or empty runs the
+        basic traversal (Algorithm 3) for every query.
+    cache:
+        Optional dict memoising per-pair shortcut lookups across calls (the
+        index owns it and clears it when shortcuts change).
+
+    Returns
+    -------
+    BatchQueryResult
+        Costs aligned with the inputs, bit-identical to running the scalar
+        query functions in a loop (same interpolation kernel, same relaxation
+        order per query).  Disconnected queries raise
+        :class:`~repro.exceptions.DisconnectedQueryError` just like the
+        scalar functions do.
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+    departures = np.atleast_1d(np.asarray(departures, dtype=np.float64))
+    if not (sources.size == targets.size == departures.size):
+        raise ReproError(
+            "batch_cost_query needs aligned sources/targets/departures arrays"
+        )
+    for vertex in np.unique(np.concatenate([sources, targets])):
+        tree.node(int(vertex))
+
+    costs = np.zeros(sources.size)
+    queries = np.nonzero(sources != targets)[0]
+    if not queries.size:
+        strategy = "shortcuts" if shortcuts else "basic"
+        return BatchQueryResult(sources, targets, departures, costs, strategy)
+    if shortcuts:
+        partial_groups = []
+        for source, target, local in _pair_groups(sources, targets, queries):
+            qidx = queries[local]
+            cut, forward_hits, backward_hits, batches = _pair_info(
+                tree, shortcuts, source, target, cache
+            )
+            if batches is not None:
+                costs[qidx] = _batch_costs_full(
+                    batches, source, target, departures[qidx]
+                )
+            else:
+                partial_groups.append(
+                    (source, target, qidx, cut, forward_hits, backward_hits)
+                )
+        if partial_groups:
+            _batch_costs_partial(tree, partial_groups, departures, costs)
+        strategy = "shortcuts"
+    else:
+        _batch_costs_basic(tree, sources, targets, departures, costs, queries)
+        strategy = "basic"
+    return BatchQueryResult(sources, targets, departures, costs, strategy)

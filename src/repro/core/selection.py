@@ -109,8 +109,13 @@ def select_greedy(catalog: ShortcutCatalog, budget: int) -> SelectionResult:
 def _greedy_pass(catalog: ShortcutCatalog, budget: int, key) -> SelectionResult:
     """One greedy pass of Algorithm 5 with the given priority ``key``.
 
-    Uses a heap (as the paper's priority queues do) and stops at the first
-    candidate that no longer fits, mirroring Algorithm 5 lines 5-12.
+    Uses a heap (as the paper's priority queues do).  Candidates that do not
+    fit the remaining budget are skipped (not terminal): stopping at the first
+    misfit would let one oversized high-priority pair empty the whole
+    selection, which breaks the 0.5-approximation guarantee.  Skipping keeps
+    it — the utility pass always captures the single most valuable feasible
+    pair, and combined with the density-prefix pass the classical knapsack
+    bound ``max(passes) >= OPT / 2`` holds.
     """
     heap: list[tuple[float, tuple[int, int]]] = [
         (-key(pair), pair.key) for pair in catalog if pair.weight > 0
@@ -121,7 +126,7 @@ def _greedy_pass(catalog: ShortcutCatalog, budget: int, key) -> SelectionResult:
         _, pair_key = heapq.heappop(heap)
         pair = catalog.pairs[pair_key]
         if result.total_weight + pair.weight > budget:
-            break
+            continue
         result.selected.add(pair_key)
         result.total_weight += pair.weight
         result.total_utility += pair.utility

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import IndexBuildError
+from repro.functions.batch import PLFBatch, compound_many, minimum_many, simplify_many
 from repro.functions.compound import compound, minimum_of
 from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.functions.simplify import simplify
@@ -120,6 +123,7 @@ def build_shortcut_catalog(
     max_points: int | None = 32,
     tolerance: float = 0.0,
     compute_utilities: bool = True,
+    use_batch_kernels: bool = True,
 ) -> ShortcutCatalog:
     """Compute every candidate shortcut pair, top-down (Fact 1).
 
@@ -136,16 +140,26 @@ def build_shortcut_catalog(
         Whether to also compute the utility values of Definition 7 (needed by
         the selection algorithms; can be skipped when building a full TD-H2H
         index).
+    use_batch_kernels:
+        Construct each tree level with the vectorized batch kernels
+        (:mod:`repro.functions.batch`) instead of per-pair scalar operator
+        calls.  The results are identical; the flag exists so the equivalence
+        can be asserted in tests and the scalar path kept as a reference.
     """
-    pairs: dict[tuple[int, int], ShortcutPair] = {}
+    if use_batch_kernels:
+        pairs = _build_pairs_batched(tree, max_points=max_points, tolerance=tolerance)
+    else:
+        pairs = _build_pairs_scalar(tree, max_points=max_points, tolerance=tolerance)
+    catalog = ShortcutCatalog(pairs)
+    if compute_utilities:
+        compute_catalog_utilities(tree, catalog)
+    return catalog
 
-    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
-        # Collinear breakpoints are always removed (value-preserving), even in
-        # "exact" mode; the hard cap only applies when ``max_points`` is set.
-        return simplify(func, max_points=max_points, tolerance=tolerance)
+
+def _known_function_lookup(pairs: dict[tuple[int, int], ShortcutPair]):
+    """Shortcut (or trivial) function between two already-processed chain vertices."""
 
     def known_function(source: int, target: int) -> PiecewiseLinearFunction | None:
-        """Shortcut (or trivial) function between two already-processed chain vertices."""
         if source == target:
             return PiecewiseLinearFunction.zero()
         pair = pairs.get((source, target))
@@ -155,6 +169,22 @@ def build_shortcut_catalog(
         if pair is not None:
             return pair.backward
         return None
+
+    return known_function
+
+
+def _build_pairs_scalar(
+    tree: TFPTreeDecomposition, *, max_points: int | None, tolerance: float
+) -> dict[tuple[int, int], ShortcutPair]:
+    """Reference implementation: one scalar operator call per candidate."""
+    pairs: dict[tuple[int, int], ShortcutPair] = {}
+
+    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        # Collinear breakpoints are always removed (value-preserving), even in
+        # "exact" mode; the hard cap only applies when ``max_points`` is set.
+        return simplify(func, max_points=max_points, tolerance=tolerance)
+
+    known_function = _known_function_lookup(pairs)
 
     # Process nodes from the root downwards so that shortcuts of every bag
     # vertex (all of which are ancestors) are available when a node is reached.
@@ -170,11 +200,121 @@ def build_shortcut_catalog(
             if forward is None and backward is None:
                 continue
             pairs[(vertex, upper)] = ShortcutPair(vertex, upper, forward, backward)
+    return pairs
 
-    catalog = ShortcutCatalog(pairs)
-    if compute_utilities:
-        compute_catalog_utilities(tree, catalog)
-    return catalog
+
+def _build_pairs_batched(
+    tree: TFPTreeDecomposition, *, max_points: int | None, tolerance: float
+) -> dict[tuple[int, int], ShortcutPair]:
+    """Level-batched construction: one kernel pass per tree level.
+
+    Nodes at the same height are never ancestors of each other, so all their
+    candidate ``Compound`` calls are independent once the shortcuts of the
+    shallower levels exist.  Each level therefore becomes one
+    :func:`compound_many` call, a left-fold of :func:`minimum_many` calls
+    (preserving the scalar ``minimum_of`` association order) and one
+    :func:`simplify_many` pass — amortising the per-function Python dispatch
+    that dominates the scalar construction.
+    """
+    pairs: dict[tuple[int, int], ShortcutPair] = {}
+    known_function = _known_function_lookup(pairs)
+
+    levels: dict[int, list[int]] = {}
+    for vertex in tree.nodes:
+        levels.setdefault(tree.nodes[vertex].height, []).append(vertex)
+
+    for height in sorted(levels):
+        # Candidate descriptors per (vertex, upper, direction) group, in the
+        # scalar iteration order.  A descriptor is either a direct bag
+        # function or a pending compound, referenced by pool row index.
+        direct_funcs: list[PiecewiseLinearFunction] = []
+        comp_first: list[PiecewiseLinearFunction] = []
+        comp_second: list[PiecewiseLinearFunction] = []
+        comp_via: list[int] = []
+        groups: list[list[tuple[bool, int]]] = []  # (is_compound, local index)
+        tasks: list[tuple[int, int, int | None, int | None]] = []
+
+        for vertex in levels[height]:
+            node = tree.nodes[vertex]
+            ancestors = tree.ancestors(vertex)
+            for upper in ancestors:
+                group_ids: list[int | None] = []
+                for forward in (True, False):
+                    bag_functions = node.ws if forward else node.wd
+                    refs: list[tuple[bool, int]] = []
+                    for bag_vertex, leg in bag_functions.items():
+                        if bag_vertex == upper:
+                            refs.append((False, len(direct_funcs)))
+                            direct_funcs.append(leg)
+                            continue
+                        if forward:
+                            other = known_function(bag_vertex, upper)
+                            legs = (leg, other)
+                        else:
+                            other = known_function(upper, bag_vertex)
+                            legs = (other, leg)
+                        if other is None:
+                            continue
+                        refs.append((True, len(comp_first)))
+                        comp_first.append(legs[0])
+                        comp_second.append(legs[1])
+                        comp_via.append(bag_vertex)
+                    if refs:
+                        group_ids.append(len(groups))
+                        groups.append(refs)
+                    else:
+                        group_ids.append(None)
+                if group_ids[0] is None and group_ids[1] is None:
+                    continue
+                tasks.append((vertex, upper, group_ids[0], group_ids[1]))
+
+        if not tasks:
+            continue
+
+        # One kernel call covers every candidate compound of the level.
+        direct_batch = PLFBatch.from_functions(direct_funcs)
+        if comp_first:
+            comp_batch = compound_many(
+                PLFBatch.from_functions(comp_first),
+                PLFBatch.from_functions(comp_second),
+                via=np.asarray(comp_via, dtype=np.int64),
+            )
+        else:
+            comp_batch = PLFBatch.from_functions([])
+        # Pool rows: direct candidates first, compound results after.
+        n_direct = direct_batch.count
+        pool = PLFBatch.stitch(
+            [
+                (np.arange(n_direct), direct_batch),
+                (n_direct + np.arange(comp_batch.count), comp_batch),
+            ],
+            n_direct + comp_batch.count,
+        )
+        pool_row = lambda ref: (n_direct + ref[1]) if ref[0] else ref[1]
+
+        # Left-fold minimum over each group, preserving the scalar
+        # ``minimum_of`` association order.
+        acc = pool.take(np.array([pool_row(g[0]) for g in groups], dtype=np.int64))
+        max_len = max(len(g) for g in groups)
+        for k in range(1, max_len):
+            sel = np.array(
+                [i for i, g in enumerate(groups) if len(g) > k], dtype=np.int64
+            )
+            merged = minimum_many(
+                acc.take(sel),
+                pool.take(np.array([pool_row(groups[i][k]) for i in sel], dtype=np.int64)),
+            )
+            rest = np.setdiff1d(np.arange(acc.count), sel, assume_unique=True)
+            acc = PLFBatch.stitch(
+                [(sel, merged), (rest, acc.take(rest))], acc.count
+            )
+        capped = simplify_many(acc, max_points=max_points, tolerance=tolerance)
+
+        for vertex, upper, fwd_group, bwd_group in tasks:
+            forward = capped.function(fwd_group) if fwd_group is not None else None
+            backward = capped.function(bwd_group) if bwd_group is not None else None
+            pairs[(vertex, upper)] = ShortcutPair(vertex, upper, forward, backward)
+    return pairs
 
 
 def _combine_forward(node, upper, known_function, cap) -> PiecewiseLinearFunction | None:

@@ -23,12 +23,15 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import (
     DisconnectedQueryError,
     GraphError,
     ReproError,
     VertexNotFoundError,
 )
+from repro.functions.batch import PLFBatch
 from repro.functions.compound import compound, minimum
 from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.functions.simplify import simplify
@@ -95,6 +98,14 @@ class TFPTreeDecomposition:
         self._compute_heights()
         self._subtree_sizes = self._compute_subtree_sizes()
         self._ancestor_cache: dict[int, tuple[int, ...]] = {}
+        #: Per-node packed label batches used by the batched query engine
+        #: (built lazily, invalidated when the update machinery rewrites labels).
+        self._ws_batch_cache: dict[int, tuple[PLFBatch, tuple[int, ...]]] = {}
+        self._wd_batch_cache: dict[int, tuple[PLFBatch, tuple[int, ...]]] = {}
+        #: Monotone counter bumped whenever labels change; cached sweep plans
+        #: carry the version they were built against.
+        self._label_version = 0
+        self._sweep_plan_cache: tuple[int, tuple] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -236,6 +247,92 @@ class TFPTreeDecomposition:
             if parent == ancestor:
                 return current
             current = parent
+
+    # ------------------------------------------------------------------
+    # Packed label batches (batched query engine)
+    # ------------------------------------------------------------------
+    def ws_batch(self, vertex: int) -> tuple[PLFBatch, tuple[int, ...]]:
+        """``X(vertex).Ws`` packed as one :class:`PLFBatch` plus the bag order.
+
+        The batch row ``i`` is the weight function towards ``uppers[i]``; the
+        order matches ``node.ws`` iteration order.  Cached per node so a batch
+        of queries pays the packing cost once.
+        """
+        cached = self._ws_batch_cache.get(vertex)
+        if cached is None:
+            node = self._node(vertex)
+            cached = (
+                PLFBatch.from_functions(node.ws.values()),
+                tuple(node.ws.keys()),
+            )
+            self._ws_batch_cache[vertex] = cached
+        return cached
+
+    def wd_batch(self, vertex: int) -> tuple[PLFBatch, tuple[int, ...]]:
+        """``X(vertex).Wd`` packed as one :class:`PLFBatch` plus the bag order."""
+        cached = self._wd_batch_cache.get(vertex)
+        if cached is None:
+            node = self._node(vertex)
+            cached = (
+                PLFBatch.from_functions(node.wd.values()),
+                tuple(node.wd.keys()),
+            )
+            self._wd_batch_cache[vertex] = cached
+        return cached
+
+    def invalidate_label_batches(self, vertices=None) -> None:
+        """Drop cached label batches after ``ws``/``wd`` were rewritten.
+
+        ``vertices=None`` clears everything; otherwise only the given tree
+        nodes are invalidated (the update machinery passes the set it repaired).
+        Sweep plans key on the label version, so bumping it lazily invalidates
+        every cached plan that referenced the stale batches.
+        """
+        self._label_version += 1
+        if vertices is None:
+            self._ws_batch_cache.clear()
+            self._wd_batch_cache.clear()
+            return
+        for vertex in vertices:
+            self._ws_batch_cache.pop(vertex, None)
+            self._wd_batch_cache.pop(vertex, None)
+
+    def sweep_plan(self):
+        """Cached global plan of the batched tree sweeps.
+
+        Returns ``(row_of, asc_steps, desc_steps)``: a vertex-to-row map over
+        *all* tree nodes (rows ordered by decreasing height, i.e. deepest
+        first) plus one step per node with a non-empty ``Ws`` (ascending
+        order: deepest first) respectively ``Wd`` list (descending order:
+        root side first).  Each step is ``(row, uppers, batch, upper_rows)``.
+
+        Processing every node in height order is a strict superset of the
+        per-chain sweeps of Algorithm 3: for any individual query, nodes off
+        its source/target root path carry ``inf`` state and contribute exact
+        no-ops, so a whole batch of queries with different endpoints shares
+        one matrix-shaped sweep without changing any per-query result.
+        """
+        cached = self._sweep_plan_cache
+        if cached is not None and cached[0] == self._label_version:
+            return cached[1]
+        ordered = sorted(self.nodes, key=lambda v: -self.nodes[v].height)
+        row_of = {v: i for i, v in enumerate(ordered)}
+        asc_steps = []
+        desc_steps = []
+        for vertex in ordered:
+            node = self.nodes[vertex]
+            if node.ws:
+                batch, uppers = self.ws_batch(vertex)
+                rows = np.array([row_of[u] for u in uppers], dtype=np.int64)
+                asc_steps.append((row_of[vertex], uppers, batch, rows))
+            if node.wd:
+                batch, uppers = self.wd_batch(vertex)
+                rows = np.array([row_of[u] for u in uppers], dtype=np.int64)
+                desc_steps.append((row_of[vertex], uppers, batch, rows))
+        desc_steps.reverse()  # increasing height: root side relaxes first
+        plan = (row_of, tuple(asc_steps), tuple(desc_steps))
+        self._sweep_plan_cache = (self._label_version, plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Memory accounting

@@ -125,6 +125,8 @@ def apply_edge_updates(
                 vertex_changed = True
         if vertex_changed:
             changed_bag_vertices.add(vertex)
+            # The packed label batches of this node are stale now.
+            tree.invalidate_label_batches((vertex,))
             # Every edge this vertex wrote during elimination may now differ.
             for a in node.bag:
                 for b in node.bag:
@@ -158,6 +160,12 @@ def apply_edge_updates(
             for lower in affected_lowers:
                 refreshed = _refresh_shortcuts_of(index, lower)
                 report.num_refreshed_shortcut_pairs += refreshed
+
+    # The batch query engine memoises per-pair shortcut batches; any label or
+    # shortcut refresh invalidates them.
+    cache = getattr(index, "_batch_query_cache", None)
+    if cache is not None:
+        cache.clear()
 
     report.seconds = time.perf_counter() - started
     return report

@@ -7,6 +7,7 @@ from repro.experiments.metrics import (
     build_method,
     measure_build,
     measure_cost_queries,
+    measure_cost_queries_batch,
     measure_profile_queries,
 )
 from repro.experiments.reporting import format_series, format_table, rows_to_csv, write_csv
@@ -30,6 +31,7 @@ __all__ = [
     "build_method",
     "measure_build",
     "measure_cost_queries",
+    "measure_cost_queries_batch",
     "measure_profile_queries",
     "format_table",
     "format_series",

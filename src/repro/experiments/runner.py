@@ -23,6 +23,7 @@ from repro.experiments.metrics import (
     BuildMeasurement,
     measure_build,
     measure_cost_queries,
+    measure_cost_queries_batch,
     measure_profile_queries,
 )
 
@@ -238,6 +239,11 @@ def run_fig8(
     On CAL the paper compares TD-G-tree / TD-basic / TD-H2H (panels a-b); on
     the larger datasets it compares TD-G-tree / TD-appro / TD-dp (panels c-h).
     ``methods=None`` applies that same split automatically.
+
+    Methods exposing the batch API additionally serve the same workload
+    through one :meth:`TDTreeIndex.batch_query` call; the amortised per-query
+    latency and the speedup over the per-call loop are reported in the
+    ``batch_cost_query_ms`` / ``batch_speedup`` columns.
     """
     rows = []
     for dataset in datasets:
@@ -266,6 +272,13 @@ def run_fig8(
                     budget_fraction=_default_fraction(dataset),
                 )
                 cost = measure_cost_queries(build.index, workload)
+                batch_ms: float | str = "N/A"
+                speedup: float | str = "N/A"
+                if hasattr(build.index, "batch_query"):
+                    batch = measure_cost_queries_batch(build.index, workload)
+                    batch_ms = batch.mean_ms
+                    if batch.mean_ms > 0:
+                        speedup = cost.mean_ms / batch.mean_ms
                 profile_ms: float | str = "N/A"
                 if hasattr(build.index, "profile"):
                     profile_ms = measure_profile_queries(build.index, pairs).mean_ms
@@ -275,6 +288,8 @@ def run_fig8(
                         "method": method,
                         "c": c,
                         "cost_query_ms": cost.mean_ms,
+                        "batch_cost_query_ms": batch_ms,
+                        "batch_speedup": speedup,
                         "profile_query_ms": profile_ms,
                     }
                 )

@@ -7,6 +7,14 @@ index algorithms manipulate them exclusively through :func:`compound`,
 :func:`minimum` and :func:`simplify`.
 """
 
+from repro.functions.batch import (
+    PLFBatch,
+    compound_many,
+    evaluate_grid,
+    evaluate_many,
+    minimum_many,
+    simplify_many,
+)
 from repro.functions.compound import compound, minimum, minimum_of
 from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
 from repro.functions.profile import (
@@ -23,6 +31,12 @@ from repro.functions.simplify import count_points, remove_collinear, simplify
 __all__ = [
     "PiecewiseLinearFunction",
     "NO_VIA",
+    "PLFBatch",
+    "evaluate_many",
+    "evaluate_grid",
+    "compound_many",
+    "minimum_many",
+    "simplify_many",
     "compound",
     "minimum",
     "minimum_of",

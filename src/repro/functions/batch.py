@@ -1,0 +1,860 @@
+"""Vectorized batch kernels over collections of piecewise-linear functions.
+
+Every hot path of the index — shortcut construction (Fact 1), graph reduction
+(Algorithm 1) and both query flavours (Algorithms 3/6) — bottoms out in
+per-object ``compound``/``minimum``/``evaluate`` calls on
+:class:`~repro.functions.piecewise.PiecewiseLinearFunction`.  Each call pays
+Python-level dispatch and small-array numpy overhead.  This module amortises
+that overhead across many functions at once:
+
+* :class:`PLFBatch` is a ragged-array representation of N functions — one
+  contiguous ``times``/``costs``/``via`` buffer plus an ``offsets`` array —
+  so a whole level of the shortcut catalog or a whole tree-node label list
+  lives in three flat arrays.
+* :func:`evaluate_many` evaluates N functions at per-function departure times
+  (and :func:`evaluate_grid` at a shared grid) in one vectorized
+  binary-search + gather pass.
+* :func:`compound_many` / :func:`minimum_many` apply the paper's two operators
+  to N *pairs* of functions at once, and :func:`simplify_many` batches the
+  breakpoint reduction.
+
+The kernels are drop-in equivalents of the scalar operators: they replicate
+the scalar control flow (fast paths, dominance screens, breakpoint dedupe)
+branch for branch, so the results are identical — including, for evaluation,
+bit-identical to ``np.interp`` and to the scalar fast path of
+:meth:`PiecewiseLinearFunction.evaluate`.  ``tests/functions/test_batch.py``
+pins this equivalence down with property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions.compound import _EPS, compound
+from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+
+__all__ = [
+    "PLFBatch",
+    "evaluate_many",
+    "evaluate_grid",
+    "compound_many",
+    "minimum_many",
+    "simplify_many",
+]
+
+
+class PLFBatch:
+    """N piecewise-linear functions stored as one ragged array.
+
+    ``times``/``costs``/``via`` are the concatenated breakpoint arrays of all
+    member functions; ``offsets`` (length N+1) delimits function ``i`` as the
+    half-open slice ``[offsets[i], offsets[i+1])``.  Batches are cheap to
+    slice (:meth:`take`), merge (:meth:`stitch`) and convert back to scalar
+    functions (:meth:`function`, :meth:`to_functions`).
+    """
+
+    __slots__ = ("times", "costs", "via", "offsets", "_rounds", "_tables", "_fidx")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        costs: np.ndarray,
+        via: np.ndarray,
+        offsets: np.ndarray,
+        *,
+        validate: bool = False,
+    ) -> None:
+        self.times = np.ascontiguousarray(times, dtype=np.float64)
+        self.costs = np.ascontiguousarray(costs, dtype=np.float64)
+        self.via = np.ascontiguousarray(via, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self._rounds: int | None = None
+        self._tables: tuple | None = None
+        self._fidx: dict | None = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size == 0:
+            raise InvalidFunctionError("offsets must be a non-empty 1-D array")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.times.size:
+            raise InvalidFunctionError("offsets must start at 0 and end at len(times)")
+        if np.any(np.diff(self.offsets) < 1):
+            raise InvalidFunctionError("every batch member needs at least one point")
+        if self.times.shape != self.costs.shape or self.times.shape != self.via.shape:
+            raise InvalidFunctionError("times/costs/via buffers must have equal length")
+        rowids = np.repeat(np.arange(self.count), self.sizes)
+        interior = rowids[1:] == rowids[:-1]
+        if np.any(np.diff(self.times)[interior] <= 0):
+            raise InvalidFunctionError("breakpoint times must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_functions(
+        cls, functions: Iterable[PiecewiseLinearFunction]
+    ) -> "PLFBatch":
+        """Pack an iterable of scalar functions into one batch."""
+        funcs = list(functions)
+        if not funcs:
+            return cls(
+                np.empty(0), np.empty(0), np.empty(0, np.int64), np.zeros(1, np.int64)
+            )
+        sizes = np.array([f.size for f in funcs], dtype=np.int64)
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return cls(
+            np.concatenate([f.times for f in funcs]),
+            np.concatenate([f.costs for f in funcs]),
+            np.concatenate([f.via for f in funcs]),
+            offsets,
+        )
+
+    def function(self, index: int) -> PiecewiseLinearFunction:
+        """Return member ``index`` as a scalar function (views, no copy)."""
+        start, end = self.offsets[index], self.offsets[index + 1]
+        return PiecewiseLinearFunction(
+            self.times[start:end],
+            self.costs[start:end],
+            self.via[start:end],
+            validate=False,
+        )
+
+    def to_functions(self) -> list[PiecewiseLinearFunction]:
+        """Unpack the batch into a list of scalar functions."""
+        return [self.function(i) for i in range(self.count)]
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of member functions N."""
+        return self.offsets.size - 1
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-member interpolation point counts."""
+        return np.diff(self.offsets)
+
+    @property
+    def starts(self) -> np.ndarray:
+        return self.offsets[:-1]
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self.offsets[1:]
+
+    @property
+    def total_points(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def bisect_rounds(self) -> int:
+        """Bisection rounds needed by the evaluation kernels (cached)."""
+        rounds = self._rounds
+        if rounds is None:
+            rounds = int(self.sizes.max()).bit_length() if self.count else 1
+            self._rounds = rounds
+        return rounds
+
+    def _eval_tables(self) -> tuple:
+        """Cached evaluation tables: clamp bounds, segment slopes, banded keys.
+
+        ``slopes[i]`` is the segment slope starting at breakpoint ``i`` (zero
+        on the last breakpoint of each member, which realises the constant
+        clamping).  ``keys`` maps every breakpoint into the band
+        ``[member, member + 1]`` so one global ``np.searchsorted`` locates all
+        segments at once; the banding is only used when every within-member
+        time gap is comfortably above the key-space resolution (``safe``), so
+        a ±1 fixup against the raw times keeps the segment choice exact.
+        """
+        tables = self._tables
+        if tables is None:
+            xp, fp, offsets = self.times, self.costs, self.offsets
+            slopes = np.zeros(xp.size)
+            if xp.size > 1:
+                rowids = np.repeat(
+                    np.arange(self.count, dtype=np.float64), self.sizes
+                )
+                interior = np.nonzero(rowids[1:] == rowids[:-1])[0]
+                dt = xp[interior + 1] - xp[interior]
+                slopes[interior] = (fp[interior + 1] - fp[interior]) / dt
+                min_gap = float(dt.min()) if dt.size else np.inf
+            else:
+                rowids = np.zeros(xp.size)
+                min_gap = np.inf
+            first_t = xp[offsets[:-1]]
+            last_t = xp[offsets[1:] - 1]
+            span = float(last_t.max() - first_t.min()) if self.count else 0.0
+            tmin = float(first_t.min()) if self.count else 0.0
+            inv = 0.0 if span == 0.0 else 1.0 / span
+            resolution = 4.0 * np.spacing(float(self.count) + 1.0)
+            safe = min_gap * inv > resolution
+            keys = np.minimum((xp - tmin) * inv, 1.0) + rowids if safe else None
+            tables = (first_t, last_t, slopes, keys, tmin, inv)
+            self._tables = tables
+        return tables
+
+    def _lane_tables(self, m: int) -> tuple:
+        """Cached per-lane index/bound arrays for ``m`` times per member.
+
+        Returns ``(func_idx, starts, last, first_t, last_t)`` — everything in
+        the evaluation kernel that depends only on the batch layout and ``m``,
+        so repeated kernel calls skip the gathers entirely.
+        """
+        cache = self._fidx
+        if cache is None:
+            cache = self._fidx = {}
+        lanes = cache.get(m)
+        if lanes is None:
+            func_idx = np.repeat(np.arange(self.count, dtype=np.int64), m)
+            starts = self.offsets[func_idx]
+            last = self.offsets[func_idx + 1] - 1
+            lanes = (func_idx, starts, last, self.times[starts], self.times[last])
+            if len(cache) >= 16:
+                # Long-lived label batches see many distinct batch sizes;
+                # bound the memo instead of growing with every size ever seen.
+                cache.clear()
+            cache[m] = lanes
+        return lanes
+
+    def has_via_rows(self) -> np.ndarray:
+        """Per-member flag: does any segment record a bridge vertex?"""
+        if self.count == 0:
+            return np.empty(0, dtype=bool)
+        return np.logical_or.reduceat(self.via != NO_VIA, self.offsets[:-1])
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"PLFBatch(count={self.count}, total_points={self.total_points})"
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+    def take(self, rows: np.ndarray) -> "PLFBatch":
+        """Gather a sub-batch with the given member rows (in the given order)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        sizes = self.sizes[rows]
+        offsets = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        flat = np.repeat(self.offsets[rows] - offsets[:-1], sizes) + np.arange(
+            offsets[-1], dtype=np.int64
+        )
+        return PLFBatch(self.times[flat], self.costs[flat], self.via[flat], offsets)
+
+    @staticmethod
+    def stitch(parts: Sequence[tuple[np.ndarray, "PLFBatch"]], count: int) -> "PLFBatch":
+        """Reassemble a batch from disjoint row groups.
+
+        ``parts`` is a list of ``(rows, sub_batch)`` where the ``rows`` arrays
+        together form a permutation of ``range(count)`` and ``sub_batch`` holds
+        the member functions for those rows, in the same order.
+        """
+        parts = [(np.asarray(r, np.int64), b) for r, b in parts if len(r)]
+        if not parts:
+            if count != 0:
+                raise InvalidFunctionError("stitch received no rows for a non-empty batch")
+            return PLFBatch(
+                np.empty(0), np.empty(0), np.empty(0, np.int64), np.zeros(1, np.int64)
+            )
+        rows_all = np.concatenate([r for r, _ in parts])
+        if rows_all.size != count:
+            raise InvalidFunctionError(
+                f"stitch rows cover {rows_all.size} of {count} members"
+            )
+        sizes_all = np.concatenate([b.sizes for _, b in parts])
+        offsets = np.zeros(rows_all.size + 1, dtype=np.int64)
+        np.cumsum(sizes_all, out=offsets[1:])
+        cat = PLFBatch(
+            np.concatenate([b.times for _, b in parts]),
+            np.concatenate([b.costs for _, b in parts]),
+            np.concatenate([b.via for _, b in parts]),
+            offsets,
+        )
+        perm = np.argsort(rows_all, kind="stable")
+        return cat.take(perm)
+
+    # ------------------------------------------------------------------
+    # Kernel entry points (method sugar)
+    # ------------------------------------------------------------------
+    def evaluate(self, t) -> np.ndarray:
+        return evaluate_many(self, t)
+
+    def evaluate_grid(self, t) -> np.ndarray:
+        return evaluate_grid(self, t)
+
+
+# ----------------------------------------------------------------------
+# Flat kernels
+# ----------------------------------------------------------------------
+def _searchsorted_right_flat(
+    xp: np.ndarray,
+    offsets: np.ndarray,
+    func_idx: np.ndarray,
+    x: np.ndarray,
+    rounds: int | None = None,
+) -> np.ndarray:
+    """Per-query ``searchsorted(xp[slice], x, side='right') - 1`` without loops.
+
+    For query ``q`` the search runs inside the slice of function
+    ``func_idx[q]``; the result is the rightmost global index ``j`` within the
+    slice with ``xp[j] <= x[q]`` (or ``start - 1`` when every element is
+    larger).  A fixed number of vectorized bisection rounds replaces the
+    per-function Python calls; ``rounds`` may be supplied by the caller (the
+    batch caches it) to skip the per-call span scan.
+    """
+    lo = offsets[func_idx] + 0
+    hi = offsets[func_idx + 1]
+    if lo.size == 0:
+        return lo
+    if rounds is None:
+        rounds = max(int((hi - lo).max()).bit_length(), 1)
+    top = xp.size - 1
+    for _ in range(rounds):
+        mid = (lo + hi) >> 1
+        # ``mid < hi`` is exactly "this lane is still searching": converged
+        # lanes have lo == hi == mid and stay untouched by both updates.
+        le = (xp[np.minimum(mid, top)] <= x) & (mid < hi)
+        lo = np.where(le, mid + 1, lo)
+        hi = np.where(le, hi, mid)
+    return lo - 1
+
+
+def _interp_flat(
+    xp: np.ndarray,
+    fp: np.ndarray,
+    offsets: np.ndarray,
+    func_idx: np.ndarray,
+    x: np.ndarray,
+    rounds: int | None = None,
+) -> np.ndarray:
+    """Clamped linear interpolation of per-query functions at ``x``.
+
+    Query ``q`` interpolates the function stored at slice ``func_idx[q]`` of
+    the ragged ``(xp, fp)`` buffers.  Matches ``np.interp`` bit for bit: same
+    segment choice (rightmost ``xp[j] <= x``), same slope formula, constant
+    clamping outside the breakpoint range.
+    """
+    starts = offsets[func_idx]
+    last = offsets[func_idx + 1] - 1
+    clipped = np.minimum(np.maximum(x, xp[starts]), xp[last])
+    j = _searchsorted_right_flat(xp, offsets, func_idx, clipped, rounds)
+    j2 = np.minimum(j + 1, last)
+    t0 = xp[j]
+    c0 = fp[j]
+    dt = xp[j2] - t0
+    flat = dt <= 0.0
+    interp = ((fp[j2] - c0) / np.where(flat, 1.0, dt)) * (clipped - t0) + c0
+    return np.where(flat, c0, interp)
+
+
+def _evaluate_flat(batch: PLFBatch, lanes: tuple, x: np.ndarray) -> np.ndarray:
+    """Hot evaluation kernel: one lane per (member, time) pair.
+
+    ``lanes`` comes from :meth:`PLFBatch._lane_tables`.  Uses the batch's
+    cached tables: the banded global ``searchsorted`` (with exact ±1 fixup)
+    when the breakpoint spacing allows it, the vectorized bisection
+    otherwise, and precomputed segment slopes for the lerp.  The result is
+    bit-identical to ``np.interp`` on the member's breakpoints.
+    """
+    func_idx, starts, last, first_t, last_t = lanes
+    _first, _last, slopes, keys, tmin, inv = batch._eval_tables()
+    xp = batch.times
+    x = np.minimum(np.maximum(x, first_t), last_t)
+    if keys is not None:
+        key_x = np.minimum((x - tmin) * inv, 1.0) + func_idx
+        j = np.searchsorted(keys, key_x, side="right") - 1
+        j = np.minimum(np.maximum(j, starts), last)
+        # Banding is exact up to one position; fix against the raw times.
+        j -= xp[j] > x
+        bump = j < last
+        j += bump & (xp[j + bump] <= x)
+    else:
+        j = _searchsorted_right_flat(
+            xp, batch.offsets, func_idx, x, batch.bisect_rounds
+        )
+    return batch.costs[j] + slopes[j] * (x - xp[j])
+
+
+def evaluate_many(batch: PLFBatch, t) -> np.ndarray:
+    """Evaluate every member at its own departure time(s).
+
+    ``t`` may be a scalar (broadcast to all members, result shape ``(N,)``), a
+    ``(N,)`` array (one time per member, result ``(N,)``) or a ``(N, M)``
+    array (M times per member, result ``(N, M)``).
+    """
+    t_arr = np.asarray(t, dtype=np.float64)
+    n = batch.count
+    if t_arr.ndim == 0:
+        return _evaluate_flat(batch, batch._lane_tables(1), np.full(n, float(t_arr)))
+    if t_arr.ndim == 1:
+        if t_arr.size != n:
+            raise InvalidFunctionError(
+                f"expected {n} per-member times, got {t_arr.size}"
+            )
+        return _evaluate_flat(batch, batch._lane_tables(1), t_arr)
+    if t_arr.ndim == 2:
+        if t_arr.shape[0] != n:
+            raise InvalidFunctionError(
+                f"expected {n} rows of per-member times, got {t_arr.shape[0]}"
+            )
+        m = t_arr.shape[1]
+        flat = _evaluate_flat(batch, batch._lane_tables(m), t_arr.ravel())
+        return flat.reshape(n, m)
+    raise InvalidFunctionError("t must be scalar, (N,) or (N, M)")
+
+
+def evaluate_grid(batch: PLFBatch, t) -> np.ndarray:
+    """Evaluate every member at every time of a shared grid.
+
+    ``t`` is a ``(M,)`` array of departure times; the result has shape
+    ``(N, M)``.  This is the kernel behind the batched ascending sweep of the
+    query engine, where all label functions of a tree node are probed at the
+    same batch of departure times.
+    """
+    t_arr = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    if t_arr.ndim != 1:
+        raise InvalidFunctionError("evaluate_grid expects a 1-D grid of times")
+    n = batch.count
+    m = t_arr.size
+    flat = _evaluate_flat(batch, batch._lane_tables(m), np.tile(t_arr, n))
+    return flat.reshape(n, m)
+
+
+# ----------------------------------------------------------------------
+# Ragged sort/dedupe helpers
+# ----------------------------------------------------------------------
+def _sorted_unique_rows(
+    rows: np.ndarray, values: np.ndarray, num_rows: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row ``np.unique``: sort values within each row, drop exact duplicates.
+
+    Returns ``(rows, values, offsets)`` of the compacted ragged array.  Every
+    row must contribute at least one value.
+    """
+    order = np.lexsort((values, rows))
+    r = rows[order]
+    v = values[order]
+    keep = np.empty(r.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = (r[1:] != r[:-1]) | (v[1:] != v[:-1])
+    r = r[keep]
+    v = v[keep]
+    counts = np.bincount(r, minlength=num_rows)
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return r, v, offsets
+
+
+def _dedupe_keep_mask(rows: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Per-row version of ``_dedupe_breakpoints``: drop times closer than eps."""
+    keep = np.empty(times.size, dtype=bool)
+    if times.size == 0:
+        return keep
+    keep[0] = True
+    keep[1:] = (rows[1:] != rows[:-1]) | (np.diff(times) > _EPS)
+    return keep
+
+
+def _offsets_from_rows(rows: np.ndarray, num_rows: int) -> np.ndarray:
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_rows), out=offsets[1:])
+    return offsets
+
+
+def _row_all(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-row ``all()`` over a flat boolean array (no empty rows)."""
+    if offsets.size == 1:
+        return np.empty(0, dtype=bool)
+    return np.logical_and.reduceat(mask, offsets[:-1])
+
+
+def _normalise_via(via, count: int) -> np.ndarray | None:
+    """Broadcast the ``via`` argument of ``compound_many`` to a per-pair array.
+
+    ``None`` (or an all-``NO_VIA`` array) means "no provenance", matching the
+    ``via=None`` of the scalar operator.
+    """
+    if via is None:
+        return None
+    arr = np.asarray(via, dtype=np.int64)
+    if arr.ndim == 0:
+        arr = np.full(count, int(arr), dtype=np.int64)
+    if arr.size != count:
+        raise InvalidFunctionError(f"expected {count} via entries, got {arr.size}")
+    return arr
+
+
+def _via_fill_flat(
+    rows_local: np.ndarray, via_rows: np.ndarray | None, size: int
+) -> np.ndarray:
+    """Constant per-pair via fill for a flat output buffer (scalar ``_fill_via``)."""
+    if via_rows is None:
+        return np.full(size, NO_VIA, dtype=np.int64)
+    return via_rows[rows_local]
+
+
+def _via_lookup_flat(
+    batch: PLFBatch, rows_local: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``_via_lookup``: via of the segment containing each grid time."""
+    simple = ~batch.has_via_rows() | (batch.sizes == 1)
+    fallback = batch.via[batch.starts][rows_local]
+    if simple.all():
+        return fallback
+    j = _searchsorted_right_flat(batch.times, batch.offsets, rows_local, x)
+    j = np.clip(j, batch.starts[rows_local], batch.ends[rows_local] - 1)
+    return np.where(simple[rows_local], fallback, batch.via[j])
+
+
+# ----------------------------------------------------------------------
+# compound_many
+# ----------------------------------------------------------------------
+def compound_many(
+    first: PLFBatch, second: PLFBatch, via=None
+) -> PLFBatch:
+    """Pairwise ``compound``: member ``i`` of the result is
+    ``compound(first[i], second[i], via=via[i])``.
+
+    Replicates the scalar operator branch for branch — constant fast paths,
+    FIFO pre-image construction, breakpoint dedupe — so the results are
+    identical to calling :func:`repro.functions.compound.compound` in a loop.
+    Non-FIFO first legs (rare; the generators enforce FIFO) fall back to the
+    scalar operator per pair.
+    """
+    n = first.count
+    if second.count != n:
+        raise InvalidFunctionError(
+            f"batch size mismatch: first has {n}, second has {second.count}"
+        )
+    via_rows = _normalise_via(via, n)
+    fsz = first.sizes
+    gsz = second.sizes
+    parts: list[tuple[np.ndarray, PLFBatch]] = []
+
+    # Fast path: second constant -> h(t) = first(t) + c with first's shape.
+    rows = np.nonzero(gsz == 1)[0]
+    if rows.size:
+        sub = first.take(rows)
+        add = np.repeat(second.costs[second.starts[rows]], sub.sizes)
+        rows_local = np.repeat(np.arange(rows.size), sub.sizes)
+        out_via = _via_fill_flat(
+            rows_local, None if via_rows is None else via_rows[rows], sub.total_points
+        )
+        parts.append((rows, PLFBatch(sub.times, sub.costs + add, out_via, sub.offsets)))
+
+    # Fast path: first constant -> a shifted copy of second.
+    rows = np.nonzero((gsz > 1) & (fsz == 1))[0]
+    if rows.size:
+        sub = second.take(rows)
+        c = np.repeat(first.costs[first.starts[rows]], sub.sizes)
+        rows_local = np.repeat(np.arange(rows.size), sub.sizes)
+        out_via = _via_fill_flat(
+            rows_local, None if via_rows is None else via_rows[rows], sub.total_points
+        )
+        parts.append((rows, PLFBatch(sub.times - c, sub.costs + c, out_via, sub.offsets)))
+
+    # General path: both members have at least two breakpoints.
+    rows = np.nonzero((gsz > 1) & (fsz > 1))[0]
+    if rows.size:
+        f = first.take(rows)
+        arrivals = f.times + f.costs
+        f_rowids = np.repeat(np.arange(rows.size), f.sizes)
+        same_row = f_rowids[1:] == f_rowids[:-1]
+        fifo = np.ones(rows.size, dtype=bool)
+        decreasing = same_row & (np.diff(arrivals) < 0)
+        if decreasing.any():
+            fifo[f_rowids[:-1][decreasing]] = False
+        # Scalar fallback for non-FIFO first legs.
+        for local in np.nonzero(~fifo)[0]:
+            r = int(rows[local])
+            pair_via = None
+            if via_rows is not None and via_rows[r] != NO_VIA:
+                pair_via = int(via_rows[r])
+            result = compound(first.function(r), second.function(r), via=pair_via)
+            parts.append((np.array([r]), PLFBatch.from_functions([result])))
+        fifo_rows = rows[fifo]
+        if fifo_rows.size:
+            sub_via = None if via_rows is None else via_rows[fifo_rows]
+            parts.append(
+                (
+                    fifo_rows,
+                    _compound_general(
+                        first.take(fifo_rows), second.take(fifo_rows), sub_via
+                    ),
+                )
+            )
+
+    return PLFBatch.stitch(parts, n)
+
+
+def _compound_general(
+    f: PLFBatch, g: PLFBatch, via_rows: np.ndarray | None
+) -> PLFBatch:
+    """General compound for FIFO pairs with ``size >= 2`` on both sides."""
+    k = f.count
+    arrivals = f.times + f.costs
+    g_rowids = np.repeat(np.arange(k), g.sizes)
+    targets = g.times
+    arr_first = arrivals[f.starts]
+    arr_last = arrivals[f.ends - 1]
+    first_cost = arr_first - f.times[f.starts]
+    last_cost = arr_last - f.times[f.ends - 1]
+
+    below = targets < arr_first[g_rowids]
+    above = targets > arr_last[g_rowids]
+    inside = _interp_flat(arrivals, f.times, f.offsets, g_rowids, targets)
+    preimages = np.where(
+        below,
+        targets - first_cost[g_rowids],
+        np.where(above, targets - last_cost[g_rowids], inside),
+    )
+
+    rows_cat = np.concatenate([np.repeat(np.arange(k), f.sizes), g_rowids])
+    vals_cat = np.concatenate([f.times, preimages])
+    grid_rows, grid, _ = _sorted_unique_rows(rows_cat, vals_cat, k)
+
+    f_vals = _interp_flat(f.times, f.costs, f.offsets, grid_rows, grid)
+    arrival_q = grid + f_vals
+    g_vals = _interp_flat(g.times, g.costs, g.offsets, grid_rows, arrival_q)
+    costs = f_vals + g_vals
+
+    keep = _dedupe_keep_mask(grid_rows, grid)
+    grid_rows = grid_rows[keep]
+    out_via = _via_fill_flat(grid_rows, via_rows, grid_rows.size)
+    return PLFBatch(
+        grid[keep], costs[keep], out_via, _offsets_from_rows(grid_rows, k)
+    )
+
+
+# ----------------------------------------------------------------------
+# minimum_many
+# ----------------------------------------------------------------------
+def minimum_many(first: PLFBatch, second: PLFBatch) -> PLFBatch:
+    """Pairwise pointwise ``minimum``: exact lower envelope of each pair.
+
+    Mirrors the scalar operator exactly, including its dominance screens and
+    the per-segment ``via`` inheritance (ties favour ``first``).
+    """
+    n = first.count
+    if second.count != n:
+        raise InvalidFunctionError(
+            f"batch size mismatch: first has {n}, second has {second.count}"
+        )
+    fsz = first.sizes
+    gsz = second.sizes
+    parts: list[tuple[np.ndarray, PLFBatch]] = []
+    remaining = np.ones(n, dtype=bool)
+
+    # Both constant: pick the cheaper (ties favour first).
+    both1 = (fsz == 1) & (gsz == 1)
+    if both1.any():
+        f_cost = np.full(n, np.inf)
+        g_cost = np.full(n, np.inf)
+        f_cost[both1] = first.costs[first.starts[both1]]
+        g_cost[both1] = second.costs[second.starts[both1]]
+        rows = np.nonzero(both1 & (f_cost <= g_cost))[0]
+        if rows.size:
+            parts.append((rows, first.take(rows)))
+        rows = np.nonzero(both1 & (f_cost > g_cost))[0]
+        if rows.size:
+            parts.append((rows, second.take(rows)))
+        remaining &= ~both1
+
+    if remaining.any():
+        f_min = np.minimum.reduceat(first.costs, first.starts)
+        f_max = np.maximum.reduceat(first.costs, first.starts)
+        g_min = np.minimum.reduceat(second.costs, second.starts)
+        g_max = np.maximum.reduceat(second.costs, second.starts)
+        # Certain-dominance screens, in the scalar operator's order.
+        first_wins = remaining & (g_min >= f_max)
+        second_wins = remaining & ~first_wins & (f_min >= g_max)
+        rows = np.nonzero(first_wins)[0]
+        if rows.size:
+            parts.append((rows, first.take(rows)))
+        rows = np.nonzero(second_wins)[0]
+        if rows.size:
+            parts.append((rows, second.take(rows)))
+        remaining &= ~first_wins & ~second_wins
+
+    rows = np.nonzero(remaining)[0]
+    if rows.size:
+        parts.extend(_minimum_general(first.take(rows), second.take(rows), rows))
+    return PLFBatch.stitch(parts, n)
+
+
+def _minimum_general(
+    f: PLFBatch, g: PLFBatch, rows_global: np.ndarray
+) -> list[tuple[np.ndarray, PLFBatch]]:
+    """General minimum for pairs that survive the dominance screens."""
+    k = f.count
+    rows_cat = np.concatenate(
+        [np.repeat(np.arange(k), f.sizes), np.repeat(np.arange(k), g.sizes)]
+    )
+    vals_cat = np.concatenate([f.times, g.times])
+    grid_rows, grid, grid_offsets = _sorted_unique_rows(rows_cat, vals_cat, k)
+
+    f_vals = _interp_flat(f.times, f.costs, f.offsets, grid_rows, grid)
+    g_vals = _interp_flat(g.times, g.costs, g.offsets, grid_rows, grid)
+    diff = f_vals - g_vals
+
+    # Linear between shared grid points: comparing on the grid decides
+    # dominance everywhere (scalar operator, same epsilon).
+    first_dominates = _row_all(diff <= _EPS, grid_offsets)
+    second_dominates = _row_all(diff >= -_EPS, grid_offsets) & ~first_dominates
+    parts: list[tuple[np.ndarray, PLFBatch]] = []
+    local = np.nonzero(first_dominates)[0]
+    if local.size:
+        parts.append((rows_global[local], f.take(local)))
+    local = np.nonzero(second_dominates)[0]
+    if local.size:
+        parts.append((rows_global[local], g.take(local)))
+
+    work = ~first_dominates & ~second_dominates
+    local = np.nonzero(work)[0]
+    if not local.size:
+        return parts
+    if not work.all():
+        f = f.take(local)
+        g = g.take(local)
+        rows_global = rows_global[local]
+        keep_pts = work[grid_rows]
+        remap = np.full(k, -1, dtype=np.int64)
+        remap[local] = np.arange(local.size)
+        grid_rows = remap[grid_rows[keep_pts]]
+        grid = grid[keep_pts]
+        f_vals = f_vals[keep_pts]
+        g_vals = g_vals[keep_pts]
+        diff = diff[keep_pts]
+        grid_offsets = _offsets_from_rows(grid_rows, local.size)
+        k = local.size
+
+    # Exact crossing times between consecutive grid points (scalar _crossings).
+    seg_same = grid_rows[1:] == grid_rows[:-1]
+    d0 = diff[:-1]
+    d1 = diff[1:]
+    cross_mask = seg_same & (
+        ((d0 > _EPS) & (d1 < -_EPS)) | ((d0 < -_EPS) & (d1 > _EPS))
+    )
+    if cross_mask.any():
+        t0 = grid[:-1][cross_mask]
+        t1 = grid[1:][cross_mask]
+        y0 = d0[cross_mask]
+        y1 = d1[cross_mask]
+        cross_times = t0 + (t1 - t0) * (y0 / (y0 - y1))
+        cross_rows = grid_rows[:-1][cross_mask]
+        grid_rows, grid, grid_offsets = _sorted_unique_rows(
+            np.concatenate([grid_rows, cross_rows]),
+            np.concatenate([grid, cross_times]),
+            k,
+        )
+        f_vals = _interp_flat(f.times, f.costs, f.offsets, grid_rows, grid)
+        g_vals = _interp_flat(g.times, g.costs, g.offsets, grid_rows, grid)
+
+    min_vals = np.minimum(f_vals, g_vals)
+
+    # Per-segment winner from the endpoint sums; the last grid point of each
+    # row covers the clamped region after the final breakpoint.
+    last_of_row = np.zeros(grid.size, dtype=bool)
+    last_of_row[grid_offsets[1:] - 1] = True
+    winner = np.empty(grid.size, dtype=bool)
+    seg = np.nonzero(~last_of_row)[0]
+    winner[seg] = (f_vals[seg] + f_vals[seg + 1]) <= (
+        g_vals[seg] + g_vals[seg + 1]
+    ) + _EPS
+    tail = np.nonzero(last_of_row)[0]
+    winner[tail] = f_vals[tail] <= g_vals[tail] + _EPS
+
+    via = np.where(
+        winner,
+        _via_lookup_flat(f, grid_rows, grid),
+        _via_lookup_flat(g, grid_rows, grid),
+    )
+    keep = _dedupe_keep_mask(grid_rows, grid)
+    grid_rows = grid_rows[keep]
+    parts.append(
+        (
+            rows_global,
+            PLFBatch(
+                grid[keep],
+                min_vals[keep],
+                via[keep],
+                _offsets_from_rows(grid_rows, k),
+            ),
+        )
+    )
+    return parts
+
+
+# ----------------------------------------------------------------------
+# simplify_many
+# ----------------------------------------------------------------------
+def simplify_many(
+    batch: PLFBatch,
+    max_points: int | None = None,
+    tolerance: float = 0.0,
+) -> PLFBatch:
+    """Batched :func:`repro.functions.simplify.simplify`.
+
+    The common cases are fully vectorized: members already under the
+    ``max_points`` cap pass through untouched, and (in exact mode) members
+    with no collinear interior points are recognised in one flat scan.  Only
+    the minority that actually needs breakpoint removal falls back to the
+    scalar routine, which keeps the results identical to a per-function loop.
+    """
+    sizes = batch.sizes
+    if max_points is not None:
+        work = sizes > max_points
+    else:
+        work = sizes > 2
+    if not work.any():
+        return batch
+
+    rows_work = np.nonzero(work)[0]
+    if max_points is None:
+        # Exact mode: a member only changes when some interior point is
+        # collinear (within tolerance) with its neighbours.  Screen them all
+        # with one vectorized pass over the concatenated interiors.
+        tol_eff = max(tolerance, 1e-9)
+        sub = batch.take(rows_work)
+        rowids = np.repeat(np.arange(rows_work.size), sub.sizes)
+        boundary = np.zeros(sub.total_points, dtype=bool)
+        boundary[sub.starts] = True
+        boundary[sub.ends - 1] = True
+        inner = np.nonzero(~boundary)[0]
+        t_prev = sub.times[inner - 1]
+        t_next = sub.times[inner + 1]
+        c_prev = sub.costs[inner - 1]
+        c_next = sub.costs[inner + 1]
+        interp = c_prev + (sub.times[inner] - t_prev) * (c_next - c_prev) / (
+            t_next - t_prev
+        )
+        candidate = np.abs(interp - sub.costs[inner]) <= tol_eff
+        has_candidate = (
+            np.bincount(rowids[inner[candidate]], minlength=rows_work.size) > 0
+        )
+        rows_scalar = rows_work[has_candidate]
+    else:
+        rows_scalar = rows_work
+
+    if not rows_scalar.size:
+        return batch
+    simplified = [
+        simplify(batch.function(int(r)), max_points=max_points, tolerance=tolerance)
+        for r in rows_scalar
+    ]
+    unchanged = np.setdiff1d(np.arange(batch.count), rows_scalar, assume_unique=False)
+    parts: list[tuple[np.ndarray, PLFBatch]] = [
+        (rows_scalar, PLFBatch.from_functions(simplified))
+    ]
+    if unchanged.size:
+        parts.append((unchanged, batch.take(unchanged)))
+    return PLFBatch.stitch(parts, batch.count)

@@ -1,0 +1,180 @@
+"""Equivalence tests for the batched query engine and batched construction.
+
+The contract under test is strict: :func:`batch_cost_query` must return
+**bit-identical** costs to looping the scalar query functions over the same
+workload, for every index flavour (no shortcuts, partial shortcuts, full
+shortcuts), and the level-batched shortcut catalog must equal the scalar
+reference construction function by function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import basic_cost_query, batch_cost_query, shortcut_cost_query
+from repro.core.shortcuts import build_shortcut_catalog
+from repro.exceptions import DisconnectedQueryError, VertexNotFoundError
+from repro.functions import PiecewiseLinearFunction
+from repro import TDGraph, TDTreeIndex
+
+
+def _workload(graph, count=60, seed=123):
+    rng = np.random.default_rng(seed)
+    vertices = np.asarray(sorted(graph.vertices()))
+    sources = rng.choice(vertices, count)
+    targets = rng.choice(vertices, count)
+    departures = rng.uniform(0.0, 86_400.0, count)
+    return sources, targets, departures
+
+
+# ----------------------------------------------------------------------
+# batch_cost_query vs looped scalar queries
+# ----------------------------------------------------------------------
+def test_batch_matches_basic_loop(basic_index):
+    sources, targets, departures = _workload(basic_index.graph)
+    result = basic_index.batch_query(sources, targets, departures)
+    expected = np.array(
+        [
+            basic_cost_query(basic_index.tree, int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert result.strategy == "basic"
+    assert np.array_equal(result.costs, expected)
+    assert np.array_equal(result.arrivals, departures + expected)
+
+
+def test_batch_matches_full_shortcut_loop(full_index):
+    sources, targets, departures = _workload(full_index.graph, seed=5)
+    result = full_index.batch_query(sources, targets, departures)
+    expected = np.array(
+        [
+            shortcut_cost_query(
+                full_index.tree, full_index.shortcuts, int(s), int(t), float(d)
+            ).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert result.strategy == "shortcuts"
+    assert np.array_equal(result.costs, expected)
+
+
+@pytest.mark.parametrize("fixture", ["approx_index", "dp_index"])
+def test_batch_matches_partial_shortcut_loop(fixture, request):
+    index = request.getfixturevalue(fixture)
+    sources, targets, departures = _workload(index.graph, seed=17)
+    result = index.batch_query(sources, targets, departures)
+    expected = np.array(
+        [
+            index.query(int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert np.array_equal(result.costs, expected)
+
+
+def test_batch_repeated_calls_use_cache(approx_index):
+    sources, targets, departures = _workload(approx_index.graph, count=20, seed=3)
+    first = approx_index.batch_query(sources, targets, departures)
+    again = approx_index.batch_query(sources, targets, departures)
+    assert np.array_equal(first.costs, again.costs)
+    assert approx_index._batch_query_cache  # per-pair memo populated
+
+
+def test_batch_same_vertex_queries_are_zero(basic_index):
+    vertices = np.asarray(sorted(basic_index.graph.vertices()))[:5]
+    result = basic_index.batch_query(vertices, vertices, np.zeros(vertices.size))
+    assert np.array_equal(result.costs, np.zeros(vertices.size))
+
+
+def test_batch_rejects_misaligned_arrays(basic_index):
+    with pytest.raises(Exception):
+        basic_index.batch_query([0, 1], [2], [0.0, 1.0])
+
+
+def test_batch_rejects_unknown_vertices(basic_index):
+    with pytest.raises(VertexNotFoundError):
+        basic_index.batch_query([0], [10_000], [0.0])
+
+
+def test_batch_raises_on_disconnected_queries():
+    graph = TDGraph()
+    graph.add_bidirectional_edge(0, 1, PiecewiseLinearFunction.constant(10.0))
+    graph.add_bidirectional_edge(2, 3, PiecewiseLinearFunction.constant(10.0))
+    index = TDTreeIndex.build(graph, strategy="basic", validate=False)
+    with pytest.raises(DisconnectedQueryError):
+        index.batch_query([0], [3], [0.0])
+
+
+def test_restricted_sweep_plan_matches_global(basic_index, approx_index, monkeypatch):
+    """Large-tree mode (union-restricted sweep plans) must not change results."""
+    import repro.core.query as query_module
+
+    for index in (basic_index, approx_index):
+        sources, targets, departures = _workload(index.graph, count=40, seed=21)
+        expected = index.batch_query(sources, targets, departures).costs
+        monkeypatch.setattr(query_module, "_GLOBAL_PLAN_MAX_ROWS", 1)
+        index._batch_query_cache.clear()
+        restricted = index.batch_query(sources, targets, departures).costs
+        monkeypatch.undo()
+        assert np.array_equal(expected, restricted)
+
+
+def test_module_level_batch_query_matches_index(basic_index):
+    sources, targets, departures = _workload(basic_index.graph, count=15, seed=9)
+    via_index = basic_index.batch_query(sources, targets, departures)
+    via_module = batch_cost_query(basic_index.tree, sources, targets, departures)
+    assert np.array_equal(via_index.costs, via_module.costs)
+
+
+# ----------------------------------------------------------------------
+# Batched construction vs scalar reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("max_points", [None, 16])
+def test_batched_catalog_equals_scalar_reference(small_tree, max_points):
+    scalar = build_shortcut_catalog(
+        small_tree, max_points=max_points, use_batch_kernels=False
+    )
+    batched = build_shortcut_catalog(
+        small_tree, max_points=max_points, use_batch_kernels=True
+    )
+    assert set(scalar.pairs) == set(batched.pairs)
+    for key, expected in scalar.pairs.items():
+        actual = batched.pairs[key]
+        assert expected.utility == actual.utility
+        for reference, candidate in (
+            (expected.forward, actual.forward),
+            (expected.backward, actual.backward),
+        ):
+            assert (reference is None) == (candidate is None)
+            if reference is None:
+                continue
+            assert np.array_equal(reference.times, candidate.times)
+            assert np.array_equal(reference.costs, candidate.costs)
+            assert np.array_equal(reference.via, candidate.via)
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation under updates
+# ----------------------------------------------------------------------
+def test_batch_query_consistent_after_update(small_grid):
+    # Private copy: the update below must not leak into the shared fixture.
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy="approx", budget_fraction=0.4, max_points=16
+    )
+    sources, targets, departures = _workload(index.graph, count=30, seed=31)
+    index.batch_query(sources, targets, departures)  # warm every cache
+
+    edges = list(index.graph.edges())
+    u, v, weight = edges[0]
+    index.update_edge(u, v, weight.shift(250.0))
+
+    after_batch = index.batch_query(sources, targets, departures)
+    after_loop = np.array(
+        [
+            index.query(int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert np.array_equal(after_batch.costs, after_loop)

@@ -1,0 +1,275 @@
+"""Property-based equivalence tests for the batched PLF kernels.
+
+The batch kernels (:mod:`repro.functions.batch`) promise to be drop-in
+equivalents of the scalar operators — not just close, but *identical*:
+same breakpoints, same costs (bit for bit), same ``via`` provenance.  These
+tests pin that contract down on randomized FIFO functions, mixed-size
+batches (including constants) and the clamped-extrapolation edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions import (
+    NO_VIA,
+    PLFBatch,
+    PiecewiseLinearFunction,
+    compound,
+    compound_many,
+    evaluate_grid,
+    evaluate_many,
+    minimum,
+    minimum_many,
+    simplify,
+    simplify_many,
+)
+
+_HORIZON = 86_400.0
+
+
+@st.composite
+def fifo_functions(draw, max_points: int = 7):
+    """Random FIFO-compliant travel-cost functions over one day."""
+    size = draw(st.integers(min_value=1, max_value=max_points))
+    raw_times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=_HORIZON, allow_nan=False),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    times = np.sort(np.asarray(raw_times, dtype=np.float64))
+    for i in range(1, len(times)):
+        if times[i] - times[i - 1] < 1.0:
+            times[i] = times[i - 1] + 1.0
+    costs = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=5_000.0, allow_nan=False),
+                min_size=size,
+                max_size=size,
+            )
+        ),
+        dtype=np.float64,
+    )
+    for i in range(1, len(costs)):
+        lower = costs[i - 1] - (times[i] - times[i - 1]) + 0.001
+        if costs[i] < lower:
+            costs[i] = lower
+    via = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(min_value=NO_VIA, max_value=50),
+                min_size=size,
+                max_size=size,
+            ),
+        )
+    )
+    return PiecewiseLinearFunction(times, costs, via)
+
+
+function_batches = st.lists(fifo_functions(), min_size=1, max_size=8)
+
+
+def assert_identical(
+    expected: PiecewiseLinearFunction, actual: PiecewiseLinearFunction
+) -> None:
+    """Bitwise equality of two functions, including the via provenance."""
+    assert np.array_equal(expected.times, actual.times)
+    assert np.array_equal(expected.costs, actual.costs)
+    assert np.array_equal(expected.via, actual.via)
+
+
+# ----------------------------------------------------------------------
+# PLFBatch representation
+# ----------------------------------------------------------------------
+@given(functions=function_batches)
+@settings(max_examples=30, deadline=None)
+def test_batch_round_trip(functions):
+    batch = PLFBatch.from_functions(functions)
+    assert batch.count == len(functions)
+    assert batch.total_points == sum(f.size for f in functions)
+    for original, restored in zip(functions, batch.to_functions()):
+        assert_identical(original, restored)
+
+
+@given(functions=function_batches)
+@settings(max_examples=30, deadline=None)
+def test_batch_take_and_stitch(functions):
+    batch = PLFBatch.from_functions(functions)
+    rows = np.arange(batch.count)[::-1]
+    reversed_batch = batch.take(rows)
+    for i, row in enumerate(rows):
+        assert_identical(functions[int(row)], reversed_batch.function(i))
+    stitched = PLFBatch.stitch([(rows, reversed_batch)], batch.count)
+    for i, original in enumerate(functions):
+        assert_identical(original, stitched.function(i))
+
+
+def test_batch_validate_rejects_bad_offsets():
+    with pytest.raises(InvalidFunctionError):
+        PLFBatch(
+            np.array([0.0, 1.0]),
+            np.array([1.0, 2.0]),
+            np.array([NO_VIA, NO_VIA]),
+            np.array([0, 1]),  # does not end at len(times)
+            validate=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# evaluate_many / evaluate_grid
+# ----------------------------------------------------------------------
+@given(
+    functions=function_batches,
+    offsets=st.lists(
+        st.floats(min_value=-10_000.0, max_value=100_000.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_evaluate_many_matches_scalar(functions, offsets):
+    batch = PLFBatch.from_functions(functions)
+    rng = np.random.default_rng(len(functions))
+    # Per-member times, including clamped extrapolation far outside the range.
+    times = rng.uniform(-50_000.0, 150_000.0, batch.count)
+    got = evaluate_many(batch, times)
+    expected = np.array([f.evaluate(float(t)) for f, t in zip(functions, times)])
+    assert np.array_equal(got, expected)
+    # Matrix form: each member at several of its own times.
+    matrix = rng.uniform(-10_000.0, 100_000.0, (batch.count, len(offsets)))
+    got = evaluate_many(batch, matrix)
+    expected = np.array(
+        [[f.evaluate(float(t)) for t in row] for f, row in zip(functions, matrix)]
+    )
+    assert np.array_equal(got, expected)
+    # Shared grid, including the members' own breakpoints (exact hits).
+    grid = np.sort(np.asarray(offsets, dtype=np.float64))
+    got = evaluate_grid(batch, grid)
+    expected = np.array([np.asarray(f.evaluate(grid)) for f in functions])
+    assert np.array_equal(got, expected)
+
+
+@given(functions=function_batches)
+@settings(max_examples=30, deadline=None)
+def test_evaluate_many_exact_breakpoint_hits(functions):
+    batch = PLFBatch.from_functions(functions)
+    probes = np.array([f.times[f.size // 2] for f in functions])
+    got = evaluate_many(batch, probes)
+    expected = np.array([f.evaluate(float(t)) for f, t in zip(functions, probes)])
+    assert np.array_equal(got, expected)
+
+
+def test_evaluate_single_point_functions():
+    functions = [PiecewiseLinearFunction.constant(c) for c in (1.0, 7.5, 0.0)]
+    batch = PLFBatch.from_functions(functions)
+    got = evaluate_many(batch, np.array([-1e9, 0.0, 1e9]))
+    assert np.array_equal(got, np.array([1.0, 7.5, 0.0]))
+
+
+def test_evaluate_tight_spacing_uses_exact_fallback():
+    """Sub-resolution breakpoint gaps must disable the banded searchsorted."""
+    func = PiecewiseLinearFunction(
+        np.array([0.0, 1e-10, 2e-10, _HORIZON]), np.array([5.0, 6.0, 5.0, 7.0])
+    )
+    batch = PLFBatch.from_functions([func] * 3)
+    assert batch._eval_tables()[3] is None  # banded keys refused
+    probes = np.array([0.5e-10, 1.5e-10, 10.0])
+    expected = np.array([func.evaluate(float(t)) for t in probes])
+    assert np.array_equal(evaluate_many(batch, probes), expected)
+
+
+# ----------------------------------------------------------------------
+# compound_many / minimum_many
+# ----------------------------------------------------------------------
+@given(
+    firsts=function_batches,
+    seconds=function_batches,
+    with_via=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_compound_many_matches_scalar(firsts, seconds, with_via):
+    n = min(len(firsts), len(seconds))
+    firsts, seconds = firsts[:n], seconds[:n]
+    first_batch = PLFBatch.from_functions(firsts)
+    second_batch = PLFBatch.from_functions(seconds)
+    via = np.arange(n, dtype=np.int64) if with_via else None
+    result = compound_many(first_batch, second_batch, via=via)
+    assert result.count == n
+    for i in range(n):
+        expected = compound(
+            firsts[i], seconds[i], via=int(via[i]) if via is not None else None
+        )
+        assert_identical(expected, result.function(i))
+
+
+@given(firsts=function_batches, seconds=function_batches)
+@settings(max_examples=60, deadline=None)
+def test_minimum_many_matches_scalar(firsts, seconds):
+    n = min(len(firsts), len(seconds))
+    firsts, seconds = firsts[:n], seconds[:n]
+    result = minimum_many(
+        PLFBatch.from_functions(firsts), PLFBatch.from_functions(seconds)
+    )
+    assert result.count == n
+    for i in range(n):
+        assert_identical(minimum(firsts[i], seconds[i]), result.function(i))
+
+
+def test_pairwise_kernels_reject_mismatched_batches():
+    a = PLFBatch.from_functions([PiecewiseLinearFunction.constant(1.0)])
+    b = PLFBatch.from_functions([PiecewiseLinearFunction.constant(1.0)] * 2)
+    with pytest.raises(InvalidFunctionError):
+        compound_many(a, b)
+    with pytest.raises(InvalidFunctionError):
+        minimum_many(a, b)
+
+
+def test_compound_many_constant_fast_paths():
+    constant = PiecewiseLinearFunction.constant(120.0, via=3)
+    varying = PiecewiseLinearFunction.from_points([(0.0, 60.0), (43_200.0, 600.0)])
+    firsts = [constant, varying, constant]
+    seconds = [varying, constant, constant]
+    result = compound_many(
+        PLFBatch.from_functions(firsts), PLFBatch.from_functions(seconds), via=7
+    )
+    for i in range(3):
+        assert_identical(compound(firsts[i], seconds[i], via=7), result.function(i))
+
+
+# ----------------------------------------------------------------------
+# simplify_many
+# ----------------------------------------------------------------------
+@given(
+    functions=st.lists(fifo_functions(max_points=10), min_size=1, max_size=6),
+    cap=st.one_of(st.none(), st.integers(min_value=2, max_value=6)),
+    tolerance=st.sampled_from([0.0, 1e-6, 5.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_simplify_many_matches_scalar(functions, cap, tolerance):
+    batch = PLFBatch.from_functions(functions)
+    result = simplify_many(batch, max_points=cap, tolerance=tolerance)
+    assert result.count == len(functions)
+    for i, func in enumerate(functions):
+        expected = simplify(func, max_points=cap, tolerance=tolerance)
+        assert_identical(expected, result.function(i))
+
+
+def test_simplify_many_collinear_screen():
+    """A member with collinear interior points is reduced; others untouched."""
+    collinear = PiecewiseLinearFunction(
+        np.array([0.0, 10.0, 20.0]), np.array([5.0, 10.0, 15.0])
+    )
+    bend = PiecewiseLinearFunction(
+        np.array([0.0, 10.0, 20.0]), np.array([5.0, 50.0, 15.0])
+    )
+    result = simplify_many(PLFBatch.from_functions([collinear, bend]))
+    assert result.function(0).size == 2
+    assert result.function(1).size == 3
