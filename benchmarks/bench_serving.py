@@ -1,0 +1,194 @@
+"""Serving-layer benchmarks: snapshot load speed and QueryService throughput.
+
+Two acceptance targets are *enforced* here (not just reported):
+
+* loading a snapshot (``TDTreeIndex.load``) must be at least **10x** faster
+  than rebuilding the index on the scaled CAL dataset, with bit-identical
+  query costs, for all four build strategies;
+* :class:`repro.serving.QueryService` must sustain at least **3x** the
+  throughput of a per-call ``index.query`` loop on the Fig. 8 workload
+  (NUM_PAIRS OD pairs x 10 departure timestamps).
+
+Both tables are registered with the harness, which writes
+``results/serving_snapshot_load.txt`` / ``results/serving_throughput.txt``
+plus the machine-readable ``results/BENCH_*.json`` twins.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import TDTreeIndex
+from repro.datasets import load_dataset
+from repro.serving import QueryService
+
+from harness import (
+    BATCH_INTERVALS,
+    NUM_PAIRS,
+    register_report,
+    workload_for,
+)
+
+DATASET = "CAL"
+C = 3
+
+STRATEGIES = ("basic", "dp", "approx", "full")
+#: Fig. 8 CAL methods that expose the index API (TD-G-tree has no service).
+SERVICE_METHODS = {"TD-basic": "basic", "TD-H2H": "full"}
+
+LOAD_SPEEDUP_TARGET = 10.0
+SERVICE_SPEEDUP_TARGET = 3.0
+
+
+def _workload_arrays():
+    queries = list(workload_for(DATASET, C, num_intervals=BATCH_INTERVALS))
+    return (
+        np.array([q.source for q in queries], dtype=np.int64),
+        np.array([q.target for q in queries], dtype=np.int64),
+        np.array([q.departure for q in queries], dtype=np.float64),
+    )
+
+
+def test_snapshot_load_vs_rebuild(tmp_path):
+    """Snapshot acceptance: bit-identical costs, load >= 10x faster than build."""
+    graph = load_dataset(DATASET, num_points=C)
+    sources, targets, departures = _workload_arrays()
+    rows = []
+    for strategy in STRATEGIES:
+        started = time.perf_counter()
+        index = TDTreeIndex.build(graph.copy(), strategy=strategy)
+        build_seconds = time.perf_counter() - started
+        expected = index.batch_query(sources, targets, departures).costs
+
+        directory = index.save(tmp_path / f"{DATASET}-{strategy}.index")
+        load_seconds = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            loaded = TDTreeIndex.load(directory)
+            load_seconds = min(load_seconds, time.perf_counter() - started)
+        actual = loaded.batch_query(sources, targets, departures).costs
+        assert np.array_equal(expected, actual), (
+            f"{strategy}: loaded index costs differ from the built index"
+        )
+        rows.append(
+            {
+                "dataset": DATASET,
+                "strategy": strategy,
+                "c": C,
+                "build_s": build_seconds,
+                "load_s": load_seconds,
+                "speedup": build_seconds / load_seconds,
+            }
+        )
+    register_report(
+        "serving_snapshot_load",
+        rows,
+        title=f"Index snapshot: load vs rebuild on {DATASET} (best of 3 loads)",
+    )
+    for row in rows:
+        assert row["speedup"] >= LOAD_SPEEDUP_TARGET, (
+            f"{row['strategy']}: load only {row['speedup']:.1f}x faster than "
+            f"rebuild (target {LOAD_SPEEDUP_TARGET:.0f}x)"
+        )
+
+
+def test_service_throughput_vs_loop():
+    """Serving acceptance: QueryService >= 3x a per-call query loop on Fig. 8."""
+    from harness import built_index
+
+    sources, targets, departures = _workload_arrays()
+    queries = list(zip(sources.tolist(), targets.tolist(), departures.tolist()))
+    rows = []
+    for method, strategy in SERVICE_METHODS.items():
+        index = built_index(method, DATASET, C).index
+        index.batch_query(sources, targets, departures)  # warm label caches
+
+        loop_best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            loop_costs = [index.query(s, t, d).cost for s, t, d in queries]
+            loop_best = min(loop_best, time.perf_counter() - started)
+
+        service_best = float("inf")
+        stats = None
+        # Batch size sized to the workload burst: the basic strategy's tree
+        # sweep has a per-batch fixed cost, so needlessly splitting a burst
+        # into several flushes wastes it.  max_wait still bounds tail latency
+        # for trickling traffic; the cache is off to measure pure batching.
+        with QueryService(
+            index, max_batch_size=512, max_wait_ms=100.0, cache_size=0
+        ) as service:
+            for _ in range(3):
+                started = time.perf_counter()
+                futures = [service.submit(s, t, d) for s, t, d in queries]
+                service.flush()
+                served = [f.result(timeout=30) for f in futures]
+                service_best = min(service_best, time.perf_counter() - started)
+            stats = service.stats()
+        assert served == loop_costs, f"{method}: service costs differ from the loop"
+
+        num = len(queries)
+        rows.append(
+            {
+                "dataset": DATASET,
+                "method": method,
+                "c": C,
+                "num_queries": num,
+                "loop_qps": num / loop_best,
+                "service_qps": num / service_best,
+                "speedup": loop_best / service_best,
+                "batch_occupancy": stats.batch_occupancy,
+                "p50_latency_ms": stats.p50_latency_ms,
+                "p95_latency_ms": stats.p95_latency_ms,
+            }
+        )
+    register_report(
+        "serving_throughput",
+        rows,
+        title=(
+            f"QueryService vs per-call loop on {DATASET} "
+            f"({NUM_PAIRS} pairs x {BATCH_INTERVALS} departures, best of 3)"
+        ),
+    )
+    for row in rows:
+        assert row["speedup"] >= SERVICE_SPEEDUP_TARGET, (
+            f"{row['method']}: service speedup {row['speedup']:.2f}x below the "
+            f"{SERVICE_SPEEDUP_TARGET:.0f}x target"
+        )
+
+
+@pytest.mark.parametrize("strategy", ["approx"])
+def test_snapshot_load_benchmark(benchmark, tmp_path, strategy):
+    """pytest-benchmark timing of one load (tracked across PRs)."""
+    graph = load_dataset(DATASET, num_points=C)
+    index = TDTreeIndex.build(graph, strategy=strategy)
+    directory = index.save(tmp_path / "bench.index")
+    loaded = benchmark(lambda: TDTreeIndex.load(directory))
+    assert loaded.tree.num_nodes == index.tree.num_nodes
+
+
+def test_service_submit_benchmark(benchmark):
+    """pytest-benchmark timing of the submit->flush->gather cycle."""
+    from harness import built_index
+
+    index = built_index("TD-H2H", DATASET, C).index
+    sources, targets, departures = _workload_arrays()
+    queries = list(zip(sources.tolist(), targets.tolist(), departures.tolist()))
+    index.batch_query(sources, targets, departures)
+
+    # cache_size=0: with the cache on, every round after the first would be
+    # pure LRU hits and the benchmark would stop tracking the batching path.
+    with QueryService(
+        index, max_batch_size=512, max_wait_ms=100.0, cache_size=0
+    ) as service:
+
+        def cycle():
+            futures = [service.submit(s, t, d) for s, t, d in queries]
+            service.flush()
+            return [f.result(timeout=30) for f in futures]
+
+        costs = benchmark(cycle)
+    assert len(costs) == len(queries)

@@ -20,9 +20,13 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
+from repro import __version__
 from repro.datasets import generate_queries, get_spec, load_dataset
 from repro.experiments import format_table
 from repro.experiments.runner import _built  # shared build cache
@@ -47,11 +51,29 @@ C_VALUES = (2, 3, 4, 5, 6) if FULL_SWEEP else (2, 3, 5)
 
 
 def register_report(name: str, rows: list[dict], *, title: str) -> None:
-    """Store a formatted table so it is printed at the end of the run."""
+    """Store a formatted table so it is printed at the end of the run.
+
+    Next to the human-readable ``results/<name>.txt`` a machine-readable
+    ``results/BENCH_<name>.json`` is written with the raw rows, so the perf
+    trajectory (speedups, throughput, latencies) is diffable across PRs and
+    can be collected as a CI artifact.
+    """
     text = format_table(rows, title=title)
     REPORTS[name] = text
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "name": name,
+        "title": title,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "rows": rows,
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n",
+        encoding="utf-8",
+    )
 
 
 def built_index(method: str, dataset: str, c: int, *, budget_fraction: float | None = None):

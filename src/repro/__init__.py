@@ -21,6 +21,10 @@ Package layout
 ``repro.core``
     The paper's contribution: TFP tree decomposition, shortcut selection
     (exact DP and 0.5-approximation) and the query algorithms.
+``repro.persistence``
+    Versioned on-disk index snapshots (``TDTreeIndex.save`` / ``load``).
+``repro.serving``
+    Micro-batching ``QueryService`` with result caching and service stats.
 ``repro.baselines``
     TD-Dijkstra, TD-A*, TD-G-tree and TD-H2H comparison methods.
 ``repro.datasets``

@@ -114,6 +114,9 @@ class TDTreeIndex:
         self._build_seconds = dict(build_seconds or {})
         #: Per-OD-pair memo of the batch query engine; cleared on updates.
         self._batch_query_cache: dict = {}
+        #: Callbacks fired after the update machinery rewrote labels or
+        #: shortcuts (serving layers register their cache invalidation here).
+        self._invalidation_hooks: list = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -302,6 +305,56 @@ class TDTreeIndex:
         from repro.core.update import apply_edge_updates
 
         return apply_edge_updates(self, changes)
+
+    def register_invalidation_hook(self, hook) -> None:
+        """Register ``hook()`` to run whenever an update changes query answers.
+
+        The update machinery (:func:`repro.core.update.apply_edge_updates`)
+        fires every registered hook after it repaired labels and shortcuts;
+        serving layers use this to drop memoised query results
+        (:class:`repro.serving.QueryService` wires its result cache in here).
+        """
+        if not callable(hook):
+            raise TypeError("invalidation hooks must be callable")
+        self._invalidation_hooks.append(hook)
+
+    def unregister_invalidation_hook(self, hook) -> None:
+        """Remove a previously registered hook (no-op when absent)."""
+        try:
+            self._invalidation_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def notify_invalidation(self) -> None:
+        """Fire every registered invalidation hook (called by the update path)."""
+        for hook in list(self._invalidation_hooks):
+            hook()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> "str":
+        """Snapshot the built index to the directory ``path``.
+
+        See :mod:`repro.persistence.snapshot` for the format (``.npz`` buffers
+        plus a versioned JSON manifest).  Returns the directory path.
+        """
+        from repro.persistence import save_index
+
+        self._check_built()
+        return str(save_index(self, path))
+
+    @classmethod
+    def load(cls, path) -> "TDTreeIndex":
+        """Load a snapshot written by :meth:`save`.
+
+        The loaded index is bit-identical to the saved one for every query
+        flavour, and loading skips decomposition/selection entirely — one to
+        two orders of magnitude cheaper than :meth:`build`.
+        """
+        from repro.persistence import load_index
+
+        return load_index(path)
 
     # ------------------------------------------------------------------
     # Introspection

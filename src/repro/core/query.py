@@ -306,6 +306,31 @@ def _collect_hops(
     return hops
 
 
+def _meeting_chain(
+    tree: TFPTreeDecomposition,
+    source: int,
+    target: int,
+    *,
+    lca: int | None = None,
+) -> tuple[int, ...]:
+    """All common ancestors of ``source`` and ``target`` (the LCA's root path).
+
+    ``lca`` may be supplied by callers that already resolved it (e.g. as
+    ``vertex_cut(source, target)[0]``) to skip the second LCA walk.
+
+    Any shortest journey decomposes into an up-down path in the elimination
+    hierarchy: working edges only connect a node to its tree ancestors, so the
+    ascending prefix stays on ``source``'s root path, the descending suffix on
+    ``target``'s, and the apex is a *common* ancestor — which may lie strictly
+    above the LCA's bag.  The sweep-based query regimes therefore have to
+    consider every common ancestor as a candidate meeting vertex; seeding only
+    the vertex cut ``X(lca)`` (Property 1) misses journeys whose apex sits
+    above the cut.  (The full-shortcut regime is exempt: its labels are exact
+    shortest functions, for which crossing the cut is sufficient.)
+    """
+    return tree.root_path(tree.lca(source, target) if lca is None else lca)
+
+
 def basic_cost_query(
     tree: TFPTreeDecomposition,
     source: int,
@@ -319,15 +344,13 @@ def basic_cost_query(
         return EarliestArrivalResult(source, target, departure, 0.0, None, "basic")
     _require_vertices(tree, source, target)
 
-    cut = tree.vertex_cut(source, target)
+    meet = _meeting_chain(tree, source, target)
     up_costs, up_preds = _ascending_costs(tree, source, departure)
     seeds = {
         w: departure + up_costs[w]
-        for w in cut
+        for w in meet
         if math.isfinite(up_costs.get(w, _INF))
     }
-    if source in cut:
-        seeds[source] = departure
     if not seeds:
         raise DisconnectedQueryError(source, target)
     arrivals, down_preds = _descending_arrivals(tree, target, seeds)
@@ -336,7 +359,7 @@ def basic_cost_query(
         raise DisconnectedQueryError(source, target)
     cost = arrival - departure
 
-    meeting = _best_meeting_vertex(cut, up_costs, arrivals, down_preds, target)
+    meeting = _best_meeting_vertex(meet, up_costs, arrivals, down_preds, target)
     hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = []
     if record_hops:
         hops = _collect_hops(
@@ -348,19 +371,19 @@ def basic_cost_query(
 
 
 def _best_meeting_vertex(
-    cut: tuple[int, ...],
+    meet: tuple[int, ...],
     up_costs: dict[int, float],
     arrivals: dict[int, float],
     down_preds: dict[int, tuple[int, PiecewiseLinearFunction]],
     target: int,
 ) -> int:
-    """Identify the cut vertex where the optimal journey leaves the source side.
+    """Identify the common ancestor where the optimal journey leaves the source side.
 
     The descending predecessor chain from the target terminates at the seed
     vertex whose source-side arrival started the winning chain — that seed
-    (always a cut vertex) is the meeting vertex.  Stopping at the *first* cut
-    vertex encountered instead would be wrong: the chain may pass through
-    several cut vertices, and only the terminal one carries the source-side
+    (always a seeded common ancestor) is the meeting vertex.  Stopping at the
+    *first* candidate encountered instead would be wrong: the chain may pass
+    through several of them, and only the terminal one carries the source-side
     cost that the reported answer is built from.
     """
     cursor = target
@@ -368,9 +391,9 @@ def _best_meeting_vertex(
     while cursor in down_preds and cursor not in seen:
         seen.add(cursor)
         cursor = down_preds[cursor][0]
-    if cursor in cut:
+    if cursor in meet:
         return cursor
-    finite = [w for w in cut if math.isfinite(up_costs.get(w, _INF))]
+    finite = [w for w in meet if math.isfinite(up_costs.get(w, _INF))]
     return min(finite, key=lambda w: arrivals.get(w, _INF)) if finite else target
 
 
@@ -450,7 +473,7 @@ def basic_profile_query(
         return ProfileResult(source, target, PiecewiseLinearFunction.zero(), "basic")
     _require_vertices(tree, source, target)
 
-    cut = tree.vertex_cut(source, target)
+    meet = _meeting_chain(tree, source, target)
     forward_labels = _ascending_profiles(
         tree, source, forward=True, max_points=max_points
     )
@@ -458,7 +481,7 @@ def basic_profile_query(
         tree, target, forward=False, max_points=max_points
     )
     candidates = []
-    for w in cut:
+    for w in meet:
         to_w = forward_labels.get(w)
         from_w = backward_labels.get(w)
         if w == source:
@@ -569,13 +592,12 @@ def shortcut_cost_query(
         skip=skip_vertices,
         bound=upper_bound,
     )
+    meet = _meeting_chain(tree, source, target, lca=cut[0])
     seeds = {
         w: departure + up_costs[w]
-        for w in cut
+        for w in meet
         if math.isfinite(up_costs.get(w, _INF))
     }
-    if source in cut:
-        seeds[source] = departure
     if not seeds:
         raise DisconnectedQueryError(source, target)
     bound_arrival = departure + upper_bound if math.isfinite(upper_bound) else _INF
@@ -592,7 +614,7 @@ def shortcut_cost_query(
     if not math.isfinite(arrival):
         raise DisconnectedQueryError(source, target)
     cost = arrival - departure
-    meeting = _best_meeting_vertex(cut, up_costs, arrivals, down_preds, target)
+    meeting = _best_meeting_vertex(meet, up_costs, arrivals, down_preds, target)
     hops: list[tuple[int, int, PiecewiseLinearFunction, float]] = []
     if record_hops:
         hops = _collect_hops(
@@ -667,7 +689,7 @@ def shortcut_profile_query(
         max_points=max_points,
     )
     candidates = []
-    for w in cut:
+    for w in _meeting_chain(tree, source, target, lca=cut[0]):
         to_w = forward_labels.get(w)
         from_w = backward_labels.get(w)
         if w == source:
@@ -859,24 +881,22 @@ def _seed_descent(
     dep: np.ndarray,
     source: int,
     target: int,
-    cut: tuple[int, ...],
+    meet: tuple[int, ...],
     cols: np.ndarray,
 ) -> None:
-    """Seed ``mat_down`` with one pair group's cut-vertex arrivals.
+    """Seed ``mat_down`` with one pair group's common-ancestor arrivals.
 
     Mirrors the scalar seeding exactly: seeds are ``departure + up_cost`` at
-    every cut vertex (``inf`` = unreachable = absent), the source itself seeds
-    its plain departure time, and a query with no finite seed is disconnected.
-    The cut lies on both endpoints' root paths, so it has rows in both maps.
+    every vertex of the meeting chain (``inf`` = unreachable = absent) and a
+    query with no finite seed is disconnected.  The meeting chain lies on both
+    endpoints' root paths, so it has rows in both maps; when the source itself
+    is a common ancestor its up-cost is zero, which seeds its plain departure.
     """
-    up_rows = np.fromiter((row_up[w] for w in cut), np.int64, len(cut))
-    down_rows = np.fromiter((row_down[w] for w in cut), np.int64, len(cut))
+    up_rows = np.fromiter((row_up[w] for w in meet), np.int64, len(meet))
+    down_rows = np.fromiter((row_down[w] for w in meet), np.int64, len(meet))
     up = mat_up[np.ix_(up_rows, cols)]
     mat_down[np.ix_(down_rows, cols)] = dep[cols][None, :] + up
-    has_seed = np.isfinite(up).any(axis=0)
-    if source in cut:
-        mat_down[row_down[source], cols] = dep[cols]
-    elif not has_seed.all():
+    if not np.isfinite(up).any(axis=0).all():
         raise DisconnectedQueryError(source, target)
 
 
@@ -903,9 +923,9 @@ def _batch_costs_basic(
 
     mat_down = np.full((len(row_down), q), np.inf)
     for source, target, cols in _pair_groups(sources, targets, queries):
-        cut = tree.vertex_cut(source, target)
+        meet = _meeting_chain(tree, source, target)
         _seed_descent(
-            row_up, row_down, mat_up, mat_down, dep, source, target, cut, cols
+            row_up, row_down, mat_up, mat_down, dep, source, target, meet, cols
         )
     _descend_sweep(desc_steps, mat_down)
 
@@ -924,9 +944,10 @@ def _pair_info(
     target: int,
     cache: dict | None,
 ):
-    """Resolve (and memoise) one OD pair's cut and shortcut hits.
+    """Resolve (and memoise) one OD pair's cut, meeting chain and shortcut hits.
 
-    Returns ``(cut, forward_hits, backward_hits, batches)`` where ``batches``
+    Returns ``(meet, forward_hits, backward_hits, batches)`` where ``meet`` is
+    the common-ancestor chain used to seed the sweep regimes and ``batches``
     is the packed ``(forward, backward)`` :class:`PLFBatch` pair when *every*
     needed shortcut is selected (Algorithm 6 case 1) and ``None`` otherwise.
     """
@@ -937,6 +958,7 @@ def _pair_info(
             # new OD pairs must not grow the index footprint without limit.
             cache.clear()
         cut = tree.vertex_cut(source, target)
+        meet = _meeting_chain(tree, source, target, lca=cut[0])
         forward_hits: dict[int, PiecewiseLinearFunction] = {}
         backward_hits: dict[int, PiecewiseLinearFunction] = {}
         for w in cut:
@@ -953,7 +975,7 @@ def _pair_info(
             )
         else:
             batches = None
-        cached = (cut, forward_hits, backward_hits, batches)
+        cached = (meet, forward_hits, backward_hits, batches)
         if cache is not None:
             cache[(source, target)] = cached
     return cached
@@ -1001,7 +1023,7 @@ def _batch_costs_partial(
     skip_lists: dict[int, list[np.ndarray]] = {}
     offset = 0
     col_slices = []
-    for source, target, qidx, cut, forward_hits, backward_hits in groups:
+    for source, target, qidx, meet, forward_hits, backward_hits in groups:
         cols = cols_all[offset : offset + qidx.size]
         col_slices.append(cols)
         offset += qidx.size
@@ -1026,14 +1048,14 @@ def _batch_costs_partial(
     _ascend_sweep(asc_steps, dep, mat_up, bound=upper_bound, skip_cols=skip_cols)
 
     mat_down = np.full((len(row_down), q), np.inf)
-    for (source, target, qidx, cut, _fwd, _bwd), cols in zip(groups, col_slices):
+    for (source, target, qidx, meet, _fwd, _bwd), cols in zip(groups, col_slices):
         _seed_descent(
-            row_up, row_down, mat_up, mat_down, dep, source, target, cut, cols
+            row_up, row_down, mat_up, mat_down, dep, source, target, meet, cols
         )
     bound_arrival = np.where(np.isfinite(upper_bound), dep + upper_bound, np.inf)
     _descend_sweep(desc_steps, mat_down, bound_arrival=bound_arrival)
 
-    for (source, target, qidx, _cut, _fwd, backward_hits), cols in zip(
+    for (source, target, qidx, _meet, _fwd, backward_hits), cols in zip(
         groups, col_slices
     ):
         arrival = mat_down[row_down[target], cols]
@@ -1103,7 +1125,7 @@ def batch_cost_query(
         partial_groups = []
         for source, target, local in _pair_groups(sources, targets, queries):
             qidx = queries[local]
-            cut, forward_hits, backward_hits, batches = _pair_info(
+            meet, forward_hits, backward_hits, batches = _pair_info(
                 tree, shortcuts, source, target, cache
             )
             if batches is not None:
@@ -1112,7 +1134,7 @@ def batch_cost_query(
                 )
             else:
                 partial_groups.append(
-                    (source, target, qidx, cut, forward_hits, backward_hits)
+                    (source, target, qidx, meet, forward_hits, backward_hits)
                 )
         if partial_groups:
             _batch_costs_partial(tree, partial_groups, departures, costs)

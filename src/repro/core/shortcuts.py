@@ -31,7 +31,13 @@ from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.functions.simplify import simplify
 from repro.core.tree_decomposition import TFPTreeDecomposition
 
-__all__ = ["ShortcutPair", "ShortcutCatalog", "build_shortcut_catalog"]
+__all__ = [
+    "ShortcutPair",
+    "ShortcutCatalog",
+    "build_shortcut_catalog",
+    "pack_shortcut_pairs",
+    "unpack_shortcut_pairs",
+]
 
 
 @dataclass
@@ -115,6 +121,68 @@ class ShortcutCatalog:
         if pair is not None:
             return pair.backward
         return None
+
+
+def pack_shortcut_pairs(shortcuts: dict) -> dict[str, np.ndarray]:
+    """Flatten shortcut pairs into snapshot buffers (``shortcut_*`` keys).
+
+    Missing directions (``forward``/``backward`` set to ``None``) are encoded
+    as presence masks; the present functions ride in two dense
+    :class:`~repro.functions.batch.PLFBatch` layouts.
+    """
+    pairs = list(shortcuts.values())
+    forward = [p.forward for p in pairs if p.forward is not None]
+    backward = [p.backward for p in pairs if p.backward is not None]
+    out = {
+        "shortcut_lower": np.array([p.lower for p in pairs], dtype=np.int64),
+        "shortcut_upper": np.array([p.upper for p in pairs], dtype=np.int64),
+        "shortcut_utility": np.array([p.utility for p in pairs], dtype=np.float64),
+        "shortcut_has_forward": np.array(
+            [p.forward is not None for p in pairs], dtype=bool
+        ),
+        "shortcut_has_backward": np.array(
+            [p.backward is not None for p in pairs], dtype=bool
+        ),
+    }
+    out.update(PLFBatch.from_functions(forward).to_arrays("shortcut_fwd_plf_"))
+    out.update(PLFBatch.from_functions(backward).to_arrays("shortcut_bwd_plf_"))
+    return out
+
+
+def unpack_shortcut_pairs(arrays) -> dict[tuple[int, int], ShortcutPair]:
+    """Rebuild the selected-pair dictionary from :func:`pack_shortcut_pairs`."""
+    from repro.exceptions import SnapshotError
+
+    lowers = arrays["shortcut_lower"]
+    uppers = arrays["shortcut_upper"]
+    utilities = arrays["shortcut_utility"]
+    has_forward = arrays["shortcut_has_forward"]
+    has_backward = arrays["shortcut_has_backward"]
+    forward_batch = PLFBatch.from_arrays(arrays, "shortcut_fwd_plf_")
+    backward_batch = PLFBatch.from_arrays(arrays, "shortcut_bwd_plf_")
+    if forward_batch.count != int(has_forward.sum()) or backward_batch.count != int(
+        has_backward.sum()
+    ):
+        raise SnapshotError("shortcut function batches disagree with the presence masks")
+    shortcuts: dict[tuple[int, int], ShortcutPair] = {}
+    fwd_i = bwd_i = 0
+    for i in range(lowers.size):
+        forward = backward = None
+        if has_forward[i]:
+            forward = forward_batch.function(fwd_i)
+            fwd_i += 1
+        if has_backward[i]:
+            backward = backward_batch.function(bwd_i)
+            bwd_i += 1
+        pair = ShortcutPair(
+            lower=int(lowers[i]),
+            upper=int(uppers[i]),
+            forward=forward,
+            backward=backward,
+            utility=float(utilities[i]),
+        )
+        shortcuts[pair.key] = pair
+    return shortcuts
 
 
 def build_shortcut_catalog(

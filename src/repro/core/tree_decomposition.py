@@ -225,8 +225,10 @@ class TFPTreeDecomposition:
     def vertex_cut(self, source: int, target: int) -> tuple[int, ...]:
         """The vertex cut between ``source`` and ``target`` (Property 1).
 
-        This is the bag of the LCA node, including the LCA vertex itself, with
-        ``source``/``target`` listed first when they happen to lie inside it.
+        This is the bag of the LCA node plus the LCA vertex itself.  The LCA
+        vertex is always the **first** element — callers that also need the
+        common-ancestor chain derive it from ``cut[0]`` without a second LCA
+        resolution.
         """
         lca_vertex = self.lca(source, target)
         node = self.nodes[lca_vertex]
@@ -335,6 +337,110 @@ class TFPTreeDecomposition:
         return plan
 
     # ------------------------------------------------------------------
+    # Flat-array export / import (snapshot format)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Export the decomposition as flat numpy buffers (``tree_*`` keys).
+
+        Nodes are emitted in elimination order — the same order
+        :func:`decompose` inserts them — so :meth:`from_arrays` reproduces
+        the original dictionary iteration order everywhere it matters
+        (children lists, sweep plans, label batches).  Bags and the per-node
+        ``Ws``/``Wd`` label lists are ragged arrays; the label functions
+        themselves ride in two :class:`~repro.functions.batch.PLFBatch`
+        layouts (``tree_ws_plf_*`` / ``tree_wd_plf_*``).
+        """
+        ordered = sorted(self.nodes.values(), key=lambda node: node.order)
+        bag_flat: list[int] = []
+        bag_offsets = [0]
+        ws_keys: list[int] = []
+        ws_offsets = [0]
+        wd_keys: list[int] = []
+        wd_offsets = [0]
+        ws_funcs: list[PiecewiseLinearFunction] = []
+        wd_funcs: list[PiecewiseLinearFunction] = []
+        for node in ordered:
+            bag_flat.extend(node.bag)
+            bag_offsets.append(len(bag_flat))
+            ws_keys.extend(node.ws)
+            ws_funcs.extend(node.ws.values())
+            ws_offsets.append(len(ws_keys))
+            wd_keys.extend(node.wd)
+            wd_funcs.extend(node.wd.values())
+            wd_offsets.append(len(wd_keys))
+        out = {
+            "tree_vertex": np.array([n.vertex for n in ordered], dtype=np.int64),
+            "tree_parent": np.array(
+                [-1 if n.parent is None else n.parent for n in ordered],
+                dtype=np.int64,
+            ),
+            "tree_order": np.array([n.order for n in ordered], dtype=np.int64),
+            "tree_bag_flat": np.array(bag_flat, dtype=np.int64),
+            "tree_bag_offsets": np.array(bag_offsets, dtype=np.int64),
+            "tree_ws_key_flat": np.array(ws_keys, dtype=np.int64),
+            "tree_ws_key_offsets": np.array(ws_offsets, dtype=np.int64),
+            "tree_wd_key_flat": np.array(wd_keys, dtype=np.int64),
+            "tree_wd_key_offsets": np.array(wd_offsets, dtype=np.int64),
+        }
+        out.update(PLFBatch.from_functions(ws_funcs).to_arrays("tree_ws_plf_"))
+        out.update(PLFBatch.from_functions(wd_funcs).to_arrays("tree_wd_plf_"))
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "TFPTreeDecomposition":
+        """Rebuild a decomposition from :meth:`to_arrays` buffers.
+
+        Raises :class:`~repro.exceptions.SnapshotError` when the ragged
+        layouts disagree with each other (truncated or mixed-up buffers).
+        """
+        from repro.exceptions import SnapshotError
+
+        vertices = arrays["tree_vertex"]
+        parents = arrays["tree_parent"]
+        orders = arrays["tree_order"]
+        bag_flat = arrays["tree_bag_flat"]
+        bag_offsets = arrays["tree_bag_offsets"]
+        num_nodes = int(vertices.size)
+        if bag_offsets.size != num_nodes + 1:
+            raise SnapshotError("tree bag offsets disagree with the node count")
+        ws_labels = _labels_from_arrays(
+            arrays, "tree_ws_key_flat", "tree_ws_key_offsets", "tree_ws_plf_", num_nodes
+        )
+        wd_labels = _labels_from_arrays(
+            arrays, "tree_wd_key_flat", "tree_wd_key_offsets", "tree_wd_plf_", num_nodes
+        )
+
+        nodes: dict[int, TreeNode] = {}
+        roots: list[int] = []
+        for i in range(num_nodes):
+            vertex = int(vertices[i])
+            parent = int(parents[i])
+            bag = tuple(
+                int(b)
+                for b in bag_flat[int(bag_offsets[i]) : int(bag_offsets[i + 1])]
+            )
+            nodes[vertex] = TreeNode(
+                vertex=vertex,
+                bag=bag,
+                ws=ws_labels[i],
+                wd=wd_labels[i],
+                parent=None if parent < 0 else parent,
+                order=int(orders[i]),
+            )
+            if parent < 0:
+                roots.append(vertex)
+        for vertex, node in nodes.items():
+            if node.parent is not None:
+                if node.parent not in nodes:
+                    raise SnapshotError(
+                        f"tree node {vertex} references missing parent {node.parent}"
+                    )
+                nodes[node.parent].children.append(vertex)
+        if not roots:
+            raise SnapshotError("snapshot tree has no root node")
+        return cls(nodes, roots)
+
+    # ------------------------------------------------------------------
     # Memory accounting
     # ------------------------------------------------------------------
     def label_point_count(self) -> int:
@@ -348,6 +454,24 @@ class TFPTreeDecomposition:
     def label_function_count(self) -> int:
         """Total number of ``Ws``/``Wd`` functions stored."""
         return sum(len(node.ws) + len(node.wd) for node in self.nodes.values())
+
+
+def _labels_from_arrays(
+    arrays, keys_name: str, offsets_name: str, plf_prefix: str, num_nodes: int
+) -> list[dict[int, PiecewiseLinearFunction]]:
+    """Rebuild per-node ``{bag vertex: function}`` dicts from the flat layout."""
+    from repro.exceptions import SnapshotError
+
+    keys = arrays[keys_name]
+    offsets = arrays[offsets_name]
+    batch = PLFBatch.from_arrays(arrays, plf_prefix)
+    if offsets.size != num_nodes + 1 or batch.count != keys.size:
+        raise SnapshotError(f"label arrays {plf_prefix}* disagree with their key layout")
+    labels: list[dict[int, PiecewiseLinearFunction]] = []
+    for i in range(num_nodes):
+        start, end = int(offsets[i]), int(offsets[i + 1])
+        labels.append({int(keys[j]): batch.function(j) for j in range(start, end)})
+    return labels
 
 
 def decompose(

@@ -166,6 +166,12 @@ def apply_edge_updates(
     cache = getattr(index, "_batch_query_cache", None)
     if cache is not None:
         cache.clear()
+    # External caches (e.g. a QueryService result cache) hang off the index's
+    # invalidation hooks; fire them even for no-op-looking updates — a changed
+    # edge can alter answers without dirtying any bag function.
+    notify = getattr(index, "notify_invalidation", None)
+    if notify is not None:
+        notify()
 
     report.seconds = time.perf_counter() - started
     return report

@@ -19,6 +19,7 @@ __all__ = [
     "SelectionError",
     "DatasetError",
     "SerializationError",
+    "SnapshotError",
 ]
 
 
@@ -85,3 +86,7 @@ class DatasetError(ReproError, ValueError):
 
 class SerializationError(ReproError, ValueError):
     """Loading or saving a graph/index from disk failed."""
+
+
+class SnapshotError(SerializationError):
+    """An index snapshot is missing, corrupt, or has an incompatible version."""

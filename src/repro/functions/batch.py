@@ -125,6 +125,45 @@ class PLFBatch:
             validate=False,
         )
 
+    def to_arrays(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Export the batch as a flat mapping of plain numpy arrays.
+
+        The four buffers are returned under ``{prefix}times`` / ``{prefix}costs``
+        / ``{prefix}via`` / ``{prefix}offsets`` — the layout the on-disk
+        snapshot format (:mod:`repro.persistence`) stores verbatim, so a
+        round trip through :meth:`from_arrays` is bit-identical.
+        """
+        return {
+            f"{prefix}times": self.times,
+            f"{prefix}costs": self.costs,
+            f"{prefix}via": self.via,
+            f"{prefix}offsets": self.offsets,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays, prefix: str = "", *, validate: bool = True
+    ) -> "PLFBatch":
+        """Rebuild a batch from a mapping produced by :meth:`to_arrays`.
+
+        ``arrays`` is any mapping (e.g. an ``np.load`` result) holding the four
+        ``{prefix}*`` buffers.  ``validate=True`` checks the ragged-array
+        invariants, which is what the snapshot loader wants for untrusted
+        files.
+        """
+        try:
+            return cls(
+                arrays[f"{prefix}times"],
+                arrays[f"{prefix}costs"],
+                arrays[f"{prefix}via"],
+                arrays[f"{prefix}offsets"],
+                validate=validate,
+            )
+        except KeyError as exc:
+            raise InvalidFunctionError(
+                f"missing batch buffer {exc.args[0]!r} (prefix {prefix!r})"
+            ) from None
+
     def to_functions(self) -> list[PiecewiseLinearFunction]:
         """Unpack the batch into a list of scalar functions."""
         return [self.function(i) for i in range(self.count)]

@@ -1,0 +1,24 @@
+"""On-disk persistence for built indexes (:mod:`repro.persistence.snapshot`).
+
+``TDTreeIndex.save(path)`` / ``TDTreeIndex.load(path)`` are thin wrappers over
+:func:`save_index` / :func:`load_index`; use the functions directly when you
+want to inspect a snapshot's manifest without materialising the index.
+"""
+
+from repro.persistence.snapshot import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    load_index,
+    read_manifest,
+    save_index,
+)
+
+__all__ = [
+    "ARRAYS_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "load_index",
+    "read_manifest",
+    "save_index",
+]

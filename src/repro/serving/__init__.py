@@ -1,0 +1,18 @@
+"""Serving layer: micro-batching query service over a built (or loaded) index.
+
+Typical deployment shape::
+
+    index = TDTreeIndex.load("snapshots/cal.index")      # repro.persistence
+    with QueryService(index, max_batch_size=256) as service:
+        future = service.submit(source, target, departure)
+        cost = future.result()
+        print(service.stats())
+
+See :mod:`repro.serving.service` for the batching/caching semantics and
+:mod:`repro.serving.stats` for the exported counters.
+"""
+
+from repro.serving.service import QueryService, ServiceFuture
+from repro.serving.stats import LatencyReservoir, ServiceStats
+
+__all__ = ["QueryService", "ServiceFuture", "ServiceStats", "LatencyReservoir"]

@@ -1,0 +1,443 @@
+"""A thread-safe micro-batching query service over a built index.
+
+The vectorized engine (:meth:`TDTreeIndex.batch_query`) is several times
+faster than a per-call loop — but only for callers that already hold whole
+arrays of queries.  Serving traffic arrives one ``(source, target,
+departure)`` at a time, from many threads.  :class:`QueryService` bridges the
+two worlds with the classic micro-batching pattern:
+
+* :meth:`submit` enqueues one scalar query and returns a lightweight
+  :class:`ServiceFuture` immediately;
+* pending queries are flushed through **one** ``batch_query`` call as soon as
+  ``max_batch_size`` of them have accumulated, or when the oldest has waited
+  ``max_wait_ms`` (a background flusher enforces the deadline, so a lone
+  query is never stranded);
+* a bounded LRU result cache with optional departure-time bucketing fronts
+  the whole pipeline, and is dropped automatically whenever
+  :func:`repro.core.update.apply_edge_updates` rewrites the index (via the
+  index's invalidation hooks).
+
+Answers are produced by the batch engine, which is bit-identical to calling
+``index.query`` per query — micro-batching changes throughput and latency,
+never results.  With ``bucket_seconds > 0`` a cache hit may return the cost
+of an earlier departure from the same bucket; pick the bucket width from the
+answer tolerance your traffic allows (0 keeps the service exact).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.serving.stats import LatencyReservoir, ServiceStats
+
+__all__ = ["QueryService", "ServiceFuture"]
+
+#: Guards the lazy allocation of a waiter event in :class:`ServiceFuture`.
+#: Shared across futures: the slow path (blocking before the batch flushed)
+#: is rare and short, and sharing keeps the per-query allocation at one
+#: plain object instead of one lock-carrying Future.
+_waiter_lock = threading.Lock()
+
+
+class ServiceFuture:
+    """A minimal future: ``result(timeout)`` / ``done()`` / ``exception()``.
+
+    A drop-in subset of :class:`concurrent.futures.Future` tuned for the
+    submit hot path: creating one allocates no lock — the wait event only
+    materialises if a consumer blocks before the micro-batch has flushed.
+    """
+
+    __slots__ = ("_done", "_value", "_error", "_event")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value = None
+        self._error = None
+        self._event: threading.Event | None = None
+
+    def set_result(self, value) -> None:
+        self._value = value
+        self._done = True
+        event = self._event
+        if event is not None:
+            event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+        event = self._event
+        if event is not None:
+            event.set()
+
+    def done(self) -> bool:
+        return self._done
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        self._wait(timeout)
+        return self._error
+
+    def result(self, timeout: float | None = None):
+        self._wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _wait(self, timeout: float | None) -> None:
+        if self._done:
+            return
+        with _waiter_lock:
+            if self._event is None:
+                self._event = threading.Event()
+        # Publish-then-recheck: if the setter raced us it either saw the
+        # event (and set it) or completed before our recheck below.
+        if not self._done:
+            self._event.wait(timeout)
+        if not self._done:
+            raise TimeoutError("query result not available yet")
+
+
+class _WeakInvalidationHook:
+    """Index invalidation hook that does not keep the service alive.
+
+    Registered on the index instead of a bound method: a service dropped
+    without :meth:`QueryService.close` must still become garbage — the hook
+    holds only weak references and unregisters itself once the service died.
+    """
+
+    __slots__ = ("_service_ref", "_index_ref")
+
+    def __init__(self, service: "QueryService", index) -> None:
+        self._service_ref = weakref.ref(service)
+        self._index_ref = weakref.ref(index)
+
+    def __call__(self) -> None:
+        service = self._service_ref()
+        if service is not None:
+            service.invalidate_cache()
+            return
+        index = self._index_ref()
+        if index is not None:
+            unregister = getattr(index, "unregister_invalidation_hook", None)
+            if unregister is not None:
+                unregister(self)
+
+
+def _flusher_main(service_ref: "weakref.ref[QueryService]") -> None:
+    """Deadline-flusher thread body; holds the service only between waits.
+
+    Each :meth:`QueryService._flusher_step` waits a bounded interval, so the
+    strong reference taken here is dropped regularly and an abandoned service
+    gets collected instead of being pinned by its own thread forever.
+    """
+    while True:
+        service = service_ref()
+        if service is None or service._flusher_step():
+            return
+        del service
+
+
+class _Pending:
+    """One enqueued query: inputs, cache key, future, and its submit time."""
+
+    __slots__ = ("source", "target", "departure", "key", "future", "submitted")
+
+    def __init__(self, source, target, departure, key, submitted):
+        self.source = source
+        self.target = target
+        self.departure = departure
+        self.key = key
+        self.future = ServiceFuture()
+        self.submitted = submitted
+
+
+class QueryService:
+    """Micro-batching, caching front-end for one :class:`TDTreeIndex`.
+
+    Parameters
+    ----------
+    index:
+        A built index (anything exposing ``batch_query`` and the invalidation
+        hook registry).
+    max_batch_size:
+        Flush as soon as this many queries are pending.  The submitting
+        thread that fills the batch performs the flush itself (no thread
+        hand-off on the hot path).
+    max_wait_ms:
+        Upper bound on how long a pending query may wait for co-travellers;
+        enforced by a daemon flusher thread.
+    cache_size:
+        Maximum number of cached results (LRU eviction); 0 disables caching.
+    bucket_seconds:
+        Width of the departure-time cache buckets.  0 (default) caches on the
+        exact departure only, keeping the service's answers exact; a positive
+        width trades bounded staleness within a bucket for a higher hit rate.
+
+    Examples
+    --------
+    >>> service = QueryService(index, max_batch_size=128, max_wait_ms=2.0)
+    >>> futures = [service.submit(s, t, d) for s, t, d in workload]
+    >>> costs = [f.result() for f in futures]
+    >>> service.stats().batch_occupancy
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        max_batch_size: int = 256,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 65_536,
+        bucket_seconds: float = 0.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0 or cache_size < 0 or bucket_seconds < 0:
+            raise ValueError("max_wait_ms, cache_size and bucket_seconds must be >= 0")
+        self._index = index
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.cache_size = int(cache_size)
+        self.bucket_seconds = float(bucket_seconds)
+
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: list[_Pending] = []
+        self._cache: OrderedDict = OrderedDict()
+        #: Bumped by invalidate_cache(); a batch computed against an older
+        #: generation must not populate the cache (its costs may predate an
+        #: index update that happened while the batch was in flight).
+        self._cache_generation = 0
+        self._closed = False
+
+        # Counters (all mutated under the lock).
+        self._submitted = 0
+        self._answered = 0
+        self._cache_hits = 0
+        self._invalidations = 0
+        self._num_batches = 0
+        self._batched_queries = 0
+        self._latencies = LatencyReservoir()
+        self._first_submit: float | None = None
+        self._last_answer: float | None = None
+
+        self._invalidation_hook = _WeakInvalidationHook(self, index)
+        register = getattr(index, "register_invalidation_hook", None)
+        if register is not None:
+            register(self._invalidation_hook)
+
+        self._flusher = threading.Thread(
+            target=_flusher_main,
+            args=(weakref.ref(self),),
+            name="repro-query-service-flusher",
+            daemon=True,
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, source: int, target: int, departure: float) -> ServiceFuture:
+        """Enqueue one travel-cost query; the future resolves to the cost.
+
+        Disconnected or invalid queries resolve the future with the same
+        :class:`~repro.exceptions.ReproError` subclass the scalar query
+        raises.
+        """
+        source = int(source)
+        target = int(target)
+        departure = float(departure)
+        key = self._cache_key(source, target, departure)
+        now = time.perf_counter()
+        batch: list[_Pending] | None = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            if self._first_submit is None:
+                self._first_submit = now
+            self._submitted += 1
+            if self.cache_size:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._cache_hits += 1
+                    self._answered += 1
+                    self._latencies.record(time.perf_counter() - now)
+                    self._last_answer = time.perf_counter()
+                    future = ServiceFuture()
+                    future.set_result(cached)
+                    return future
+            entry = _Pending(source, target, departure, key, now)
+            self._pending.append(entry)
+            if len(self._pending) >= self.max_batch_size:
+                batch = self._pending
+                self._pending = []
+            elif len(self._pending) == 1:
+                self._wakeup.notify()  # flusher arms the max-wait deadline
+        if batch is not None:
+            self._run_batch(batch)
+        return entry.future
+
+    def query(self, source: int, target: int, departure: float) -> float:
+        """Blocking convenience wrapper: ``submit(...).result()``."""
+        return self.submit(source, target, departure).result()
+
+    def flush(self) -> int:
+        """Synchronously flush whatever is pending; returns the batch size."""
+        with self._lock:
+            batch = self._pending
+            self._pending = []
+        if batch:
+            self._run_batch(batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_key(self, source: int, target: int, departure: float):
+        if self.bucket_seconds > 0.0:
+            return source, target, int(departure // self.bucket_seconds)
+        return source, target, departure
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached result (wired into the index's update path)."""
+        with self._lock:
+            self._cache.clear()
+            self._cache_generation += 1
+            self._invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    #: Upper bound on one flusher wait; bounds how long the thread pins the
+    #: service between liveness checks (see :func:`_flusher_main`).
+    _FLUSHER_WAIT_CAP = 0.1
+
+    def _flusher_step(self) -> bool:
+        """One bounded iteration of the deadline flusher; True = thread exits."""
+        with self._wakeup:
+            if self._closed and not self._pending:
+                return True
+            if not self._pending:
+                self._wakeup.wait(timeout=self._FLUSHER_WAIT_CAP)
+                return False
+            deadline = self._pending[0].submitted + self.max_wait
+            remaining = deadline - time.perf_counter()
+            if remaining > 0 and not self._closed:
+                self._wakeup.wait(timeout=min(remaining, self._FLUSHER_WAIT_CAP))
+                return False  # re-check: the batch may have been flushed
+            batch = self._pending
+            self._pending = []
+        self._run_batch(batch)
+        return False
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Answer one batch through the vectorized engine and settle futures.
+
+        Never lets an exception escape: every failure mode settles the
+        affected futures instead, so a bad query (or engine bug) can neither
+        kill the daemon flusher nor leave a caller blocked forever.
+        """
+        sources = np.fromiter((p.source for p in batch), np.int64, len(batch))
+        targets = np.fromiter((p.target for p in batch), np.int64, len(batch))
+        departures = np.fromiter((p.departure for p in batch), np.float64, len(batch))
+        generation = self._cache_generation
+        errors: dict[int, Exception] = {}
+        try:
+            costs = self._index.batch_query(sources, targets, departures).costs
+        except ReproError:
+            # One bad query fails a whole vectorized call; degrade to
+            # per-query calls so the rest of the batch still gets answers.
+            costs = np.full(len(batch), np.nan)
+            for i, entry in enumerate(batch):
+                try:
+                    single = self._index.batch_query(
+                        sources[i : i + 1], targets[i : i + 1], departures[i : i + 1]
+                    )
+                    costs[i] = single.costs[0]
+                except Exception as exc:
+                    errors[i] = exc
+        except Exception as exc:
+            costs = np.full(len(batch), np.nan)
+            errors = {i: exc for i in range(len(batch))}
+
+        now = time.perf_counter()
+        with self._lock:
+            self._num_batches += 1
+            self._batched_queries += len(batch)
+            self._answered += len(batch)
+            self._last_answer = now
+            self._latencies.extend(now - p.submitted for p in batch)
+            # Skip cache insertion when an invalidation raced the engine call:
+            # these costs may predate the index update that triggered it.
+            if self.cache_size and generation == self._cache_generation:
+                for i, entry in enumerate(batch):
+                    if i in errors:
+                        continue
+                    self._cache[entry.key] = float(costs[i])
+                    self._cache.move_to_end(entry.key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        for i, entry in enumerate(batch):
+            error = errors.get(i)
+            if error is not None:
+                entry.future.set_exception(error)
+            else:
+                entry.future.set_result(float(costs[i]))
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the service counters."""
+        with self._lock:
+            avg_batch = (
+                self._batched_queries / self._num_batches if self._num_batches else 0.0
+            )
+            elapsed = 0.0
+            if self._first_submit is not None and self._last_answer is not None:
+                elapsed = max(self._last_answer - self._first_submit, 0.0)
+            return ServiceStats(
+                queries_submitted=self._submitted,
+                queries_answered=self._answered,
+                cache_hits=self._cache_hits,
+                cache_entries=len(self._cache),
+                cache_invalidations=self._invalidations,
+                num_batches=self._num_batches,
+                avg_batch_size=avg_batch,
+                batch_occupancy=avg_batch / self.max_batch_size,
+                p50_latency_ms=self._latencies.percentile_ms(50.0),
+                p95_latency_ms=self._latencies.percentile_ms(95.0),
+                throughput_qps=(self._answered / elapsed) if elapsed > 0 else 0.0,
+            )
+
+    def close(self) -> None:
+        """Flush pending queries, stop the flusher, and detach from the index."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        self._flusher.join(timeout=5.0)
+        self.flush()
+        unregister = getattr(self._index, "unregister_invalidation_hook", None)
+        if unregister is not None:
+            unregister(self._invalidation_hook)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(max_batch_size={self.max_batch_size}, "
+            f"max_wait_ms={self.max_wait * 1000.0:g}, "
+            f"cache_size={self.cache_size}, bucket_seconds={self.bucket_seconds:g})"
+        )

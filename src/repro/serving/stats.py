@@ -1,0 +1,79 @@
+"""Operational statistics of the serving layer.
+
+:class:`ServiceStats` is an immutable snapshot of a
+:class:`~repro.serving.service.QueryService`'s counters — safe to hand to a
+metrics exporter or print in a benchmark report.  Latency percentiles come
+from a bounded reservoir of the most recent samples so a long-running service
+keeps O(1) memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServiceStats", "LatencyReservoir"]
+
+
+class LatencyReservoir:
+    """Bounded store of recent latency samples (seconds).
+
+    Not thread-safe on its own; the service records under its lock.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=maxlen)
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    def extend(self, seconds_iterable) -> None:
+        self._samples.extend(float(s) for s in seconds_iterable)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th percentile of the stored samples, in milliseconds."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q)) * 1000.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time summary of a :class:`QueryService`'s behaviour."""
+
+    #: Queries accepted by ``submit`` (including ones still pending).
+    queries_submitted: int
+    #: Queries whose result (or error) has been delivered.
+    queries_answered: int
+    #: Queries answered straight from the result cache.
+    cache_hits: int
+    #: Entries currently held by the result cache.
+    cache_entries: int
+    #: Times the cache was wiped (updates and explicit invalidation).
+    cache_invalidations: int
+    #: Batches flushed through the vectorized engine.
+    num_batches: int
+    #: Mean number of queries per flushed batch.
+    avg_batch_size: float
+    #: ``avg_batch_size / max_batch_size`` — how full the micro-batches run.
+    batch_occupancy: float
+    #: Median / tail submit-to-answer latency over the recent sample window.
+    p50_latency_ms: float
+    p95_latency_ms: float
+    #: Answered queries per second of service wall time (first submit to the
+    #: most recent answer); 0.0 before the first batch completes.
+    throughput_qps: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of answered queries served from the cache."""
+        if self.queries_answered == 0:
+            return 0.0
+        return self.cache_hits / self.queries_answered

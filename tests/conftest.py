@@ -8,10 +8,28 @@ building them once keeps the whole suite fast.  Tests that mutate an index
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import TDGraph, TDTreeIndex
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+# ----------------------------------------------------------------------
+# CI runs derandomized: property tests explore the same example sequence on
+# every run, so new counterexamples are discovered locally (where the random
+# exploration and the example database live) instead of surfacing as flaky
+# CI reds.  Locally the default randomized profile keeps exploring; any
+# discovery worth keeping gets pinned as an explicit ``@example`` (see
+# tests/core/test_core_properties.py for the pattern).
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("dev", settings.default)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)
 from repro.baselines import TDDijkstra
 from repro.core import decompose
 from repro.functions import PiecewiseLinearFunction

@@ -1,0 +1,108 @@
+"""Update / cache interplay: every cached layer must converge after updates.
+
+``apply_edge_updates`` repairs labels and shortcuts incrementally; three
+caching layers sit on top of them (per-node label batches + sweep plans on
+the tree, per-OD-pair batches on the index, the serving result cache).  After
+an update, answers served through **every** entry point must match an index
+built from scratch over the updated graph — the strongest oracle available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TDTreeIndex
+from repro.serving import QueryService
+
+
+def _workload(graph, count=25, seed=77):
+    rng = np.random.default_rng(seed)
+    vertices = np.asarray(sorted(graph.vertices()))
+    return (
+        rng.choice(vertices, count),
+        rng.choice(vertices, count),
+        rng.uniform(0.0, 86_400.0, count),
+    )
+
+
+@pytest.mark.parametrize("strategy", ["basic", "approx", "full"])
+def test_batch_query_matches_fresh_index_after_update(small_grid, strategy):
+    kwargs = {"budget_fraction": 0.4} if strategy == "approx" else {}
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy=strategy, max_points=None, **kwargs
+    )
+    sources, targets, departures = _workload(index.graph)
+    index.batch_query(sources, targets, departures)  # warm every cache
+
+    edges = sorted(index.graph.edges(), key=lambda e: (e[0], e[1]))
+    changes = {
+        (u, v): w.shift(180.0) for u, v, w in edges[:3]
+    }
+    index.update_edges(changes)
+
+    fresh = TDTreeIndex.build(
+        index.graph.copy(), strategy=strategy, max_points=None, validate=False, **kwargs
+    )
+    updated_costs = index.batch_query(sources, targets, departures).costs
+    fresh_costs = fresh.batch_query(sources, targets, departures).costs
+    np.testing.assert_allclose(updated_costs, fresh_costs, rtol=1e-6, atol=1e-6)
+
+    # The incrementally-updated index must also stay self-consistent:
+    # batched answers equal its own scalar answers bit for bit.
+    looped = np.array(
+        [
+            index.query(int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert np.array_equal(updated_costs, looped)
+
+
+def test_query_service_matches_fresh_index_after_update(small_grid):
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy="approx", budget_fraction=0.4, max_points=None
+    )
+    sources, targets, departures = _workload(index.graph, seed=78)
+    queries = list(zip(sources.tolist(), targets.tolist(), departures.tolist()))
+
+    with QueryService(index, max_batch_size=10, max_wait_ms=5.0) as service:
+        for s, t, d in queries:
+            service.query(s, t, d)  # populate the result cache pre-update
+
+        edges = sorted(index.graph.edges(), key=lambda e: (e[0], e[1]))
+        u, v, weight = edges[1]
+        index.update_edge(u, v, weight.shift(240.0))
+        assert service.stats().cache_invalidations == 1
+
+        fresh = TDTreeIndex.build(
+            index.graph.copy(), strategy="approx", budget_fraction=0.4,
+            max_points=None, validate=False,
+        )
+        served = [service.query(s, t, d) for s, t, d in queries]
+        expected = [fresh.query(s, t, d).cost for s, t, d in queries]
+        np.testing.assert_allclose(served, expected, rtol=1e-6, atol=1e-6)
+
+
+def test_repeated_updates_keep_all_layers_consistent(small_grid):
+    """Alternate updates and mixed-entry-point queries several times over."""
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy="approx", budget_fraction=0.4, max_points=None
+    )
+    sources, targets, departures = _workload(index.graph, count=15, seed=79)
+    edges = sorted(index.graph.edges(), key=lambda e: (e[0], e[1]))
+    with QueryService(index, max_batch_size=6, max_wait_ms=5.0) as service:
+        for round_no in range(3):
+            u, v, weight = edges[round_no * 5]
+            index.update_edge(u, v, weight.shift(60.0 * (round_no + 1)))
+            batch_costs = index.batch_query(sources, targets, departures).costs
+            served = [
+                service.query(int(s), int(t), float(d))
+                for s, t, d in zip(sources, targets, departures)
+            ]
+            looped = [
+                index.query(int(s), int(t), float(d)).cost
+                for s, t, d in zip(sources, targets, departures)
+            ]
+            assert np.array_equal(batch_costs, np.asarray(looped))
+            assert served == looped

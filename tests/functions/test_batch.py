@@ -273,3 +273,48 @@ def test_simplify_many_collinear_screen():
     result = simplify_many(PLFBatch.from_functions([collinear, bend]))
     assert result.function(0).size == 2
     assert result.function(1).size == 3
+
+
+# ----------------------------------------------------------------------
+# Plain-array export / import (snapshot layout)
+# ----------------------------------------------------------------------
+@given(functions=st.lists(fifo_functions(), min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_to_arrays_from_arrays_roundtrip(functions):
+    batch = PLFBatch.from_functions(functions)
+    arrays = batch.to_arrays("label_")
+    assert set(arrays) == {"label_times", "label_costs", "label_via", "label_offsets"}
+    rebuilt = PLFBatch.from_arrays(arrays, "label_")
+    assert rebuilt.count == batch.count
+    assert np.array_equal(rebuilt.times, batch.times)
+    assert np.array_equal(rebuilt.costs, batch.costs)
+    assert np.array_equal(rebuilt.via, batch.via)
+    assert np.array_equal(rebuilt.offsets, batch.offsets)
+    for i, func in enumerate(functions):
+        assert_identical(func, rebuilt.function(i))
+
+
+def test_to_arrays_empty_batch_roundtrip():
+    empty = PLFBatch.from_functions([])
+    rebuilt = PLFBatch.from_arrays(empty.to_arrays())
+    assert rebuilt.count == 0
+
+
+def test_from_arrays_missing_buffer_raises():
+    arrays = PLFBatch.from_functions(
+        [PiecewiseLinearFunction.constant(1.0)]
+    ).to_arrays("a_")
+    del arrays["a_via"]
+    with pytest.raises(InvalidFunctionError, match="a_via"):
+        PLFBatch.from_arrays(arrays, "a_")
+
+
+def test_from_arrays_validates_layout():
+    arrays = {
+        "times": np.array([0.0, 5.0]),
+        "costs": np.array([1.0, 2.0]),
+        "via": np.array([-1, -1], dtype=np.int64),
+        "offsets": np.array([0, 1], dtype=np.int64),  # does not end at len(times)
+    }
+    with pytest.raises(InvalidFunctionError):
+        PLFBatch.from_arrays(arrays)

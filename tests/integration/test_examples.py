@@ -20,6 +20,7 @@ EXAMPLE_FILES = [
     "fleet_dispatch.py",
     "traffic_incident_update.py",
     "index_tuning.py",
+    "serving_walkthrough.py",
 ]
 
 
@@ -57,3 +58,14 @@ class TestQuickstartRuns:
         assert "network:" in output
         assert "query 0 ->" in output
         assert "profile query" in output
+
+
+@pytest.mark.integration
+class TestServingWalkthroughRuns:
+    def test_serving_walkthrough_main_executes(self, capsys):
+        module = load_example("serving_walkthrough.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "snapshot: format v" in output
+        assert "x faster" in output
+        assert "cache invalidated" in output

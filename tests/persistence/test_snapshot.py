@@ -1,0 +1,214 @@
+"""Round-trip and robustness tests for the index snapshot format.
+
+The headline contract: ``TDTreeIndex.save`` + ``TDTreeIndex.load`` is
+**bit-identical** on query costs — scalar, profile and batched — for every
+build strategy, and a snapshot from an incompatible format version is
+refused loudly rather than misread.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import TDTreeIndex
+from repro.exceptions import SnapshotError
+from repro.persistence import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    load_index,
+    read_manifest,
+    save_index,
+)
+
+STRATEGY_FIXTURES = ["basic_index", "dp_index", "approx_index", "full_index"]
+
+
+def _workload(graph, count=40, seed=99):
+    rng = np.random.default_rng(seed)
+    vertices = np.asarray(sorted(graph.vertices()))
+    return (
+        rng.choice(vertices, count),
+        rng.choice(vertices, count),
+        rng.uniform(0.0, 86_400.0, count),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture", STRATEGY_FIXTURES)
+def test_roundtrip_is_bit_identical_on_costs(fixture, request, tmp_path):
+    index = request.getfixturevalue(fixture)
+    sources, targets, departures = _workload(index.graph)
+
+    index.save(tmp_path / "snap")
+    loaded = TDTreeIndex.load(tmp_path / "snap")
+
+    batch_before = index.batch_query(sources, targets, departures).costs
+    batch_after = loaded.batch_query(sources, targets, departures).costs
+    assert np.array_equal(batch_before, batch_after)
+
+    for s, t, d in zip(sources[:8], targets[:8], departures[:8]):
+        assert loaded.query(int(s), int(t), float(d)).cost == index.query(
+            int(s), int(t), float(d)
+        ).cost
+
+    profile_before = index.profile(int(sources[0]), int(targets[0]))
+    profile_after = loaded.profile(int(sources[0]), int(targets[0]))
+    assert np.array_equal(profile_before.function.times, profile_after.function.times)
+    assert np.array_equal(profile_before.function.costs, profile_after.function.costs)
+
+
+@pytest.mark.parametrize("fixture", STRATEGY_FIXTURES)
+def test_roundtrip_preserves_statistics(fixture, request, tmp_path):
+    index = request.getfixturevalue(fixture)
+    loaded = TDTreeIndex.load(index.save(tmp_path / "snap"))
+    before = index.statistics()
+    after = loaded.statistics()
+    assert after.strategy == before.strategy
+    assert after.num_vertices == before.num_vertices
+    assert after.num_edges == before.num_edges
+    assert after.treewidth == before.treewidth
+    assert after.treeheight == before.treeheight
+    assert after.num_candidate_pairs == before.num_candidate_pairs
+    assert after.num_selected_pairs == before.num_selected_pairs
+    assert after.selected_weight == before.selected_weight
+    assert after.budget == before.budget
+    assert loaded.selection.method == index.selection.method
+    assert loaded.max_points == index.max_points
+    assert loaded.tolerance == index.tolerance
+    assert (
+        loaded.memory_breakdown().total_bytes == index.memory_breakdown().total_bytes
+    )
+
+
+def test_roundtrip_preserves_via_provenance_and_paths(approx_index, tmp_path):
+    loaded = TDTreeIndex.load(approx_index.save(tmp_path / "snap"))
+    result_before = approx_index.query(0, 24, 3_600.0, need_path=True)
+    result_after = loaded.query(0, 24, 3_600.0, need_path=True)
+    assert result_after.cost == result_before.cost
+    assert result_after.path() == result_before.path()
+
+
+def test_loaded_index_supports_updates(small_grid, tmp_path):
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy="approx", budget_fraction=0.4, max_points=16
+    )
+    loaded = TDTreeIndex.load(index.save(tmp_path / "snap"))
+    u, v, weight = next(iter(loaded.graph.edges()))
+    report = loaded.update_edge(u, v, weight.shift(120.0))
+    assert report.num_changed_edges == 1
+    sources, targets, departures = _workload(loaded.graph, count=15, seed=4)
+    batch = loaded.batch_query(sources, targets, departures).costs
+    looped = np.array(
+        [
+            loaded.query(int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ]
+    )
+    assert np.array_equal(batch, looped)
+
+
+def test_save_load_after_update_keeps_costs(small_grid, tmp_path):
+    index = TDTreeIndex.build(
+        small_grid.copy(), strategy="approx", budget_fraction=0.4, max_points=16
+    )
+    u, v, weight = next(iter(index.graph.edges()))
+    index.update_edge(u, v, weight.shift(300.0))
+    loaded = TDTreeIndex.load(index.save(tmp_path / "snap"))
+    sources, targets, departures = _workload(index.graph, count=20, seed=8)
+    assert np.array_equal(
+        index.batch_query(sources, targets, departures).costs,
+        loaded.batch_query(sources, targets, departures).costs,
+    )
+
+
+def test_coordinates_survive_roundtrip(approx_index, tmp_path):
+    loaded = TDTreeIndex.load(approx_index.save(tmp_path / "snap"))
+    assert loaded.graph.coordinates() == approx_index.graph.coordinates()
+
+
+# ----------------------------------------------------------------------
+# Manifest and robustness
+# ----------------------------------------------------------------------
+def test_manifest_contents(approx_index, tmp_path):
+    directory = approx_index.save(tmp_path / "snap")
+    manifest = read_manifest(directory)
+    assert manifest["format_version"] == FORMAT_VERSION
+    assert manifest["strategy"] == "approx"
+    assert manifest["counts"]["tree_nodes"] == approx_index.tree.num_nodes
+    assert manifest["counts"]["shortcut_pairs"] == len(approx_index.shortcuts)
+    assert manifest["selection"]["method"] == approx_index.selection.method
+
+
+def test_load_missing_snapshot_raises(tmp_path):
+    with pytest.raises(SnapshotError):
+        load_index(tmp_path / "nope")
+
+
+def test_load_rejects_future_format_version(approx_index, tmp_path):
+    directory = approx_index.save(tmp_path / "snap")
+    manifest_path = directory + "/" + MANIFEST_NAME
+    manifest = json.loads(open(manifest_path).read())
+    manifest["format_version"] = FORMAT_VERSION + 1
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(SnapshotError, match="format version"):
+        load_index(directory)
+
+
+def test_load_rejects_foreign_manifest(tmp_path):
+    snap = tmp_path / "snap"
+    snap.mkdir()
+    (snap / MANIFEST_NAME).write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(SnapshotError):
+        load_index(snap)
+
+
+def test_load_rejects_missing_arrays(approx_index, tmp_path):
+    directory = approx_index.save(tmp_path / "snap")
+    (tmp_path / "snap" / ARRAYS_NAME).unlink()
+    with pytest.raises(SnapshotError, match="missing"):
+        load_index(directory)
+
+
+def test_load_rejects_count_mismatch(approx_index, tmp_path):
+    directory = approx_index.save(tmp_path / "snap")
+    manifest_path = tmp_path / "snap" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["counts"]["tree_nodes"] += 1
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotError, match="inconsistent"):
+        load_index(directory)
+
+
+def test_save_rejects_non_index(tmp_path):
+    with pytest.raises(SnapshotError):
+        save_index(object(), tmp_path / "snap")
+
+
+def test_load_rejects_corrupt_plf_buffers(approx_index, tmp_path):
+    """A truncated/missing ragged buffer surfaces as SnapshotError, not a leak."""
+    directory = approx_index.save(tmp_path / "snap")
+    arrays_path = tmp_path / "snap" / ARRAYS_NAME
+    data = dict(np.load(arrays_path))
+    del data["graph_weight_times"]
+    np.savez(arrays_path, **data)
+    with pytest.raises(SnapshotError, match="corrupt"):
+        load_index(directory)
+
+
+def test_load_rejects_mixed_generations(approx_index, basic_index, tmp_path):
+    """Arrays and manifest from different save() calls must not be combined."""
+    directory = approx_index.save(tmp_path / "snap")
+    other = basic_index.save(tmp_path / "other")
+    (tmp_path / "snap" / ARRAYS_NAME).write_bytes(
+        (tmp_path / "other" / ARRAYS_NAME).read_bytes()
+    )
+    with pytest.raises(SnapshotError, match="torn"):
+        load_index(directory)
+    load_index(other)  # the untouched snapshot still loads
