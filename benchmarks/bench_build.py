@@ -1,0 +1,158 @@
+"""Index-construction benchmarks: scalar vs round-batched elimination.
+
+Two acceptance targets are *enforced* here (not just reported):
+
+* the round-batched elimination engine (``decompose(use_batch_kernels=True)``)
+  must be at least **3x** faster than the scalar reference path on the scaled
+  CAL dataset at the top of the default c-sweep (richer weight functions —
+  the regime the Fig. 9 construction experiment scales into), and
+* indexes built through either engine must answer **bit-identical** query
+  costs for all four build strategies.
+
+The registered report covers the whole per-phase picture: decomposition
+(split into round assembly vs batch kernels), shortcut candidates and
+selection, for both engines across the c-sweep.  The harness writes
+``results/build.txt / results/build_phases.txt`` plus the machine-readable
+``results/BENCH_build.json`` twin that CI uploads with the other artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import TDTreeIndex
+from repro.core import decompose
+from repro.datasets import load_dataset
+
+from harness import C_VALUES, register_report, workload_for
+
+DATASET = "CAL"
+#: c value the speedup floor is enforced at: the largest of the default sweep,
+#: where per-function work is richest and the scalar dispatch overhead is the
+#: clearest bottleneck (smaller c values are reported but not enforced).
+ENFORCED_C = max(C_VALUES)
+DECOMPOSE_SPEEDUP_TARGET = 3.0
+
+STRATEGIES = ("basic", "dp", "approx", "full")
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_decomposition_scalar_vs_batched():
+    """Construction acceptance: round-batched decomposition >= 3x scalar."""
+    rows = []
+    for c in C_VALUES:
+        graph = load_dataset(DATASET, num_points=c)
+        scalar_seconds, scalar_tree = _best_of(
+            lambda: decompose(graph, use_batch_kernels=False)
+        )
+        batched_seconds, batched_tree = _best_of(
+            lambda: decompose(graph, use_batch_kernels=True)
+        )
+        stats = batched_tree.elimination_stats
+        assert scalar_tree.treewidth == batched_tree.treewidth
+        assert scalar_tree.treeheight == batched_tree.treeheight
+        rows.append(
+            {
+                "dataset": DATASET,
+                "c": c,
+                "scalar_s": scalar_seconds,
+                "batched_s": batched_seconds,
+                "speedup": scalar_seconds / batched_seconds,
+                "rounds": stats.num_rounds,
+                "largest_round": stats.largest_round,
+                "fill_edges": stats.num_fill_edges,
+                "assembly_s": stats.assembly_seconds,
+                "kernel_s": stats.kernel_seconds,
+            }
+        )
+    register_report(
+        "build",
+        rows,
+        title=(
+            f"TFP decomposition: scalar vs round-batched elimination on "
+            f"{DATASET} (best of 3)"
+        ),
+    )
+    enforced = next(row for row in rows if row["c"] == ENFORCED_C)
+    assert enforced["speedup"] >= DECOMPOSE_SPEEDUP_TARGET, (
+        f"c={ENFORCED_C}: round-batched decomposition only "
+        f"{enforced['speedup']:.2f}x faster than scalar "
+        f"(target {DECOMPOSE_SPEEDUP_TARGET:.0f}x)"
+    )
+
+
+def test_build_phases_report():
+    """Per-phase build timings (decomposition / candidates / selection)."""
+    rows = []
+    for use_batch in (False, True):
+        graph = load_dataset(DATASET, num_points=ENFORCED_C)
+        index = TDTreeIndex.build(
+            graph, strategy="approx", use_batch_kernels=use_batch
+        )
+        seconds = index.statistics().build_seconds
+        rows.append(
+            {
+                "dataset": DATASET,
+                "c": ENFORCED_C,
+                "engine": "batched" if use_batch else "scalar",
+                "decomposition_s": seconds.get("decomposition", 0.0),
+                "assembly_s": seconds.get("decomposition/assembly", 0.0),
+                "kernels_s": seconds.get("decomposition/kernels", 0.0),
+                "candidates_s": seconds.get("shortcut_candidates", 0.0),
+                "selection_s": seconds.get("selection", 0.0),
+                "total_s": index.statistics().total_build_seconds,
+            }
+        )
+    register_report(
+        "build_phases",
+        rows,
+        title=f"Index build phases on {DATASET} (c={ENFORCED_C}, TD-appro)",
+    )
+    scalar_row = rows[0]
+    batched_row = rows[1]
+    assert batched_row["decomposition_s"] < scalar_row["decomposition_s"]
+
+
+def test_build_strategies_bit_identical_costs():
+    """Indexes built through either engine answer identical query costs."""
+    graph = load_dataset(DATASET, num_points=3)
+    queries = list(workload_for(DATASET, 3))
+    sources = np.array([q.source for q in queries], dtype=np.int64)
+    targets = np.array([q.target for q in queries], dtype=np.int64)
+    departures = np.array([q.departure for q in queries], dtype=np.float64)
+    for strategy in STRATEGIES:
+        scalar_index = TDTreeIndex.build(
+            graph.copy(), strategy=strategy, use_batch_kernels=False
+        )
+        batched_index = TDTreeIndex.build(
+            graph.copy(), strategy=strategy, use_batch_kernels=True
+        )
+        assert np.array_equal(
+            scalar_index.batch_query(sources, targets, departures).costs,
+            batched_index.batch_query(sources, targets, departures).costs,
+        ), f"{strategy}: query costs differ between the build engines"
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+def test_decompose_benchmark(benchmark, engine):
+    """pytest-benchmark timing of one decomposition (tracked across PRs)."""
+    graph = load_dataset(DATASET, num_points=3)
+    tree = benchmark.pedantic(
+        lambda: decompose(graph, use_batch_kernels=engine == "batched"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"dataset": DATASET, "c": 3, "engine": engine})
+    assert tree.num_nodes == graph.num_vertices

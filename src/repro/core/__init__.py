@@ -1,6 +1,12 @@
 """The paper's core contribution: TFP tree decomposition, shortcut selection
 and the shortcut-accelerated query algorithms, wrapped by :class:`TDTreeIndex`."""
 
+from repro.core.elimination import (
+    EliminationStats,
+    FunctionPool,
+    eliminate_batched,
+    eliminate_scalar,
+)
 from repro.core.index import BUILD_STRATEGIES, IndexStatistics, TDTreeIndex
 from repro.core.query import (
     BatchQueryResult,
@@ -31,6 +37,10 @@ __all__ = [
     "TFPTreeDecomposition",
     "TreeNode",
     "decompose",
+    "EliminationStats",
+    "FunctionPool",
+    "eliminate_batched",
+    "eliminate_scalar",
     "ShortcutCatalog",
     "ShortcutPair",
     "build_shortcut_catalog",

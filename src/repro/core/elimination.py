@@ -1,0 +1,504 @@
+"""Round-batched minimum-degree elimination (the engine behind Algorithms 1-2).
+
+:func:`repro.core.tree_decomposition.decompose` eliminates vertices in
+minimum-degree order; eliminating a vertex connects every ordered pair of its
+remaining neighbours with a reduced edge (``Compound`` of the two incident
+legs, ``minimum`` with an already existing edge, capped by ``simplify``).  The
+scalar reference implementation (:func:`eliminate_scalar`) executes one
+operator call per fill edge — O(n · w²) Python-level dispatches, the last
+scalar hot path of index construction.
+
+:func:`eliminate_batched` removes that dispatch overhead by splitting the
+algorithm into a structural pass and a batched numeric pass:
+
+1. **Round assembly** replays the scalar elimination heap *structurally* —
+   neighbour sets and integer degrees only, no weight functions touched — so
+   the elimination order and every bag are literally the scalar algorithm's.
+   Along the way it records one *fill task* per reduced edge (the two leg
+   edges, the bridge vertex, and the edge the result merges with) and assigns
+   each task a **round**: one more than the latest round among the tasks that
+   produced its inputs (original edges count as round zero).  Tasks in the
+   same round are mutually independent by construction, so any interleaving
+   yields identical fills.  This generalises multiple-minimum-degree style
+   rounds of vertices with pairwise-disjoint closed neighbourhoods: those are
+   exactly the rounds whose *vertices* share no edges at all, whereas
+   dependency rounds also run the independent parts of overlapping reductions
+   together, which keeps rounds large even on meshes where minimum-degree
+   ties are scarce.
+2. **Round execution** then runs each round's fill work as a handful of
+   kernel passes over :class:`~repro.functions.batch.PLFBatch` ragged arrays:
+   one :func:`~repro.functions.batch.compound_many`, one
+   :func:`~repro.functions.batch.simplify_many` cap, and one grouped
+   presence-masked :func:`~repro.functions.batch.minimum_many` merge against
+   the edges that already existed, capping exactly the merged rows
+   (:func:`~repro.functions.batch.minimum_many_masked` packages the same
+   merge for callers that need no differential capping).
+
+Because the structural pass *is* the scalar loop minus the numeric work, and
+the batch kernels are branch-for-branch equivalents of the scalar operators
+fed the same input values (induction over rounds), the elimination order, the
+bags and every ``Ws``/``Wd`` function are **bit-identical** to the scalar
+path.  ``tests/core/test_elimination.py`` pins this equivalence down.
+
+The working graph stores no function objects at all: weights live in an
+append-only :class:`FunctionPool` of chunked ragged arrays, edges resolve to
+integer pool rows (known for every task before any numeric work starts), and
+gathering a round's legs is a vectorized :meth:`FunctionPool.take` instead of
+a walk over dicts of Python objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidFunctionError
+from repro.functions.batch import (
+    PLFBatch,
+    _minimum_masked_split,
+    compound_many,
+    simplify_many,
+)
+from repro.functions.compound import compound, minimum
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.functions.simplify import simplify
+from repro.graph.td_graph import TDGraph
+
+__all__ = [
+    "FunctionPool",
+    "EliminationStats",
+    "eliminate_scalar",
+    "eliminate_batched",
+]
+
+#: Compact the function pool into a single chunk once it fragments this much.
+#: Low on purpose: a single-chunk pool keeps :meth:`FunctionPool.take` on its
+#: fast path (one vectorized gather, no per-chunk loop), and compaction is a
+#: plain concatenate whose cost amortises over the rounds between compactions.
+_MAX_CHUNKS = 8
+
+
+class FunctionPool:
+    """Append-only store of piecewise-linear functions in chunked ragged arrays.
+
+    Rows are stable integer handles: ``append`` assigns consecutive row ids to
+    the members of the appended batch and compaction merges chunks in order,
+    which preserves every previously handed-out id.  ``take`` gathers any
+    row selection into one :class:`PLFBatch` (the vectorized path the round
+    executor uses); ``function`` returns a single member as a zero-copy scalar
+    view (used once per stored label when the tree nodes are materialised).
+    """
+
+    __slots__ = ("_chunks", "_offsets")
+
+    def __init__(self) -> None:
+        self._chunks: list[PLFBatch] = []
+        self._offsets: list[int] = [0]
+
+    @property
+    def count(self) -> int:
+        """Number of functions ever appended (dead rows are kept)."""
+        return self._offsets[-1]
+
+    def append(self, batch: PLFBatch) -> np.ndarray:
+        """Store ``batch`` and return the pool rows assigned to its members."""
+        start = self._offsets[-1]
+        self._chunks.append(batch)
+        self._offsets.append(start + batch.count)
+        if len(self._chunks) > _MAX_CHUNKS:
+            self._compact()
+        return np.arange(start, start + batch.count, dtype=np.int64)
+
+    def _compact(self) -> None:
+        chunks = self._chunks
+        sizes = np.concatenate([chunk.sizes for chunk in chunks])
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        self._chunks = [
+            PLFBatch(
+                np.concatenate([chunk.times for chunk in chunks]),
+                np.concatenate([chunk.costs for chunk in chunks]),
+                np.concatenate([chunk.via for chunk in chunks]),
+                offsets,
+            )
+        ]
+        self._offsets = [0, int(sizes.size)]
+
+    def take(self, rows: np.ndarray) -> PLFBatch:
+        """Gather the given pool rows (in order) into one batch."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return PLFBatch(
+                np.empty(0), np.empty(0), np.empty(0, np.int64), np.zeros(1, np.int64)
+            )
+        if rows.min() < 0 or rows.max() >= self.count:
+            raise InvalidFunctionError("pool row out of range")
+        if len(self._chunks) == 1:
+            return self._chunks[0].take(rows)
+        offsets = np.asarray(self._offsets, dtype=np.int64)
+        chunk_of = np.searchsorted(offsets, rows, side="right") - 1
+        parts = []
+        for chunk_idx in np.unique(chunk_of):
+            sel = np.nonzero(chunk_of == chunk_idx)[0]
+            local = rows[sel] - offsets[chunk_idx]
+            parts.append((sel, self._chunks[int(chunk_idx)].take(local)))
+        return PLFBatch.stitch(parts, rows.size)
+
+    def function(self, row: int) -> PiecewiseLinearFunction:
+        """Return one pool member as a scalar function (views, no copy)."""
+        row = int(row)
+        if row < 0 or row >= self.count:
+            raise InvalidFunctionError(f"pool row {row} out of range")
+        chunk_idx = bisect_right(self._offsets, row) - 1
+        return self._chunks[chunk_idx].function(row - self._offsets[chunk_idx])
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.count
+
+
+@dataclass
+class EliminationStats:
+    """Counters and phase timings of one elimination run."""
+
+    engine: str
+    num_vertices: int = 0
+    num_fill_edges: int = 0
+    #: Number of batched rounds executed (0 for the scalar engine).
+    num_rounds: int = 0
+    #: Largest number of fill edges computed by a single round.
+    largest_round: int = 0
+    #: Seconds spent replaying the heap / assembling round task arrays.
+    assembly_seconds: float = 0.0
+    #: Seconds spent inside the batch kernels (compound/minimum/simplify).
+    kernel_seconds: float = 0.0
+
+
+#: One eliminated vertex: ``(vertex, bag, ws, wd)`` in elimination order.
+_Entry = tuple[
+    int,
+    tuple[int, ...],
+    dict[int, PiecewiseLinearFunction],
+    dict[int, PiecewiseLinearFunction],
+]
+
+
+def eliminate_scalar(
+    graph: TDGraph,
+    *,
+    max_points: int | None = 32,
+    tolerance: float = 0.0,
+) -> tuple[list[_Entry], EliminationStats]:
+    """Reference engine: one scalar operator call per fill edge (Algorithm 1)."""
+    started = time.perf_counter()
+    forward: dict[int, dict[int, PiecewiseLinearFunction]] = {
+        v: dict(graph.out_items(v)) for v in graph.vertices()
+    }
+    backward: dict[int, dict[int, PiecewiseLinearFunction]] = {
+        v: dict(graph.in_items(v)) for v in graph.vertices()
+    }
+    neighbors: dict[int, set[int]] = {
+        v: set(forward[v]) | set(backward[v]) for v in graph.vertices()
+    }
+
+    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
+        # Even in "exact" mode (max_points=None, tolerance=0) collinear points
+        # are dropped: that is value-preserving and keeps reduced functions at
+        # their true complexity instead of accumulating redundant breakpoints.
+        return simplify(func, max_points=max_points, tolerance=tolerance)
+
+    heap: list[tuple[int, int]] = [(len(neighbors[v]), v) for v in neighbors]
+    heapq.heapify(heap)
+    eliminated: set[int] = set()
+    entries: list[_Entry] = []
+    stats = EliminationStats(engine="scalar")
+
+    while heap:
+        degree, vertex = heapq.heappop(heap)
+        if vertex in eliminated:
+            continue
+        if degree != len(neighbors[vertex]):
+            heapq.heappush(heap, (len(neighbors[vertex]), vertex))
+            continue
+
+        bag = sorted(neighbors[vertex])
+        ws = {u: forward[vertex][u] for u in bag if u in forward[vertex]}
+        wd = {u: backward[vertex][u] for u in bag if u in backward[vertex]}
+        entries.append((vertex, tuple(bag), ws, wd))
+        eliminated.add(vertex)
+
+        # Reduction operator (Algorithm 1): connect every ordered pair of
+        # remaining neighbours through ``vertex``.
+        for i in bag:
+            for j in bag:
+                if i == j:
+                    continue
+                via_first = forward[i].get(vertex)
+                via_second = forward[vertex].get(j)
+                if via_first is None or via_second is None:
+                    continue
+                candidate = cap(compound(via_first, via_second, via=vertex))
+                existing = forward[i].get(j)
+                if existing is None:
+                    merged = candidate
+                else:
+                    merged = cap(minimum(existing, candidate))
+                forward[i][j] = merged
+                backward[j][i] = merged
+                neighbors[i].add(j)
+                neighbors[j].add(i)
+                stats.num_fill_edges += 1
+
+        # Disconnect ``vertex`` from the working graph and refresh degrees.
+        for u in bag:
+            forward[u].pop(vertex, None)
+            backward[u].pop(vertex, None)
+            neighbors[u].discard(vertex)
+            heapq.heappush(heap, (len(neighbors[u]), u))
+        forward.pop(vertex, None)
+        backward.pop(vertex, None)
+        neighbors.pop(vertex, None)
+
+    stats.num_vertices = len(entries)
+    stats.assembly_seconds = time.perf_counter() - started
+    return entries, stats
+
+
+def eliminate_batched(
+    graph: TDGraph,
+    *,
+    max_points: int | None = 32,
+    tolerance: float = 0.0,
+) -> tuple[list[_Entry], EliminationStats]:
+    """Round-batched engine: identical results, kernel-sized operator calls.
+
+    See the module docstring for the schedule and the equivalence argument.
+    """
+    stats = EliminationStats(engine="batched")
+    started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Phase 1 — structural replay of the scalar elimination.
+    #
+    # Edges resolve to *references*: original edges to their initial pool row
+    # (0..E-1), fill results to ``num_original + task id``.  ``writer`` maps a
+    # live directed edge to its current reference, ``round_of_ref`` gives the
+    # round that produces a reference (0 for originals).
+    # ------------------------------------------------------------------
+    initial_functions: list[PiecewiseLinearFunction] = []
+    writer: dict[tuple[int, int], int] = {}
+    out_nbrs: dict[int, set[int]] = {v: set() for v in graph.vertices()}
+    in_nbrs: dict[int, set[int]] = {v: set() for v in graph.vertices()}
+    for u in graph.vertices():
+        for v, func in graph.out_items(u):
+            writer[(u, v)] = len(initial_functions)
+            initial_functions.append(func)
+            out_nbrs[u].add(v)
+            in_nbrs[v].add(u)
+    num_original = len(initial_functions)
+    neighbors: dict[int, set[int]] = {
+        v: out_nbrs[v] | in_nbrs[v] for v in graph.vertices()
+    }
+
+    heap: list[tuple[int, int]] = [(len(neighbors[v]), v) for v in neighbors]
+    heapq.heapify(heap)
+    eliminated: set[int] = set()
+    #: Per-vertex label references, resolved to functions after execution.
+    raw_entries: list[tuple[int, tuple[int, ...], dict[int, int], dict[int, int]]] = []
+
+    task_first: list[int] = []
+    task_second: list[int] = []
+    task_existing: list[int] = []  # -1 when the fill edge did not exist yet
+    task_via: list[int] = []
+    task_round: list[int] = []
+
+    while heap:
+        degree, vertex = heapq.heappop(heap)
+        if vertex in eliminated:
+            continue
+        if degree != len(neighbors[vertex]):
+            heapq.heappush(heap, (len(neighbors[vertex]), vertex))
+            continue
+
+        bag = sorted(neighbors[vertex])
+        vertex_out = out_nbrs[vertex]
+        vertex_in = in_nbrs[vertex]
+        ws_refs = {u: writer[(vertex, u)] for u in bag if u in vertex_out}
+        wd_refs = {u: writer[(u, vertex)] for u in bag if u in vertex_in}
+        raw_entries.append((vertex, tuple(bag), ws_refs, wd_refs))
+        eliminated.add(vertex)
+
+        for i in bag:
+            if i not in vertex_in:
+                continue
+            first_ref = writer[(i, vertex)]
+            first_round = (
+                0 if first_ref < num_original else task_round[first_ref - num_original]
+            )
+            out_i = out_nbrs[i]
+            for j in bag:
+                if i == j or j not in vertex_out:
+                    continue
+                second_ref = writer[(vertex, j)]
+                depth = (
+                    0
+                    if second_ref < num_original
+                    else task_round[second_ref - num_original]
+                )
+                if first_round > depth:
+                    depth = first_round
+                if j in out_i:
+                    existing_ref = writer[(i, j)]
+                    existing_round = (
+                        0
+                        if existing_ref < num_original
+                        else task_round[existing_ref - num_original]
+                    )
+                    if existing_round > depth:
+                        depth = existing_round
+                else:
+                    existing_ref = -1
+                task_id = len(task_first)
+                task_first.append(first_ref)
+                task_second.append(second_ref)
+                task_existing.append(existing_ref)
+                task_via.append(vertex)
+                task_round.append(depth + 1)
+                writer[(i, j)] = num_original + task_id
+                out_i.add(j)
+                in_nbrs[j].add(i)
+                neighbors[i].add(j)
+                neighbors[j].add(i)
+
+        for u in bag:
+            out_nbrs[u].discard(vertex)
+            in_nbrs[u].discard(vertex)
+            neighbors[u].discard(vertex)
+            heapq.heappush(heap, (len(neighbors[u]), u))
+        del out_nbrs[vertex]
+        del in_nbrs[vertex]
+        del neighbors[vertex]
+
+    num_tasks = len(task_first)
+    stats.num_fill_edges = num_tasks
+    stats.assembly_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Phase 2 — execute the fill tasks round by round.
+    #
+    # Tasks are ordered by (round, task id); the pool appends each round's
+    # results consecutively, so the final pool row of task ``t`` is
+    # ``num_original + rank(t)`` — known before any kernel runs, which lets
+    # every input reference be translated to a pool row up front.
+    # ------------------------------------------------------------------
+    kernel_started = time.perf_counter()
+    pool = FunctionPool()
+    pool.append(PLFBatch.from_functions(initial_functions))
+
+    if num_tasks:
+        rounds_arr = np.asarray(task_round, dtype=np.int64)
+        order = np.argsort(rounds_arr, kind="stable")
+        row_of_task = np.empty(num_tasks, dtype=np.int64)
+        row_of_task[order] = num_original + np.arange(num_tasks, dtype=np.int64)
+
+        def to_rows(refs: np.ndarray) -> np.ndarray:
+            rows = refs.copy()
+            is_task = refs >= num_original
+            rows[is_task] = row_of_task[refs[is_task] - num_original]
+            return rows
+
+        first_rows = to_rows(np.asarray(task_first, dtype=np.int64))[order]
+        second_rows = to_rows(np.asarray(task_second, dtype=np.int64))[order]
+        existing_refs = np.asarray(task_existing, dtype=np.int64)
+        has_existing = existing_refs >= 0
+        existing_rows = np.where(
+            has_existing, to_rows(np.maximum(existing_refs, 0)), -1
+        )[order]
+        via_arr = np.asarray(task_via, dtype=np.int64)[order]
+        sorted_rounds = rounds_arr[order]
+        boundaries = np.nonzero(np.r_[True, sorted_rounds[1:] != sorted_rounds[:-1]])[0]
+        boundaries = np.r_[boundaries, num_tasks]
+        stats.num_rounds = boundaries.size - 1
+
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            stats.largest_round = max(stats.largest_round, int(end - start))
+            first = pool.take(first_rows[start:end])
+            second = pool.take(second_rows[start:end])
+            candidate = simplify_many(
+                compound_many(first, second, via=via_arr[start:end]),
+                max_points=max_points,
+                tolerance=tolerance,
+            )
+            existing_slice = existing_rows[start:end]
+            present = existing_slice >= 0
+            if present.any():
+                # Grouped presence-masked minimum-merge against the edges
+                # that already exist.  The scalar path caps exactly the rows
+                # that went through the minimum (fresh fills keep the
+                # already-capped candidate), so the split form of the masked
+                # kernel is used and only the merged rows are re-capped.
+                present_idx, absent_idx, merged_present = _minimum_masked_split(
+                    pool.take(existing_slice[present]), candidate, present
+                )
+                merged_present = simplify_many(
+                    merged_present, max_points=max_points, tolerance=tolerance
+                )
+                if absent_idx.size:
+                    merged = PLFBatch.stitch(
+                        [
+                            (present_idx, merged_present),
+                            (absent_idx, candidate.take(absent_idx)),
+                        ],
+                        int(present.size),
+                    )
+                else:
+                    merged = merged_present
+            else:
+                merged = candidate
+            pool.append(merged)
+    else:
+        row_of_task = np.empty(0, dtype=np.int64)
+    stats.kernel_seconds += time.perf_counter() - kernel_started
+
+    # ------------------------------------------------------------------
+    # Phase 3 — resolve the recorded label references into scalar functions.
+    #
+    # One vectorized gather copies exactly the label functions out of the
+    # pool into a compact batch; the per-node functions are views into that
+    # batch, so the pool (which retains every intermediate fill result) is
+    # released when this function returns instead of being pinned for the
+    # lifetime of the tree.
+    # ------------------------------------------------------------------
+    resolve_started = time.perf_counter()
+    label_refs = np.array(
+        [
+            ref
+            for _, _, ws_refs, wd_refs in raw_entries
+            for refs in (ws_refs, wd_refs)
+            for ref in refs.values()
+        ],
+        dtype=np.int64,
+    )
+    label_rows = label_refs.copy()
+    is_task = label_refs >= num_original
+    label_rows[is_task] = row_of_task[label_refs[is_task] - num_original]
+    labels = pool.take(label_rows)
+
+    entries: list[_Entry] = []
+    cursor = 0
+    for vertex, bag, ws_refs, wd_refs in raw_entries:
+        ws: dict[int, PiecewiseLinearFunction] = {}
+        for u in ws_refs:
+            ws[u] = labels.function(cursor)
+            cursor += 1
+        wd: dict[int, PiecewiseLinearFunction] = {}
+        for u in wd_refs:
+            wd[u] = labels.function(cursor)
+            cursor += 1
+        entries.append((vertex, bag, ws, wd))
+    stats.num_vertices = len(entries)
+    stats.assembly_seconds += time.perf_counter() - resolve_started
+    return entries, stats

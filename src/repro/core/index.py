@@ -52,6 +52,21 @@ __all__ = ["TDTreeIndex", "IndexStatistics", "BUILD_STRATEGIES"]
 BUILD_STRATEGIES = ("basic", "dp", "approx", "full")
 
 
+def _phase_seconds(timer: Timer, tree: TFPTreeDecomposition) -> dict[str, float]:
+    """Timer phases plus the elimination engine's sub-phase breakdown.
+
+    Sub-phase keys use a ``decomposition/...`` prefix; they detail where the
+    decomposition phase went (structural round assembly vs batch kernels) and
+    are excluded from :attr:`IndexStatistics.total_build_seconds`.
+    """
+    seconds = timer.as_dict()
+    stats = getattr(tree, "elimination_stats", None)
+    if stats is not None:
+        seconds["decomposition/assembly"] = stats.assembly_seconds
+        seconds["decomposition/kernels"] = stats.kernel_seconds
+    return seconds
+
+
 @dataclass
 class IndexStatistics:
     """Summary of a built index (used by the experiment tables)."""
@@ -65,11 +80,15 @@ class IndexStatistics:
     num_selected_pairs: int
     selected_weight: int
     budget: int | None
+    #: Per-phase wall-clock seconds.  Keys containing ``/`` are sub-phase
+    #: breakdowns (e.g. ``decomposition/kernels`` inside ``decomposition``)
+    #: and are excluded from :attr:`total_build_seconds` to avoid double
+    #: counting.
     build_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_build_seconds(self) -> float:
-        return sum(self.build_seconds.values())
+        return sum(v for k, v in self.build_seconds.items() if "/" not in k)
 
 
 class TDTreeIndex:
@@ -132,6 +151,7 @@ class TDTreeIndex:
         max_points: int | None = 32,
         tolerance: float = 0.0,
         validate: bool = True,
+        use_batch_kernels: bool = True,
     ) -> "TDTreeIndex":
         """Build an index over ``graph``.
 
@@ -157,6 +177,11 @@ class TDTreeIndex:
         validate:
             Run :func:`repro.graph.validate_graph` first and raise on FIFO or
             connectivity violations.
+        use_batch_kernels:
+            Build both the decomposition and the shortcut catalog with the
+            vectorized batch kernels (the default).  ``False`` selects the
+            scalar reference paths; the resulting index is bit-identical, so
+            the flag exists for equivalence tests and benchmarks.
         """
         if strategy not in BUILD_STRATEGIES:
             raise IndexBuildError(
@@ -169,7 +194,12 @@ class TDTreeIndex:
 
         timer = Timer()
         with timer.measure("decomposition"):
-            tree = decompose(graph, max_points=max_points, tolerance=tolerance)
+            tree = decompose(
+                graph,
+                max_points=max_points,
+                tolerance=tolerance,
+                use_batch_kernels=use_batch_kernels,
+            )
 
         if strategy == "basic":
             selection = select_none(ShortcutCatalog({}))
@@ -180,7 +210,7 @@ class TDTreeIndex:
                 strategy=strategy,
                 selection=selection,
                 catalog_size=0,
-                build_seconds=timer.as_dict(),
+                build_seconds=_phase_seconds(timer, tree),
                 max_points=max_points,
                 tolerance=tolerance,
             )
@@ -191,6 +221,7 @@ class TDTreeIndex:
                 max_points=max_points,
                 tolerance=tolerance,
                 compute_utilities=strategy in ("dp", "approx"),
+                use_batch_kernels=use_batch_kernels,
             )
 
         with timer.measure("selection"):
@@ -217,7 +248,7 @@ class TDTreeIndex:
             strategy=strategy,
             selection=selection,
             catalog_size=len(catalog),
-            build_seconds=timer.as_dict(),
+            build_seconds=_phase_seconds(timer, tree),
             max_points=max_points,
             tolerance=tolerance,
         )

@@ -426,17 +426,30 @@ def compute_catalog_utilities(
     from ``v_i`` — is the fraction of vertices ``k`` whose LCA with ``X(i)`` is
     exactly ``X(j)``.  With subtree sizes available this is
     ``(|subtree(j)| - |subtree(child of j towards i)|) / |V|``.
+
+    All pairs of a node share its root path, so the catalog is processed
+    grouped by ``lower``: one pass over the path precomputes every
+    child-towards link, replacing the O(h) parent-chain walk the naive
+    per-pair ``child_towards`` lookup would pay for each of the O(h)
+    ancestors.
     """
     total_vertices = tree.num_nodes
     width = tree.treewidth
+    by_lower: dict[int, list[ShortcutPair]] = {}
     for pair in catalog:
-        lower, upper = pair.lower, pair.upper
-        height_gap = tree.height(lower) - tree.height(upper)
-        if height_gap < 0:
-            raise IndexBuildError(
-                f"shortcut pair <{lower}, {upper}> does not point at an ancestor"
-            )
-        child = tree.child_towards(upper, lower)
-        coverage = tree.subtree_size(upper) - tree.subtree_size(child)
-        probability = coverage / total_vertices
-        pair.utility = float(height_gap * width * probability)
+        by_lower.setdefault(pair.lower, []).append(pair)
+    for lower, pairs in by_lower.items():
+        height_lower = tree.height(lower)
+        path = tree.root_path(lower)
+        child_towards = {path[k + 1]: path[k] for k in range(len(path) - 1)}
+        for pair in pairs:
+            upper = pair.upper
+            height_gap = height_lower - tree.height(upper)
+            child = child_towards.get(upper)
+            if height_gap < 0 or child is None:
+                raise IndexBuildError(
+                    f"shortcut pair <{lower}, {upper}> does not point at an ancestor"
+                )
+            coverage = tree.subtree_size(upper) - tree.subtree_size(child)
+            probability = coverage / total_vertices
+            pair.utility = float(height_gap * width * probability)

@@ -20,7 +20,6 @@ smallest elimination order (Algorithm 2, lines 10-13).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,10 +30,9 @@ from repro.exceptions import (
     ReproError,
     VertexNotFoundError,
 )
+from repro.core.elimination import eliminate_batched, eliminate_scalar
 from repro.functions.batch import PLFBatch
-from repro.functions.compound import compound, minimum
 from repro.functions.piecewise import PiecewiseLinearFunction
-from repro.functions.simplify import simplify
 from repro.graph.td_graph import TDGraph
 from repro.utils.lca import LCAIndex
 
@@ -106,6 +104,12 @@ class TFPTreeDecomposition:
         #: carry the version they were built against.
         self._label_version = 0
         self._sweep_plan_cache: tuple[int, tuple] | None = None
+        #: Per-ordered-pair contributor table used by the update machinery
+        #: (structure-only, so weight updates never stale it; built lazily).
+        self._pair_contributors_cache: dict[tuple[int, int], list[int]] | None = None
+        #: Counters/timings of the elimination engine that built this tree
+        #: (``None`` for trees assembled from snapshots or by hand).
+        self.elimination_stats = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -117,9 +121,15 @@ class TFPTreeDecomposition:
         *,
         max_points: int | None = 32,
         tolerance: float = 0.0,
+        use_batch_kernels: bool = True,
     ) -> "TFPTreeDecomposition":
         """Run the TFP tree decomposition (Algorithm 2) on ``graph``."""
-        return decompose(graph, max_points=max_points, tolerance=tolerance)
+        return decompose(
+            graph,
+            max_points=max_points,
+            tolerance=tolerance,
+            use_batch_kernels=use_batch_kernels,
+        )
 
     def _compute_heights(self) -> None:
         for root in self.roots:
@@ -294,10 +304,37 @@ class TFPTreeDecomposition:
         if vertices is None:
             self._ws_batch_cache.clear()
             self._wd_batch_cache.clear()
+            # A full invalidation signals "anything may have changed" — drop
+            # the structural caches too.  Per-vertex invalidation (the update
+            # machinery rewriting label *values*) keeps them: bags are
+            # immutable under weight updates.
+            self._pair_contributors_cache = None
             return
         for vertex in vertices:
             self._ws_batch_cache.pop(vertex, None)
             self._wd_batch_cache.pop(vertex, None)
+
+    def pair_contributors(self) -> dict[tuple[int, int], list[int]]:
+        """Map each ordered vertex pair to the vertices whose elimination wrote to it.
+
+        A vertex ``z`` contributes to the working edge ``(x, y)`` exactly when
+        both ``x`` and ``y`` are in its bag (they were neighbours of ``z`` when
+        it was eliminated, so the reduction operator updated the edge between
+        them).  The table depends only on the bags — pure structure — so it is
+        cached across update calls; only a full
+        :meth:`invalidate_label_batches` drops it.
+        """
+        cached = self._pair_contributors_cache
+        if cached is None:
+            cached = {}
+            for vertex, node in self.nodes.items():
+                for a in node.bag:
+                    for b in node.bag:
+                        if a == b:
+                            continue
+                        cached.setdefault((a, b), []).append(vertex)
+            self._pair_contributors_cache = cached
+        return cached
 
     def sweep_plan(self):
         """Cached global plan of the batched tree sweeps.
@@ -479,6 +516,7 @@ def decompose(
     *,
     max_points: int | None = 32,
     tolerance: float = 0.0,
+    use_batch_kernels: bool = True,
 ) -> TFPTreeDecomposition:
     """Algorithm 2: TFP tree decomposition by minimum-degree elimination.
 
@@ -492,90 +530,40 @@ def decompose(
         function (``None`` disables the cap and keeps the decomposition exact).
     tolerance:
         Vertical tolerance for the lossless part of the simplification.
+    use_batch_kernels:
+        Run the elimination through the round-batched engine
+        (:func:`repro.core.elimination.eliminate_batched`): each round of
+        minimum-degree vertices with pairwise-disjoint closed neighbourhoods
+        executes its fill-edge work as a handful of vectorized kernel passes
+        instead of one scalar operator call per fill.  The resulting tree is
+        **bit-identical** to the scalar reference path
+        (``use_batch_kernels=False``), which is kept exactly so the
+        equivalence can be asserted in tests — mirroring the flag on
+        :func:`repro.core.shortcuts.build_shortcut_catalog`.
 
     Returns
     -------
     TFPTreeDecomposition
+        The decomposition; ``tree.elimination_stats`` records the engine used,
+        fill/round counters and the assembly/kernel phase seconds.
     """
     if graph.num_vertices == 0:
         raise GraphError("cannot decompose an empty graph")
 
-    # Working adjacency: forward[u][v] is the current reduced weight u -> v.
-    forward: dict[int, dict[int, PiecewiseLinearFunction]] = {
-        v: dict(graph.out_items(v)) for v in graph.vertices()
-    }
-    backward: dict[int, dict[int, PiecewiseLinearFunction]] = {
-        v: dict(graph.in_items(v)) for v in graph.vertices()
-    }
-    neighbors: dict[int, set[int]] = {
-        v: set(forward[v]) | set(backward[v]) for v in graph.vertices()
-    }
+    engine = eliminate_batched if use_batch_kernels else eliminate_scalar
+    entries, stats = engine(graph, max_points=max_points, tolerance=tolerance)
 
-    def cap(func: PiecewiseLinearFunction) -> PiecewiseLinearFunction:
-        # Even in "exact" mode (max_points=None, tolerance=0) collinear points
-        # are dropped: that is value-preserving and keeps reduced functions at
-        # their true complexity instead of accumulating redundant breakpoints.
-        return simplify(func, max_points=max_points, tolerance=tolerance)
-
-    heap: list[tuple[int, int]] = [(len(neighbors[v]), v) for v in neighbors]
-    heapq.heapify(heap)
-    eliminated: set[int] = set()
     nodes: dict[int, TreeNode] = {}
     order_of: dict[int, int] = {}
-
-    order = 0
-    while heap:
-        degree, vertex = heapq.heappop(heap)
-        if vertex in eliminated:
-            continue
-        if degree != len(neighbors[vertex]):
-            heapq.heappush(heap, (len(neighbors[vertex]), vertex))
-            continue
-
-        bag = sorted(neighbors[vertex])
-        ws = {u: forward[vertex][u] for u in bag if u in forward[vertex]}
-        wd = {u: backward[vertex][u] for u in bag if u in backward[vertex]}
+    for order, (vertex, bag, ws, wd) in enumerate(entries):
         nodes[vertex] = TreeNode(
             vertex=vertex,
-            bag=tuple(bag),
+            bag=bag,
             ws=ws,
             wd=wd,
             order=order,
         )
         order_of[vertex] = order
-        order += 1
-        eliminated.add(vertex)
-
-        # Reduction operator (Algorithm 1): connect every ordered pair of
-        # remaining neighbours through ``vertex``.
-        for i in bag:
-            for j in bag:
-                if i == j:
-                    continue
-                via_first = forward[i].get(vertex)
-                via_second = forward[vertex].get(j)
-                if via_first is None or via_second is None:
-                    continue
-                candidate = cap(compound(via_first, via_second, via=vertex))
-                existing = forward[i].get(j)
-                if existing is None:
-                    merged = candidate
-                else:
-                    merged = cap(minimum(existing, candidate))
-                forward[i][j] = merged
-                backward[j][i] = merged
-                neighbors[i].add(j)
-                neighbors[j].add(i)
-
-        # Disconnect ``vertex`` from the working graph and refresh degrees.
-        for u in bag:
-            forward[u].pop(vertex, None)
-            backward[u].pop(vertex, None)
-            neighbors[u].discard(vertex)
-            heapq.heappush(heap, (len(neighbors[u]), u))
-        forward.pop(vertex, None)
-        backward.pop(vertex, None)
-        neighbors.pop(vertex, None)
 
     # Algorithm 2, lines 10-13: the parent of X(v) is the bag vertex with the
     # smallest elimination order.
@@ -590,4 +578,6 @@ def decompose(
     if not roots:
         raise GraphError("tree decomposition produced no root (cyclic parents?)")
 
-    return TFPTreeDecomposition(nodes, roots)
+    tree = TFPTreeDecomposition(nodes, roots)
+    tree.elimination_stats = stats
+    return tree

@@ -21,6 +21,7 @@ structural facts of the TFP decomposition:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.exceptions import EdgeNotFoundError, InvalidFunctionError
@@ -92,14 +93,21 @@ def apply_edge_updates(
         lower = min((source, target), key=lambda v: tree.nodes[v].order)
         dirty_vertices.add(lower)
 
-    # Phase 2: repair bag functions bottom-up in elimination order.
-    contributors = _pair_contributors(tree)
+    # Phase 2: repair bag functions bottom-up in elimination order.  The dirty
+    # queue is a heap keyed on elimination order plus a seen-set: bag vertices
+    # are always eliminated later than the node that stores them, so each pop
+    # is the globally next dirty vertex without re-sorting per insertion.
+    contributors = tree.pair_contributors()
     changed_bag_vertices: set[int] = set()
-    pending = sorted(dirty_vertices, key=lambda v: tree.nodes[v].order)
+    pending: list[tuple[int, int]] = [
+        (tree.nodes[v].order, v) for v in dirty_vertices
+    ]
+    heapq.heapify(pending)
+    queued: set[int] = set(dirty_vertices)
     processed: set[int] = set()
     while pending:
-        vertex = pending.pop(0)
-        if vertex in processed:
+        _, vertex = heapq.heappop(pending)
+        if vertex in processed:  # pragma: no cover - queued prevents duplicates
             continue
         processed.add(vertex)
         node = tree.nodes[vertex]
@@ -134,9 +142,9 @@ def apply_edge_updates(
                         continue
                     dirty_edges.add((a, b))
             for b in node.bag:
-                if b not in processed:
-                    pending.append(b)
-            pending.sort(key=lambda v: tree.nodes[v].order)
+                if b not in processed and b not in queued:
+                    heapq.heappush(pending, (tree.nodes[b].order, b))
+                    queued.add(b)
     report.num_dirty_vertices = len(processed)
 
     # Phase 3: refresh the selected shortcuts of every affected node.  A node
@@ -180,23 +188,6 @@ def apply_edge_updates(
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
-def _pair_contributors(tree) -> dict[tuple[int, int], list[int]]:
-    """Map each ordered vertex pair to the vertices whose elimination wrote to it.
-
-    A vertex ``z`` contributes to the working edge ``(x, y)`` exactly when both
-    ``x`` and ``y`` are in its bag (they were neighbours of ``z`` when it was
-    eliminated, so the reduction operator updated the edge between them).
-    """
-    table: dict[tuple[int, int], list[int]] = {}
-    for vertex, node in tree.nodes.items():
-        for a in node.bag:
-            for b in node.bag:
-                if a == b:
-                    continue
-                table.setdefault((a, b), []).append(vertex)
-    return table
-
-
 def _recompute_working_edge(
     graph,
     tree,

@@ -13,6 +13,7 @@ from repro.functions.batch import (
     evaluate_grid,
     evaluate_many,
     minimum_many,
+    minimum_many_masked,
     simplify_many,
 )
 from repro.functions.compound import compound, minimum, minimum_of
@@ -36,6 +37,7 @@ __all__ = [
     "evaluate_grid",
     "compound_many",
     "minimum_many",
+    "minimum_many_masked",
     "simplify_many",
     "compound",
     "minimum",

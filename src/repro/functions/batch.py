@@ -43,6 +43,7 @@ __all__ = [
     "evaluate_grid",
     "compound_many",
     "minimum_many",
+    "minimum_many_masked",
     "simplify_many",
 ]
 
@@ -57,7 +58,16 @@ class PLFBatch:
     functions (:meth:`function`, :meth:`to_functions`).
     """
 
-    __slots__ = ("times", "costs", "via", "offsets", "_rounds", "_tables", "_fidx")
+    __slots__ = (
+        "times",
+        "costs",
+        "via",
+        "offsets",
+        "_rounds",
+        "_tables",
+        "_fidx",
+        "_sizes",
+    )
 
     def __init__(
         self,
@@ -75,6 +85,7 @@ class PLFBatch:
         self._rounds: int | None = None
         self._tables: tuple | None = None
         self._fidx: dict | None = None
+        self._sizes: np.ndarray | None = None
         if validate:
             self._validate()
 
@@ -178,8 +189,11 @@ class PLFBatch:
 
     @property
     def sizes(self) -> np.ndarray:
-        """Per-member interpolation point counts."""
-        return np.diff(self.offsets)
+        """Per-member interpolation point counts (cached)."""
+        sizes = self._sizes
+        if sizes is None:
+            sizes = self._sizes = np.diff(self.offsets)
+        return sizes
 
     @property
     def starts(self) -> np.ndarray:
@@ -354,6 +368,9 @@ def _searchsorted_right_flat(
     hi = offsets[func_idx + 1]
     if lo.size == 0:
         return lo
+    banded = _searchsorted_banded(xp, offsets, func_idx, x)
+    if banded is not None:
+        return banded
     if rounds is None:
         rounds = max(int((hi - lo).max()).bit_length(), 1)
     top = xp.size - 1
@@ -365,6 +382,51 @@ def _searchsorted_right_flat(
         lo = np.where(le, mid + 1, lo)
         hi = np.where(le, hi, mid)
     return lo - 1
+
+
+def _searchsorted_banded(
+    xp: np.ndarray,
+    offsets: np.ndarray,
+    func_idx: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray | None:
+    """Banded-key fast path for :func:`_searchsorted_right_flat`.
+
+    Maps every breakpoint into the band ``[member, member + 1]`` so a single
+    global ``np.searchsorted`` locates all segments at once (same trick as
+    :meth:`PLFBatch._eval_tables`); a ±1 fixup against the raw times keeps the
+    result exact.  Returns ``None`` when a within-member time gap is too small
+    for the key-space resolution, in which case the caller's vectorized
+    bisection handles the query exactly.
+    """
+    num_members = offsets.size - 1
+    if xp.size == 0 or num_members == 0:
+        return None
+    sizes = np.diff(offsets)
+    rowids = np.repeat(np.arange(num_members, dtype=np.float64), sizes)
+    interior = rowids[1:] == rowids[:-1]
+    dt = np.diff(xp)[interior]
+    min_gap = float(dt.min()) if dt.size else np.inf
+    tmin = float(xp.min())
+    span = float(xp.max()) - tmin
+    inv = 0.0 if span == 0.0 else 1.0 / span
+    resolution = 4.0 * np.spacing(float(num_members) + 1.0)
+    if min_gap * inv <= resolution:
+        return None
+    keys = np.minimum((xp - tmin) * inv, 1.0) + rowids
+    key_x = np.minimum((x - tmin) * inv, 1.0) + func_idx
+    starts = offsets[func_idx]
+    last = offsets[func_idx + 1] - 1
+    j = np.searchsorted(keys, key_x, side="right") - 1
+    j = np.minimum(np.maximum(j, starts), last)
+    # Banding is exact up to one position; fix against the raw times.  The
+    # downward step may land on ``starts - 1`` (every breakpoint larger than
+    # the query), matching the bisection's convention.
+    j -= xp[j] > x
+    valid = j >= starts
+    bump = (j < last) & valid
+    j += bump & (xp[j + bump] <= x)
+    return j
 
 
 def _interp_flat(
@@ -730,6 +792,73 @@ def minimum_many(first: PLFBatch, second: PLFBatch) -> PLFBatch:
     return PLFBatch.stitch(parts, n)
 
 
+def _minimum_masked_split(
+    first: PLFBatch, second: PLFBatch, present
+) -> tuple[np.ndarray, np.ndarray, PLFBatch]:
+    """Shared core of the presence-masked minimum merge.
+
+    Validates the mask, merges ``first`` with the present members of
+    ``second`` and returns ``(present_idx, absent_idx, merged_present)`` so
+    callers can post-process the merged rows before reassembly (the
+    elimination engine caps exactly these rows, mirroring the scalar
+    ``cap(minimum(existing, candidate))`` branch of Algorithm 1).
+    """
+    present = np.asarray(present, dtype=bool)
+    if present.ndim != 1 or present.size != second.count:
+        raise InvalidFunctionError(
+            f"present mask must have one entry per member ({second.count}), "
+            f"got shape {present.shape}"
+        )
+    num_present = int(present.sum())
+    if num_present != first.count:
+        raise InvalidFunctionError(
+            f"mask marks {num_present} members present, first holds {first.count}"
+        )
+    present_idx = np.nonzero(present)[0]
+    absent_idx = np.nonzero(~present)[0]
+    merged = minimum_many(first, second.take(present_idx) if absent_idx.size else second)
+    return present_idx, absent_idx, merged
+
+
+def minimum_many_masked(
+    first: PLFBatch, second: PLFBatch, present
+) -> PLFBatch:
+    """Pairwise ``minimum`` where ``first`` exists only for some members.
+
+    ``present`` is a boolean array of length ``second.count`` and ``first``
+    holds one member per ``True`` entry, in order (``first.count ==
+    present.sum()``).  Member ``i`` of the result is
+    ``minimum(first[k], second[i])`` when ``present[i]`` (with ``k`` the rank
+    of ``i`` among the present members) and ``second[i]`` unchanged otherwise.
+
+    This packages the merge step of the elimination engine — a fill edge may
+    or may not already exist in the working graph, and candidates without an
+    existing edge pass through untouched, exactly like the scalar
+    ``merged = candidate`` branch of Algorithm 1.  The engine itself uses
+    :func:`_minimum_masked_split` to cap the merged rows before reassembly.
+    """
+    present_arr = np.asarray(present, dtype=bool)
+    if (
+        present_arr.ndim == 1
+        and present_arr.size == second.count
+        and not present_arr.any()
+    ):
+        if first.count:
+            raise InvalidFunctionError(
+                f"mask marks 0 members present, first holds {first.count}"
+            )
+        return second
+    present_idx, absent_idx, merged = _minimum_masked_split(
+        first, second, present_arr
+    )
+    if not absent_idx.size:
+        return merged
+    return PLFBatch.stitch(
+        [(present_idx, merged), (absent_idx, second.take(absent_idx))],
+        second.count,
+    )
+
+
 def _minimum_general(
     f: PLFBatch, g: PLFBatch, rows_global: np.ndarray
 ) -> list[tuple[np.ndarray, PLFBatch]]:
@@ -843,11 +972,15 @@ def simplify_many(
 ) -> PLFBatch:
     """Batched :func:`repro.functions.simplify.simplify`.
 
-    The common cases are fully vectorized: members already under the
-    ``max_points`` cap pass through untouched, and (in exact mode) members
-    with no collinear interior points are recognised in one flat scan.  Only
-    the minority that actually needs breakpoint removal falls back to the
-    scalar routine, which keeps the results identical to a per-function loop.
+    Members already under the ``max_points`` cap pass through untouched, and
+    (in exact mode) members with no collinear interior points are recognised
+    in one flat scan.  Members above the cap run the lossless collinear pass
+    per member (its cascade resolution is inherently sequential) and then one
+    *shared* greedy-cap loop (:func:`_greedy_cap_many`): every iteration drops
+    the worst interior point of every member still above the cap in a single
+    flat pass, which replaces the per-member ``np.delete`` loop that dominates
+    scalar index construction.  Results stay identical to a per-function
+    :func:`~repro.functions.simplify.simplify` loop.
     """
     sizes = batch.sizes
     if max_points is not None:
@@ -858,6 +991,32 @@ def simplify_many(
         return batch
 
     rows_work = np.nonzero(work)[0]
+    if max_points is not None and max_points >= 2:
+        # Capped mode, fully vectorized: the shared collinear pass
+        # (lossless) followed by the shared greedy-cap loop for whatever is
+        # still above the cap, replacing the per-member ``np.delete`` churn
+        # of the scalar routine.
+        reduced = _remove_collinear_many(
+            batch.take(rows_work), max(tolerance, 1e-9)
+        )
+        parts: list[tuple[np.ndarray, PLFBatch]] = []
+        unchanged = np.nonzero(~work)[0]
+        if unchanged.size:
+            parts.append((unchanged, batch.take(unchanged)))
+        still_over = reduced.sizes > max_points
+        if not still_over.all():
+            done_local = np.nonzero(~still_over)[0]
+            parts.append((rows_work[done_local], reduced.take(done_local)))
+        if still_over.any():
+            over_local = np.nonzero(still_over)[0]
+            parts.append(
+                (
+                    rows_work[over_local],
+                    _greedy_cap_many(reduced.take(over_local), max_points),
+                )
+            )
+        return PLFBatch.stitch(parts, batch.count)
+
     if max_points is None:
         # Exact mode: a member only changes when some interior point is
         # collinear (within tolerance) with its neighbours.  Screen them all
@@ -897,3 +1056,152 @@ def simplify_many(
     if unchanged.size:
         parts.append((unchanged, batch.take(unchanged)))
     return PLFBatch.stitch(parts, batch.count)
+
+
+def _remove_collinear_many(batch: PLFBatch, tolerance: float) -> PLFBatch:
+    """Batched :func:`~repro.functions.simplify.remove_collinear`.
+
+    The scalar routine screens interior points against their *original*
+    neighbours with one vectorized pass, then resolves cascades of adjacent
+    candidates with a sequential scan whose only state is the last kept
+    index.  That scan only changes state at candidate points, so the batched
+    version runs it lock-step across members: round ``k`` decides the
+    ``k``-th candidate of every member still holding one, carrying a
+    per-member ``last kept`` vector.  Same screen, same recheck formula, same
+    order — the keep mask (and therefore the result) is bit-identical to a
+    per-member loop.
+    """
+    times, costs = batch.times, batch.costs
+    rowids = np.repeat(np.arange(batch.count), batch.sizes)
+    boundary = np.zeros(batch.total_points, dtype=bool)
+    boundary[batch.starts] = True
+    boundary[batch.ends - 1] = True
+    inner = np.nonzero(~boundary)[0]
+    if inner.size == 0:
+        return batch
+    t_prev = times[inner - 1]
+    t_next = times[inner + 1]
+    c_prev = costs[inner - 1]
+    c_next = costs[inner + 1]
+    interp = c_prev + (times[inner] - t_prev) * (c_next - c_prev) / (t_next - t_prev)
+    collinear = np.abs(interp - costs[inner]) <= tolerance
+    cand = inner[collinear]  # ascending flat indices -> grouped by member
+    if cand.size == 0:
+        return batch
+
+    # Candidates separated by a kept point are independent: the last kept
+    # index before any candidate whose predecessor is not a candidate is
+    # simply that predecessor, so the test the sequential scan would run is
+    # exactly the screen that already passed — those candidates always drop.
+    # Only *runs* of flat-consecutive candidates cascade (interior points of
+    # different members are never flat-adjacent, so runs cannot span members);
+    # walk them lock-step, one round per position within the run.
+    keep = np.ones(batch.total_points, dtype=bool)
+    new_run = np.empty(cand.size, dtype=bool)
+    new_run[0] = True
+    np.not_equal(cand[1:], cand[:-1] + 1, out=new_run[1:])
+    run_starts = np.nonzero(new_run)[0]
+    run_ends = np.empty(run_starts.size, dtype=np.int64)
+    run_ends[:-1] = run_starts[1:]
+    run_ends[-1] = cand.size
+    # Position 0 of every run replays the screen verbatim: drop.
+    keep[cand[run_starts]] = False
+    last_kept = cand[run_starts] - 1
+    active = np.nonzero(run_ends - run_starts > 1)[0]
+    position = 1
+    while active.size:
+        idx = cand[run_starts[active]] + position
+        prev = last_kept[active]
+        interp = costs[prev] + (times[idx] - times[prev]) * (
+            costs[idx + 1] - costs[prev]
+        ) / (times[idx + 1] - times[prev])
+        drop = np.abs(interp - costs[idx]) <= tolerance
+        keep[idx[drop]] = False
+        last_kept[active] = np.where(drop, prev, idx)
+        position += 1
+        active = active[run_ends[active] - run_starts[active] > position]
+    counts = np.bincount(rowids[keep], minlength=batch.count)
+    offsets = np.zeros(batch.count + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return PLFBatch(times[keep], costs[keep], batch.via[keep], offsets)
+
+
+def _greedy_cap_many(batch: PLFBatch, max_points: int) -> PLFBatch:
+    """Shared greedy Visvalingam cap for members above ``max_points``.
+
+    Replicates the scalar cap loop of :func:`~repro.functions.simplify.simplify`
+    member for member: each iteration computes the vertical error of every
+    interior point against the segment spanned by its *current* neighbours and
+    removes, per member, the first point attaining the member's minimum error
+    (``np.argmin`` tie-breaking).  Members are independent, so running the
+    iterations lock-step across the whole batch yields exactly the per-member
+    sequential result while the per-iteration work is a handful of flat array
+    passes instead of ``np.delete`` churn; members that reach the cap leave
+    the working set, so late iterations only touch the few long stragglers.
+
+    Every member of ``batch`` must be above the cap (``max_points >= 2``).
+    """
+    times = batch.times
+    costs = batch.costs
+    via = batch.via
+    offsets = batch.offsets
+    count = batch.count
+    sizes = batch.sizes
+    alive = np.arange(count)
+    parts: list[tuple[np.ndarray, PLFBatch]] = []
+    while alive.size:
+        rowids = np.repeat(np.arange(alive.size), sizes)
+        interior = np.ones(times.size, dtype=bool)
+        interior[offsets[:-1]] = False
+        interior[offsets[1:] - 1] = False
+        idx = np.nonzero(interior)[0]
+        t_prev = times[idx - 1]
+        c_prev = costs[idx - 1]
+        c_next = costs[idx + 1]
+        interp = c_prev + (times[idx] - t_prev) * (c_next - c_prev) / (
+            times[idx + 1] - t_prev
+        )
+        errors = np.abs(interp - costs[idx])
+        # Every alive member is above the cap, hence has size >= 3 and a
+        # contiguous run of size-2 interior points; locate the first position
+        # attaining each run's minimum error (np.argmin tie-breaking).
+        int_counts = sizes - 2
+        seg_starts = np.zeros(alive.size, dtype=np.int64)
+        np.cumsum(int_counts[:-1], out=seg_starts[1:])
+        seg_min = np.minimum.reduceat(errors, seg_starts)
+        seg_of = np.repeat(np.arange(alive.size), int_counts)
+        candidate_pos = np.where(
+            errors == seg_min[seg_of], np.arange(errors.size), errors.size
+        )
+        drop = idx[np.minimum.reduceat(candidate_pos, seg_starts)]
+        keep = np.ones(times.size, dtype=bool)
+        keep[drop] = False
+        new_sizes = sizes - 1
+        done = new_sizes <= max_points
+        if done.any():
+            done_pts = keep & done[rowids]
+            done_sizes = new_sizes[done]
+            done_offsets = np.zeros(done_sizes.size + 1, dtype=np.int64)
+            np.cumsum(done_sizes, out=done_offsets[1:])
+            parts.append(
+                (
+                    alive[done],
+                    PLFBatch(
+                        times[done_pts],
+                        # The scalar loop clamps capped costs non-negative.
+                        np.maximum(costs[done_pts], 0.0),
+                        via[done_pts],
+                        done_offsets,
+                    ),
+                )
+            )
+            keep &= ~done[rowids]
+            alive = alive[~done]
+            new_sizes = new_sizes[~done]
+        times = times[keep]
+        costs = costs[keep]
+        via = via[keep]
+        sizes = new_sizes
+        offsets = np.zeros(new_sizes.size + 1, dtype=np.int64)
+        np.cumsum(new_sizes, out=offsets[1:])
+    return PLFBatch.stitch(parts, count)

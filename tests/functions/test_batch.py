@@ -24,6 +24,7 @@ from repro.functions import (
     evaluate_many,
     minimum,
     minimum_many,
+    minimum_many_masked,
     simplify,
     simplify_many,
 )
@@ -232,6 +233,67 @@ def test_pairwise_kernels_reject_mismatched_batches():
         minimum_many(a, b)
 
 
+# ----------------------------------------------------------------------
+# minimum_many_masked
+# ----------------------------------------------------------------------
+@given(seconds=function_batches, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_minimum_many_masked_matches_scalar(seconds, data):
+    present = np.array(
+        data.draw(
+            st.lists(
+                st.booleans(), min_size=len(seconds), max_size=len(seconds)
+            )
+        ),
+        dtype=bool,
+    )
+    firsts = [
+        data.draw(fifo_functions()) for _ in range(int(present.sum()))
+    ]
+    result = minimum_many_masked(
+        PLFBatch.from_functions(firsts),
+        PLFBatch.from_functions(seconds),
+        present,
+    )
+    assert result.count == len(seconds)
+    rank = 0
+    for i, second in enumerate(seconds):
+        if present[i]:
+            assert_identical(minimum(firsts[rank], second), result.function(i))
+            rank += 1
+        else:
+            # No existing edge: the candidate passes through untouched.
+            assert_identical(second, result.function(i))
+
+
+def test_minimum_many_masked_all_and_none_present():
+    funcs = [
+        PiecewiseLinearFunction.constant(10.0),
+        PiecewiseLinearFunction.from_points([(0.0, 5.0), (43_200.0, 80.0)]),
+    ]
+    batch = PLFBatch.from_functions(funcs)
+    none = minimum_many_masked(
+        PLFBatch.from_functions([]), batch, np.zeros(2, dtype=bool)
+    )
+    for i, func in enumerate(funcs):
+        assert_identical(func, none.function(i))
+    cheap = PLFBatch.from_functions([PiecewiseLinearFunction.constant(1.0)] * 2)
+    everything = minimum_many_masked(cheap, batch, np.ones(2, dtype=bool))
+    for i in range(2):
+        assert_identical(
+            minimum(cheap.function(i), funcs[i]), everything.function(i)
+        )
+
+
+def test_minimum_many_masked_rejects_inconsistent_mask():
+    one = PLFBatch.from_functions([PiecewiseLinearFunction.constant(1.0)])
+    two = PLFBatch.from_functions([PiecewiseLinearFunction.constant(1.0)] * 2)
+    with pytest.raises(InvalidFunctionError):
+        minimum_many_masked(one, two, np.zeros(2, dtype=bool))  # count mismatch
+    with pytest.raises(InvalidFunctionError):
+        minimum_many_masked(one, two, np.ones(3, dtype=bool))  # wrong length
+
+
 def test_compound_many_constant_fast_paths():
     constant = PiecewiseLinearFunction.constant(120.0, via=3)
     varying = PiecewiseLinearFunction.from_points([(0.0, 60.0), (43_200.0, 600.0)])
@@ -273,6 +335,21 @@ def test_simplify_many_collinear_screen():
     result = simplify_many(PLFBatch.from_functions([collinear, bend]))
     assert result.function(0).size == 2
     assert result.function(1).size == 3
+
+
+def test_simplify_many_collinear_runs_match_scalar_cascade():
+    """Back-to-back collinear candidates resolve exactly like the scalar scan."""
+    times = np.arange(0.0, 120.0, 10.0)
+    straight = PiecewiseLinearFunction(times, 5.0 + 0.5 * times)  # one long run
+    costs = 5.0 + 0.5 * times
+    costs[7] += 40.0  # a bend splitting two runs
+    split = PiecewiseLinearFunction(times, costs)
+    for cap in (None, 6, 4):
+        result = simplify_many(
+            PLFBatch.from_functions([straight, split]), max_points=cap
+        )
+        for i, func in enumerate([straight, split]):
+            assert_identical(simplify(func, max_points=cap), result.function(i))
 
 
 # ----------------------------------------------------------------------
