@@ -22,7 +22,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.experiments import run_fig8
+from repro.experiments import engine_supports, run_fig8
 
 from harness import (
     BATCH_INTERVALS,
@@ -119,7 +119,7 @@ def test_report_batch_vs_loop_cal():
     for method in _methods_for("CAL"):
         build = built_index(method, "CAL", c)
         index = build.index
-        if not hasattr(index, "batch_query"):
+        if not engine_supports(index, "batch"):
             continue
         index.batch_query(sources, targets, departures)  # warm label caches
         loop_best = batch_best = float("inf")

@@ -15,7 +15,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import TDTreeIndex
+from repro import create_engine
 from repro.datasets import load_dataset
 from repro.functions import sample_profile
 
@@ -27,10 +27,10 @@ def hours(seconds: float) -> str:
 def main() -> None:
     # The scaled "CAL" dataset from the catalog: a grid city with rush hours.
     graph = load_dataset("CAL", num_points=5)
-    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.35)
+    engine = create_engine("td-appro?budget_fraction=0.35", graph)
 
     home, office = 3, graph.num_vertices - 7
-    profile = index.profile(home, office)
+    profile = engine.profile(home, office)
     print(f"commute {home} -> {office} over one day")
     print(f"profile has {profile.function.size} interpolation points\n")
 
@@ -51,7 +51,7 @@ def main() -> None:
         )
 
     # Evening window: cheapest moment to drive back between 16:00 and 20:00.
-    back = index.profile(office, home)
+    back = engine.profile(office, home)
     best_departure, best_cost = back.best_departure(16 * 3600.0, 20 * 3600.0)
     worst_cost = max(
         back.cost_at(t) for t in (16 * 3600.0, 17 * 3600.0, 18 * 3600.0, 19 * 3600.0, 20 * 3600.0)

@@ -7,9 +7,9 @@ This is exactly the workload where an index pays off over plain TD-Dijkstra:
 the index answers each query in well under a millisecond, while Dijkstra
 re-explores the network every time.
 
-The example builds the TD-appro index and an index-free baseline, runs the
-same dispatch batch through both, compares latency and verifies the answers
-agree.
+The example builds the TD-appro index and the index-free baseline — both as
+``repro.api`` engines behind one interface — runs the same dispatch batch
+through both, compares latency and verifies the answers agree.
 
 Run it with::
 
@@ -22,8 +22,7 @@ import time
 
 import numpy as np
 
-from repro import TDTreeIndex
-from repro.baselines import TDDijkstra
+from repro import create_engine
 from repro.datasets import load_dataset
 
 
@@ -32,9 +31,9 @@ def main() -> None:
     print(f"network: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
     build_started = time.perf_counter()
-    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.3)
+    index = create_engine("td-appro?budget_fraction=0.3", graph)
     build_seconds = time.perf_counter() - build_started
-    dijkstra = TDDijkstra.build(graph)
+    dijkstra = create_engine("td-dijkstra", graph)
     print(f"index built in {build_seconds:.1f} s "
           f"({index.memory_breakdown().total_megabytes:.2f} MB)")
 

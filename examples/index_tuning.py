@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro import TDTreeIndex
+from repro import create_engine
 from repro.datasets import generate_queries, load_dataset
 from repro.experiments import format_table, measure_cost_queries
 
@@ -26,18 +26,18 @@ def main() -> None:
     workload = generate_queries(graph, num_pairs=30, num_intervals=4, seed=5, dataset="SF")
 
     rows = []
-    for strategy in ("approx", "dp"):
+    for spec in ("td-appro", "td-dp"):
         for fraction in (0.1, 0.25, 0.5):
             started = time.perf_counter()
-            index = TDTreeIndex.build(
-                graph, strategy=strategy, budget_fraction=fraction, max_points=16
+            index = create_engine(
+                spec, graph, budget_fraction=fraction, max_points=16
             )
             build_seconds = time.perf_counter() - started
             latency = measure_cost_queries(index, workload)
             selection = index.selection
             rows.append(
                 {
-                    "strategy": "TD-dp" if strategy == "dp" else "TD-appro",
+                    "strategy": "TD-dp" if spec == "td-dp" else "TD-appro",
                     "budget_fraction": fraction,
                     "budget_N_points": selection.budget,
                     "selected_pairs": len(index.shortcuts),

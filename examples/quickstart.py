@@ -1,13 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: build a time-dependent index and answer shortest-path queries.
+"""Quickstart: build a time-dependent engine and answer shortest-path queries.
 
-This walks through the complete public API in five steps:
+This walks through the complete public API (``repro.api``) in five steps:
 
 1. generate (or load) a time-dependent road network,
 2. validate it,
-3. build a ``TDTreeIndex`` with shortcut selection (the paper's TD-appro),
+3. build an engine from a string spec (the paper's TD-appro configuration),
 4. run a travel-cost query and unpack the path,
 5. run a cost-function (profile) query and find the cheapest departure time.
+
+Every method the paper evaluates — the td-* index configurations and the
+index-free baselines — is built the same way (``create_engine("td-dijkstra",
+graph)``, ``create_engine("tdg-tree", graph)``, ...) and answers through the
+same ``Route`` / ``RouteProfile`` result types.
 
 Run it with::
 
@@ -16,8 +21,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import TDTreeIndex
-from repro.baselines import earliest_arrival
+from repro import create_engine
 from repro.graph import grid_network, validate_graph
 
 
@@ -32,30 +36,32 @@ def main() -> None:
     report.raise_if_invalid()
     print("validation: OK (FIFO, strongly connected)")
 
-    # 3. Build the index.  strategy="approx" selects shortcuts with the greedy
+    # 3. Build the engine.  "td-appro" selects shortcuts with the greedy
     #    0.5-approximation under a budget of 30% of all candidate shortcuts.
-    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.3)
-    stats = index.statistics()
+    engine = create_engine("td-appro?budget_fraction=0.3", graph)
+    stats = engine.statistics()
     print(
         f"index: treewidth={stats.treewidth}, treeheight={stats.treeheight}, "
         f"{stats.num_selected_pairs}/{stats.num_candidate_pairs} shortcut pairs selected, "
-        f"{index.memory_breakdown().total_megabytes:.2f} MB"
+        f"{engine.memory_breakdown().total_megabytes:.2f} MB"
     )
 
     # 4. Travel-cost query: leave the north-west corner at 08:00 towards the
-    #    south-east corner.
+    #    south-east corner.  The exact TD-Dijkstra baseline is just another
+    #    engine, so cross-checking is one more create_engine call.
     source, target = 0, graph.num_vertices - 1
     morning = 8 * 3600.0
-    answer = index.query(source, target, departure=morning, need_path=True)
-    reference = earliest_arrival(graph, source, target, morning)
+    route = engine.query(source, target, departure=morning)
+    reference = create_engine("td-dijkstra", graph).query(source, target, morning)
     print(
-        f"query {source} -> {target} at 08:00: {answer.cost / 60:.1f} min "
+        f"query {source} -> {target} at 08:00: {route.cost / 60:.1f} min "
         f"(plain TD-Dijkstra agrees: {reference.cost / 60:.1f} min)"
     )
-    print(f"path: {' -> '.join(map(str, answer.path()))}")
+    print(f"path: {' -> '.join(map(str, route.path()))}")  # reconstructed lazily
 
-    # 5. Profile query: the whole day at once.
-    profile = index.profile(source, target)
+    # 5. Profile query: the whole day at once.  best_departure evaluates the
+    #    profile's breakpoints exactly — no sampling grid.
+    profile = engine.profile(source, target)
     best_departure, best_cost = profile.best_departure(6 * 3600.0, 12 * 3600.0)
     print(
         f"profile query: cost at 08:00 = {profile.cost_at(morning) / 60:.1f} min; "

@@ -4,11 +4,12 @@
 The production deployment shape the ``repro.persistence`` and ``repro.serving``
 subsystems are built for:
 
-1. an offline builder constructs the ``TDTreeIndex`` and writes a versioned
-   snapshot (``.npz`` buffers + JSON manifest) with ``index.save(path)``,
+1. an offline builder constructs the index via ``create_engine`` and writes
+   a versioned snapshot (``.npz`` buffers + JSON manifest),
 2. every serving worker calls ``TDTreeIndex.load(path)`` — one to two orders
-   of magnitude cheaper than rebuilding — and fronts it with a
-   ``QueryService``,
+   of magnitude cheaper than rebuilding — wraps it as an engine, and fronts
+   it with a ``QueryService`` (which serves *any* ``repro.api`` engine, even
+   the batch-less baselines, via a scalar loop-flush),
 3. scalar ``submit()`` calls from request handlers are micro-batched through
    the vectorized engine and answered via futures, with an LRU result cache
    (optionally bucketing departure times) absorbing repeated questions,
@@ -28,7 +29,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import TDTreeIndex
+from repro import TDTreeIndex, create_engine
+from repro.api import TDTreeEngine
 from repro.graph import grid_network
 from repro.persistence import read_manifest
 from repro.serving import QueryService
@@ -38,10 +40,10 @@ def main() -> None:
     # 1. Offline: build once, snapshot to disk.
     graph = grid_network(10, 10, num_points=3, seed=101)
     started = time.perf_counter()
-    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.35)
+    engine = create_engine("td-appro?budget_fraction=0.35", graph)
     build_seconds = time.perf_counter() - started
     snapshot_dir = Path(tempfile.mkdtemp(prefix="repro-snapshot-")) / "cal.index"
-    index.save(snapshot_dir)
+    engine.index.save(snapshot_dir)
     manifest = read_manifest(snapshot_dir)
     print(
         f"snapshot: format v{manifest['format_version']}, "
@@ -49,9 +51,11 @@ def main() -> None:
         f"{manifest['counts']['shortcut_pairs']} shortcut pairs -> {snapshot_dir}"
     )
 
-    # 2. Online worker: load instead of rebuild.
+    # 2. Online worker: load instead of rebuild, then wrap the loaded index
+    #    as an engine (snapshots round-trip bit-identically, so the worker's
+    #    engine answers exactly like the builder's).
     started = time.perf_counter()
-    served_index = TDTreeIndex.load(snapshot_dir)
+    served = TDTreeEngine(TDTreeIndex.load(snapshot_dir), name="td-appro")
     load_seconds = time.perf_counter() - started
     print(
         f"load: {load_seconds * 1000:.1f} ms vs {build_seconds * 1000:.0f} ms build "
@@ -72,7 +76,7 @@ def main() -> None:
         for _ in range(400)
     ]
     with QueryService(
-        served_index, max_batch_size=128, max_wait_ms=2.0, bucket_seconds=300.0
+        served, max_batch_size=128, max_wait_ms=2.0, bucket_seconds=300.0
     ) as service:
         futures = [service.submit(s, t, d) for s, t, d in workload]
         service.flush()
@@ -97,8 +101,8 @@ def main() -> None:
         # 4. Traffic incident: double one road's travel time.  The update
         #    repairs the index in place and fires the service's invalidation
         #    hook, so no stale cached answer survives.
-        u, v, weight = next(iter(served_index.graph.edges()))
-        served_index.update_edge(u, v, weight.shift(weight.max_cost))
+        u, v, weight = next(iter(served.graph.edges()))
+        served.update_edges({(u, v): weight.shift(weight.max_cost)})
         after = service.stats()
         print(
             f"incident on edge ({u}, {v}): cache invalidated "

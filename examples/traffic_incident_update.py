@@ -17,8 +17,7 @@ import time
 
 import numpy as np
 
-from repro import PiecewiseLinearFunction, TDTreeIndex
-from repro.baselines import earliest_arrival
+from repro import PiecewiseLinearFunction, create_engine
 from repro.datasets import load_dataset
 
 
@@ -30,14 +29,14 @@ def slow_down(weight: PiecewiseLinearFunction, factor: float) -> PiecewiseLinear
 def main() -> None:
     graph = load_dataset("CAL", num_points=3)
     build_started = time.perf_counter()
-    index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.35)
+    engine = create_engine("td-appro?budget_fraction=0.35", graph)
     full_build_seconds = time.perf_counter() - build_started
 
     rng = np.random.default_rng(11)
     source, target = 2, graph.num_vertices - 3
     departure = 8.5 * 3600.0
 
-    before = index.query(source, target, departure)
+    before = engine.query(source, target, departure)
     print(f"before the incident: {before.cost / 60:.1f} min")
 
     # The incident: pick 5 road segments near the middle of the grid and
@@ -50,7 +49,7 @@ def main() -> None:
         changes[(v, u)] = slow_down(graph.weight(v, u), 3.0)
 
     update_started = time.perf_counter()
-    report = index.update_edges(changes)
+    report = engine.update_edges(changes)
     update_seconds = time.perf_counter() - update_started
     print(
         f"incident on {len(incident_edges)} segments applied in {update_seconds * 1000:.0f} ms "
@@ -59,8 +58,8 @@ def main() -> None:
         f"{report.num_refreshed_shortcut_pairs} shortcut pairs touched)"
     )
 
-    after = index.query(source, target, departure)
-    reference = earliest_arrival(graph, source, target, departure)
+    after = engine.query(source, target, departure)
+    reference = create_engine("td-dijkstra", graph).query(source, target, departure)
     print(
         f"after the incident: {after.cost / 60:.1f} min "
         f"(plain TD-Dijkstra on the updated network: {reference.cost / 60:.1f} min)"

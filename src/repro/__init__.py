@@ -5,15 +5,23 @@ Road Networks with Shortcuts"* (Gong, Zeng, Chen; ICDE 2024 / arXiv:2303.03720).
 
 Quick start
 -----------
->>> from repro import TDTreeIndex
+>>> from repro import create_engine
 >>> from repro.graph import grid_network
 >>> graph = grid_network(6, 6, seed=1)
->>> index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.3)
->>> answer = index.query(0, 35, departure=8 * 3600)
->>> profile = index.profile(0, 35)
+>>> engine = create_engine("td-appro?budget_fraction=0.3", graph)
+>>> route = engine.query(0, 35, departure=8 * 3600)
+>>> profile = engine.profile(0, 35)
+
+Every method the paper evaluates — the td-* index configurations and the four
+baselines — is an engine behind the same :class:`repro.api.Engine` protocol;
+see :mod:`repro.api` for the registry and the typed result types.
 
 Package layout
 --------------
+``repro.api``
+    The public surface: the ``Engine`` protocol, the string-spec registry
+    (``create_engine`` / ``register_engine``) and the unified ``Route`` /
+    ``RouteMatrix`` / ``RouteProfile`` result types.
 ``repro.functions``
     Piecewise-linear travel-cost function algebra (Compound, minimum, ...).
 ``repro.graph``
@@ -24,14 +32,15 @@ Package layout
 ``repro.persistence``
     Versioned on-disk index snapshots (``TDTreeIndex.save`` / ``load``).
 ``repro.serving``
-    Micro-batching ``QueryService`` with result caching and service stats.
+    Micro-batching ``QueryService`` over any engine, with result caching.
 ``repro.baselines``
     TD-Dijkstra, TD-A*, TD-G-tree and TD-H2H comparison methods.
 ``repro.datasets``
     Scaled dataset catalog mirroring the paper's Table 2 and the query
     workload generator.
 ``repro.experiments``
-    Harness that regenerates every table and figure of the evaluation.
+    Harness that regenerates every table and figure of the evaluation,
+    driven by the engine registry.
 """
 
 from repro.core.index import TDTreeIndex
@@ -39,7 +48,21 @@ from repro.core.query import EarliestArrivalResult, ProfileResult
 from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.graph.td_graph import TDGraph
 
-__version__ = "1.0.0"
+from repro import api
+from repro.api import (
+    BuildConfig,
+    Engine,
+    EngineCapabilities,
+    QueryOptions,
+    Route,
+    RouteMatrix,
+    RouteProfile,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "TDGraph",
@@ -47,5 +70,16 @@ __all__ = [
     "PiecewiseLinearFunction",
     "EarliestArrivalResult",
     "ProfileResult",
+    "api",
+    "Engine",
+    "EngineCapabilities",
+    "BuildConfig",
+    "QueryOptions",
+    "Route",
+    "RouteMatrix",
+    "RouteProfile",
+    "create_engine",
+    "register_engine",
+    "available_engines",
     "__version__",
 ]

@@ -1,0 +1,301 @@
+"""String-spec engine registry: ``register_engine`` / ``create_engine``.
+
+An engine *spec* is a name plus optional URL-style options::
+
+    create_engine("td-appro", graph)
+    create_engine("td-appro?budget_fraction=0.3&max_points=16", graph)
+    create_engine("td-astar?heuristic=landmarks&num_landmarks=4", graph)
+
+Option values are coerced (``"0.3"`` → float, ``"16"`` → int, ``"true"`` →
+bool, ``"none"`` → None) and validated against the engine factory's
+signature — an option the factory does not accept raises
+:class:`~repro.exceptions.UnknownEngineOptionError` naming the accepted ones,
+so typos fail loudly instead of silently building a different engine.
+
+Third-party engines plug in two ways:
+
+* directly — ``register_engine("my-engine", factory)`` (or as a decorator);
+* via packaging entry points — any installed distribution advertising a
+  factory under the ``repro.engines`` group is registered lazily the first
+  time an unknown name is looked up.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, overload
+
+from repro.api.engine import Engine
+from repro.api.types import BuildConfig
+from repro.exceptions import EngineSpecError, UnknownEngineError, UnknownEngineOptionError
+from repro.graph.td_graph import TDGraph
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "EngineEntry",
+    "register_engine",
+    "unregister_engine",
+    "create_engine",
+    "parse_engine_spec",
+    "available_engines",
+    "engine_entry",
+    "registered_engines",
+]
+
+#: Packaging entry-point group scanned for third-party engine factories.
+ENTRY_POINT_GROUP = "repro.engines"
+
+#: A build factory: ``factory(graph, **options) -> Engine``.  Keyword-only
+#: option parameters double as the accepted-option declaration (validated
+#: via ``inspect.signature`` before the factory is called).
+EngineFactory = Callable[..., Engine]
+
+
+@dataclass(frozen=True)
+class EngineEntry:
+    """One registered engine: its factory plus display metadata."""
+
+    name: str
+    factory: EngineFactory
+    description: str = ""
+    #: Name used in the paper's evaluation tables (``"TD-appro"``), when the
+    #: engine corresponds to a compared method; the experiment runners derive
+    #: their method tables from exactly these.
+    paper_name: str | None = None
+
+    def accepts_any_option(self) -> bool:
+        """True when the factory takes ``**options`` (it validates itself)."""
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in inspect.signature(self.factory).parameters.values()
+        )
+
+    def accepted_options(self) -> tuple[str, ...]:
+        """The factory's explicitly named option parameters.
+
+        Empty means "takes no named options"; check :meth:`accepts_any_option`
+        to distinguish a zero-option factory from a ``**options`` one.
+        """
+        parameters = list(inspect.signature(self.factory).parameters.values())
+        return tuple(
+            p.name
+            for p in parameters[1:]  # parameters[0] is the graph
+            if p.kind
+            in (inspect.Parameter.KEYWORD_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        )
+
+
+_REGISTRY: dict[str, EngineEntry] = {}
+_entry_points_scanned = False
+#: Bumped on every (un)registration; lets registry views cache snapshots.
+_registry_version = 0
+
+
+def registry_version() -> int:
+    """Monotonic counter of registry mutations (cache-invalidation token)."""
+    return _registry_version
+
+
+@overload
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    *,
+    description: str = ...,
+    paper_name: str | None = ...,
+    replace: bool = ...,
+) -> EngineFactory: ...
+
+
+@overload
+def register_engine(
+    name: str,
+    factory: None = None,
+    *,
+    description: str = ...,
+    paper_name: str | None = ...,
+    replace: bool = ...,
+) -> Callable[[EngineFactory], EngineFactory]: ...
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory | None = None,
+    *,
+    description: str = "",
+    paper_name: str | None = None,
+    replace: bool = False,
+) -> Callable[[EngineFactory], EngineFactory] | EngineFactory:
+    """Register ``factory`` under ``name`` (directly or as a decorator).
+
+    ::
+
+        register_engine("my-engine", build_my_engine)
+
+        @register_engine("my-engine", description="...")
+        def build_my_engine(graph: TDGraph, *, alpha: float = 1.0) -> Engine:
+            ...
+
+    Re-registering an existing name raises unless ``replace=True`` — losing
+    an engine to a silent overwrite is a debugging tarpit.
+    """
+
+    def _register(f: EngineFactory) -> EngineFactory:
+        global _registry_version
+        if not name or "?" in name:
+            raise EngineSpecError(f"invalid engine name {name!r}")
+        if name in _REGISTRY and not replace:
+            raise EngineSpecError(
+                f"engine {name!r} is already registered; pass replace=True to override"
+            )
+        _REGISTRY[name] = EngineEntry(
+            name=name, factory=f, description=description, paper_name=paper_name
+        )
+        _registry_version += 1
+        return f
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (no-op when absent; used by tests)."""
+    global _registry_version
+    if _REGISTRY.pop(name, None) is not None:
+        _registry_version += 1
+
+
+def _scan_entry_points() -> None:
+    """Register engines advertised by installed distributions (best effort)."""
+    global _entry_points_scanned
+    if _entry_points_scanned:
+        return
+    _entry_points_scanned = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - importlib.metadata is stdlib
+        return
+    for entry_point in entry_points(group=ENTRY_POINT_GROUP):
+        if entry_point.name in _REGISTRY:
+            continue
+        try:
+            loaded = entry_point.load()
+        except Exception:  # pragma: no cover - broken third-party package
+            continue
+        register_engine(
+            entry_point.name,
+            loaded,
+            # Factories may annotate themselves so packaged engines carry the
+            # same metadata as directly registered ones (a paper_name opts
+            # into the experiment runners' method tables).
+            description=str(
+                getattr(loaded, "engine_description", f"entry point {entry_point.value}")
+            ),
+            paper_name=getattr(loaded, "paper_name", None),
+        )
+
+
+def engine_entry(name: str) -> EngineEntry:
+    """Resolve a bare engine name to its registry entry."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        _scan_entry_points()
+        entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownEngineError(name, available_engines())
+    return entry
+
+
+def available_engines() -> tuple[str, ...]:
+    """All registered engine names (entry points included), registration order."""
+    _scan_entry_points()
+    return tuple(_REGISTRY)
+
+
+def registered_engines() -> Iterator[EngineEntry]:
+    """Iterate the registry entries (metadata included), registration order."""
+    _scan_entry_points()
+    return iter(tuple(_REGISTRY.values()))
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+def _coerce(value: str) -> object:
+    """Coerce one query-string value: bool/None/int/float, else the string."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def parse_engine_spec(spec: str) -> tuple[str, dict[str, object]]:
+    """Split ``"name?key=value&..."`` into the name and coerced options."""
+    if not isinstance(spec, str) or not spec:
+        raise EngineSpecError(f"engine spec must be a non-empty string, got {spec!r}")
+    name, _, query = spec.partition("?")
+    if not name:
+        raise EngineSpecError(f"engine spec {spec!r} has no engine name")
+    options: dict[str, object] = {}
+    if query:
+        for item in query.split("&"):
+            if not item:
+                continue
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise EngineSpecError(
+                    f"malformed option {item!r} in engine spec {spec!r} "
+                    "(expected key=value)"
+                )
+            if key in options:
+                raise EngineSpecError(
+                    f"option {key!r} given twice in engine spec {spec!r}"
+                )
+            options[key] = _coerce(raw)
+    return name, options
+
+
+def _validate_options(entry: EngineEntry, options: dict[str, object]) -> None:
+    if entry.accepts_any_option():
+        return  # factory takes **options: it validates (or tolerates) itself
+    accepted = entry.accepted_options()
+    for key in options:
+        if key not in accepted:
+            raise UnknownEngineOptionError(entry.name, key, accepted)
+
+
+def create_engine(
+    spec: str,
+    graph: TDGraph,
+    *,
+    config: Optional[BuildConfig] = None,
+    **options: object,
+) -> Engine:
+    """Build the engine described by ``spec`` over ``graph``.
+
+    Options merge in increasing precedence: ``config`` (a typed
+    :class:`~repro.api.BuildConfig`), then the spec's query string, then
+    explicit keyword ``options``.  The merged options are validated against
+    the factory signature before anything is built.
+    """
+    name, spec_options = parse_engine_spec(spec)
+    entry = engine_entry(name)
+    merged: dict[str, object] = {}
+    if config is not None:
+        merged.update(config.to_options())
+    merged.update(spec_options)
+    merged.update(options)
+    _validate_options(entry, merged)
+    return entry.factory(graph, **merged)

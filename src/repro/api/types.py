@@ -1,0 +1,297 @@
+"""Typed configuration and result types of the unified engine API.
+
+Every engine — the five ``td-*`` tree-decomposition configurations and the
+four baselines — answers queries with the same small vocabulary:
+
+* :class:`Route` — one scalar travel-cost answer, with lazy path expansion;
+* :class:`RouteMatrix` — a batch of scalar answers (aligned arrays), each row
+  expandable to a :class:`Route` and a path on demand;
+* :class:`RouteProfile` — a whole travel-cost function ``f_{s,d}(t)`` with an
+  exact :meth:`~RouteProfile.best_departure` minimiser;
+* :class:`BuildConfig` / :class:`QueryOptions` — typed knobs for construction
+  and querying;
+* :class:`EngineCapabilities` — which optional parts of the protocol an
+  engine implements (``profile`` / ``batch`` / ``update`` / ``paths``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Union
+
+import numpy as np
+
+from repro.exceptions import UnsupportedCapabilityError
+from repro.functions.profile import best_departure as _best_departure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.functions.piecewise import PiecewiseLinearFunction
+
+__all__ = [
+    "UNSET",
+    "BuildConfig",
+    "QueryOptions",
+    "EngineCapabilities",
+    "Route",
+    "RouteMatrix",
+    "RouteProfile",
+]
+
+
+class _Unset(enum.Enum):
+    """Type of the :data:`UNSET` sentinel (an enum so mypy can narrow it)."""
+
+    TOKEN = 0
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+#: Sentinel distinguishing "not configured — use the engine's default" from
+#: an explicit value (``max_points=None`` legitimately means *exact*).
+UNSET = _Unset.TOKEN
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Typed construction knobs shared by the built-in engines.
+
+    Every field defaults to "engine default": :data:`UNSET` for knobs where
+    ``None`` is itself meaningful (``max_points=None`` keeps functions exact),
+    plain ``None`` for the budget pair.  :meth:`to_options` collapses the
+    config to the option dict understood by
+    :func:`repro.api.create_engine` — unset fields are simply absent, so each
+    engine keeps its own defaults (e.g. ``td-h2h`` caps functions at 16
+    points while ``td-appro`` defaults to 32).
+
+    ``extras`` carries engine-specific options (``heuristic`` for
+    ``td-astar``, ``leaf_size`` for ``tdg-tree``, ...); unknown options are
+    rejected at build time with
+    :class:`~repro.exceptions.UnknownEngineOptionError`.
+    """
+
+    budget: int | None = None
+    budget_fraction: float | None = None
+    max_points: Union[int, None, _Unset] = UNSET
+    tolerance: Union[float, _Unset] = UNSET
+    validate: Union[bool, _Unset] = UNSET
+    use_batch_kernels: Union[bool, _Unset] = UNSET
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def to_options(self) -> dict[str, object]:
+        """The explicitly-configured fields as an engine option dict."""
+        options: dict[str, object] = dict(self.extras)
+        if self.budget is not None:
+            options["budget"] = self.budget
+        if self.budget_fraction is not None:
+            options["budget_fraction"] = self.budget_fraction
+        for name in ("max_points", "tolerance", "validate", "use_batch_kernels"):
+            value = getattr(self, name)
+            if value is not UNSET:
+                options[name] = value
+        return options
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Per-query knobs of :meth:`repro.api.Engine.query` / ``batch_query``.
+
+    ``want_path``
+        Record path provenance during the query so :meth:`Route.path` does
+        not need a second traversal.  Paths stay available lazily either way
+        (for engines advertising ``capabilities().paths``); the flag only
+        moves the cost to query time.
+    ``want_arrival``
+        Ask the engine to materialise arrival times eagerly.  All built-in
+        engines derive arrivals for free (``departure + cost``), so this is
+        advisory — third-party engines backed by remote services use it to
+        skip work the caller does not need.
+    """
+
+    want_path: bool = False
+    want_arrival: bool = False
+
+
+#: Default options: cost only, paths lazily.
+DEFAULT_QUERY_OPTIONS = QueryOptions()
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Which optional protocol methods an engine actually implements.
+
+    ``query`` and ``capabilities`` are mandatory; everything else is
+    advertised here.  Calling an unadvertised method raises
+    :class:`~repro.exceptions.UnsupportedCapabilityError` instead of
+    returning wrong answers.
+    """
+
+    #: Whole travel-cost-function queries (:meth:`repro.api.Engine.profile`).
+    profile: bool = False
+    #: Vectorized batch queries (:meth:`repro.api.Engine.batch_query`).
+    batch: bool = False
+    #: Incremental edge-weight updates (:meth:`repro.api.Engine.update_edges`).
+    update: bool = False
+    #: Vertex-path reconstruction (:meth:`Route.path`).
+    paths: bool = False
+
+
+@dataclass
+class Route:
+    """One scalar travel-cost answer of any engine.
+
+    The path is reconstructed lazily: engines that already walked the graph
+    (TD-Dijkstra, TD-A*) attach it directly, index engines attach a factory
+    that expands tree-level provenance (or re-runs the query with hop
+    recording) only when :meth:`path` is first called.
+    """
+
+    engine: str
+    source: int
+    target: int
+    departure: float
+    cost: float
+    #: Lazy caches: excluded from equality so calling ``path()`` on one of two
+    #: otherwise-identical routes does not make them compare unequal.
+    _path: list[int] | None = field(default=None, repr=False, compare=False)
+    _path_factory: Callable[[], list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def arrival(self) -> float:
+        """Arrival time at the target (``departure + cost``)."""
+        return self.departure + self.cost
+
+    def path(self) -> list[int]:
+        """The vertex path realising :attr:`cost` (cached after first call)."""
+        if self._path is None:
+            if self._path_factory is None:
+                raise UnsupportedCapabilityError(self.engine, "paths")
+            self._path = self._path_factory()
+        return self._path
+
+
+@dataclass
+class RouteProfile:
+    """A whole travel-cost function ``f_{s,d}(t)`` answered by an engine."""
+
+    engine: str
+    source: int
+    target: int
+    function: "PiecewiseLinearFunction"
+    #: Maps a departure time to the vertex path taken at that departure;
+    #: wired by engines that support path reconstruction so routes derived
+    #: from this profile (:meth:`route_at`) expand like directly-queried ones.
+    _path_factory: Callable[[float], list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def cost_at(self, departure: float) -> float:
+        """Evaluate the profile at one departure time."""
+        return float(self.function.evaluate(departure))
+
+    def route_at(self, departure: float) -> Route:
+        """The profile's answer at one departure, as a :class:`Route`."""
+        departure = float(departure)
+        factory: Callable[[], list[int]] | None = None
+        if self._path_factory is not None:
+            path_factory = self._path_factory
+            factory = lambda: path_factory(departure)  # noqa: E731
+        return Route(
+            engine=self.engine,
+            source=self.source,
+            target=self.target,
+            departure=departure,
+            cost=self.cost_at(departure),
+            _path_factory=factory,
+        )
+
+    def best_departure(self, start: float, end: float) -> tuple[float, float]:
+        """Exact ``(departure, cost)`` minimising the profile in a window.
+
+        The minimum of a piecewise-linear profile over ``[start, end]`` lies
+        at a breakpoint or a window endpoint; exactly those candidates are
+        evaluated (no sampling grid), ties resolving to the earliest
+        departure.
+        """
+        return _best_departure(self.function, start, end)
+
+
+@dataclass(eq=False)
+class RouteMatrix:
+    """A batch of scalar answers: aligned input arrays plus costs.
+
+    Historically batch results exposed only costs and arrivals; a
+    :class:`RouteMatrix` additionally reconstructs per-row vertex paths
+    lazily through the engine's path factory (one scalar path-recording
+    query per requested row — paths are only worth vectorising if something
+    asks for all of them, which serving traffic never does).
+
+    Equality is value-based over the aligned arrays (a generated dataclass
+    ``__eq__`` would raise numpy's ambiguous-truth-value error instead of
+    returning a bool).
+    """
+
+    engine: str
+    sources: np.ndarray
+    targets: np.ndarray
+    departures: np.ndarray
+    costs: np.ndarray
+    _path_factory: Callable[[int, int, float], list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _paths: dict[int, list[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        """Arrival times at the targets (``departures + costs``)."""
+        return self.departures + self.costs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RouteMatrix):
+            return NotImplemented
+        return (
+            self.engine == other.engine
+            and np.array_equal(self.sources, other.sources)
+            and np.array_equal(self.targets, other.targets)
+            and np.array_equal(self.departures, other.departures)
+            and np.array_equal(self.costs, other.costs)
+        )
+
+    def __len__(self) -> int:
+        return int(self.costs.size)
+
+    def path(self, i: int) -> list[int]:
+        """Vertex path of row ``i`` (computed on first access, then cached)."""
+        if i not in self._paths:
+            if self._path_factory is None:
+                raise UnsupportedCapabilityError(self.engine, "paths")
+            self._paths[i] = self._path_factory(
+                int(self.sources[i]), int(self.targets[i]), float(self.departures[i])
+            )
+        return self._paths[i]
+
+    def route(self, i: int) -> Route:
+        """Row ``i`` as a :class:`Route` (sharing the lazy path machinery)."""
+        source = int(self.sources[i])
+        target = int(self.targets[i])
+        departure = float(self.departures[i])
+        factory: Callable[[], list[int]] | None = None
+        if self._path_factory is not None:
+            factory = lambda: self.path(i)  # noqa: E731 - tiny closure
+        return Route(
+            engine=self.engine,
+            source=source,
+            target=target,
+            departure=departure,
+            cost=float(self.costs[i]),
+            _path=self._paths.get(i),
+            _path_factory=factory,
+        )
+
+    def __iter__(self) -> Iterator[Route]:
+        return (self.route(i) for i in range(len(self)))

@@ -226,8 +226,12 @@ class TDAStar:
             return cls(graph, LandmarkHeuristic(graph, num_landmarks=num_landmarks, seed=seed))
         return cls(graph, MinCostHeuristic(graph))
 
-    def query(self, source: int, target: int, departure: float, **_ignored) -> DijkstraResult:
-        """Scalar travel-cost query (exact)."""
+    def query(self, source: int, target: int, departure: float) -> DijkstraResult:
+        """Scalar travel-cost query (exact).
+
+        Unknown keyword arguments are rejected (a typo like ``departure_time=``
+        must fail loudly, not silently answer a different question).
+        """
         return astar_earliest_arrival(self.graph, source, target, departure, self.heuristic)
 
     def memory_breakdown(self):

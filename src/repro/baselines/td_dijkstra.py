@@ -188,8 +188,12 @@ class TDDijkstra:
         """No preprocessing: the "index" is the graph itself."""
         return cls(graph)
 
-    def query(self, source: int, target: int, departure: float, **_ignored) -> DijkstraResult:
-        """Scalar travel-cost query (exact)."""
+    def query(self, source: int, target: int, departure: float) -> DijkstraResult:
+        """Scalar travel-cost query (exact).
+
+        Unknown keyword arguments are rejected (a typo like ``departure_time=``
+        must fail loudly, not silently answer a different question).
+        """
         return earliest_arrival(self.graph, source, target, departure)
 
     def profile(self, source: int, target: int) -> PiecewiseLinearFunction:

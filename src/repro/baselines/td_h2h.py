@@ -34,7 +34,7 @@ class TDH2H(TDTreeIndex):
         **_ignored,
     ) -> "TDH2H":
         """Build the full-shortcut index (budget-free, largest memory footprint)."""
-        index = TDTreeIndex.build(
+        index = TDTreeIndex._build(
             graph,
             strategy="full",
             max_points=max_points,

@@ -279,8 +279,12 @@ class TDGTree:
                 return node_id
         raise IndexBuildError("partition nodes do not share a root")  # pragma: no cover
 
-    def query(self, source: int, target: int, departure: float, **_ignored) -> GTreeResult:
-        """Scalar travel-cost query via bottom-up border assembly."""
+    def query(self, source: int, target: int, departure: float) -> GTreeResult:
+        """Scalar travel-cost query via bottom-up border assembly.
+
+        Unknown keyword arguments are rejected (a typo like ``departure_time=``
+        must fail loudly, not silently answer a different question).
+        """
         self._require(source, target)
         if source == target:
             return GTreeResult(source, target, departure, 0.0)

@@ -23,6 +23,7 @@ from repro.exceptions import IndexBuildError, IndexNotBuiltError, SelectionError
 from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.graph.td_graph import TDGraph
 from repro.graph.validation import validate_graph
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
 from repro.utils.timing import Timer
 from repro.core.query import (
@@ -153,6 +154,45 @@ class TDTreeIndex:
         validate: bool = True,
         use_batch_kernels: bool = True,
     ) -> "TDTreeIndex":
+        """Deprecated string-dispatch builder; use :func:`repro.api.create_engine`.
+
+        ``TDTreeIndex.build(graph, strategy="approx", ...)`` is the pre-
+        ``repro.api`` entry point.  It keeps working unchanged (delegating to
+        the same internal builder the registry engines use) but emits one
+        :class:`DeprecationWarning` per process; new code should build
+        engines through the registry::
+
+            engine = repro.api.create_engine("td-appro?budget_fraction=0.3", graph)
+        """
+        warn_deprecated(
+            "TDTreeIndex.build",
+            "TDTreeIndex.build(strategy=...) is deprecated; build engines "
+            'via repro.api.create_engine("td-appro", graph) instead',
+        )
+        return cls._build(
+            graph,
+            strategy=strategy,
+            budget=budget,
+            budget_fraction=budget_fraction,
+            max_points=max_points,
+            tolerance=tolerance,
+            validate=validate,
+            use_batch_kernels=use_batch_kernels,
+        )
+
+    @classmethod
+    def _build(
+        cls,
+        graph: TDGraph,
+        *,
+        strategy: str = "approx",
+        budget: int | None = None,
+        budget_fraction: float | None = None,
+        max_points: int | None = 32,
+        tolerance: float = 0.0,
+        validate: bool = True,
+        use_batch_kernels: bool = True,
+    ) -> "TDTreeIndex":
         """Build an index over ``graph``.
 
         Parameters
@@ -264,6 +304,28 @@ class TDTreeIndex:
         *,
         need_path: bool = False,
     ) -> EarliestArrivalResult:
+        """Deprecated scalar query entry point; use a :mod:`repro.api` engine.
+
+        Behaves exactly like before (and keeps doing so), emitting one
+        :class:`DeprecationWarning` per process.  New code::
+
+            route = engine.query(source, target, departure)
+        """
+        warn_deprecated(
+            "TDTreeIndex.query",
+            "TDTreeIndex.query is deprecated; query through a repro.api "
+            "engine (create_engine(...).query(...)) instead",
+        )
+        return self._query(source, target, departure, need_path=need_path)
+
+    def _query(
+        self,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        need_path: bool = False,
+    ) -> EarliestArrivalResult:
         """Travel cost query: minimum cost from ``source`` at ``departure``.
 
         With ``need_path=True`` the result records enough provenance to expand
@@ -291,6 +353,19 @@ class TDTreeIndex:
         )
 
     def batch_query(self, sources, targets, departures) -> BatchQueryResult:
+        """Deprecated batch entry point; use ``engine.batch_query`` instead.
+
+        Behaves exactly like before, emitting one :class:`DeprecationWarning`
+        per process.
+        """
+        warn_deprecated(
+            "TDTreeIndex.batch_query",
+            "TDTreeIndex.batch_query is deprecated; use a repro.api engine's "
+            "batch_query (returns a RouteMatrix with lazy paths) instead",
+        )
+        return self._batch_query(sources, targets, departures)
+
+    def _batch_query(self, sources, targets, departures) -> BatchQueryResult:
         """Answer many scalar travel-cost queries in one vectorized pass.
 
         ``sources``/``targets``/``departures`` are aligned arrays (one query
@@ -310,6 +385,19 @@ class TDTreeIndex:
         )
 
     def profile(self, source: int, target: int) -> ProfileResult:
+        """Deprecated profile entry point; use ``engine.profile`` instead.
+
+        Behaves exactly like before, emitting one :class:`DeprecationWarning`
+        per process.
+        """
+        warn_deprecated(
+            "TDTreeIndex.profile",
+            "TDTreeIndex.profile is deprecated; use a repro.api engine's "
+            "profile (returns a RouteProfile) instead",
+        )
+        return self._profile(source, target)
+
+    def _profile(self, source: int, target: int) -> ProfileResult:
         """Shortest travel cost function query: the whole profile ``f_{s,d}(t)``."""
         self._check_built()
         if self.shortcuts:

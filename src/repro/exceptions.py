@@ -20,6 +20,12 @@ __all__ = [
     "DatasetError",
     "SerializationError",
     "SnapshotError",
+    "EngineError",
+    "UnknownEngineError",
+    "EngineSpecError",
+    "UnknownEngineOptionError",
+    "UnsupportedCapabilityError",
+    "StaleRouteError",
 ]
 
 
@@ -90,3 +96,75 @@ class SerializationError(ReproError, ValueError):
 
 class SnapshotError(SerializationError):
     """An index snapshot is missing, corrupt, or has an incompatible version."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the :mod:`repro.api` engine layer."""
+
+
+class UnknownEngineError(EngineError, KeyError):
+    """An engine spec names an engine that is not registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        hint = f"; registered engines: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown engine {name!r}{hint}")
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        # KeyError.__str__ returns repr(args[0]), which would wrap the whole
+        # message in quotes; show the plain message instead.
+        return str(self.args[0]) if self.args else ""
+
+
+class EngineSpecError(EngineError, ValueError):
+    """An engine spec string is malformed (bad name or query-string options)."""
+
+
+class UnknownEngineOptionError(EngineError, TypeError):
+    """An engine was given an option its build factory does not accept."""
+
+    def __init__(self, engine: str, option: str, accepted: tuple[str, ...] = ()):
+        hint = (
+            f"; accepted options: {', '.join(accepted)}"
+            if accepted
+            else " (this engine takes no options)"
+        )
+        super().__init__(f"engine {engine!r} does not accept option {option!r}{hint}")
+        self.engine = engine
+        self.option = option
+        self.accepted = accepted
+
+
+class StaleRouteError(EngineError, RuntimeError):
+    """A lazily-reconstructed path was requested after the index changed.
+
+    Route costs are snapshots of the network at query time; reconstructing
+    the path against an index that has since been updated could return a path
+    that does not realise the recorded cost.  Re-run the query, or pass
+    ``QueryOptions(want_path=True)`` to record provenance at query time.
+    """
+
+    def __init__(self, engine: str):
+        super().__init__(
+            f"engine {engine!r} was updated after this result was computed; "
+            "re-run the query, or request paths eagerly with "
+            "QueryOptions(want_path=True)"
+        )
+        self.engine = engine
+
+
+class UnsupportedCapabilityError(EngineError, RuntimeError):
+    """An engine method was called that the engine does not advertise.
+
+    Check :meth:`repro.api.Engine.capabilities` before calling ``profile``,
+    ``batch_query`` or ``update_edges`` on an arbitrary engine.
+    """
+
+    def __init__(self, engine: str, capability: str):
+        super().__init__(
+            f"engine {engine!r} does not support {capability!r} "
+            f"(capabilities().{capability} is False)"
+        )
+        self.engine = engine
+        self.capability = capability

@@ -5,6 +5,7 @@ from repro.experiments.metrics import (
     BuildMeasurement,
     QueryMeasurement,
     build_method,
+    engine_supports,
     measure_build,
     measure_cost_queries,
     measure_cost_queries_batch,
@@ -29,6 +30,7 @@ __all__ = [
     "BuildMeasurement",
     "QueryMeasurement",
     "build_method",
+    "engine_supports",
     "measure_build",
     "measure_cost_queries",
     "measure_cost_queries_batch",

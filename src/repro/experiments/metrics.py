@@ -1,35 +1,33 @@
 """Measurement helpers shared by all experiment runners.
 
-Each compared method is registered here with a uniform ``build`` signature so
-the per-table runners can loop over method names exactly like the paper's
-evaluation loops over its five algorithms:
+The compared methods are no longer declared here: :data:`METHODS` is derived
+from the :mod:`repro.api` engine registry — every registered engine that
+carries a ``paper_name`` (the name used in the paper's evaluation tables)
+becomes a row source for the runners.  Registering a third-party engine with
+``register_engine(..., paper_name="My-method")`` is therefore enough to get
+it measured by every table/figure runner next to the built-in nine.
 
-======================= ======================================================
-paper name               implementation
-======================= ======================================================
-``TD-G-tree``            :class:`repro.baselines.TDGTree`
-``TD-H2H``               :class:`repro.baselines.TDH2H` (full shortcuts)
-``TD-basic``             :class:`repro.core.TDTreeIndex` with ``strategy="basic"``
-``TD-dp``                :class:`repro.core.TDTreeIndex` with ``strategy="dp"``
-``TD-appro``             :class:`repro.core.TDTreeIndex` with ``strategy="approx"``
-``TD-Dijkstra``          :class:`repro.baselines.TDDijkstra` (no index)
-``TD-A*``                :class:`repro.baselines.TDAStar` (no index)
-======================= ======================================================
+Builders returned by :func:`build_method` are :class:`repro.api.Engine`
+adapters: one typed ``query`` / ``profile`` / ``batch_query`` surface across
+the index configurations and the index-free baselines, with capability flags
+replacing the old ``hasattr`` probing.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.baselines.td_astar import TDAStar
-from repro.baselines.td_dijkstra import TDDijkstra
-from repro.baselines.td_h2h import TDH2H
-from repro.baselines.tdg_tree import TDGTree
-from repro.core.index import TDTreeIndex
+from repro.api import (
+    Engine,
+    EngineEntry,
+    create_engine,
+    engine_supports,
+    registered_engines,
+)
 from repro.datasets.queries import Query
 from repro.exceptions import DatasetError
 from repro.graph.td_graph import TDGraph
@@ -39,53 +37,91 @@ __all__ = [
     "BuildMeasurement",
     "QueryMeasurement",
     "build_method",
+    "engine_supports",
     "measure_build",
     "measure_cost_queries",
     "measure_cost_queries_batch",
     "measure_profile_queries",
 ]
 
+#: The experiment campaign caps stored functions at 16 interpolation points
+#: (the historical harness default) unless a runner overrides it.
+_EXPERIMENT_DEFAULTS: dict[str, object] = {"max_points": 16}
 
-def _build_td_tree(strategy: str) -> Callable[..., TDTreeIndex]:
-    def factory(graph: TDGraph, **kwargs) -> TDTreeIndex:
-        kwargs.setdefault("max_points", 16)
-        return TDTreeIndex.build(graph, strategy=strategy, **kwargs)
 
+def _registry_factory(entry: EngineEntry) -> Callable[..., Engine]:
+    """Wrap a registry entry as a tolerant experiment builder.
+
+    The runners pass one uniform kwargs dict to every method (budget
+    fractions included); options an engine does not take are dropped here —
+    the *strict* surface is :func:`repro.api.create_engine`, this wrapper
+    mirrors how the paper's harness applies each knob only where it exists.
+    A ``**options`` factory accepts everything, so nothing is dropped for it.
+    """
+    takes_anything = entry.accepts_any_option()
+    accepted = set(entry.accepted_options())
+
+    def factory(graph: TDGraph, **kwargs) -> Engine:
+        options = dict(_EXPERIMENT_DEFAULTS)
+        options.update(kwargs)
+        if not takes_anything:
+            options = {k: v for k, v in options.items() if k in accepted}
+        return create_engine(entry.name, graph, **options)
+
+    factory.__name__ = f"build_{entry.name.replace('-', '_')}"
     return factory
 
 
-def _build_gtree(graph: TDGraph, **kwargs) -> TDGTree:
-    kwargs.pop("budget_fraction", None)
-    kwargs.pop("budget", None)
-    kwargs.setdefault("max_points", 16)
-    return TDGTree.build(graph, **kwargs)
+class _MethodTable(Mapping[str, Callable[..., Engine]]):
+    """Live paper-name -> builder view of the engine registry.
+
+    Reading through to the registry (rather than snapshotting at import
+    time) means an engine registered *after* this module was imported —
+    directly or via a ``repro.engines`` entry point — shows up in the
+    experiment runners immediately, as the docs promise.  The built table is
+    cached against the registry's mutation counter, so the signature
+    inspection only re-runs when the registry actually changed.
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[int, dict[str, Callable[..., Engine]]] | None = None
+
+    def _snapshot(self) -> dict[str, Callable[..., Engine]]:
+        from repro.api.registry import registry_version
+
+        cached = self._cache
+        if cached is not None and cached[0] == registry_version():
+            return cached[1]
+        table = {
+            entry.paper_name: _registry_factory(entry)
+            for entry in registered_engines()
+            if entry.paper_name is not None
+        }
+        # Read the version *after* building: registered_engines() may have
+        # scanned entry points and registered more engines along the way.
+        self._cache = (registry_version(), table)
+        return table
+
+    def __getitem__(self, name: str) -> Callable[..., Engine]:
+        return self._snapshot()[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._snapshot())
+
+    def __len__(self) -> int:
+        return len(self._snapshot())
+
+    def __repr__(self) -> str:
+        return f"_MethodTable({list(self._snapshot())})"
 
 
-def _build_h2h(graph: TDGraph, **kwargs) -> TDH2H:
-    kwargs.pop("budget_fraction", None)
-    kwargs.pop("budget", None)
-    kwargs.setdefault("max_points", 16)
-    return TDH2H.build(graph, **kwargs)
+#: Paper-table method name -> engine builder, derived live from the registry.
+METHODS: Mapping[str, Callable[..., Engine]] = _MethodTable()
 
 
-def _build_dijkstra(graph: TDGraph, **kwargs) -> TDDijkstra:
-    return TDDijkstra.build(graph)
-
-
-def _build_astar(graph: TDGraph, **kwargs) -> TDAStar:
-    return TDAStar.build(graph)
-
-
-#: Registry of method name -> build callable.
-METHODS: dict[str, Callable[..., object]] = {
-    "TD-G-tree": _build_gtree,
-    "TD-H2H": _build_h2h,
-    "TD-basic": _build_td_tree("basic"),
-    "TD-dp": _build_td_tree("dp"),
-    "TD-appro": _build_td_tree("approx"),
-    "TD-Dijkstra": _build_dijkstra,
-    "TD-A*": _build_astar,
-}
+# engine_supports is imported above and re-exported via __all__: the
+# implementation lives next to the Engine protocol (repro.api.engine) so the
+# serving layer and the experiment runners share one capability probe.
 
 
 @dataclass

@@ -11,6 +11,13 @@ dump to CSV) and accepts knobs that trade fidelity for wall-clock time:
 Built indexes are cached per ``(dataset, c, method)`` within the process so
 that e.g. the Fig. 8 (query time) and Fig. 9 (construction cost) runners reuse
 the same builds, exactly like a single experimental campaign would.
+
+Method names are the paper's (``TD-appro``, ``TD-G-tree``, ...), resolved
+through :data:`repro.experiments.metrics.METHODS` — which is derived from the
+:mod:`repro.api` engine registry, so a newly registered engine with a
+``paper_name`` shows up in these runners without touching this module.  Each
+built method is a :class:`repro.api.Engine`; optional measurements (profile,
+batch) are gated on its capability flags instead of ``hasattr`` probing.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from repro.datasets.catalog import get_spec, load_dataset
 from repro.datasets.queries import generate_pairs, generate_queries
 from repro.experiments.metrics import (
     BuildMeasurement,
+    engine_supports,
     measure_build,
     measure_cost_queries,
     measure_cost_queries_batch,
@@ -156,7 +164,7 @@ def _method_summary_rows(
         cost = measure_cost_queries(
             build.index, workload, method=method, dataset=dataset, num_points=num_points
         )
-        if hasattr(build.index, "profile"):
+        if engine_supports(build.index, "profile"):
             profile = measure_profile_queries(
                 build.index, pairs, method=method, dataset=dataset, num_points=num_points
             )
@@ -274,13 +282,13 @@ def run_fig8(
                 cost = measure_cost_queries(build.index, workload)
                 batch_ms: float | str = "N/A"
                 speedup: float | str = "N/A"
-                if hasattr(build.index, "batch_query"):
+                if engine_supports(build.index, "batch"):
                     batch = measure_cost_queries_batch(build.index, workload)
                     batch_ms = batch.mean_ms
                     if batch.mean_ms > 0:
                         speedup = cost.mean_ms / batch.mean_ms
                 profile_ms: float | str = "N/A"
-                if hasattr(build.index, "profile"):
+                if engine_supports(build.index, "profile"):
                     profile_ms = measure_profile_queries(build.index, pairs).mean_ms
                 rows.append(
                     {
@@ -444,6 +452,7 @@ def run_utility_ablation(
     by re-running the greedy selection with rewritten utilities and measuring
     the resulting query time under the same budget.
     """
+    from repro.api import TDTreeEngine
     from repro.core.index import TDTreeIndex
     from repro.core.selection import budget_from_fraction, select_greedy
     from repro.core.shortcuts import build_shortcut_catalog
@@ -475,7 +484,7 @@ def run_utility_ablation(
             catalog_size=len(catalog),
             max_points=16,
         )
-        cost = measure_cost_queries(index, workload)
+        cost = measure_cost_queries(TDTreeEngine(index, name="td-appro"), workload)
         return {
             "dataset": dataset,
             "utility": label,
@@ -512,8 +521,8 @@ def run_simplification_ablation(
     accuracy_pairs: int = 15,
 ) -> list[dict]:
     """Ablation: PLF simplification cap vs index size, speed and accuracy."""
+    from repro.api import create_engine
     from repro.baselines.td_dijkstra import earliest_arrival
-    from repro.core.index import TDTreeIndex
 
     graph = load_dataset(dataset, num_points=num_points)
     workload = generate_queries(
@@ -535,14 +544,14 @@ def run_simplification_ablation(
         import time
 
         started = time.perf_counter()
-        index = TDTreeIndex.build(
-            graph, strategy="approx", budget_fraction=0.3, max_points=cap
+        engine = create_engine(
+            "td-appro", graph, budget_fraction=0.3, max_points=cap
         )
         build_seconds = time.perf_counter() - started
-        cost = measure_cost_queries(index, workload)
+        cost = measure_cost_queries(engine, workload)
         max_rel_error = 0.0
         for query in accuracy_queries:
-            got = index.query(query.source, query.target, query.departure).cost
+            got = engine.query(query.source, query.target, query.departure).cost
             reference = references[(query.source, query.target, query.departure)]
             if reference > 0:
                 max_rel_error = max(max_rel_error, abs(got - reference) / reference)
@@ -551,7 +560,7 @@ def run_simplification_ablation(
                 "dataset": dataset,
                 "max_points": "exact" if cap is None else cap,
                 "construction_s": build_seconds,
-                "memory_mb": index.memory_breakdown().total_megabytes,
+                "memory_mb": engine.memory_breakdown().total_megabytes,
                 "cost_query_ms": cost.mean_ms,
                 "max_relative_error": max_rel_error,
             }

@@ -21,6 +21,7 @@ from repro.functions.piecewise import NO_VIA, PiecewiseLinearFunction
 from repro.functions.profile import (
     DAY_SECONDS,
     average_cost,
+    best_departure,
     lower_bound,
     merge_profiles,
     relative_error,
@@ -48,6 +49,7 @@ __all__ = [
     "DAY_SECONDS",
     "lower_bound",
     "upper_bound",
+    "best_departure",
     "sample_profile",
     "merge_profiles",
     "average_cost",

@@ -27,6 +27,7 @@ __all__ = [
     "DAY_SECONDS",
     "lower_bound",
     "upper_bound",
+    "best_departure",
     "sample_profile",
     "merge_profiles",
     "average_cost",
@@ -45,6 +46,28 @@ def lower_bound(func: PiecewiseLinearFunction) -> float:
 def upper_bound(func: PiecewiseLinearFunction) -> float:
     """Tightest constant upper bound of a profile (used for pruning)."""
     return func.max_cost
+
+
+def best_departure(
+    func: PiecewiseLinearFunction, start: float, end: float
+) -> tuple[float, float]:
+    """Exact ``(departure, cost)`` minimising ``func`` within ``[start, end]``.
+
+    A piecewise-linear function attains its minimum over a closed window at a
+    breakpoint or at a window endpoint, so evaluating exactly those candidates
+    is both exact and O(window breakpoints) — no sampling grid involved.  Ties
+    resolve to the earliest departure.
+    """
+    if end < start:
+        raise InvalidFunctionError(
+            f"departure window is empty: start={start!r} > end={end!r}"
+        )
+    times = func.times
+    inside = times[(times > start) & (times < end)]
+    grid = np.concatenate([[float(start)], inside, [float(end)]])
+    values = np.asarray(func.evaluate(grid), dtype=np.float64)
+    pick = int(np.argmin(values))
+    return float(grid[pick]), float(values[pick])
 
 
 def sample_profile(

@@ -1,10 +1,10 @@
-"""A thread-safe micro-batching query service over a built index.
+"""A thread-safe micro-batching query service over any engine.
 
-The vectorized engine (:meth:`TDTreeIndex.batch_query`) is several times
-faster than a per-call loop — but only for callers that already hold whole
-arrays of queries.  Serving traffic arrives one ``(source, target,
-departure)`` at a time, from many threads.  :class:`QueryService` bridges the
-two worlds with the classic micro-batching pattern:
+The vectorized batch path is several times faster than a per-call loop — but
+only for callers that already hold whole arrays of queries.  Serving traffic
+arrives one ``(source, target, departure)`` at a time, from many threads.
+:class:`QueryService` bridges the two worlds with the classic micro-batching
+pattern:
 
 * :meth:`submit` enqueues one scalar query and returns a lightweight
   :class:`ServiceFuture` immediately;
@@ -17,11 +17,18 @@ two worlds with the classic micro-batching pattern:
   :func:`repro.core.update.apply_edge_updates` rewrites the index (via the
   index's invalidation hooks).
 
-Answers are produced by the batch engine, which is bit-identical to calling
-``index.query`` per query — micro-batching changes throughput and latency,
-never results.  With ``bucket_seconds > 0`` a cache hit may return the cost
-of an earlier departure from the same bucket; pick the bucket width from the
-answer tolerance your traffic allows (0 keeps the service exact).
+The service fronts any :class:`repro.api.Engine`.  Engines advertising
+``capabilities().batch`` flush through one vectorized call; for the others
+(e.g. the ``td-dijkstra`` / ``tdg-tree`` baselines) each flush degrades to a
+scalar-query loop, so the same micro-batching front-end — same futures,
+cache, invalidation and stats — can A/B-compare a baseline against the index
+under identical traffic.  Either way answers are bit-identical to calling the
+engine's scalar ``query`` per request — micro-batching changes throughput and
+latency, never results.  A bare :class:`~repro.core.index.TDTreeIndex` (the
+legacy surface) is still accepted.  With ``bucket_seconds > 0`` a cache hit
+may return the cost of an earlier departure from the same bucket; pick the
+bucket width from the answer tolerance your traffic allows (0 keeps the
+service exact).
 """
 
 from __future__ import annotations
@@ -142,6 +149,23 @@ def _flusher_main(service_ref: "weakref.ref[QueryService]") -> None:
         del service
 
 
+def _resolve_compute(index):
+    """Pick the batch/scalar cost paths for whatever was handed in.
+
+    Returns ``(batch_fn, scalar_fn)`` where ``batch_fn(sources, targets,
+    departures) -> costs`` is ``None`` when the engine advertises no batch
+    capability (the service then loop-flushes through ``scalar_fn``).  The
+    engine-vs-legacy detection is :func:`repro.api.engine_supports`, shared
+    with the experiment runners.
+    """
+    from repro.api import engine_supports
+
+    scalar = lambda s, t, d: float(index.query(s, t, d).cost)  # noqa: E731
+    if not engine_supports(index, "batch"):
+        return None, scalar
+    return (lambda s, t, d: index.batch_query(s, t, d).costs), scalar
+
+
 class _Pending:
     """One enqueued query: inputs, cache key, future, and its submit time."""
 
@@ -157,13 +181,16 @@ class _Pending:
 
 
 class QueryService:
-    """Micro-batching, caching front-end for one :class:`TDTreeIndex`.
+    """Micro-batching, caching front-end for one engine.
 
     Parameters
     ----------
     index:
-        A built index (anything exposing ``batch_query`` and the invalidation
-        hook registry).
+        Any :class:`repro.api.Engine` (batched or not — engines without the
+        ``batch`` capability are served through a scalar-query loop per
+        flush), or a bare built :class:`~repro.core.index.TDTreeIndex`
+        (legacy surface).  When the engine exposes the invalidation-hook
+        registry the result cache is wired into index updates.
     max_batch_size:
         Flush as soon as this many queries are pending.  The submitting
         thread that fills the batch performs the flush itself (no thread
@@ -200,6 +227,7 @@ class QueryService:
         if max_wait_ms < 0 or cache_size < 0 or bucket_seconds < 0:
             raise ValueError("max_wait_ms, cache_size and bucket_seconds must be >= 0")
         self._index = index
+        self._batch_compute, self._scalar_compute = _resolve_compute(index)
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.cache_size = int(cache_size)
@@ -336,9 +364,33 @@ class QueryService:
         self._run_batch(batch)
         return False
 
-    def _run_batch(self, batch: list[_Pending]) -> None:
-        """Answer one batch through the vectorized engine and settle futures.
+    def _per_query_costs(
+        self, sources: np.ndarray, targets: np.ndarray, departures: np.ndarray
+    ) -> tuple[np.ndarray, dict[int, Exception]]:
+        """Answer a flush one query at a time (loop-flush / degraded mode)."""
+        count = sources.size
+        costs = np.full(count, np.nan)
+        errors: dict[int, Exception] = {}
+        for i in range(count):
+            try:
+                if self._batch_compute is not None:
+                    costs[i] = self._batch_compute(
+                        sources[i : i + 1], targets[i : i + 1], departures[i : i + 1]
+                    )[0]
+                else:
+                    costs[i] = self._scalar_compute(
+                        int(sources[i]), int(targets[i]), float(departures[i])
+                    )
+            except Exception as exc:
+                errors[i] = exc
+        return costs, errors
 
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Answer one batch and settle futures.
+
+        Batch-capable engines answer the whole flush with one vectorized
+        call; the rest loop over the engine's scalar query (bit-identical
+        answers either way — the flush strategy changes throughput only).
         Never lets an exception escape: every failure mode settles the
         affected futures instead, so a bad query (or engine bug) can neither
         kill the daemon flusher nor leave a caller blocked forever.
@@ -348,23 +400,20 @@ class QueryService:
         departures = np.fromiter((p.departure for p in batch), np.float64, len(batch))
         generation = self._cache_generation
         errors: dict[int, Exception] = {}
-        try:
-            costs = self._index.batch_query(sources, targets, departures).costs
-        except ReproError:
-            # One bad query fails a whole vectorized call; degrade to
-            # per-query calls so the rest of the batch still gets answers.
-            costs = np.full(len(batch), np.nan)
-            for i, entry in enumerate(batch):
-                try:
-                    single = self._index.batch_query(
-                        sources[i : i + 1], targets[i : i + 1], departures[i : i + 1]
-                    )
-                    costs[i] = single.costs[0]
-                except Exception as exc:
-                    errors[i] = exc
-        except Exception as exc:
-            costs = np.full(len(batch), np.nan)
-            errors = {i: exc for i in range(len(batch))}
+        if self._batch_compute is None:
+            costs, errors = self._per_query_costs(sources, targets, departures)
+        else:
+            try:
+                costs = np.asarray(
+                    self._batch_compute(sources, targets, departures), dtype=np.float64
+                )
+            except ReproError:
+                # One bad query fails a whole vectorized call; degrade to
+                # per-query calls so the rest of the batch still gets answers.
+                costs, errors = self._per_query_costs(sources, targets, departures)
+            except Exception as exc:
+                costs = np.full(len(batch), np.nan)
+                errors = {i: exc for i in range(len(batch))}
 
         now = time.perf_counter()
         with self._lock:

@@ -1,5 +1,6 @@
-"""Generic utilities: LCA queries, timing, and the analytic memory model."""
+"""Generic utilities: LCA queries, timing, deprecation, and the memory model."""
 
+from repro.utils.deprecation import reset_deprecation_warnings, warn_deprecated
 from repro.utils.lca import LCAIndex
 from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
 from repro.utils.timing import Stopwatch, Timer, time_call
@@ -12,4 +13,6 @@ __all__ = [
     "Stopwatch",
     "Timer",
     "time_call",
+    "warn_deprecated",
+    "reset_deprecation_warnings",
 ]

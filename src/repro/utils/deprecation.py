@@ -1,0 +1,29 @@
+"""Warn-once deprecation helper for the legacy (pre-``repro.api``) surface.
+
+Every deprecated entry point keeps working, but announces its replacement with
+**one** :class:`DeprecationWarning` per process — enough to show up in logs
+and test runs without drowning a tight query loop in thousands of identical
+warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated", "reset_deprecation_warnings"]
+
+#: Keys that have already warned in this process.
+_warned: set[str] = set()
+
+
+def warn_deprecated(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which keys already warned (used by the deprecation-shim tests)."""
+    _warned.clear()

@@ -1,0 +1,265 @@
+"""The shared engine contract suite.
+
+Every engine in the registry — the five td-* configurations and the four
+baselines — must behave identically where their capabilities overlap:
+
+* same travel costs for the same (source, target, departure) on small graphs
+  (TD-Dijkstra is the exact reference);
+* valid vertex paths when ``capabilities().paths`` is advertised (checked
+  edge by edge against the graph, and replayed to reproduce the cost);
+* capability flags honoured: unadvertised methods raise
+  ``UnsupportedCapabilityError`` instead of guessing;
+* unknown query options rejected with ``TypeError`` (typos must fail loudly).
+
+Registering a new engine makes this whole suite apply to it by adding one
+spec line to ``CONTRACT_SPECS``; ``test_contract_covers_registry`` fails
+until that line exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, available_engines, create_engine, parse_engine_spec
+from repro.exceptions import UnsupportedCapabilityError
+from repro.graph import grid_network
+
+#: One spec per registered engine, configured for exact answers (no function
+#: caps) so every engine must agree with TD-Dijkstra to float precision.
+CONTRACT_SPECS = (
+    "td-basic?max_points=none",
+    "td-dp?budget_fraction=0.4&max_points=none",
+    "td-appro?budget_fraction=0.4&max_points=none",
+    "td-full?max_points=none",
+    "td-h2h?max_points=none",
+    "td-dijkstra",
+    "td-astar",
+    "td-astar-landmarks?num_landmarks=4",
+    "tdg-tree?max_points=none&leaf_size=6",
+)
+
+#: (source, target, departure) probes on the 5x5 contract grid.
+PROBES = (
+    (0, 24, 0.0),
+    (0, 24, 30_000.0),
+    (3, 20, 61_200.0),
+    (12, 12, 3_600.0),
+    (24, 0, 80_000.0),
+    (7, 18, 43_200.0),
+)
+
+
+@pytest.fixture(scope="module")
+def contract_graph():
+    return grid_network(5, 5, num_points=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def engines(contract_graph) -> dict[str, Engine]:
+    return {
+        parse_engine_spec(spec)[0]: create_engine(spec, contract_graph)
+        for spec in CONTRACT_SPECS
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(engines) -> Engine:
+    return engines["td-dijkstra"]
+
+
+def test_contract_covers_registry():
+    """Every registered engine must appear in the contract run."""
+    covered = {parse_engine_spec(spec)[0] for spec in CONTRACT_SPECS}
+    assert covered == set(available_engines())
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_create_engine_builds_protocol_instances(spec, engines):
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    assert isinstance(engine, Engine)
+    assert engine.name == name
+    assert engine.graph is not None
+    assert engine.memory_breakdown() is not None
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_costs_agree_with_exact_reference(spec, engines, reference):
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    for source, target, departure in PROBES:
+        expected = reference.query(source, target, departure).cost
+        route = engine.query(source, target, departure)
+        assert route.cost == pytest.approx(expected, rel=1e-9, abs=1e-9), (
+            name,
+            source,
+            target,
+            departure,
+        )
+        assert route.arrival == pytest.approx(departure + route.cost)
+        assert route.engine == name
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_paths_valid_when_advertised(spec, engines, contract_graph):
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    source, target, departure = 0, 24, 30_000.0
+    route = engine.query(source, target, departure)
+    if not engine.capabilities().paths:
+        with pytest.raises(UnsupportedCapabilityError):
+            route.path()
+        return
+    path = route.path()
+    assert path[0] == source and path[-1] == target
+    # Every hop must be a real directed road segment, and replaying the
+    # stored weights along the path must reproduce the reported cost.
+    clock = departure
+    for u, v in zip(path, path[1:]):
+        weight = dict(contract_graph.out_items(u)).get(v)
+        assert weight is not None, (name, u, v)
+        clock += float(weight.evaluate(clock))
+    assert clock - departure == pytest.approx(route.cost, rel=1e-6), name
+    assert route.path() is path  # cached, not recomputed
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_profile_capability_honoured(spec, engines, reference):
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    if not engine.capabilities().profile:
+        with pytest.raises(UnsupportedCapabilityError):
+            engine.profile(0, 24)
+        return
+    profile = engine.profile(0, 24)
+    assert profile.engine == name
+    for departure in (0.0, 21_600.0, 61_200.0):
+        expected = reference.query(0, 24, departure).cost
+        assert profile.cost_at(departure) == pytest.approx(expected, rel=1e-6), name
+    best_dep, best_cost = profile.best_departure(0.0, 86_400.0)
+    assert 0.0 <= best_dep <= 86_400.0
+    assert best_cost == pytest.approx(profile.cost_at(best_dep))
+    assert best_cost <= profile.cost_at(30_000.0) + 1e-9
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_batch_capability_honoured(spec, engines):
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    sources = np.array([s for s, _, _ in PROBES], dtype=np.int64)
+    targets = np.array([t for _, t, _ in PROBES], dtype=np.int64)
+    departures = np.array([d for _, _, d in PROBES], dtype=np.float64)
+    if not engine.capabilities().batch:
+        with pytest.raises(UnsupportedCapabilityError):
+            engine.batch_query(sources, targets, departures)
+        return
+    matrix = engine.batch_query(sources, targets, departures)
+    assert len(matrix) == len(PROBES)
+    scalar = [engine.query(s, t, d).cost for s, t, d in PROBES]
+    # Bit-identical: the batch engine shares the scalar interpolation kernel.
+    assert matrix.costs.tolist() == scalar, name
+    assert np.array_equal(matrix.arrivals, departures + matrix.costs)
+    # Rows expand to Routes with lazy paths when the engine supports them.
+    row = matrix.route(1)
+    assert row.cost == scalar[1]
+    if engine.capabilities().paths:
+        path = matrix.path(1)
+        assert path[0] == sources[1] and path[-1] == targets[1]
+        assert matrix.path(1) is path  # cached
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_update_capability_honoured(spec):
+    name = parse_engine_spec(spec)[0]
+    # Updates mutate the engine's graph: build a private one per engine.
+    graph = grid_network(4, 4, num_points=3, seed=11)
+    engine = create_engine(spec, graph)
+    from repro.functions import PiecewiseLinearFunction
+
+    edges = list(graph.edges())
+    u, v, weight = edges[0]
+    doubled = PiecewiseLinearFunction(
+        weight.times, weight.costs * 2.0, weight.via, validate=False
+    )
+    changes = {(u, v): doubled}
+    if not engine.capabilities().update:
+        with pytest.raises(UnsupportedCapabilityError):
+            engine.update_edges(changes)
+        return
+    stale = engine.query(0, 15, 0.0)  # answered against the pre-update network
+    engine.update_edges(changes)
+    fresh_reference = create_engine("td-dijkstra", graph)
+    for source, target, departure in ((0, 15, 0.0), (u, v, 30_000.0), (3, 12, 3_600.0)):
+        expected = fresh_reference.query(source, target, departure).cost
+        assert engine.query(source, target, departure).cost == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        ), name
+    if engine.capabilities().paths:
+        # A pre-update route must refuse lazy reconstruction rather than
+        # return a path from the updated network (cost/path coherence).
+        from repro.exceptions import StaleRouteError
+
+        with pytest.raises(StaleRouteError):
+            stale.path()
+        fresh = engine.query(0, 15, 0.0)
+        assert fresh.path()[0] == 0  # post-update queries reconstruct fine
+
+
+@pytest.mark.parametrize("spec", CONTRACT_SPECS)
+def test_unknown_query_options_rejected(spec, engines):
+    """A typo like ``departure_time=`` must raise, not silently answer."""
+    name = parse_engine_spec(spec)[0]
+    engine = engines[name]
+    with pytest.raises(TypeError):
+        engine.query(0, 24, departure_time=3_600.0)
+    with pytest.raises(TypeError):
+        engine.query(0, 24, 3_600.0, departure_time=7_200.0)
+
+
+def test_engine_wrappers_do_not_pin_themselves_to_the_index():
+    """Dropped wrappers of a long-lived index must become garbage.
+
+    The epoch hook holds only weak references (like the serving layer's
+    cache hook) and unregisters itself once its engine died, so wrapping a
+    loaded index per worker/request cannot grow the hook list forever.
+    """
+    import gc
+
+    from repro.api import TDTreeEngine
+    from repro.core.index import TDTreeIndex
+
+    graph = grid_network(4, 4, num_points=3, seed=17)
+    index = TDTreeIndex._build(graph, strategy="basic", max_points=None)
+    baseline_hooks = len(index._invalidation_hooks)
+    for _ in range(5):
+        TDTreeEngine(index, name="td-basic").query(0, 15, 0.0)
+    gc.collect()
+    index.notify_invalidation()  # dead hooks unregister themselves here
+    assert len(index._invalidation_hooks) == baseline_hooks
+    # A live wrapper still sees updates: its epoch advances on invalidation.
+    engine = TDTreeEngine(index, name="td-basic")
+    index.notify_invalidation()
+    assert engine._epoch == 1
+
+
+def test_disconnected_queries_raise_uniformly(engines):
+    """All engines signal unreachable targets with DisconnectedQueryError."""
+    from repro.exceptions import DisconnectedQueryError
+    from repro.functions import PiecewiseLinearFunction
+    from repro.graph import TDGraph
+
+    from repro.exceptions import UnknownEngineOptionError
+
+    graph = TDGraph()
+    graph.add_edge(0, 1, PiecewiseLinearFunction.constant(10.0))
+    graph.add_edge(2, 1, PiecewiseLinearFunction.constant(10.0))
+    for spec in CONTRACT_SPECS:
+        try:
+            # Tree engines refuse disconnected graphs unless told otherwise...
+            engine = create_engine(spec, graph, validate=False)
+        except UnknownEngineOptionError:
+            # ...index-free engines take no validate option at all.
+            engine = create_engine(spec, graph)
+        with pytest.raises(DisconnectedQueryError):
+            engine.query(0, 2, 0.0)

@@ -1,0 +1,112 @@
+"""The legacy surface keeps working — behind warn-once deprecation shims.
+
+``TDTreeIndex.build(strategy=...)`` and ``index.query/profile/batch_query``
+each emit exactly one :class:`DeprecationWarning` per process (and nothing
+else), and their answers stay bit-identical to the :mod:`repro.api` engines,
+so existing code migrates on its own schedule.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import TDTreeIndex, create_engine
+from repro.api import TDTreeEngine
+from repro.graph import grid_network
+from repro.utils.deprecation import reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def fresh_deprecation_state():
+    """Make warn-once behaviour observable regardless of test order."""
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_network(4, 4, num_points=3, seed=9)
+
+
+def _deprecations(record) -> list[warnings.WarningMessage]:
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def test_build_warns_exactly_once_and_still_works(graph):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        index = TDTreeIndex.build(graph, strategy="approx", budget_fraction=0.4)
+        TDTreeIndex.build(graph, strategy="basic")
+    caught = _deprecations(record)
+    assert len(caught) == 1
+    assert "create_engine" in str(caught[0].message)
+    assert index.strategy == "approx"
+    assert {w.category for w in record} <= {DeprecationWarning}
+
+
+def test_query_profile_batch_warn_once_each(graph):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        index = TDTreeIndex.build(graph, strategy="basic", max_points=None)
+        for _ in range(3):
+            index.query(0, 15, 0.0)
+            index.profile(0, 15)
+            index.batch_query([0], [15], [0.0])
+    caught = _deprecations(record)
+    # build + query + profile + batch_query: one warning each, ever.
+    assert len(caught) == 4
+    assert {w.category for w in record} <= {DeprecationWarning}
+
+
+def test_legacy_answers_match_engine_answers(graph):
+    engine = create_engine("td-appro?budget_fraction=0.4&max_points=none", graph)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        index = TDTreeIndex.build(
+            graph, strategy="approx", budget_fraction=0.4, max_points=None
+        )
+        legacy_scalar = index.query(0, 15, 30_000.0)
+        legacy_profile = index.profile(0, 15)
+        legacy_batch = index.batch_query(
+            np.array([0, 3]), np.array([15, 12]), np.array([0.0, 30_000.0])
+        )
+    assert engine.query(0, 15, 30_000.0).cost == legacy_scalar.cost
+    assert engine.profile(0, 15).function.allclose(legacy_profile.function)
+    matrix = engine.batch_query(
+        np.array([0, 3]), np.array([15, 12]), np.array([0.0, 30_000.0])
+    )
+    assert matrix.costs.tolist() == legacy_batch.costs.tolist()
+
+
+def test_wrapping_a_legacy_index_in_an_engine_does_not_warn(graph):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        engine = TDTreeEngine(
+            TDTreeIndex._build(graph, strategy="basic", max_points=None),
+            name="td-basic",
+        )
+        engine.query(0, 15, 0.0)
+        engine.profile(0, 15)
+        engine.batch_query([0], [15], [0.0])
+    assert _deprecations(record) == []
+
+
+def test_best_departure_samples_parameter_deprecated(graph):
+    engine = create_engine("td-basic?max_points=none", graph)
+    function = engine.profile(0, 15).function
+    from repro.core.query import ProfileResult
+
+    legacy = ProfileResult(0, 15, function, "basic")
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        exact = legacy.best_departure(0.0, 86_400.0)
+        sampled = legacy.best_departure(0.0, 86_400.0, samples=300)
+    caught = _deprecations(record)
+    assert len(caught) == 1 and "samples" in str(caught[0].message)
+    assert exact == sampled  # the parameter no longer changes the answer
+    # And the legacy result now agrees exactly with the engine-native type.
+    assert engine.profile(0, 15).best_departure(0.0, 86_400.0) == exact

@@ -1,0 +1,237 @@
+"""Registry behaviour: spec parsing, option validation, third-party engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BuildConfig,
+    Engine,
+    EngineCapabilities,
+    Route,
+    available_engines,
+    create_engine,
+    engine_entry,
+    parse_engine_spec,
+    register_engine,
+    registered_engines,
+    unregister_engine,
+)
+from repro.exceptions import (
+    EngineSpecError,
+    UnknownEngineError,
+    UnknownEngineOptionError,
+)
+from repro.graph import grid_network
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_network(4, 4, num_points=3, seed=5)
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_engine_spec("td-appro") == ("td-appro", {})
+
+    def test_options_are_coerced(self):
+        name, options = parse_engine_spec(
+            "td-appro?budget_fraction=0.3&max_points=16&validate=true&tolerance=none&label=x"
+        )
+        assert name == "td-appro"
+        assert options == {
+            "budget_fraction": 0.3,
+            "max_points": 16,
+            "validate": True,
+            "tolerance": None,
+            "label": "x",
+        }
+        assert isinstance(options["max_points"], int)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "?x=1", "td-appro?budget", "td-appro?=3", "td-appro?a=1&a=2"]
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            parse_engine_spec(bad)
+
+    def test_unknown_engine_lists_available(self, graph):
+        with pytest.raises(UnknownEngineError) as excinfo:
+            create_engine("td-magic", graph)
+        message = str(excinfo.value)
+        assert "td-appro" in message
+        # Not the KeyError repr: the message must read as plain prose.
+        assert not message.startswith('"')
+
+    def test_zero_option_engine_error_says_so(self, graph):
+        with pytest.raises(UnknownEngineOptionError) as excinfo:
+            create_engine("td-dijkstra?max_points=16", graph)
+        assert "takes no options" in str(excinfo.value)
+
+    def test_unknown_option_lists_accepted(self, graph):
+        with pytest.raises(UnknownEngineOptionError) as excinfo:
+            create_engine("td-appro?budget_fractoin=0.3", graph)
+        message = str(excinfo.value)
+        assert "budget_fractoin" in message and "budget_fraction" in message
+
+    def test_engine_without_options_rejects_any(self, graph):
+        with pytest.raises(UnknownEngineOptionError):
+            create_engine("td-dijkstra?max_points=16", graph)
+
+
+class TestBuildConfig:
+    def test_unset_fields_are_absent(self):
+        assert BuildConfig().to_options() == {}
+
+    def test_explicit_none_max_points_survives(self):
+        options = BuildConfig(max_points=None, budget_fraction=0.2).to_options()
+        assert options == {"max_points": None, "budget_fraction": 0.2}
+
+    def test_extras_are_engine_specific_passthrough(self, graph):
+        config = BuildConfig(extras={"leaf_size": 6})
+        engine = create_engine("tdg-tree", graph, config=config)
+        assert engine.query(0, 15, 0.0).cost > 0
+
+    def test_precedence_config_then_spec_then_kwargs(self, graph):
+        # config says 0.1, spec says 0.2, kwargs say 0.3: kwargs win.
+        config = BuildConfig(budget_fraction=0.1)
+        engine = create_engine(
+            "td-appro?budget_fraction=0.2", graph, config=config, budget_fraction=0.3
+        )
+        budget_from = {
+            fraction: create_engine(
+                "td-appro", graph, budget_fraction=fraction
+            ).index.selection.budget
+            for fraction in (0.1, 0.2, 0.3)
+        }
+        assert budget_from[0.1] < budget_from[0.3]  # the probe discriminates
+        assert engine.index.selection.budget == budget_from[0.3]
+
+
+class TestRegistryMetadata:
+    def test_nine_builtin_engines_registered(self):
+        assert set(available_engines()) >= {
+            "td-basic",
+            "td-dp",
+            "td-appro",
+            "td-full",
+            "td-h2h",
+            "td-dijkstra",
+            "td-astar",
+            "td-astar-landmarks",
+            "tdg-tree",
+        }
+
+    def test_paper_names_cover_the_evaluation(self):
+        paper_names = {e.paper_name for e in registered_engines() if e.paper_name}
+        assert paper_names == {
+            "TD-basic",
+            "TD-dp",
+            "TD-appro",
+            "TD-H2H",
+            "TD-Dijkstra",
+            "TD-A*",
+            "TD-G-tree",
+        }
+
+    def test_accepted_options_reflect_factory_signature(self):
+        accepted = engine_entry("td-appro").accepted_options()
+        assert "budget_fraction" in accepted and "max_points" in accepted
+        assert engine_entry("td-dijkstra").accepted_options() == ()
+
+
+class _EchoEngine:
+    """Minimal third-party engine used to exercise the extension point."""
+
+    def __init__(self, graph, scale: float) -> None:
+        self.name = "test-echo"
+        self.graph = graph
+        self.scale = scale
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities()
+
+    def query(self, source, target, departure, *, options=None) -> Route:
+        return Route(
+            engine=self.name,
+            source=source,
+            target=target,
+            departure=departure,
+            cost=self.scale,
+        )
+
+    def profile(self, source, target):
+        raise NotImplementedError
+
+    def batch_query(self, sources, targets, departures, *, options=None):
+        raise NotImplementedError
+
+    def update_edges(self, changes):
+        raise NotImplementedError
+
+    def memory_breakdown(self):
+        from repro.utils.memory import MemoryBreakdown
+
+        return MemoryBreakdown()
+
+
+class TestThirdPartyRegistration:
+    def test_register_create_unregister_roundtrip(self, graph):
+        @register_engine("test-echo", description="constant-cost stub")
+        def build_echo(g, *, scale: float = 1.0) -> Engine:
+            return _EchoEngine(g, scale)
+
+        try:
+            assert "test-echo" in available_engines()
+            engine = create_engine("test-echo?scale=2.5", graph)
+            assert isinstance(engine, Engine)
+            assert engine.query(0, 1, 0.0).cost == 2.5
+            with pytest.raises(UnknownEngineOptionError):
+                create_engine("test-echo?scales=2.5", graph)
+        finally:
+            unregister_engine("test-echo")
+        assert "test-echo" not in available_engines()
+
+    def test_duplicate_registration_refused(self):
+        def factory(g):  # pragma: no cover - never built
+            raise AssertionError
+
+        register_engine("test-dup", factory)
+        try:
+            with pytest.raises(EngineSpecError):
+                register_engine("test-dup", factory)
+            register_engine("test-dup", factory, replace=True)  # explicit override ok
+        finally:
+            unregister_engine("test-dup")
+
+    def test_invalid_names_refused(self):
+        def factory(g):  # pragma: no cover - never built
+            raise AssertionError
+
+        with pytest.raises(EngineSpecError):
+            register_engine("", factory)
+        with pytest.raises(EngineSpecError):
+            register_engine("bad?name", factory)
+
+    def test_late_registration_reaches_experiment_method_table(self, graph):
+        """METHODS is a live registry view: engines registered after import
+        (the entry-point path registers late too) show up immediately, and a
+        **options factory receives the runner kwargs instead of losing them."""
+        from repro.experiments import METHODS, build_method
+
+        seen: dict[str, object] = {}
+
+        def build_probe(g, **options) -> Engine:  # tolerant factory: takes anything
+            seen.update(options)
+            return _EchoEngine(g, float(options.get("scale", 1.0)))
+
+        register_engine("test-probe", build_probe, paper_name="TD-probe")
+        try:
+            assert "TD-probe" in METHODS
+            engine = build_method("TD-probe", graph, scale=2.0, budget_fraction=0.4)
+            assert engine.query(0, 1, 0.0).cost == 2.0
+            # The uniform runner kwargs must reach a **options factory.
+            assert seen["scale"] == 2.0 and seen["budget_fraction"] == 0.4
+        finally:
+            unregister_engine("test-probe")
+        assert "TD-probe" not in METHODS

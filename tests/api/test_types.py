@@ -1,0 +1,173 @@
+"""Behaviour of the unified result types (Route / RouteMatrix / RouteProfile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import QueryOptions, Route, RouteMatrix, RouteProfile, create_engine
+from repro.exceptions import UnsupportedCapabilityError
+from repro.functions import PiecewiseLinearFunction
+from repro.graph import grid_network
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_network(4, 4, num_points=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return create_engine("td-appro?budget_fraction=0.4&max_points=none", graph)
+
+
+class TestRoute:
+    def test_lazy_path_computed_once(self, engine):
+        calls = []
+        route = Route(
+            engine="x",
+            source=0,
+            target=3,
+            departure=0.0,
+            cost=1.0,
+            _path_factory=lambda: calls.append(1) or [0, 1, 3],
+        )
+        assert route.path() == [0, 1, 3]
+        assert route.path() == [0, 1, 3]
+        assert len(calls) == 1
+
+    def test_path_without_factory_raises_capability_error(self):
+        route = Route(engine="x", source=0, target=3, departure=0.0, cost=1.0)
+        with pytest.raises(UnsupportedCapabilityError):
+            route.path()
+
+    def test_want_path_records_provenance_eagerly(self, engine):
+        eager = engine.query(0, 15, 30_000.0, options=QueryOptions(want_path=True))
+        lazy = engine.query(0, 15, 30_000.0)
+        assert eager.path() == lazy.path()
+        assert eager.cost == lazy.cost
+
+    def test_want_path_scalar_route_is_immune_to_updates(self):
+        """An eagerly-recorded path must not change when the index does."""
+        private = grid_network(4, 4, num_points=3, seed=23)
+        engine = create_engine("td-appro?budget_fraction=0.4", private)
+        eager = engine.query(0, 15, 0.0, options=QueryOptions(want_path=True))
+        recorded = list(eager.path())
+        changes = {
+            (u, v): PiecewiseLinearFunction(
+                w.times, w.costs * 10.0, w.via, validate=False
+            )
+            for u, v, w in private.edges()
+            if (u, v) in zip(recorded, recorded[1:])
+        }
+        assert changes  # the update really touches the recorded route
+        lazy = engine.query(0, 15, 0.0)  # same query, lazy path
+        engine.update_edges(changes)
+        assert eager.path() == recorded  # query-time provenance, not re-derived
+        from repro.exceptions import StaleRouteError
+
+        with pytest.raises(StaleRouteError):
+            lazy.path()
+
+    def test_equality_ignores_the_lazy_path_cache(self, engine):
+        first = engine.query(0, 15, 30_000.0)
+        second = engine.query(0, 15, 30_000.0)
+        assert first == second
+        first.path()  # populating one route's cache must not break equality
+        assert first == second
+
+
+class TestRouteMatrix:
+    def test_equality_is_value_based_not_elementwise(self, engine):
+        sources = np.array([0, 3, 5])
+        targets = np.array([15, 12, 10])
+        departures = np.array([0.0, 30_000.0, 60_000.0])
+        first = engine.batch_query(sources, targets, departures)
+        second = engine.batch_query(sources, targets, departures)
+        assert first == second  # must be a bool, not an elementwise array
+        different = engine.batch_query(sources, targets, departures + 1.0)
+        assert first != different
+        assert first != "not a matrix"
+
+    def test_rows_roundtrip_to_routes(self, engine):
+        sources = np.array([0, 3, 5])
+        targets = np.array([15, 12, 10])
+        departures = np.array([0.0, 30_000.0, 60_000.0])
+        matrix = engine.batch_query(sources, targets, departures)
+        for i, route in enumerate(matrix):
+            assert isinstance(route, Route)
+            assert route.source == sources[i] and route.target == targets[i]
+            assert route.cost == matrix.costs[i]
+            assert route.path()[0] == sources[i]
+
+    def test_want_path_resolves_batch_paths_eagerly(self):
+        """QueryOptions(want_path=True) must survive a later index update."""
+        private = grid_network(4, 4, num_points=3, seed=21)
+        engine = create_engine("td-appro?budget_fraction=0.4", private)
+        sources, targets = np.array([0, 3]), np.array([15, 12])
+        departures = np.array([0.0, 30_000.0])
+        eager = engine.batch_query(
+            sources, targets, departures, options=QueryOptions(want_path=True)
+        )
+        lazy = engine.batch_query(sources, targets, departures)
+        u, v, weight = next(iter(private.edges()))
+        engine.update_edges(
+            {
+                (u, v): PiecewiseLinearFunction(
+                    weight.times, weight.costs * 2.0, weight.via, validate=False
+                )
+            }
+        )
+        from repro.exceptions import StaleRouteError
+
+        assert eager.path(0)[0] == 0  # recorded at query time: still valid
+        with pytest.raises(StaleRouteError):
+            lazy.path(0)
+
+    def test_pathless_matrix_raises_capability_error(self):
+        matrix = RouteMatrix(
+            engine="x",
+            sources=np.array([0]),
+            targets=np.array([1]),
+            departures=np.array([0.0]),
+            costs=np.array([1.0]),
+        )
+        with pytest.raises(UnsupportedCapabilityError):
+            matrix.path(0)
+
+
+class TestRouteProfile:
+    def test_best_departure_is_exact_at_breakpoints(self):
+        function = PiecewiseLinearFunction.from_points(
+            [(0.0, 100.0), (10_000.0, 20.0), (50_000.0, 80.0), (86_400.0, 90.0)]
+        )
+        profile = RouteProfile(engine="x", source=0, target=1, function=function)
+        departure, cost = profile.best_departure(0.0, 86_400.0)
+        assert (departure, cost) == (10_000.0, 20.0)  # exactly the breakpoint
+        # Window excluding the global minimum: the optimum moves to an edge.
+        departure, cost = profile.best_departure(20_000.0, 86_400.0)
+        assert departure == 20_000.0
+        assert cost == pytest.approx(float(function.evaluate(20_000.0)))
+
+    def test_best_departure_empty_window_rejected(self):
+        profile = RouteProfile(
+            engine="x", source=0, target=1, function=PiecewiseLinearFunction.constant(5.0)
+        )
+        with pytest.raises(Exception):
+            profile.best_departure(10.0, 0.0)
+        assert profile.best_departure(10.0, 10.0) == (10.0, 5.0)
+
+    def test_route_at_wraps_one_departure(self):
+        profile = RouteProfile(
+            engine="x", source=0, target=1, function=PiecewiseLinearFunction.constant(5.0)
+        )
+        route = profile.route_at(1_000.0)
+        assert (route.cost, route.departure, route.arrival) == (5.0, 1_000.0, 1_005.0)
+
+    def test_route_at_paths_work_on_paths_capable_engines(self, engine):
+        """Profile-derived routes must expand paths like directly-queried ones."""
+        profile = engine.profile(0, 15)
+        route = profile.route_at(30_000.0)
+        direct = engine.query(0, 15, 30_000.0)
+        assert route.cost == pytest.approx(direct.cost, rel=1e-9)
+        assert route.path() == direct.path()

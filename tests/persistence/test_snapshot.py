@@ -153,7 +153,8 @@ def test_load_missing_snapshot_raises(tmp_path):
 def test_load_rejects_future_format_version(approx_index, tmp_path):
     directory = approx_index.save(tmp_path / "snap")
     manifest_path = directory + "/" + MANIFEST_NAME
-    manifest = json.loads(open(manifest_path).read())
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
     manifest["format_version"] = FORMAT_VERSION + 1
     with open(manifest_path, "w") as handle:
         json.dump(manifest, handle)
