@@ -7,6 +7,16 @@ import pytest
 import harness
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--host",
+        action="store_true",
+        default=False,
+        help="run the EngineHost swap-under-load serving scenario "
+        "(bench_serving.py; writes results/BENCH_serving.json)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> dict:
     """Expose the active scale knobs to benchmark modules."""

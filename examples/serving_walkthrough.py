@@ -14,7 +14,10 @@ subsystems are built for:
    the vectorized engine and answered via futures, with an LRU result cache
    (optionally bucketing departure times) absorbing repeated questions,
 4. when traffic conditions change, ``update_edges`` repairs the index in
-   place and automatically invalidates the service's result cache.
+   place and automatically invalidates the service's result cache.  (For a
+   multi-threaded deployment prefer the ``EngineHost`` hot-swap pattern in
+   ``examples/hot_swap_update.py`` — patch a clone, swap, never mutate under
+   readers.)
 
 Run it with::
 

@@ -32,7 +32,9 @@ Package layout
 ``repro.persistence``
     Versioned on-disk index snapshots (``TDTreeIndex.save`` / ``load``).
 ``repro.serving``
-    Micro-batching ``QueryService`` over any engine, with result caching.
+    Serving stack: micro-batching ``QueryService`` workers under an
+    ``EngineHost`` control plane (named deployments, zero-downtime hot
+    swap, async facade).
 ``repro.baselines``
     TD-Dijkstra, TD-A*, TD-G-tree and TD-H2H comparison methods.
 ``repro.datasets``
@@ -62,7 +64,7 @@ from repro.api import (
     register_engine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TDGraph",

@@ -48,6 +48,7 @@ from repro.api.registry import (
     parse_engine_spec,
     register_engine,
     registered_engines,
+    registry_version,
     unregister_engine,
 )
 from repro.api.types import (
@@ -82,6 +83,7 @@ __all__ = [
     "available_engines",
     "engine_entry",
     "registered_engines",
+    "registry_version",
     # built-in adapters
     "EngineAdapter",
     "TDTreeEngine",

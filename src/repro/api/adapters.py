@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Any, Callable, ClassVar, Mapping
 import numpy as np
 
 from repro.api.engine import Engine
-from repro.api.registry import register_engine
+from repro.api.registry import parse_engine_spec, register_engine
 from repro.api.types import (
     DEFAULT_QUERY_OPTIONS,
     EngineCapabilities,
@@ -50,7 +50,7 @@ from repro.baselines.td_dijkstra import TDDijkstra
 from repro.baselines.td_h2h import TDH2H
 from repro.baselines.tdg_tree import TDGTree
 from repro.core.index import TDTreeIndex
-from repro.exceptions import StaleRouteError, UnsupportedCapabilityError
+from repro.exceptions import EngineSpecError, StaleRouteError, UnsupportedCapabilityError
 from repro.graph.td_graph import TDGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -653,6 +653,56 @@ def build_td_astar_landmarks(
         ),
         name="td-astar-landmarks",
     )
+
+
+#: td-* build strategy -> registry spec name, used to name engines rehydrated
+#: from snapshots whose manifest predates the ``engine_spec`` field.
+_STRATEGY_SPEC_NAMES = {
+    "basic": "td-basic",
+    "dp": "td-dp",
+    "approx": "td-appro",
+    "full": "td-full",
+}
+
+
+@register_engine(
+    "snapshot",
+    description="rehydrate a saved index snapshot (spec form: snapshot:<directory>)",
+    graph_optional=True,
+)
+def build_snapshot_engine(
+    graph: TDGraph | None = None,
+    *,
+    path: str,
+    name: str | None = None,
+) -> Engine:
+    """Load the snapshot directory ``path`` into a servable engine.
+
+    The spec form is ``"snapshot:<directory>"`` — the scheme argument becomes
+    the ``path`` option.  The engine is named after the manifest's
+    ``engine_spec`` (recorded by :func:`repro.persistence.save_index` when
+    the spec is known), falling back to the build strategy for manifests
+    written before that field existed; pass ``name=...`` to override.
+    Snapshots embed their graph, so passing one is a usage error, not a
+    merge.
+    """
+    from repro.persistence import load_index, read_manifest
+
+    if graph is not None:
+        raise EngineSpecError(
+            "snapshot engines embed their own graph; build with "
+            "create_engine('snapshot:<path>', graph=None)"
+        )
+    manifest = read_manifest(path)
+    if name is None:
+        recorded = manifest.get("engine_spec")
+        if recorded:
+            name = parse_engine_spec(str(recorded))[0]
+        else:
+            name = _STRATEGY_SPEC_NAMES.get(
+                str(manifest.get("strategy", "")), "td-snapshot"
+            )
+    return TDTreeEngine(load_index(path), name=name)
 
 
 @register_engine(

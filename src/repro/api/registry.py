@@ -12,6 +12,17 @@ signature — an option the factory does not accept raises
 :class:`~repro.exceptions.UnknownEngineOptionError` naming the accepted ones,
 so typos fail loudly instead of silently building a different engine.
 
+Specs also come in a *scheme* form, ``name:argument``, where everything
+between the name and the ``?`` is passed to the factory as its ``path``
+option.  The built-in ``snapshot`` engine uses it to make saved indexes
+first-class engine specs::
+
+    create_engine("snapshot:/var/indexes/cal", graph=None)
+
+rehydrates the snapshot via :func:`repro.persistence.load_index` — no graph
+required, the snapshot embeds its own.  Factories that can build without a
+graph register with ``graph_optional=True``.
+
 Third-party engines plug in two ways:
 
 * directly — ``register_engine("my-engine", factory)`` (or as a decorator);
@@ -41,6 +52,7 @@ __all__ = [
     "available_engines",
     "engine_entry",
     "registered_engines",
+    "registry_version",
 ]
 
 #: Packaging entry-point group scanned for third-party engine factories.
@@ -63,6 +75,9 @@ class EngineEntry:
     #: engine corresponds to a compared method; the experiment runners derive
     #: their method tables from exactly these.
     paper_name: str | None = None
+    #: True when the factory accepts ``graph=None`` (it brings its own data —
+    #: e.g. the ``snapshot`` engine embeds the graph in the snapshot).
+    graph_optional: bool = False
 
     def accepts_any_option(self) -> bool:
         """True when the factory takes ``**options`` (it validates itself)."""
@@ -105,6 +120,7 @@ def register_engine(
     description: str = ...,
     paper_name: str | None = ...,
     replace: bool = ...,
+    graph_optional: bool = ...,
 ) -> EngineFactory: ...
 
 
@@ -116,6 +132,7 @@ def register_engine(
     description: str = ...,
     paper_name: str | None = ...,
     replace: bool = ...,
+    graph_optional: bool = ...,
 ) -> Callable[[EngineFactory], EngineFactory]: ...
 
 
@@ -126,6 +143,7 @@ def register_engine(
     description: str = "",
     paper_name: str | None = None,
     replace: bool = False,
+    graph_optional: bool = False,
 ) -> Callable[[EngineFactory], EngineFactory] | EngineFactory:
     """Register ``factory`` under ``name`` (directly or as a decorator).
 
@@ -143,14 +161,20 @@ def register_engine(
 
     def _register(f: EngineFactory) -> EngineFactory:
         global _registry_version
-        if not name or "?" in name:
+        # ":" is the scheme separator in specs ("snapshot:<path>"), so a name
+        # containing one could never be resolved back.
+        if not name or "?" in name or ":" in name:
             raise EngineSpecError(f"invalid engine name {name!r}")
         if name in _REGISTRY and not replace:
             raise EngineSpecError(
                 f"engine {name!r} is already registered; pass replace=True to override"
             )
         _REGISTRY[name] = EngineEntry(
-            name=name, factory=f, description=description, paper_name=paper_name
+            name=name,
+            factory=f,
+            description=description,
+            paper_name=paper_name,
+            graph_optional=graph_optional,
         )
         _registry_version += 1
         return f
@@ -242,13 +266,27 @@ def _coerce(value: str) -> object:
 
 
 def parse_engine_spec(spec: str) -> tuple[str, dict[str, object]]:
-    """Split ``"name?key=value&..."`` into the name and coerced options."""
+    """Split ``"name?key=value&..."`` into the name and coerced options.
+
+    The scheme form ``"name:argument?key=value"`` surfaces the argument as a
+    ``path`` option (kept verbatim — a filesystem path is not coerced), so
+    ``"snapshot:/var/idx/cal"`` parses as ``("snapshot", {"path":
+    "/var/idx/cal"})``.
+    """
     if not isinstance(spec, str) or not spec:
         raise EngineSpecError(f"engine spec must be a non-empty string, got {spec!r}")
     name, _, query = spec.partition("?")
     if not name:
         raise EngineSpecError(f"engine spec {spec!r} has no engine name")
     options: dict[str, object] = {}
+    scheme, sep, argument = name.partition(":")
+    if sep:
+        if not scheme or not argument:
+            raise EngineSpecError(
+                f"malformed scheme spec {spec!r} (expected name:argument)"
+            )
+        name = scheme
+        options["path"] = argument
     if query:
         for item in query.split("&"):
             if not item:
@@ -278,7 +316,7 @@ def _validate_options(entry: EngineEntry, options: dict[str, object]) -> None:
 
 def create_engine(
     spec: str,
-    graph: TDGraph,
+    graph: Optional[TDGraph] = None,
     *,
     config: Optional[BuildConfig] = None,
     **options: object,
@@ -289,9 +327,21 @@ def create_engine(
     :class:`~repro.api.BuildConfig`), then the spec's query string, then
     explicit keyword ``options``.  The merged options are validated against
     the factory signature before anything is built.
+
+    ``graph`` may be omitted only for engines registered with
+    ``graph_optional=True`` (they bring their own data — e.g.
+    ``"snapshot:<path>"`` rehydrates a saved index, graph included);
+    for every other engine a missing graph raises
+    :class:`~repro.exceptions.EngineSpecError` up front instead of a
+    confusing failure deep inside the build.
     """
     name, spec_options = parse_engine_spec(spec)
     entry = engine_entry(name)
+    if graph is None and not entry.graph_optional:
+        raise EngineSpecError(
+            f"engine {name!r} requires a graph to build on "
+            "(only snapshot-style engines accept graph=None)"
+        )
     merged: dict[str, object] = {}
     if config is not None:
         merged.update(config.to_options())

@@ -452,16 +452,19 @@ class TDTreeIndex:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> "str":
+    def save(self, path, *, engine_spec: "str | None" = None) -> "str":
         """Snapshot the built index to the directory ``path``.
 
         See :mod:`repro.persistence.snapshot` for the format (``.npz`` buffers
-        plus a versioned JSON manifest).  Returns the directory path.
+        plus a versioned JSON manifest).  ``engine_spec`` optionally records
+        the registry spec the index realises, making the snapshot servable
+        via ``create_engine("snapshot:<path>")`` under its original engine
+        name.  Returns the directory path.
         """
         from repro.persistence import save_index
 
         self._check_built()
-        return str(save_index(self, path))
+        return str(save_index(self, path, engine_spec=engine_spec))
 
     @classmethod
     def load(cls, path) -> "TDTreeIndex":

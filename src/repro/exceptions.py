@@ -26,6 +26,10 @@ __all__ = [
     "UnknownEngineOptionError",
     "UnsupportedCapabilityError",
     "StaleRouteError",
+    "ServiceClosedError",
+    "HostError",
+    "UnknownDeploymentError",
+    "DuplicateDeploymentError",
 ]
 
 
@@ -152,6 +156,56 @@ class StaleRouteError(EngineError, RuntimeError):
             "QueryOptions(want_path=True)"
         )
         self.engine = engine
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """A query was submitted to a :class:`~repro.serving.QueryService` after
+    :meth:`~repro.serving.QueryService.close`.
+
+    Subclasses :class:`RuntimeError` for drop-in compatibility with code that
+    caught the untyped error raised before this class existed.  The
+    :class:`~repro.serving.EngineHost` hot-swap path relies on this being a
+    *dedicated* type: a submitter racing a swap catches exactly this error
+    and retries against the replacement service.
+    """
+
+    def __init__(self, operation: str = "submit"):
+        super().__init__(
+            f"cannot {operation}: this QueryService has been closed "
+            "(a swapped-out deployment? re-resolve the service and retry)"
+        )
+        self.operation = operation
+
+
+class HostError(ReproError):
+    """Base class for errors raised by :class:`~repro.serving.EngineHost`."""
+
+
+class UnknownDeploymentError(HostError, KeyError):
+    """A host operation referenced a deployment name that does not exist."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        hint = f"; active deployments: {', '.join(available)}" if available else (
+            "; no deployments are active"
+        )
+        super().__init__(f"unknown deployment {name!r}{hint}")
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        # KeyError.__str__ returns repr(args[0]); show the plain message.
+        return str(self.args[0]) if self.args else ""
+
+
+class DuplicateDeploymentError(HostError, ValueError):
+    """``deploy`` was asked to reuse a live deployment name (use ``swap``)."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"deployment {name!r} already exists; use swap({name!r}, ...) to "
+            "replace its engine without downtime, or undeploy it first"
+        )
+        self.name = name
 
 
 class UnsupportedCapabilityError(EngineError, RuntimeError):

@@ -63,7 +63,7 @@ ARRAYS_NAME = "arrays.npz"
 # ----------------------------------------------------------------------
 # Saving
 # ----------------------------------------------------------------------
-def save_index(index, path) -> Path:
+def save_index(index, path, *, engine_spec: str | None = None) -> Path:
     """Write ``index`` to the snapshot directory ``path``.
 
     The directory is created if needed.  Overwriting an existing snapshot is
@@ -73,6 +73,13 @@ def save_index(index, path) -> Path:
     either sees a complete old/new snapshot or gets a
     :class:`~repro.exceptions.SnapshotError`, never a silent mix.  Returns
     the directory path.
+
+    ``engine_spec`` records the registry spec the index was built from
+    (``"td-appro?budget_fraction=0.3"``); the manifest carries it together
+    with the registry's mutation counter so
+    ``create_engine("snapshot:<path>")`` can rehydrate the snapshot into the
+    engine it came from.  Manifests written before these fields existed (or
+    with ``engine_spec=None``) still load — the fields are additive.
     """
     from repro.core.index import TDTreeIndex  # local import: avoid cycle
 
@@ -89,12 +96,19 @@ def save_index(index, path) -> Path:
     arrays.update(index.tree.to_arrays())
     arrays.update(pack_shortcut_pairs(index.shortcuts))
 
+    from repro.api.registry import registry_version
+
     manifest = {
         "format": FORMAT_TAG,
         "format_version": FORMAT_VERSION,
         "repro_version": __version__,
         "arrays_file": ARRAYS_NAME,
         "snapshot_token": token,
+        # The originating engine spec (None when saved through the bare
+        # index surface) plus the registry mutation counter at save time —
+        # what "snapshot:<path>" specs rehydrate from.
+        "engine_spec": engine_spec,
+        "registry_version": registry_version(),
         "strategy": index.strategy,
         "max_points": index.max_points,
         "tolerance": index.tolerance,

@@ -1,18 +1,33 @@
-"""Serving layer: micro-batching query service over a built (or loaded) index.
+"""Serving layer: micro-batching workers plus the deployment control plane.
+
+Two levels:
+
+* :class:`QueryService` — one micro-batching, caching worker over one engine
+  (see :mod:`repro.serving.service` for the batching/caching semantics and
+  :mod:`repro.serving.stats` for the exported counters);
+* :class:`EngineHost` — named deployments above the workers, with
+  zero-downtime hot swap, snapshot-backed provisioning and an async facade
+  (see :mod:`repro.serving.host`).
 
 Typical deployment shape::
 
-    index = TDTreeIndex.load("snapshots/cal.index")      # repro.persistence
-    with QueryService(index, max_batch_size=256) as service:
-        future = service.submit(source, target, departure)
-        cost = future.result()
-        print(service.stats())
-
-See :mod:`repro.serving.service` for the batching/caching semantics and
-:mod:`repro.serving.stats` for the exported counters.
+    host = EngineHost(max_batch_size=256, max_wait_ms=2.0)
+    host.deploy("prod", "snapshot:/var/indexes/cal")      # load, don't build
+    cost = host.query("prod", source, target, departure)
+    host.swap("prod", "td-appro?budget_fraction=0.3")     # zero downtime
+    print(host.stats()["prod"])
 """
 
+from repro.serving.host import DeploymentInfo, EngineHost, SwapReport
 from repro.serving.service import QueryService, ServiceFuture
 from repro.serving.stats import LatencyReservoir, ServiceStats
 
-__all__ = ["QueryService", "ServiceFuture", "ServiceStats", "LatencyReservoir"]
+__all__ = [
+    "EngineHost",
+    "DeploymentInfo",
+    "SwapReport",
+    "QueryService",
+    "ServiceFuture",
+    "ServiceStats",
+    "LatencyReservoir",
+]

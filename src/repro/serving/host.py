@@ -1,0 +1,518 @@
+"""Serving control plane: named engine deployments with zero-downtime swaps.
+
+:class:`~repro.serving.QueryService` is one worker over one engine; a live
+road network needs more — indexes are rebuilt or patched as traffic functions
+change while queries keep arriving.  :class:`EngineHost` is the deployment
+layer above the workers:
+
+* :meth:`~EngineHost.deploy` provisions a named deployment from a registry
+  spec string (``"td-appro?budget_fraction=0.3"``), a snapshot
+  (``"snapshot:/var/indexes/cal"`` — no graph needed, the snapshot embeds
+  one) or a ready :class:`~repro.api.Engine`, and fronts it with the
+  micro-batching machinery;
+* :meth:`~EngineHost.swap` replaces a deployment's engine with **zero
+  downtime**: the replacement builds (or loads) while the old engine keeps
+  answering, the active service pointer flips atomically, the retired
+  service drains its in-flight batches, and the replacement starts with a
+  fresh result cache — so a traffic update becomes "patch a clone, swap"
+  instead of "mutate the index under readers";
+* :meth:`~EngineHost.aquery` / :meth:`~EngineHost.asubmit` bridge the
+  service's thread-world futures into ``asyncio``, and
+  :meth:`~EngineHost.stats` aggregates :class:`~repro.serving.ServiceStats`
+  per deployment **across** swap generations.
+
+How the swap stays downtime-free
+--------------------------------
+Submitters never hold a service reference across calls: each
+:meth:`~EngineHost.submit` re-resolves the deployment's live service.  The
+flip is a single pointer assignment under the host lock; a submitter that
+grabbed the outgoing service just before the flip either gets its query into
+the final drain (answered by the old engine — it was submitted before the
+swap completed) or receives the dedicated
+:class:`~repro.exceptions.ServiceClosedError` and transparently retries
+against the replacement.  No error escapes to the caller, no future is
+dropped, and every answer delivered after :meth:`~EngineHost.swap` returns
+is bit-identical to the replacement engine's own scalar ``query``.
+
+Example
+-------
+>>> host = EngineHost()
+>>> host.deploy("prod", "td-appro?budget_fraction=0.3", graph)
+>>> cost = host.query("prod", 3, 17, 8 * 3600.0)
+>>> patched = graph.copy()          # apply the incident to a clone ...
+>>> host.swap("prod", create_engine("td-appro", patched))   # ... and swap
+>>> host.stats()["prod"].queries_answered
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union, overload
+
+from repro.exceptions import (
+    DuplicateDeploymentError,
+    HostError,
+    ServiceClosedError,
+    UnknownDeploymentError,
+)
+from repro.serving.service import QueryService, ServiceFuture
+from repro.serving.stats import ServiceStats
+
+__all__ = ["EngineHost", "DeploymentInfo", "SwapReport"]
+
+#: What deploy/swap accept: a registry spec string or a ready engine object.
+EngineOrSpec = Union[str, Any]
+
+
+@dataclass(frozen=True)
+class DeploymentInfo:
+    """Read-only description of one deployment at the time it was asked for."""
+
+    #: Deployment name (the routing key of ``submit``/``query``/``swap``).
+    name: str
+    #: Spec the live engine was provisioned from (an engine's ``name`` when
+    #: it was handed in as an object).
+    spec: str
+    #: The live engine itself (handle for profile queries, snapshots, ...).
+    engine: Any
+    #: How many hot swaps this deployment has been through.
+    swap_count: int
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`EngineHost.swap` did, and what it cost.
+
+    ``build_seconds`` dominates and is paid while the old engine still
+    serves; ``switch_seconds`` is the atomic pointer flip (the only moment
+    the deployment is "between" engines — submitters racing it retry, they
+    never fail); ``drain_seconds`` is the retired service flushing its last
+    in-flight batch.
+    """
+
+    deployment: str
+    old_spec: str
+    new_spec: str
+    build_seconds: float
+    switch_seconds: float
+    drain_seconds: float
+    #: Queries that were still pending in the retired service at flip time
+    #: and were answered by the old engine during the drain.
+    drained_queries: int
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time of the swap call."""
+        return self.build_seconds + self.switch_seconds + self.drain_seconds
+
+
+class _Deployment:
+    """Mutable state of one named deployment (internal)."""
+
+    __slots__ = (
+        "name",
+        "spec",
+        "engine",
+        "service",
+        "service_options",
+        "swap_lock",
+        "swap_count",
+        "retired_stats",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        spec: str,
+        engine: Any,
+        service: QueryService,
+        service_options: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.engine = engine
+        self.service = service
+        self.service_options = service_options
+        #: Serializes swaps per deployment; submits never take it.
+        self.swap_lock = threading.Lock()
+        self.swap_count = 0
+        #: Final stats of every retired service generation (for stats()).
+        self.retired_stats: list[ServiceStats] = []
+
+
+def _bridge_future(
+    future: ServiceFuture, loop: asyncio.AbstractEventLoop
+) -> "asyncio.Future[float]":
+    """Mirror a thread-world :class:`ServiceFuture` into an asyncio future."""
+    target: "asyncio.Future[float]" = loop.create_future()
+
+    def _transfer(settled: ServiceFuture) -> None:
+        def _deliver() -> None:
+            if target.cancelled():
+                return
+            error = settled.exception()
+            if error is not None:
+                target.set_exception(error)
+            else:
+                target.set_result(settled.result())
+
+        # The batch settles on a service thread; hand the value over on the
+        # loop thread.  A closed loop swallows the delivery (the awaiter is
+        # gone with it).
+        loop.call_soon_threadsafe(_deliver)
+
+    future.add_done_callback(_transfer)
+    return target
+
+
+class EngineHost:
+    """Owns named deployments and routes traffic to them without downtime.
+
+    Parameters are the default :class:`~repro.serving.QueryService` knobs
+    applied to every deployment; :meth:`deploy` accepts per-deployment
+    overrides, and a swap reuses the deployment's knobs so operational
+    tuning survives engine replacements.
+
+    Thread-safe throughout: any number of submitter threads (or one asyncio
+    loop via the ``a*`` facade) may race deploys, swaps and undeploys.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 256,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 65_536,
+        bucket_seconds: float = 0.0,
+    ) -> None:
+        self._defaults: dict[str, Any] = {
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+            "cache_size": cache_size,
+            "bucket_seconds": bucket_seconds,
+        }
+        self._lock = threading.Lock()
+        self._deployments: dict[str, _Deployment] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        name: str,
+        engine: EngineOrSpec,
+        graph: Any = None,
+        **service_options: Any,
+    ) -> DeploymentInfo:
+        """Provision a deployment ``name`` serving ``engine``.
+
+        ``engine`` is a registry spec string (built via
+        :func:`repro.api.create_engine` — ``"snapshot:<dir>"`` rehydrates a
+        saved index and needs no ``graph``) or a ready engine object.
+        ``service_options`` override the host's default ``QueryService``
+        knobs for this deployment only.  Building happens before any lock is
+        taken, so deploying a slow engine never stalls live deployments.
+        """
+        self._check_open()
+        with self._lock:
+            if name in self._deployments:
+                raise DuplicateDeploymentError(name)
+        built, spec = self._resolve_engine(engine, graph)
+        options = {**self._defaults, **service_options}
+        service = QueryService(built, **options)
+        deployment = _Deployment(name, spec, built, service, options)
+        with self._lock:
+            if self._closed or name in self._deployments:
+                service.close()
+                if self._closed:
+                    raise HostError("EngineHost is closed")
+                raise DuplicateDeploymentError(name)
+            self._deployments[name] = deployment
+        return self._info(deployment)
+
+    def swap(
+        self,
+        name: str,
+        engine: EngineOrSpec,
+        graph: Any = None,
+    ) -> SwapReport:
+        """Replace deployment ``name``'s engine with zero downtime.
+
+        The replacement is built (or loaded) while the old engine keeps
+        serving — pass a spec string to rebuild (``graph`` defaults to the
+        current engine's graph; ``"snapshot:<dir>"`` specs load their own),
+        or a ready engine to make the flip the only work left.  Traffic is
+        then atomically re-pointed, the retired service drains its in-flight
+        batches through the *old* engine (those queries were submitted
+        before the swap completed), and the replacement starts with a fresh
+        result cache, so no answer computed against the old network
+        survives.  Swaps on the same deployment serialize; swaps on
+        different deployments run concurrently.
+        """
+        deployment = self._get(name)
+        with deployment.swap_lock:
+            old_engine = deployment.engine
+            build_started = time.perf_counter()
+            built, spec = self._resolve_engine(
+                engine, graph, fallback_graph=getattr(old_engine, "graph", None)
+            )
+            new_service = QueryService(built, **deployment.service_options)
+            build_seconds = time.perf_counter() - build_started
+
+            switch_started = time.perf_counter()
+            with self._lock:
+                if self._closed or self._deployments.get(name) is not deployment:
+                    new_service.close()
+                    if self._closed:
+                        raise HostError("EngineHost is closed")
+                    raise UnknownDeploymentError(name, tuple(self._deployments))
+                old_service = deployment.service
+                old_spec = deployment.spec
+                deployment.service = new_service
+                deployment.engine = built
+                deployment.spec = spec
+                deployment.swap_count += 1
+                # Retire the outgoing generation's counters in the same
+                # critical section as the flip, so a concurrent stats()
+                # never sees the deployment's totals dip (the pre-drain
+                # snapshot is replaced with the final one below).
+                deployment.retired_stats.append(old_service.stats())
+                retired_index = len(deployment.retired_stats) - 1
+            switch_seconds = time.perf_counter() - switch_started
+
+            drain_started = time.perf_counter()
+            drained = old_service.close()
+            drain_seconds = time.perf_counter() - drain_started
+            with self._lock:
+                deployment.retired_stats[retired_index] = old_service.stats()
+        return SwapReport(
+            deployment=name,
+            old_spec=old_spec,
+            new_spec=spec,
+            build_seconds=build_seconds,
+            switch_seconds=switch_seconds,
+            drain_seconds=drain_seconds,
+            drained_queries=drained,
+        )
+
+    def undeploy(self, name: str) -> ServiceStats:
+        """Retire a deployment; returns its final aggregated stats."""
+        with self._lock:
+            deployment = self._deployments.pop(name, None)
+            if deployment is None:
+                raise UnknownDeploymentError(name, tuple(self._deployments))
+        deployment.service.close()
+        return ServiceStats.merged(
+            [*deployment.retired_stats, deployment.service.stats()]
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def submit(
+        self, deployment: str, source: int, target: int, departure: float
+    ) -> ServiceFuture:
+        """Enqueue one scalar query on ``deployment``; resolves to the cost.
+
+        Swap-safe: a submit racing a hot swap retries against the
+        replacement service instead of surfacing the retired service's
+        :class:`~repro.exceptions.ServiceClosedError`.
+        """
+        while True:
+            service = self._service(deployment)
+            try:
+                return service.submit(source, target, departure)
+            except ServiceClosedError:
+                continue  # lost the race with a swap; re-resolve and retry
+
+    def query(
+        self, deployment: str, source: int, target: int, departure: float
+    ) -> float:
+        """Blocking convenience wrapper: ``submit(...).result()``."""
+        return self.submit(deployment, source, target, departure).result()
+
+    def flush(self, deployment: Optional[str] = None) -> int:
+        """Flush pending micro-batches (one deployment, or all of them)."""
+        names = (deployment,) if deployment is not None else self.deployments()
+        flushed = 0
+        for name in names:
+            while True:
+                try:
+                    flushed += self._service(name).flush()
+                    break
+                except ServiceClosedError:
+                    continue  # racing a swap; flush the replacement instead
+                except UnknownDeploymentError:
+                    if deployment is not None:
+                        raise
+                    break  # undeployed between listing and flushing: fine
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Async facade
+    # ------------------------------------------------------------------
+    def asubmit(
+        self, deployment: str, source: int, target: int, departure: float
+    ) -> "asyncio.Future[float]":
+        """:meth:`submit`, bridged to the running event loop.
+
+        Must be called from a coroutine (it binds to the running loop).  The
+        enqueue itself runs inline — cheap unless this very submit fills the
+        batch, in which case the flush computes on the loop thread; size
+        ``max_batch_size``/``max_wait_ms`` accordingly or keep heavy swaps
+        on :meth:`aswap`.
+        """
+        loop = asyncio.get_running_loop()
+        return _bridge_future(
+            self.submit(deployment, source, target, departure), loop
+        )
+
+    async def aquery(
+        self, deployment: str, source: int, target: int, departure: float
+    ) -> float:
+        """Awaitable scalar query: ``await host.aquery("prod", s, t, d)``."""
+        return await self.asubmit(deployment, source, target, departure)
+
+    async def aswap(
+        self, name: str, engine: EngineOrSpec, graph: Any = None
+    ) -> SwapReport:
+        """:meth:`swap`, off the event loop (the build runs in a thread)."""
+        return await asyncio.to_thread(self.swap, name, engine, graph)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def deployments(self) -> tuple[str, ...]:
+        """Active deployment names, in deployment order."""
+        with self._lock:
+            return tuple(self._deployments)
+
+    def deployment(self, name: str) -> DeploymentInfo:
+        """Describe one deployment (spec, live engine, swap count)."""
+        return self._info(self._get(name))
+
+    @overload
+    def stats(self, deployment: str) -> ServiceStats: ...
+
+    @overload
+    def stats(self, deployment: None = None) -> dict[str, ServiceStats]: ...
+
+    def stats(
+        self, deployment: Optional[str] = None
+    ) -> Union[ServiceStats, dict[str, ServiceStats]]:
+        """Aggregated per-deployment stats (across swap generations).
+
+        Counters from retired service generations are folded into the live
+        service's via :meth:`ServiceStats.merged`, so a deployment's
+        throughput and hit-rate history survives its hot swaps.  Pass a name
+        for one deployment's stats, nothing for a ``{name: stats}`` map.
+        """
+        if deployment is not None:
+            return self._deployment_stats(self._get(deployment))
+        with self._lock:
+            live = list(self._deployments.values())
+        return {d.name: self._deployment_stats(d) for d in live}
+
+    def snapshot(self, deployment: str, path: Any) -> Path:
+        """Snapshot a deployment's engine, recording its originating spec.
+
+        The written manifest carries ``engine_spec``, so the directory is
+        immediately servable elsewhere via
+        ``host.deploy(name, f"snapshot:{path}")``.  A deployment that was
+        itself provisioned from a snapshot records the engine's resolved
+        name (``"td-appro"``), not the old ``snapshot:<path>`` spec —
+        re-snapshotting must not chain stale paths or lose the name.
+        """
+        from repro.api import parse_engine_spec
+        from repro.persistence import save_index
+
+        info = self._get(deployment)
+        spec = info.spec
+        if parse_engine_spec(spec)[0] == "snapshot":
+            spec = str(getattr(info.engine, "name", spec))
+        index = getattr(info.engine, "index", info.engine)
+        return save_index(index, path, engine_spec=spec)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Retire every deployment and refuse further work (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            retired = list(self._deployments.values())
+            self._deployments.clear()
+        for deployment in retired:
+            deployment.service.close()
+
+    def __enter__(self) -> "EngineHost":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            names = ", ".join(self._deployments) or "none"
+        return f"EngineHost(deployments=[{names}])"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HostError("EngineHost is closed")
+
+    def _get(self, name: str) -> _Deployment:
+        with self._lock:
+            if self._closed:
+                raise HostError("EngineHost is closed")
+            deployment = self._deployments.get(name)
+            if deployment is None:
+                raise UnknownDeploymentError(name, tuple(self._deployments))
+            return deployment
+
+    def _service(self, name: str) -> QueryService:
+        return self._get(name).service
+
+    def _info(self, deployment: _Deployment) -> DeploymentInfo:
+        return DeploymentInfo(
+            name=deployment.name,
+            spec=deployment.spec,
+            engine=deployment.engine,
+            swap_count=deployment.swap_count,
+        )
+
+    def _deployment_stats(self, deployment: _Deployment) -> ServiceStats:
+        with self._lock:
+            retired = list(deployment.retired_stats)
+        return ServiceStats.merged([*retired, deployment.service.stats()])
+
+    def _resolve_engine(
+        self,
+        engine: EngineOrSpec,
+        graph: Any,
+        *,
+        fallback_graph: Any = None,
+    ) -> tuple[Any, str]:
+        """Build a spec string into an engine; pass engine objects through."""
+        if isinstance(engine, str):
+            from repro.api import create_engine, engine_entry, parse_engine_spec
+
+            name, _ = parse_engine_spec(engine)
+            if graph is None and not engine_entry(name).graph_optional:
+                graph = fallback_graph
+            return create_engine(engine, graph), engine
+        if graph is not None:
+            raise HostError(
+                "pass a graph only with a spec string; a ready engine "
+                "already carries its own"
+            )
+        return engine, str(getattr(engine, "name", type(engine).__name__))

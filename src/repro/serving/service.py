@@ -37,13 +37,21 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
+from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceClosedError
 from repro.serving.stats import LatencyReservoir, ServiceStats
 
 __all__ = ["QueryService", "ServiceFuture"]
+
+#: One vectorized flush: ``(sources, targets, departures) -> costs``.
+BatchCompute = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+#: One scalar query: ``(source, target, departure) -> cost``.
+ScalarCompute = Callable[[int, int, float], float]
+#: Result-cache key: ``(source, target, departure-or-bucket)``.
+CacheKey = tuple[int, int, float]
 
 #: Guards the lazy allocation of a waiter event in :class:`ServiceFuture`.
 #: Shared across futures: the slow path (blocking before the batch flushed)
@@ -57,23 +65,28 @@ class ServiceFuture:
 
     A drop-in subset of :class:`concurrent.futures.Future` tuned for the
     submit hot path: creating one allocates no lock — the wait event only
-    materialises if a consumer blocks before the micro-batch has flushed.
+    materialises if a consumer blocks before the micro-batch has flushed, and
+    the callback list only if someone bridges the future (e.g. the
+    :class:`~repro.serving.EngineHost` async facade hands results to an
+    ``asyncio`` loop through :meth:`add_done_callback`).
     """
 
-    __slots__ = ("_done", "_value", "_error", "_event")
+    __slots__ = ("_done", "_value", "_error", "_event", "_callbacks")
 
     def __init__(self) -> None:
         self._done = False
-        self._value = None
-        self._error = None
+        self._value: float | None = None
+        self._error: BaseException | None = None
         self._event: threading.Event | None = None
+        self._callbacks: list[Callable[["ServiceFuture"], None]] | None = None
 
-    def set_result(self, value) -> None:
+    def set_result(self, value: float) -> None:
         self._value = value
         self._done = True
         event = self._event
         if event is not None:
             event.set()
+        self._run_callbacks()
 
     def set_exception(self, error: BaseException) -> None:
         self._error = error
@@ -81,18 +94,49 @@ class ServiceFuture:
         event = self._event
         if event is not None:
             event.set()
+        self._run_callbacks()
 
     def done(self) -> bool:
         return self._done
+
+    def add_done_callback(self, fn: Callable[["ServiceFuture"], None]) -> None:
+        """Run ``fn(self)`` once the future settles (immediately if it has).
+
+        Called from whichever thread settles the batch; exceptions raised by
+        ``fn`` are swallowed so a broken callback cannot poison the other
+        futures settled by the same flush.
+        """
+        with _waiter_lock:
+            if not self._done:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+        self._invoke(fn)
+
+    def _run_callbacks(self) -> None:
+        with _waiter_lock:
+            callbacks = self._callbacks
+            self._callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                self._invoke(fn)
+
+    def _invoke(self, fn: Callable[["ServiceFuture"], None]) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - see add_done_callback docstring
+            pass
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         self._wait(timeout)
         return self._error
 
-    def result(self, timeout: float | None = None):
+    def result(self, timeout: float | None = None) -> float:
         self._wait(timeout)
         if self._error is not None:
             raise self._error
+        assert self._value is not None  # settled futures carry value or error
         return self._value
 
     def _wait(self, timeout: float | None) -> None:
@@ -119,7 +163,7 @@ class _WeakInvalidationHook:
 
     __slots__ = ("_service_ref", "_index_ref")
 
-    def __init__(self, service: "QueryService", index) -> None:
+    def __init__(self, service: "QueryService", index: Any) -> None:
         self._service_ref = weakref.ref(service)
         self._index_ref = weakref.ref(index)
 
@@ -149,7 +193,7 @@ def _flusher_main(service_ref: "weakref.ref[QueryService]") -> None:
         del service
 
 
-def _resolve_compute(index):
+def _resolve_compute(index: Any) -> tuple[Optional[BatchCompute], ScalarCompute]:
     """Pick the batch/scalar cost paths for whatever was handed in.
 
     Returns ``(batch_fn, scalar_fn)`` where ``batch_fn(sources, targets,
@@ -171,7 +215,9 @@ class _Pending:
 
     __slots__ = ("source", "target", "departure", "key", "future", "submitted")
 
-    def __init__(self, source, target, departure, key, submitted):
+    def __init__(
+        self, source: int, target: int, departure: float, key: CacheKey, submitted: float
+    ) -> None:
         self.source = source
         self.target = target
         self.departure = departure
@@ -215,7 +261,7 @@ class QueryService:
 
     def __init__(
         self,
-        index,
+        index: Any,
         *,
         max_batch_size: int = 256,
         max_wait_ms: float = 2.0,
@@ -236,7 +282,7 @@ class QueryService:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: list[_Pending] = []
-        self._cache: OrderedDict = OrderedDict()
+        self._cache: OrderedDict[CacheKey, float] = OrderedDict()
         #: Bumped by invalidate_cache(); a batch computed against an older
         #: generation must not populate the cache (its costs may predate an
         #: index update that happened while the batch was in flight).
@@ -285,7 +331,7 @@ class QueryService:
         batch: list[_Pending] | None = None
         with self._lock:
             if self._closed:
-                raise RuntimeError("QueryService is closed")
+                raise ServiceClosedError("submit")
             if self._first_submit is None:
                 self._first_submit = now
             self._submitted += 1
@@ -316,7 +362,18 @@ class QueryService:
         return self.submit(source, target, departure).result()
 
     def flush(self) -> int:
-        """Synchronously flush whatever is pending; returns the batch size."""
+        """Synchronously flush whatever is pending; returns the batch size.
+
+        Raises :class:`~repro.exceptions.ServiceClosedError` on a closed
+        service — :meth:`close` has already drained everything there was.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("flush")
+        return self._drain()
+
+    def _drain(self) -> int:
+        """Flush whatever is pending regardless of the closed flag."""
         with self._lock:
             batch = self._pending
             self._pending = []
@@ -327,7 +384,7 @@ class QueryService:
     # ------------------------------------------------------------------
     # Cache
     # ------------------------------------------------------------------
-    def _cache_key(self, source: int, target: int, departure: float):
+    def _cache_key(self, source: int, target: int, departure: float) -> CacheKey:
         if self.bucket_seconds > 0.0:
             return source, target, int(departure // self.bucket_seconds)
         return source, target, departure
@@ -349,7 +406,10 @@ class QueryService:
     def _flusher_step(self) -> bool:
         """One bounded iteration of the deadline flusher; True = thread exits."""
         with self._wakeup:
-            if self._closed and not self._pending:
+            if self._closed:
+                # close() drains after joining this thread; leaving the
+                # pending batch to it keeps the drained-count it reports
+                # exact (and the shutdown path single).
                 return True
             if not self._pending:
                 self._wakeup.wait(timeout=self._FLUSHER_WAIT_CAP)
@@ -463,25 +523,32 @@ class QueryService:
                 p50_latency_ms=self._latencies.percentile_ms(50.0),
                 p95_latency_ms=self._latencies.percentile_ms(95.0),
                 throughput_qps=(self._answered / elapsed) if elapsed > 0 else 0.0,
+                elapsed_seconds=elapsed,
             )
 
-    def close(self) -> None:
-        """Flush pending queries, stop the flusher, and detach from the index."""
+    def close(self) -> int:
+        """Flush pending queries, stop the flusher, and detach from the index.
+
+        Returns how many still-pending queries the final drain answered (0 on
+        repeated close) — the hot-swap path reports it as the number of
+        queries the outgoing engine answered after traffic had already moved.
+        """
         with self._lock:
             if self._closed:
-                return
+                return 0
             self._closed = True
             self._wakeup.notify_all()
         self._flusher.join(timeout=5.0)
-        self.flush()
+        drained = self._drain()
         unregister = getattr(self._index, "unregister_invalidation_hook", None)
         if unregister is not None:
             unregister(self._invalidation_hook)
+        return drained
 
     def __enter__(self) -> "QueryService":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

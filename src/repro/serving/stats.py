@@ -10,7 +10,8 @@ keeps O(1) memory.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -31,7 +32,7 @@ class LatencyReservoir:
     def record(self, seconds: float) -> None:
         self._samples.append(float(seconds))
 
-    def extend(self, seconds_iterable) -> None:
+    def extend(self, seconds_iterable: Iterable[float]) -> None:
         self._samples.extend(float(s) for s in seconds_iterable)
 
     def __len__(self) -> int:
@@ -70,6 +71,10 @@ class ServiceStats:
     #: Answered queries per second of service wall time (first submit to the
     #: most recent answer); 0.0 before the first batch completes.
     throughput_qps: float
+    #: Service wall time underlying ``throughput_qps`` (first submit to the
+    #: most recent answer).  Carried so snapshots from several service
+    #: generations can be merged exactly (see :meth:`merged`).
+    elapsed_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -77,3 +82,52 @@ class ServiceStats:
         if self.queries_answered == 0:
             return 0.0
         return self.cache_hits / self.queries_answered
+
+    @classmethod
+    def merged(cls, parts: Sequence["ServiceStats"]) -> "ServiceStats":
+        """Aggregate snapshots from successive service generations.
+
+        An :class:`~repro.serving.EngineHost` deployment retires its
+        :class:`~repro.serving.QueryService` on every hot swap; this folds
+        the retired generations and the live one into a single view.  Plain
+        counters add exactly; ``avg_batch_size`` is recomputed from the
+        summed totals; ``throughput_qps`` is total answers over total wall
+        time; ``cache_entries`` reflects the *last* part (the live cache —
+        retired caches are gone); the latency percentiles are
+        answered-weighted means of the component windows, an approximation —
+        read the live service's own stats for exact recent percentiles.
+        """
+        if not parts:
+            return cls(0, 0, 0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if len(parts) == 1:
+            return replace(parts[0])
+        num_batches = sum(p.num_batches for p in parts)
+        batched = sum(p.avg_batch_size * p.num_batches for p in parts)
+        answered = sum(p.queries_answered for p in parts)
+        elapsed = sum(p.elapsed_seconds for p in parts)
+
+        def _weighted(field: str) -> float:
+            if answered == 0:
+                return 0.0
+            total = sum(getattr(p, field) * p.queries_answered for p in parts)
+            return float(total / answered)
+
+        occupancy = (
+            sum(p.batch_occupancy * p.num_batches for p in parts) / num_batches
+            if num_batches
+            else 0.0
+        )
+        return cls(
+            queries_submitted=sum(p.queries_submitted for p in parts),
+            queries_answered=answered,
+            cache_hits=sum(p.cache_hits for p in parts),
+            cache_entries=parts[-1].cache_entries,
+            cache_invalidations=sum(p.cache_invalidations for p in parts),
+            num_batches=num_batches,
+            avg_batch_size=batched / num_batches if num_batches else 0.0,
+            batch_occupancy=occupancy,
+            p50_latency_ms=_weighted("p50_latency_ms"),
+            p95_latency_ms=_weighted("p95_latency_ms"),
+            throughput_qps=(answered / elapsed) if elapsed > 0 else 0.0,
+            elapsed_seconds=elapsed,
+        )

@@ -30,6 +30,7 @@ API_ALL_SNAPSHOT = sorted(
         "available_engines",
         "engine_entry",
         "registered_engines",
+        "registry_version",
         "EngineAdapter",
         "TDTreeEngine",
         "TDDijkstraEngine",

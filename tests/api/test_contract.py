@@ -18,6 +18,8 @@ until that line exists.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -27,6 +29,9 @@ from repro.graph import grid_network
 
 #: One spec per registered engine, configured for exact answers (no function
 #: caps) so every engine must agree with TD-Dijkstra to float precision.
+#: The ``snapshot:`` entry is resolved by :func:`build_contract_engine` — it
+#: round-trips the donor below through a saved snapshot, so the whole suite
+#: also runs against a rehydrated engine.
 CONTRACT_SPECS = (
     "td-basic?max_points=none",
     "td-dp?budget_fraction=0.4&max_points=none",
@@ -37,7 +42,29 @@ CONTRACT_SPECS = (
     "td-astar",
     "td-astar-landmarks?num_landmarks=4",
     "tdg-tree?max_points=none&leaf_size=6",
+    "snapshot:round-trip-of-the-donor",
 )
+
+#: What the contract snapshot engine is a saved copy of (exact, full caps).
+SNAPSHOT_DONOR_SPEC = "td-full?max_points=none"
+
+
+def build_contract_engine(
+    spec: str, graph, directory, *, donor_options: dict | None = None
+) -> Engine:
+    """Resolve one contract spec into an engine.
+
+    ``snapshot:`` has no standalone build path: a donor index is built on
+    ``graph``, saved under ``directory`` and rehydrated through the spec, so
+    the path placeholder in ``CONTRACT_SPECS`` never touches disk itself.
+    """
+    name, _ = parse_engine_spec(spec)
+    if name != "snapshot":
+        return create_engine(spec, graph)
+    donor = create_engine(SNAPSHOT_DONOR_SPEC, graph, **(donor_options or {}))
+    target = Path(directory) / "contract-snapshot.index"
+    donor.index.save(target, engine_spec=SNAPSHOT_DONOR_SPEC)
+    return create_engine(f"snapshot:{target}", name="snapshot")
 
 #: (source, target, departure) probes on the 5x5 contract grid.
 PROBES = (
@@ -56,9 +83,10 @@ def contract_graph():
 
 
 @pytest.fixture(scope="module")
-def engines(contract_graph) -> dict[str, Engine]:
+def engines(contract_graph, tmp_path_factory) -> dict[str, Engine]:
+    base = tmp_path_factory.mktemp("contract-snapshots")
     return {
-        parse_engine_spec(spec)[0]: create_engine(spec, contract_graph)
+        parse_engine_spec(spec)[0]: build_contract_engine(spec, contract_graph, base)
         for spec in CONTRACT_SPECS
     }
 
@@ -170,11 +198,11 @@ def test_batch_capability_honoured(spec, engines):
 
 
 @pytest.mark.parametrize("spec", CONTRACT_SPECS)
-def test_update_capability_honoured(spec):
+def test_update_capability_honoured(spec, tmp_path):
     name = parse_engine_spec(spec)[0]
     # Updates mutate the engine's graph: build a private one per engine.
     graph = grid_network(4, 4, num_points=3, seed=11)
-    engine = create_engine(spec, graph)
+    engine = build_contract_engine(spec, graph, tmp_path)
     from repro.functions import PiecewiseLinearFunction
 
     edges = list(graph.edges())
@@ -189,7 +217,9 @@ def test_update_capability_honoured(spec):
         return
     stale = engine.query(0, 15, 0.0)  # answered against the pre-update network
     engine.update_edges(changes)
-    fresh_reference = create_engine("td-dijkstra", graph)
+    # Reference over the engine's own graph: a snapshot engine updates its
+    # embedded copy, not the donor graph it was saved from.
+    fresh_reference = create_engine("td-dijkstra", engine.graph)
     for source, target, departure in ((0, 15, 0.0), (u, v, 30_000.0), (3, 12, 3_600.0)):
         expected = fresh_reference.query(source, target, departure).cost
         assert engine.query(source, target, departure).cost == pytest.approx(
@@ -243,7 +273,7 @@ def test_engine_wrappers_do_not_pin_themselves_to_the_index():
     assert engine._epoch == 1
 
 
-def test_disconnected_queries_raise_uniformly(engines):
+def test_disconnected_queries_raise_uniformly(engines, tmp_path):
     """All engines signal unreachable targets with DisconnectedQueryError."""
     from repro.exceptions import DisconnectedQueryError
     from repro.functions import PiecewiseLinearFunction
@@ -255,11 +285,17 @@ def test_disconnected_queries_raise_uniformly(engines):
     graph.add_edge(0, 1, PiecewiseLinearFunction.constant(10.0))
     graph.add_edge(2, 1, PiecewiseLinearFunction.constant(10.0))
     for spec in CONTRACT_SPECS:
-        try:
-            # Tree engines refuse disconnected graphs unless told otherwise...
-            engine = create_engine(spec, graph, validate=False)
-        except UnknownEngineOptionError:
-            # ...index-free engines take no validate option at all.
-            engine = create_engine(spec, graph)
+        if parse_engine_spec(spec)[0] == "snapshot":
+            # The donor build must also skip the connectivity validation.
+            engine = build_contract_engine(
+                spec, graph, tmp_path, donor_options={"validate": False}
+            )
+        else:
+            try:
+                # Tree engines refuse disconnected graphs unless told otherwise...
+                engine = create_engine(spec, graph, validate=False)
+            except UnknownEngineOptionError:
+                # ...index-free engines take no validate option at all.
+                engine = create_engine(spec, graph)
         with pytest.raises(DisconnectedQueryError):
             engine.query(0, 2, 0.0)

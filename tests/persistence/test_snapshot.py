@@ -145,6 +145,37 @@ def test_manifest_contents(approx_index, tmp_path):
     assert manifest["selection"]["method"] == approx_index.selection.method
 
 
+def test_manifest_records_engine_spec_and_registry_version(approx_index, tmp_path):
+    from repro.api import registry_version
+
+    directory = approx_index.save(
+        tmp_path / "snap", engine_spec="td-appro?budget_fraction=0.4"
+    )
+    manifest = read_manifest(directory)
+    assert manifest["engine_spec"] == "td-appro?budget_fraction=0.4"
+    assert manifest["registry_version"] == registry_version()
+
+
+def test_manifest_engine_spec_defaults_to_none(approx_index, tmp_path):
+    manifest = read_manifest(approx_index.save(tmp_path / "snap"))
+    assert manifest["engine_spec"] is None
+    assert isinstance(manifest["registry_version"], int)
+
+
+def test_manifest_without_spec_fields_still_loads(approx_index, tmp_path):
+    """Manifests written before engine_spec/registry_version existed load fine."""
+    directory = save_index(approx_index, tmp_path / "snap", engine_spec="td-appro")
+    manifest_path = directory / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["engine_spec"]
+    del manifest["registry_version"]
+    manifest_path.write_text(json.dumps(manifest))
+
+    loaded = load_index(directory)
+    s, t, d = 0, approx_index.graph.num_vertices - 1, 3600.0
+    assert loaded.query(s, t, d).cost == approx_index.query(s, t, d).cost
+
+
 def test_load_missing_snapshot_raises(tmp_path):
     with pytest.raises(SnapshotError):
         load_index(tmp_path / "nope")

@@ -205,11 +205,28 @@ def test_disconnected_query_fails_only_its_future():
 # Lifecycle, stats, concurrency
 # ----------------------------------------------------------------------
 def test_submit_after_close_raises(approx_index):
+    from repro.exceptions import ReproError, ServiceClosedError
+
     svc = QueryService(approx_index, max_batch_size=4, max_wait_ms=1.0)
     svc.close()
-    with pytest.raises(RuntimeError):
+    with pytest.raises(ServiceClosedError):
         svc.submit(0, 1, 0.0)
+    with pytest.raises(ServiceClosedError):
+        svc.flush()
+    # The dedicated error stays catchable through both legacy RuntimeError
+    # handlers and the library-wide base class.
+    assert issubclass(ServiceClosedError, RuntimeError)
+    assert issubclass(ServiceClosedError, ReproError)
     svc.close()  # idempotent
+
+
+def test_close_reports_drained_queries(approx_index):
+    svc = QueryService(approx_index, max_batch_size=1024, max_wait_ms=60_000.0)
+    s, t, d = _workload(approx_index.graph, count=1, seed=21)[0]
+    future = svc.submit(s, t, d)
+    assert svc.close() == 1
+    assert future.result(timeout=1) == approx_index.query(s, t, d).cost
+    assert svc.close() == 0
 
 
 def test_close_flushes_pending(approx_index):
