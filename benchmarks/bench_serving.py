@@ -15,7 +15,14 @@ Three acceptance targets are *enforced* here (not just reported):
   future is dropped, and every answer delivered after ``swap`` returns is
   bit-identical to the replacement engine's own scalar ``query``.  Swap
   latency and the zero-downtime counters land in
-  ``results/BENCH_serving.json``.
+  ``results/BENCH_serving.json``;
+* with ``--chaos``: the resilience-under-overload scenario — a bounded
+  shed-policy service with deadlines takes **2x** its measured closed-loop
+  capacity as open-loop load, through a fault-injected engine with periodic
+  latency spikes.  Every offered query must end in exactly one typed
+  outcome (answered, shed, or deadline-expired) with **zero** never-settled
+  futures; the shed rate and p99 land in
+  ``results/BENCH_serving_resilience.json``.
 
 The tables are registered with the harness, which writes
 ``results/<name>.txt`` plus machine-readable ``results/BENCH_<name>.json``
@@ -277,6 +284,114 @@ def test_host_swap_under_load(request):
     assert before and after, "load must straddle the swap"
     assert mismatches == 0, "post-swap answers must match the replacement engine"
     assert in_flight_wrong == 0, "in-flight answers must come from one of the engines"
+
+
+def test_resilience_under_overload(request):
+    """``--chaos`` acceptance: 2x-capacity open-loop load, zero stranded futures.
+
+    Phase 1 measures the deployment's closed-loop capacity (submit the whole
+    workload, flush, gather).  Phase 2 offers queries open-loop at twice
+    that rate against a *bounded* shed-policy service with a default
+    deadline, over an engine injecting a deterministic latency spike every
+    25th batch.  Enforced: every offered query ends in exactly one typed
+    outcome — answered, shed at admission, or deadline-expired — and no
+    future is left unsettled.  The shed rate and the p99 of the answered
+    queries land in ``results/BENCH_serving_resilience.json``.
+    """
+    if not request.config.getoption("--chaos"):
+        pytest.skip("pass --chaos to run the resilience-under-overload scenario")
+
+    from repro.exceptions import AdmissionRejectedError, DeadlineExceededError
+
+    graph = load_dataset(DATASET, num_points=C)
+    engine = create_engine(
+        "faulty:td-basic?latency_every=25&latency_ms=20&seed=7", graph
+    )
+    sources, targets, departures = _workload_arrays()
+    workload = list(zip(sources.tolist(), targets.tolist(), departures.tolist()))
+
+    # Phase 1: closed-loop capacity of the same engine behind a service.
+    with QueryService(
+        engine, max_batch_size=256, max_wait_ms=2.0, cache_size=0
+    ) as service:
+        started = time.perf_counter()
+        futures = [service.submit(s, t, d) for s, t, d in workload]
+        service.flush()
+        for future in futures:
+            future.result(timeout=60)
+        capacity_qps = len(workload) / (time.perf_counter() - started)
+
+    # Phase 2: open-loop load at 2x capacity against a bounded service.
+    offered_qps = 2.0 * capacity_qps
+    total = min(int(offered_qps), 4 * len(workload))  # ~1 s of offered load
+    interval = 1.0 / offered_qps
+    shed = 0
+    futures = []
+    with QueryService(
+        engine,
+        max_batch_size=256,
+        max_wait_ms=2.0,
+        cache_size=0,
+        max_pending=256,
+        admission_policy="shed",
+        default_deadline_ms=200.0,
+    ) as service:
+        started = time.perf_counter()
+        next_submit = started
+        for i in range(total):
+            now = time.perf_counter()
+            if now < next_submit:
+                time.sleep(next_submit - now)
+            next_submit += interval
+            s, t, d = workload[i % len(workload)]
+            try:
+                futures.append(service.submit(s, t, d))
+            except AdmissionRejectedError:
+                shed += 1
+        offered_seconds = time.perf_counter() - started
+        service.flush()
+
+        answered = expired = never_settled = 0
+        for future in futures:
+            try:
+                error = future.exception(timeout=30.0)
+            except TimeoutError:
+                never_settled += 1
+                continue
+            if error is None:
+                answered += 1
+            elif isinstance(error, DeadlineExceededError):
+                expired += 1
+            else:
+                raise AssertionError(f"untyped chaos outcome: {error!r}")
+        stats = service.stats()
+
+    rows = [
+        {
+            "dataset": DATASET,
+            "c": C,
+            "capacity_qps": capacity_qps,
+            "offered_qps": total / offered_seconds,
+            "offered": total,
+            "answered": answered,
+            "shed": shed,
+            "shed_rate": shed / total,
+            "deadline_expired": expired,
+            "never_settled": never_settled,
+            "p99_latency_ms": stats.p99_latency_ms,
+        }
+    ]
+    register_report(
+        "serving_resilience",
+        rows,
+        title=(
+            f"Resilience under 2x-capacity open-loop load on {DATASET} "
+            f"(c={C}, shed policy, 200 ms deadline, latency faults)"
+        ),
+    )
+    assert never_settled == 0, "every offered query must settle — none may hang"
+    assert answered + expired + shed == total, "chaos outcomes must be exhaustive"
+    assert answered > 0, "the overloaded service must still answer queries"
 
 
 @pytest.mark.parametrize("strategy", ["approx"])

@@ -15,6 +15,13 @@ def pytest_addoption(parser):
         help="run the EngineHost swap-under-load serving scenario "
         "(bench_serving.py; writes results/BENCH_serving.json)",
     )
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the resilience-under-overload serving scenario "
+        "(bench_serving.py; writes results/BENCH_serving_resilience.json)",
+    )
 
 
 @pytest.fixture(scope="session")

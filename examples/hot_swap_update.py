@@ -30,7 +30,8 @@ import numpy as np
 
 from repro import PiecewiseLinearFunction, create_engine
 from repro.datasets import load_dataset
-from repro.serving import EngineHost
+from repro.exceptions import AdmissionRejectedError
+from repro.serving import EngineHost, SupervisionConfig, retry_submit
 
 
 def slow_down(weight: PiecewiseLinearFunction, factor: float) -> PiecewiseLinearFunction:
@@ -40,7 +41,18 @@ def slow_down(weight: PiecewiseLinearFunction, factor: float) -> PiecewiseLinear
 
 def main() -> None:
     graph = load_dataset("CAL", num_points=3)
-    host = EngineHost(max_batch_size=128, max_wait_ms=2.0)
+    # Production posture: a bounded admission queue (overflow is shed with a
+    # typed error instead of queueing without limit), a default deadline so
+    # no caller can block forever, and a background supervisor that restarts
+    # the worker if it ever dies or wedges.
+    host = EngineHost(
+        max_batch_size=128,
+        max_wait_ms=2.0,
+        max_pending=4096,
+        admission_policy="shed",
+        default_deadline_ms=2_000.0,
+        supervision=SupervisionConfig(),
+    )
     host.deploy("prod", "td-appro?budget_fraction=0.35", graph)
 
     rng = np.random.default_rng(11)
@@ -65,10 +77,16 @@ def main() -> None:
     commuter_errors: list[BaseException] = []
 
     def commuter() -> None:
+        # host.query already retries across the swap's service handover; the
+        # explicit retry_submit wrapper additionally rides out a shed from
+        # the bounded admission queue (deterministic jittered backoff).
         nonlocal served
         try:
             while not stop.is_set():
-                host.query("prod", source, target, departure)
+                retry_submit(
+                    lambda: host.query("prod", source, target, departure),
+                    retry_on=(AdmissionRejectedError,),
+                )
                 served += 1
         except BaseException as exc:
             commuter_errors.append(exc)
@@ -111,8 +129,11 @@ def main() -> None:
     stats = host.stats("prod")
     print(
         f"deployment stats across the swap: {stats.queries_answered} answered, "
-        f"hit rate {stats.cache_hit_rate:.0%}, p95 {stats.p95_latency_ms:.2f} ms"
+        f"hit rate {stats.cache_hit_rate:.0%}, p95 {stats.p95_latency_ms:.2f} ms, "
+        f"{stats.shed} shed, {stats.retries} retries, "
+        f"{stats.worker_restarts} worker restarts"
     )
+    print(f"deployment health: {host.health('prod').state.value}")
     host.close()
 
 

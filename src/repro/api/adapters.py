@@ -706,6 +706,47 @@ def build_snapshot_engine(
 
 
 @register_engine(
+    "faulty",
+    description="fault-injection wrapper over any engine (spec form: faulty:<inner-spec>)",
+    graph_optional=True,
+)
+def build_faulty_engine(
+    graph: TDGraph | None = None,
+    *,
+    path: str,
+    fail_batch: int = 0,
+    crash_batch: int = 0,
+    poison_from: int = 0,
+    latency_every: int = 0,
+    latency_ms: float = 0.0,
+    seed: int = 0,
+    **inner_options: Any,
+) -> Engine:
+    """Wrap the inner engine spec ``path`` in a deterministic fault injector.
+
+    The spec form is ``"faulty:<inner-spec>"`` — e.g.
+    ``"faulty:td-appro?crash_batch=3&budget_fraction=0.4"``.  The fault
+    options configure the :class:`~repro.serving.faults.FaultPlan`; every
+    other option is forwarded to the inner engine's factory.  ``graph`` is
+    optional only because the inner spec may be (``"faulty:snapshot:/dir"``);
+    graph-requiring inner engines still demand one.
+    """
+    from repro.api import create_engine
+    from repro.serving.faults import FaultPlan, FaultyEngine
+
+    inner = create_engine(path, graph, **inner_options)
+    plan = FaultPlan(
+        fail_batch=int(fail_batch),
+        crash_batch=int(crash_batch),
+        poison_from=int(poison_from),
+        latency_every=int(latency_every),
+        latency_ms=float(latency_ms),
+        seed=int(seed),
+    )
+    return FaultyEngine(inner, plan)
+
+
+@register_engine(
     "tdg-tree",
     description="TD-G-tree hierarchical border-matrix index (VLDB'19 baseline)",
     paper_name="TD-G-tree",

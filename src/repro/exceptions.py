@@ -27,6 +27,9 @@ __all__ = [
     "UnsupportedCapabilityError",
     "StaleRouteError",
     "ServiceClosedError",
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
+    "WorkerCrashedError",
     "HostError",
     "UnknownDeploymentError",
     "DuplicateDeploymentError",
@@ -175,6 +178,61 @@ class ServiceClosedError(ReproError, RuntimeError):
             "(a swapped-out deployment? re-resolve the service and retry)"
         )
         self.operation = operation
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """A query was shed at admission because the service is over capacity.
+
+    Raised by :meth:`~repro.serving.QueryService.submit` when ``max_pending``
+    queries are already in flight and the overflow policy is ``"shed"`` (or a
+    ``"block"`` wait ran past its admission timeout).  Shedding is the
+    overload contract: the caller gets an immediate, typed rejection it can
+    retry with backoff (see :func:`~repro.serving.retry_submit`) instead of a
+    latency cliff for everyone.
+    """
+
+    def __init__(self, max_pending: int, policy: str = "shed"):
+        super().__init__(
+            f"admission queue full ({max_pending} queries in flight, "
+            f"policy={policy!r}): query shed — back off and retry"
+        )
+        self.max_pending = max_pending
+        self.policy = policy
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A submitted query's deadline elapsed before an answer was delivered.
+
+    Settles the :class:`~repro.serving.ServiceFuture` (it never blocks a
+    consumer past the deadline, even if the worker is wedged inside the
+    engine).  Subclasses :class:`TimeoutError` so callers treating deadlines
+    as plain timeouts keep working.
+    """
+
+    def __init__(self, deadline_ms: float | None = None):
+        detail = f" ({deadline_ms:g} ms)" if deadline_ms is not None else ""
+        super().__init__(
+            f"query deadline{detail} elapsed before an answer was delivered"
+        )
+        self.deadline_ms = deadline_ms
+
+
+class WorkerCrashedError(ReproError, RuntimeError):
+    """A serving worker died or wedged and its in-flight queries were failed.
+
+    Raised into the futures a supervisor aborts when it detects a dead
+    flusher thread, a wedged batch, or a persistently failing engine; also
+    raised by :meth:`~repro.serving.EngineHost.submit` when a deployment is
+    ``UNHEALTHY`` and no fallback engine is configured.
+    """
+
+    def __init__(self, deployment: str, cause: str):
+        super().__init__(
+            f"serving worker for {deployment!r} crashed: {cause} "
+            "(in-flight queries failed; the supervisor restarts the service)"
+        )
+        self.deployment = deployment
+        self.cause = cause
 
 
 class HostError(ReproError):

@@ -1,0 +1,120 @@
+"""Admission control and retry policy for the serving layer.
+
+Two pieces live here:
+
+* the admission *policy* names shared by :class:`~repro.serving.QueryService`
+  and :class:`~repro.serving.EngineHost` — a bounded admission queue in front
+  of ``submit`` either **blocks** the submitter (backpressure: the producer
+  slows to the consumer's pace) or **sheds** the query with a typed
+  :class:`~repro.exceptions.AdmissionRejectedError` (load shedding: overload
+  costs the marginal query an immediate retryable error instead of costing
+  every query a latency cliff);
+* :func:`retry_submit`, the one retry loop for transient serving errors
+  (``ServiceClosedError`` from a racing hot swap or worker restart, a shed
+  under a momentary spike) with bounded exponential backoff and
+  *deterministic* jitter — retries behave identically across runs, so chaos
+  tests and benchmarks stay reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.exceptions import ServiceClosedError
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "ADMIT_BLOCK",
+    "ADMIT_SHED",
+    "backoff_delays",
+    "retry_submit",
+]
+
+#: Block the submitter until capacity frees up (backpressure).
+ADMIT_BLOCK = "block"
+#: Reject over-capacity submits with :class:`AdmissionRejectedError`.
+ADMIT_SHED = "shed"
+#: Every valid ``admission_policy`` value.
+ADMISSION_POLICIES = (ADMIT_BLOCK, ADMIT_SHED)
+
+T = TypeVar("T")
+
+#: Knuth's multiplicative-hash constant; spreads (seed, attempt) pairs over
+#: the jitter range without pulling in the ``random`` module.
+_HASH_MULTIPLIER = 2654435761
+
+
+def _jitter_fraction(seed: int, attempt: int) -> float:
+    """A deterministic pseudo-random fraction in [0, 1) for one retry."""
+    mixed = (seed * _HASH_MULTIPLIER + attempt * 40503 + 12345) & 0xFFFFFFFF
+    return (mixed >> 8) / float(1 << 24)
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base_delay_ms: float = 0.5,
+    max_delay_ms: float = 50.0,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """The exact sleep schedule (seconds) :func:`retry_submit` would use.
+
+    Exposed so tests and capacity planning can inspect the schedule: delays
+    double from ``base_delay_ms`` up to ``max_delay_ms``, each scaled by a
+    deterministic jitter factor in [0.5, 1.0) derived from ``seed`` and the
+    attempt number — no shared RNG state, identical across processes.
+    """
+    delays = []
+    delay_ms = base_delay_ms
+    for attempt in range(max(attempts - 1, 0)):
+        jittered = delay_ms * (0.5 + 0.5 * _jitter_fraction(seed, attempt))
+        delays.append(jittered / 1000.0)
+        delay_ms = min(delay_ms * 2.0, max_delay_ms)
+    return tuple(delays)
+
+
+def retry_submit(
+    submit: Callable[[], T],
+    *,
+    attempts: int = 8,
+    base_delay_ms: float = 0.5,
+    max_delay_ms: float = 50.0,
+    retry_on: Tuple[Type[BaseException], ...] = (ServiceClosedError,),
+    seed: int = 0,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``submit()``, retrying transient serving errors with backoff.
+
+    The shared replacement for every hand-rolled ``ServiceClosedError`` retry
+    loop: ``submit`` must be a zero-argument closure that *re-resolves* its
+    target on every call (e.g. ``lambda: host_service().submit(s, t, d)``) so
+    a retry lands on the replacement service, not the retired one.
+
+    Retries only the exception types in ``retry_on`` (default: the hot-swap
+    race, :class:`~repro.exceptions.ServiceClosedError`; add
+    :class:`~repro.exceptions.AdmissionRejectedError` to also back off from
+    load shedding).  Sleeps follow bounded exponential backoff with
+    deterministic jitter (see :func:`backoff_delays`); after ``attempts``
+    tries the last error is re-raised.  ``on_retry(attempt, error)`` fires
+    before each sleep — the :class:`~repro.serving.EngineHost` uses it to
+    count retries into :class:`~repro.serving.ServiceStats`.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    delays = backoff_delays(
+        attempts, base_delay_ms=base_delay_ms, max_delay_ms=max_delay_ms, seed=seed
+    )
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return submit()
+        except retry_on as exc:
+            last = exc
+            if attempt < len(delays):
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if delays[attempt] > 0.0:
+                    time.sleep(delays[attempt])
+    assert last is not None  # the loop either returned or recorded an error
+    raise last

@@ -49,7 +49,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Optional, Union, overload
 
@@ -58,9 +58,18 @@ from repro.exceptions import (
     HostError,
     ServiceClosedError,
     UnknownDeploymentError,
+    WorkerCrashedError,
 )
+from repro.serving.admission import retry_submit
 from repro.serving.service import QueryService, ServiceFuture
 from repro.serving.stats import ServiceStats
+from repro.serving.supervision import (
+    HealthReport,
+    HealthState,
+    RecoveryReport,
+    Supervisor,
+    SupervisionConfig,
+)
 
 __all__ = ["EngineHost", "DeploymentInfo", "SwapReport"]
 
@@ -81,6 +90,10 @@ class DeploymentInfo:
     engine: Any
     #: How many hot swaps this deployment has been through.
     swap_count: int
+    #: Spec of the configured fallback engine, if any.
+    fallback_spec: Optional[str] = None
+    #: Health at the time of the description.
+    health: HealthState = HealthState.HEALTHY
 
 
 @dataclass(frozen=True)
@@ -122,6 +135,16 @@ class _Deployment:
         "swap_lock",
         "swap_count",
         "retired_stats",
+        "health",
+        "health_cause",
+        "clean_checks",
+        "restarts_since_healthy",
+        "worker_restarts",
+        "degraded_answers",
+        "retries",
+        "fallback_spec",
+        "fallback_service",
+        "last_snapshot",
     )
 
     def __init__(
@@ -137,11 +160,29 @@ class _Deployment:
         self.engine = engine
         self.service = service
         self.service_options = service_options
-        #: Serializes swaps per deployment; submits never take it.
+        #: Serializes swaps (and recoveries) per deployment; submits never
+        #: take it.
         self.swap_lock = threading.Lock()
         self.swap_count = 0
         #: Final stats of every retired service generation (for stats()).
         self.retired_stats: list[ServiceStats] = []
+        # Supervision state (mutated under the host lock).
+        self.health = HealthState.HEALTHY
+        self.health_cause: str | None = None
+        #: Clean supervision passes since the last incident (DEGRADED only).
+        self.clean_checks = 0
+        #: Recovery restarts since the deployment was last HEALTHY; past
+        #: ``max_restarts`` the engine is presumed poisoned and recovery
+        #: escalates.
+        self.restarts_since_healthy = 0
+        self.worker_restarts = 0
+        self.degraded_answers = 0
+        self.retries = 0
+        self.fallback_spec: str | None = None
+        self.fallback_service: QueryService | None = None
+        #: Where host.snapshot() last saved this deployment's index; the
+        #: rehydration source when the live engine is poisoned.
+        self.last_snapshot: Path | None = None
 
 
 def _bridge_future(
@@ -188,16 +229,37 @@ class EngineHost:
         max_wait_ms: float = 2.0,
         cache_size: int = 65_536,
         bucket_seconds: float = 0.0,
+        max_pending: int | None = None,
+        admission_policy: str = "block",
+        admission_timeout_ms: float | None = None,
+        default_deadline_ms: float | None = None,
+        supervision: SupervisionConfig | None = None,
     ) -> None:
         self._defaults: dict[str, Any] = {
             "max_batch_size": max_batch_size,
             "max_wait_ms": max_wait_ms,
             "cache_size": cache_size,
             "bucket_seconds": bucket_seconds,
+            "max_pending": max_pending,
+            "admission_policy": admission_policy,
+            "admission_timeout_ms": admission_timeout_ms,
+            "default_deadline_ms": default_deadline_ms,
         }
         self._lock = threading.Lock()
         self._deployments: dict[str, _Deployment] = {}
         self._closed = False
+        #: Detection thresholds for check(); defaults apply even without the
+        #: background loop, so manual check() calls behave identically.
+        self._supervision = supervision or SupervisionConfig()
+        self._supervisor: Supervisor | None = None
+        if supervision is not None:
+            self._supervisor = Supervisor(self, supervision)
+            self._supervisor.start()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (the supervisor loop checks it)."""
+        return self._closed
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -207,6 +269,8 @@ class EngineHost:
         name: str,
         engine: EngineOrSpec,
         graph: Any = None,
+        *,
+        fallback: Optional[EngineOrSpec] = None,
         **service_options: Any,
     ) -> DeploymentInfo:
         """Provision a deployment ``name`` serving ``engine``.
@@ -217,6 +281,11 @@ class EngineHost:
         ``service_options`` override the host's default ``QueryService``
         knobs for this deployment only.  Building happens before any lock is
         taken, so deploying a slow engine never stalls live deployments.
+
+        ``fallback`` (a spec string or ready engine, e.g. the index-free
+        ``"td-dijkstra"``) provisions a standby the host routes to while the
+        primary is ``UNHEALTHY`` — answers served this way are counted as
+        ``degraded_answers`` in the deployment's stats.
         """
         self._check_open()
         with self._lock:
@@ -226,9 +295,17 @@ class EngineHost:
         options = {**self._defaults, **service_options}
         service = QueryService(built, **options)
         deployment = _Deployment(name, spec, built, service, options)
+        if fallback is not None:
+            fallback_built, fallback_spec = self._resolve_engine(
+                fallback, graph, fallback_graph=getattr(built, "graph", None)
+            )
+            deployment.fallback_spec = fallback_spec
+            deployment.fallback_service = QueryService(fallback_built, **options)
         with self._lock:
             if self._closed or name in self._deployments:
                 service.close()
+                if deployment.fallback_service is not None:
+                    deployment.fallback_service.close()
                 if self._closed:
                     raise HostError("EngineHost is closed")
                 raise DuplicateDeploymentError(name)
@@ -277,6 +354,13 @@ class EngineHost:
                 deployment.engine = built
                 deployment.spec = spec
                 deployment.swap_count += 1
+                # A swap installs a known-good engine: the deployment starts
+                # its health history over (an UNHEALTHY primary parked on a
+                # fallback returns to primary serving here).
+                deployment.health = HealthState.HEALTHY
+                deployment.health_cause = None
+                deployment.clean_checks = 0
+                deployment.restarts_since_healthy = 0
                 # Retire the outgoing generation's counters in the same
                 # critical section as the flip, so a concurrent stats()
                 # never sees the deployment's totals dip (the pre-drain
@@ -307,57 +391,116 @@ class EngineHost:
             if deployment is None:
                 raise UnknownDeploymentError(name, tuple(self._deployments))
         deployment.service.close()
-        return ServiceStats.merged(
-            [*deployment.retired_stats, deployment.service.stats()]
-        )
+        if deployment.fallback_service is not None:
+            deployment.fallback_service.close()
+        return self._merged_stats(deployment)
 
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
     def submit(
-        self, deployment: str, source: int, target: int, departure: float
+        self,
+        deployment: str,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        deadline_ms: float | None = None,
     ) -> ServiceFuture:
         """Enqueue one scalar query on ``deployment``; resolves to the cost.
 
-        Swap-safe: a submit racing a hot swap retries against the
-        replacement service instead of surfacing the retired service's
-        :class:`~repro.exceptions.ServiceClosedError`.
+        Swap-safe and recovery-safe: a submit racing a hot swap (or a
+        supervisor restart) retries against the replacement service via
+        :func:`~repro.serving.retry_submit` instead of surfacing the retired
+        service's :class:`~repro.exceptions.ServiceClosedError`; each retry
+        is counted into the deployment's stats.  On an ``UNHEALTHY``
+        deployment traffic routes to the configured fallback engine (the
+        answer counts as degraded), or fails fast with
+        :class:`~repro.exceptions.WorkerCrashedError` when there is none.
         """
-        while True:
-            service = self._service(deployment)
-            try:
-                return service.submit(source, target, departure)
-            except ServiceClosedError:
-                continue  # lost the race with a swap; re-resolve and retry
+        return retry_submit(
+            lambda: self._route_submit(deployment, source, target, departure, deadline_ms),
+            on_retry=lambda attempt, exc: self._count_retry(deployment),
+        )
+
+    def _route_submit(
+        self,
+        deployment: str,
+        source: int,
+        target: int,
+        departure: float,
+        deadline_ms: float | None,
+    ) -> ServiceFuture:
+        """One routing attempt: health-aware service resolution + submit."""
+        entry = self._get(deployment)
+        if entry.health is HealthState.UNHEALTHY:
+            fallback = entry.fallback_service
+            if fallback is None:
+                raise WorkerCrashedError(
+                    deployment, entry.health_cause or "deployment is unhealthy"
+                )
+            future = fallback.submit(source, target, departure, deadline_ms=deadline_ms)
+            with self._lock:
+                entry.degraded_answers += 1
+            return future
+        return entry.service.submit(source, target, departure, deadline_ms=deadline_ms)
+
+    def _count_retry(self, deployment: str) -> None:
+        with self._lock:
+            entry = self._deployments.get(deployment)
+            if entry is not None:
+                entry.retries += 1
 
     def query(
-        self, deployment: str, source: int, target: int, departure: float
+        self,
+        deployment: str,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        deadline_ms: float | None = None,
     ) -> float:
         """Blocking convenience wrapper: ``submit(...).result()``."""
-        return self.submit(deployment, source, target, departure).result()
+        return self.submit(
+            deployment, source, target, departure, deadline_ms=deadline_ms
+        ).result()
 
     def flush(self, deployment: Optional[str] = None) -> int:
-        """Flush pending micro-batches (one deployment, or all of them)."""
+        """Flush pending micro-batches (one deployment, or all of them).
+
+        ``UNHEALTHY`` deployments flush their fallback service (the one
+        carrying their traffic); deployments without one are skipped — their
+        primary is parked and holds nothing flushable.
+        """
         names = (deployment,) if deployment is not None else self.deployments()
         flushed = 0
         for name in names:
-            while True:
-                try:
-                    flushed += self._service(name).flush()
-                    break
-                except ServiceClosedError:
-                    continue  # racing a swap; flush the replacement instead
-                except UnknownDeploymentError:
-                    if deployment is not None:
-                        raise
-                    break  # undeployed between listing and flushing: fine
+            try:
+                flushed += retry_submit(lambda: self._route_flush(name))
+            except UnknownDeploymentError:
+                if deployment is not None:
+                    raise
+                # undeployed between listing and flushing: fine
         return flushed
+
+    def _route_flush(self, name: str) -> int:
+        entry = self._get(name)
+        if entry.health is HealthState.UNHEALTHY:
+            fallback = entry.fallback_service
+            return fallback.flush() if fallback is not None else 0
+        return entry.service.flush()
 
     # ------------------------------------------------------------------
     # Async facade
     # ------------------------------------------------------------------
     def asubmit(
-        self, deployment: str, source: int, target: int, departure: float
+        self,
+        deployment: str,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        deadline_ms: float | None = None,
     ) -> "asyncio.Future[float]":
         """:meth:`submit`, bridged to the running event loop.
 
@@ -369,14 +512,23 @@ class EngineHost:
         """
         loop = asyncio.get_running_loop()
         return _bridge_future(
-            self.submit(deployment, source, target, departure), loop
+            self.submit(deployment, source, target, departure, deadline_ms=deadline_ms),
+            loop,
         )
 
     async def aquery(
-        self, deployment: str, source: int, target: int, departure: float
+        self,
+        deployment: str,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        deadline_ms: float | None = None,
     ) -> float:
         """Awaitable scalar query: ``await host.aquery("prod", s, t, d)``."""
-        return await self.asubmit(deployment, source, target, departure)
+        return await self.asubmit(
+            deployment, source, target, departure, deadline_ms=deadline_ms
+        )
 
     async def aswap(
         self, name: str, engine: EngineOrSpec, graph: Any = None
@@ -426,31 +578,233 @@ class EngineHost:
         ``host.deploy(name, f"snapshot:{path}")``.  A deployment that was
         itself provisioned from a snapshot records the engine's resolved
         name (``"td-appro"``), not the old ``snapshot:<path>`` spec —
-        re-snapshotting must not chain stale paths or lose the name.
+        re-snapshotting must not chain stale paths or lose the name.  A
+        ``faulty:`` deployment records its *inner* engine's name: the
+        snapshot holds the real index, not the fault wrapper.
+
+        The written path is also remembered as the deployment's rehydration
+        source: if the live engine is later declared poisoned, recovery
+        rebuilds from this snapshot (see :meth:`check`).
         """
         from repro.api import parse_engine_spec
         from repro.persistence import save_index
 
-        info = self._get(deployment)
-        spec = info.spec
-        if parse_engine_spec(spec)[0] == "snapshot":
-            spec = str(getattr(info.engine, "name", spec))
-        index = getattr(info.engine, "index", info.engine)
-        return save_index(index, path, engine_spec=spec)
+        entry = self._get(deployment)
+        spec = entry.spec
+        engine = entry.engine
+        scheme = parse_engine_spec(spec)[0]
+        if scheme == "faulty":
+            inner = getattr(engine, "inner", None)
+            if inner is not None:
+                engine = inner
+                spec = str(getattr(inner, "name", spec))
+        elif scheme == "snapshot":
+            spec = str(getattr(engine, "name", spec))
+        index = getattr(engine, "index", engine)
+        written = save_index(index, path, engine_spec=spec)
+        with self._lock:
+            entry.last_snapshot = written
+        return written
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    @overload
+    def health(self, deployment: str) -> HealthReport: ...
+
+    @overload
+    def health(self, deployment: None = None) -> dict[str, HealthReport]: ...
+
+    def health(
+        self, deployment: Optional[str] = None
+    ) -> Union[HealthReport, dict[str, HealthReport]]:
+        """Current health per deployment (no probing side effects).
+
+        Reflects the state as of the last :meth:`check` pass (manual or from
+        the background :class:`~repro.serving.Supervisor`), enriched with a
+        fresh :class:`~repro.serving.ServiceProbe` of the live service.
+        """
+        if deployment is not None:
+            return self._health_report(self._get(deployment))
+        with self._lock:
+            live = list(self._deployments.values())
+        return {d.name: self._health_report(d) for d in live}
+
+    def _health_report(self, entry: _Deployment) -> HealthReport:
+        with self._lock:
+            state = entry.health
+            cause = entry.health_cause
+            restarts = entry.worker_restarts
+        probe = None
+        if state is not HealthState.UNHEALTHY:
+            probe = entry.service.probe()
+        return HealthReport(
+            deployment=entry.name,
+            state=state,
+            cause=cause,
+            worker_restarts=restarts,
+            probe=probe,
+        )
+
+    def check(self, deployment: Optional[str] = None) -> dict[str, RecoveryReport]:
+        """One synchronous supervision pass; returns recoveries performed.
+
+        For each (or one) deployment: probe the live service, detect
+        incidents against the host's :class:`~repro.serving.SupervisionConfig`
+        thresholds, and recover — abort the worker (failing its in-flight
+        futures with :class:`~repro.exceptions.WorkerCrashedError`), then
+        restart it from the live engine, rehydrate the last
+        :meth:`snapshot` if the engine itself is presumed poisoned, or park
+        the deployment on its fallback.  Clean passes walk ``DEGRADED``
+        deployments back to ``HEALTHY``.  The background supervisor calls
+        exactly this; tests call it directly for deterministic recovery.
+        """
+        names = (deployment,) if deployment is not None else self.deployments()
+        reports: dict[str, RecoveryReport] = {}
+        for name in names:
+            try:
+                entry = self._get(name)
+            except (UnknownDeploymentError, HostError):
+                if deployment is not None:
+                    raise
+                continue
+            report = self._check_one(entry)
+            if report is not None:
+                reports[name] = report
+        return reports
+
+    def _check_one(self, entry: _Deployment) -> Optional[RecoveryReport]:
+        config = self._supervision
+        with self._lock:
+            state = entry.health
+        if state is HealthState.UNHEALTHY:
+            return None  # parked: only swap() brings the primary back
+        probe = entry.service.probe()
+        cause: str | None = None
+        if not probe.closed:
+            wedge_seconds = config.wedge_timeout_ms / 1000.0
+            if not probe.flusher_alive:
+                cause = "deadline-flusher thread died"
+            elif probe.flushing_seconds > wedge_seconds:
+                cause = (
+                    f"batch wedged in the engine for "
+                    f"{probe.flushing_seconds * 1000.0:.0f} ms"
+                )
+            elif probe.oldest_pending_seconds > wedge_seconds:
+                cause = (
+                    f"oldest pending query aged "
+                    f"{probe.oldest_pending_seconds * 1000.0:.0f} ms without a flush"
+                )
+            elif probe.consecutive_batch_failures >= config.failure_threshold:
+                cause = (
+                    f"{probe.consecutive_batch_failures} consecutive "
+                    "whole-batch failures"
+                )
+        if cause is None:
+            with self._lock:
+                if entry.health is HealthState.DEGRADED:
+                    entry.clean_checks += 1
+                    if entry.clean_checks >= config.recovery_checks:
+                        entry.health = HealthState.HEALTHY
+                        entry.health_cause = None
+                        entry.clean_checks = 0
+                        entry.restarts_since_healthy = 0
+            return None
+        return self._recover(entry, cause)
+
+    def _recover(self, entry: _Deployment, cause: str) -> Optional[RecoveryReport]:
+        """Abort the failed worker and bring the deployment back (or park it)."""
+        config = self._supervision
+        if not entry.swap_lock.acquire(blocking=False):
+            # A swap is installing a fresh engine right now; it supersedes
+            # any recovery this pass could do.
+            return None
+        try:
+            error = WorkerCrashedError(entry.name, cause)
+            with self._lock:
+                restarts = entry.restarts_since_healthy
+            if restarts < config.max_restarts:
+                action, engine, spec = "restart", entry.engine, entry.spec
+            elif entry.last_snapshot is not None:
+                # The live engine keeps killing its workers: presume it is
+                # poisoned and rebuild from the last known-good snapshot.
+                from repro.api import create_engine
+
+                action = "rehydrate"
+                spec = f"snapshot:{entry.last_snapshot}"
+                engine = create_engine(spec)
+            elif entry.fallback_service is not None:
+                action, engine, spec = "fallback", None, entry.spec
+            else:
+                action, engine, spec = "park", None, entry.spec
+
+            if engine is None:
+                # No recovery path for the primary: park it UNHEALTHY.
+                with self._lock:
+                    entry.health = HealthState.UNHEALTHY
+                    entry.health_cause = cause
+                old_service = entry.service
+                failed = old_service.abort(error)
+                with self._lock:
+                    entry.retired_stats.append(old_service.stats())
+                return RecoveryReport(
+                    deployment=entry.name,
+                    action=action,
+                    cause=cause,
+                    failed_futures=failed,
+                )
+
+            # Build the replacement worker first, then flip: submitters never
+            # observe a window with no live service.
+            new_service = QueryService(engine, **entry.service_options)
+            with self._lock:
+                old_service = entry.service
+                entry.service = new_service
+                entry.engine = engine
+                entry.spec = spec
+                entry.health = HealthState.DEGRADED
+                entry.health_cause = cause
+                entry.clean_checks = 0
+                entry.worker_restarts += 1
+                if action == "rehydrate":
+                    # Fresh engine: it gets a fresh restart budget.
+                    entry.restarts_since_healthy = 0
+                else:
+                    entry.restarts_since_healthy += 1
+            failed = old_service.abort(error)
+            with self._lock:
+                entry.retired_stats.append(old_service.stats())
+            return RecoveryReport(
+                deployment=entry.name,
+                action=action,
+                cause=cause,
+                failed_futures=failed,
+            )
+        finally:
+            entry.swap_lock.release()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Retire every deployment and refuse further work (idempotent)."""
+        """Retire every deployment and refuse further work.
+
+        Idempotent and safe under concurrent calls: exactly one caller
+        performs the teardown (stopping the supervisor and draining every
+        deployment and fallback); the rest return immediately.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             retired = list(self._deployments.values())
             self._deployments.clear()
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for deployment in retired:
             deployment.service.close()
+            if deployment.fallback_service is not None:
+                deployment.fallback_service.close()
 
     def __enter__(self) -> "EngineHost":
         return self
@@ -488,12 +842,31 @@ class EngineHost:
             spec=deployment.spec,
             engine=deployment.engine,
             swap_count=deployment.swap_count,
+            fallback_spec=deployment.fallback_spec,
+            health=deployment.health,
         )
 
     def _deployment_stats(self, deployment: _Deployment) -> ServiceStats:
+        return self._merged_stats(deployment)
+
+    def _merged_stats(self, deployment: _Deployment) -> ServiceStats:
+        """Fold retired generations, the live service, the fallback, and the
+        host-level resilience counters into one deployment view."""
         with self._lock:
             retired = list(deployment.retired_stats)
-        return ServiceStats.merged([*retired, deployment.service.stats()])
+            retries = deployment.retries
+            degraded = deployment.degraded_answers
+            restarts = deployment.worker_restarts
+        parts = [*retired, deployment.service.stats()]
+        if deployment.fallback_service is not None:
+            parts.append(deployment.fallback_service.stats())
+        merged = ServiceStats.merged(parts)
+        return replace(
+            merged,
+            retries=merged.retries + retries,
+            degraded_answers=merged.degraded_answers + degraded,
+            worker_restarts=merged.worker_restarts + restarts,
+        )
 
     def _resolve_engine(
         self,

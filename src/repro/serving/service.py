@@ -37,14 +37,22 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.exceptions import ReproError, ServiceClosedError
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    WorkerCrashedError,
+)
+from repro.serving.admission import ADMISSION_POLICIES, ADMIT_SHED
 from repro.serving.stats import LatencyReservoir, ServiceStats
 
-__all__ = ["QueryService", "ServiceFuture"]
+__all__ = ["QueryService", "ServiceFuture", "ServiceProbe"]
 
 #: One vectorized flush: ``(sources, targets, departures) -> costs``.
 BatchCompute = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
@@ -69,9 +77,15 @@ class ServiceFuture:
     the callback list only if someone bridges the future (e.g. the
     :class:`~repro.serving.EngineHost` async facade hands results to an
     ``asyncio`` loop through :meth:`add_done_callback`).
+
+    Settlement is **first-wins**: once a result, an exception, or a deadline
+    expiry has settled the future, later settlements are ignored — so a
+    wedged batch that finally finishes cannot overwrite the
+    :class:`~repro.exceptions.DeadlineExceededError` already delivered to the
+    caller, and a racing ``set_exception`` runs the callbacks exactly once.
     """
 
-    __slots__ = ("_done", "_value", "_error", "_event", "_callbacks")
+    __slots__ = ("_done", "_value", "_error", "_event", "_callbacks", "_deadline", "_deadline_ms", "_expire_hook")
 
     def __init__(self) -> None:
         self._done = False
@@ -79,22 +93,38 @@ class ServiceFuture:
         self._error: BaseException | None = None
         self._event: threading.Event | None = None
         self._callbacks: list[Callable[["ServiceFuture"], None]] | None = None
+        #: Absolute ``perf_counter`` deadline (None = no deadline).
+        self._deadline: float | None = None
+        self._deadline_ms: float | None = None
+        #: Called once if the future settles by deadline expiry (the service
+        #: wires its ``deadline_expired`` counter here).
+        self._expire_hook: Callable[[], None] | None = None
 
     def set_result(self, value: float) -> None:
-        self._value = value
-        self._done = True
-        event = self._event
-        if event is not None:
-            event.set()
-        self._run_callbacks()
+        self._settle(value=value)
 
     def set_exception(self, error: BaseException) -> None:
-        self._error = error
-        self._done = True
-        event = self._event
+        self._settle(error=error)
+
+    def _settle(
+        self, *, value: float | None = None, error: BaseException | None = None
+    ) -> bool:
+        """Settle once; returns False when another settlement won the race."""
+        with _waiter_lock:
+            if self._done:
+                return False
+            self._value = value
+            self._error = error
+            self._done = True
+            event = self._event
+            callbacks = self._callbacks
+            self._callbacks = None
         if event is not None:
             event.set()
-        self._run_callbacks()
+        if callbacks:
+            for fn in callbacks:
+                self._invoke(fn)
+        return True
 
     def done(self) -> bool:
         return self._done
@@ -114,19 +144,29 @@ class ServiceFuture:
                 return
         self._invoke(fn)
 
-    def _run_callbacks(self) -> None:
-        with _waiter_lock:
-            callbacks = self._callbacks
-            self._callbacks = None
-        if callbacks:
-            for fn in callbacks:
-                self._invoke(fn)
-
     def _invoke(self, fn: Callable[["ServiceFuture"], None]) -> None:
         try:
             fn(self)
         except Exception:  # noqa: BLE001 - see add_done_callback docstring
             pass
+
+    def _arm_deadline(
+        self, deadline: float, deadline_ms: float, expire_hook: Callable[[], None]
+    ) -> None:
+        """Attach an absolute deadline (service-internal, set before publish)."""
+        self._deadline = deadline
+        self._deadline_ms = deadline_ms
+        self._expire_hook = expire_hook
+
+    def _expire(self) -> bool:
+        """Settle with :class:`DeadlineExceededError`; False if already done."""
+        settled = self._settle(error=DeadlineExceededError(self._deadline_ms))
+        if settled and self._expire_hook is not None:
+            try:
+                self._expire_hook()
+            finally:
+                self._expire_hook = None
+        return settled
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         self._wait(timeout)
@@ -147,8 +187,25 @@ class ServiceFuture:
                 self._event = threading.Event()
         # Publish-then-recheck: if the setter raced us it either saw the
         # event (and set it) or completed before our recheck below.
-        if not self._done:
-            self._event.wait(timeout)
+        end = None if timeout is None else time.perf_counter() + timeout
+        while not self._done:
+            now = time.perf_counter()
+            if self._deadline is not None and self._deadline - now <= 0.0:
+                # The consumer enforces its own deadline: a wedged worker can
+                # delay the answer, never the caller's unblocking.
+                self._expire()
+                return
+            waits = []
+            if end is not None:
+                waits.append(end - now)
+            if self._deadline is not None:
+                waits.append(self._deadline - now)
+            wait_for = min(waits) if waits else None
+            if wait_for is not None and wait_for <= 0.0:
+                break
+            self._event.wait(wait_for)
+            if end is not None and time.perf_counter() >= end:
+                break
         if not self._done:
             raise TimeoutError("query result not available yet")
 
@@ -213,7 +270,7 @@ def _resolve_compute(index: Any) -> tuple[Optional[BatchCompute], ScalarCompute]
 class _Pending:
     """One enqueued query: inputs, cache key, future, and its submit time."""
 
-    __slots__ = ("source", "target", "departure", "key", "future", "submitted")
+    __slots__ = ("source", "target", "departure", "key", "future", "submitted", "deadline")
 
     def __init__(
         self, source: int, target: int, departure: float, key: CacheKey, submitted: float
@@ -224,6 +281,37 @@ class _Pending:
         self.key = key
         self.future = ServiceFuture()
         self.submitted = submitted
+        #: Absolute ``perf_counter`` deadline, or None (no deadline).
+        self.deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class ServiceProbe:
+    """One liveness/health observation of a :class:`QueryService`.
+
+    Produced by :meth:`QueryService.probe` for the supervisor: everything a
+    health check needs to distinguish *healthy*, *wedged* (a batch stuck
+    inside the engine, or pending queries aging with a dead flusher), and
+    *failing* (consecutive whole-batch errors) — without touching the
+    engine itself.
+    """
+
+    #: ``close()`` or ``abort()`` has run.
+    closed: bool
+    #: The deadline-flusher daemon thread is still running.
+    flusher_alive: bool
+    #: Age (seconds) of the oldest enqueued-but-unflushed query; 0.0 if none.
+    oldest_pending_seconds: float
+    #: How long the current ``batch_query`` call has been executing; 0.0 when
+    #: no flush is in progress.
+    flushing_seconds: float
+    #: Consecutive flushes in which *every* query failed (reset by any
+    #: success); a proxy for a poisoned engine.
+    consecutive_batch_failures: int
+    #: Queries enqueued and waiting to be flushed.
+    pending: int
+    #: Queries admitted but not yet answered (pending + executing).
+    in_flight: int
 
 
 class QueryService:
@@ -250,6 +338,24 @@ class QueryService:
         Width of the departure-time cache buckets.  0 (default) caches on the
         exact departure only, keeping the service's answers exact; a positive
         width trades bounded staleness within a bucket for a higher hit rate.
+    max_pending:
+        Admission bound: at most this many queries may be in flight
+        (enqueued or executing) at once.  ``None`` (default) keeps the
+        pre-resilience behaviour of an unbounded queue.  Cache hits bypass
+        admission — they consume no worker capacity.
+    admission_policy:
+        What an over-capacity ``submit`` does: ``"block"`` (default) waits
+        for capacity (backpressure), ``"shed"`` raises
+        :class:`~repro.exceptions.AdmissionRejectedError` immediately.
+    admission_timeout_ms:
+        Upper bound on a ``"block"`` wait; past it the query is shed with
+        :class:`~repro.exceptions.AdmissionRejectedError`.  ``None`` waits
+        indefinitely (until capacity frees or the service closes).
+    default_deadline_ms:
+        Deadline applied to every submit that does not pass its own
+        ``deadline_ms``.  A query whose deadline elapses before its answer
+        settles with :class:`~repro.exceptions.DeadlineExceededError` — the
+        caller is never blocked past the deadline, even by a wedged engine.
 
     Examples
     --------
@@ -267,20 +373,46 @@ class QueryService:
         max_wait_ms: float = 2.0,
         cache_size: int = 65_536,
         bucket_seconds: float = 0.0,
+        max_pending: int | None = None,
+        admission_policy: str = "block",
+        admission_timeout_ms: float | None = None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_wait_ms < 0 or cache_size < 0 or bucket_seconds < 0:
             raise ValueError("max_wait_ms, cache_size and bucket_seconds must be >= 0")
+        if admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission_policy must be one of {ADMISSION_POLICIES}, "
+                f"got {admission_policy!r}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1 (or None for unbounded)")
+        if admission_timeout_ms is not None and admission_timeout_ms < 0:
+            raise ValueError("admission_timeout_ms must be >= 0")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0")
         self._index = index
         self._batch_compute, self._scalar_compute = _resolve_compute(index)
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.cache_size = int(cache_size)
         self.bucket_seconds = float(bucket_seconds)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.admission_policy = admission_policy
+        self.admission_timeout = (
+            None if admission_timeout_ms is None else float(admission_timeout_ms) / 1000.0
+        )
+        self.default_deadline_ms = (
+            None if default_deadline_ms is None else float(default_deadline_ms)
+        )
 
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
+        #: Signalled whenever in-flight capacity frees up (blocked admits wait
+        #: here) and on close/abort so no admit waits on a dead service.
+        self._capacity = threading.Condition(self._lock)
         self._pending: list[_Pending] = []
         self._cache: OrderedDict[CacheKey, float] = OrderedDict()
         #: Bumped by invalidate_cache(); a batch computed against an older
@@ -299,6 +431,14 @@ class QueryService:
         self._latencies = LatencyReservoir()
         self._first_submit: float | None = None
         self._last_answer: float | None = None
+        # Resilience state (also under the lock).
+        self._in_flight = 0
+        self._shed = 0
+        self._deadline_expired = 0
+        self._consecutive_batch_failures = 0
+        #: perf_counter when the current engine flush started; None when no
+        #: flush is executing.  Lets the supervisor see a wedged batch.
+        self._flushing_since: float | None = None
 
         self._invalidation_hook = _WeakInvalidationHook(self, index)
         register = getattr(index, "register_invalidation_hook", None)
@@ -316,16 +456,33 @@ class QueryService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, source: int, target: int, departure: float) -> ServiceFuture:
+    def submit(
+        self,
+        source: int,
+        target: int,
+        departure: float,
+        *,
+        deadline_ms: float | None = None,
+    ) -> ServiceFuture:
         """Enqueue one travel-cost query; the future resolves to the cost.
 
         Disconnected or invalid queries resolve the future with the same
         :class:`~repro.exceptions.ReproError` subclass the scalar query
-        raises.
+        raises.  With ``max_pending`` set, an over-capacity submit blocks or
+        raises :class:`~repro.exceptions.AdmissionRejectedError` per the
+        admission policy; ``deadline_ms`` (default: the service's
+        ``default_deadline_ms``) bounds how long the returned future may stay
+        unsettled before it fails with
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         source = int(source)
         target = int(target)
         departure = float(departure)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        effective_deadline_ms = (
+            deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        )
         key = self._cache_key(source, target, departure)
         now = time.perf_counter()
         batch: list[_Pending] | None = None
@@ -346,7 +503,14 @@ class QueryService:
                     future = ServiceFuture()
                     future.set_result(cached)
                     return future
+            self._admit(now)
+            self._in_flight += 1
             entry = _Pending(source, target, departure, key, now)
+            if effective_deadline_ms is not None:
+                entry.deadline = now + effective_deadline_ms / 1000.0
+                entry.future._arm_deadline(
+                    entry.deadline, effective_deadline_ms, self._note_expired
+                )
             self._pending.append(entry)
             if len(self._pending) >= self.max_batch_size:
                 batch = self._pending
@@ -356,6 +520,45 @@ class QueryService:
         if batch is not None:
             self._run_batch(batch)
         return entry.future
+
+    def _admit(self, now: float) -> None:
+        """Enforce the admission bound; caller holds the lock.
+
+        Returns having reserved nothing — the caller increments
+        ``_in_flight`` itself once the entry is actually created — but only
+        after there is room for it (or raises).
+        """
+        if self.max_pending is None:
+            return
+        if self._in_flight < self.max_pending:
+            return
+        if self.admission_policy == ADMIT_SHED:
+            self._shed += 1
+            raise AdmissionRejectedError(self.max_pending, ADMIT_SHED)
+        end = None if self.admission_timeout is None else now + self.admission_timeout
+        while self._in_flight >= self.max_pending:
+            if self._closed:
+                raise ServiceClosedError("submit")
+            wait_for = None
+            if end is not None:
+                wait_for = end - time.perf_counter()
+                if wait_for <= 0.0:
+                    self._shed += 1
+                    raise AdmissionRejectedError(self.max_pending, "block")
+            self._capacity.wait(timeout=wait_for)
+        if self._closed:
+            raise ServiceClosedError("submit")
+
+    def _note_expired(self) -> None:
+        """Expire-hook wired into deadlined futures (counts expiries only).
+
+        Capacity/answered accounting happens exactly once where the entry
+        leaves the system (flusher-side expiry removal or ``_run_batch``);
+        this hook runs on whichever thread wins the expiry race — possibly a
+        consumer inside ``result()`` — so it touches nothing else.
+        """
+        with self._lock:
+            self._deadline_expired += 1
 
     def query(self, source: int, target: int, departure: float) -> float:
         """Blocking convenience wrapper: ``submit(...).result()``."""
@@ -405,23 +608,55 @@ class QueryService:
 
     def _flusher_step(self) -> bool:
         """One bounded iteration of the deadline flusher; True = thread exits."""
+        expired: list[_Pending] = []
+        batch: list[_Pending] | None = None
         with self._wakeup:
             if self._closed:
                 # close() drains after joining this thread; leaving the
                 # pending batch to it keeps the drained-count it reports
                 # exact (and the shutdown path single).
                 return True
-            if not self._pending:
+            now = time.perf_counter()
+            if self._pending:
+                # Proactively expire overdue entries so their admission slots
+                # free up even when no consumer is blocked in result().
+                keep: list[_Pending] = []
+                for entry in self._pending:
+                    if entry.deadline is not None and entry.deadline <= now:
+                        expired.append(entry)
+                    else:
+                        keep.append(entry)
+                if expired:
+                    self._pending = keep
+                    self._in_flight -= len(expired)
+                    self._answered += len(expired)
+                    self._last_answer = now
+                    self._capacity.notify_all()
+            if self._pending:
+                flush_due = self._pending[0].submitted + self.max_wait
+                if flush_due <= now:
+                    batch = self._pending
+                    self._pending = []
+                elif not expired:
+                    # Sleep until the batch is due or the next per-query
+                    # deadline needs expiring, whichever comes first.
+                    due = flush_due
+                    next_deadline = min(
+                        (p.deadline for p in self._pending if p.deadline is not None),
+                        default=None,
+                    )
+                    if next_deadline is not None:
+                        due = min(due, next_deadline)
+                    self._wakeup.wait(timeout=min(due - now, self._FLUSHER_WAIT_CAP))
+                    return False  # re-check: the batch may have been flushed
+            elif not expired:
                 self._wakeup.wait(timeout=self._FLUSHER_WAIT_CAP)
                 return False
-            deadline = self._pending[0].submitted + self.max_wait
-            remaining = deadline - time.perf_counter()
-            if remaining > 0 and not self._closed:
-                self._wakeup.wait(timeout=min(remaining, self._FLUSHER_WAIT_CAP))
-                return False  # re-check: the batch may have been flushed
-            batch = self._pending
-            self._pending = []
-        self._run_batch(batch)
+        # Settle expired futures outside the lock: _expire runs callbacks.
+        for entry in expired:
+            entry.future._expire()
+        if batch:
+            self._run_batch(batch)
         return False
 
     def _per_query_costs(
@@ -460,26 +695,40 @@ class QueryService:
         departures = np.fromiter((p.departure for p in batch), np.float64, len(batch))
         generation = self._cache_generation
         errors: dict[int, Exception] = {}
-        if self._batch_compute is None:
-            costs, errors = self._per_query_costs(sources, targets, departures)
-        else:
-            try:
-                costs = np.asarray(
-                    self._batch_compute(sources, targets, departures), dtype=np.float64
-                )
-            except ReproError:
-                # One bad query fails a whole vectorized call; degrade to
-                # per-query calls so the rest of the batch still gets answers.
+        with self._lock:
+            self._flushing_since = time.perf_counter()
+        try:
+            if self._batch_compute is None:
                 costs, errors = self._per_query_costs(sources, targets, departures)
-            except Exception as exc:
-                costs = np.full(len(batch), np.nan)
-                errors = {i: exc for i in range(len(batch))}
+            else:
+                try:
+                    costs = np.asarray(
+                        self._batch_compute(sources, targets, departures),
+                        dtype=np.float64,
+                    )
+                except ReproError:
+                    # One bad query fails a whole vectorized call; degrade to
+                    # per-query calls so the rest of the batch still gets
+                    # answers.
+                    costs, errors = self._per_query_costs(sources, targets, departures)
+                except Exception as exc:
+                    costs = np.full(len(batch), np.nan)
+                    errors = {i: exc for i in range(len(batch))}
+        finally:
+            with self._lock:
+                self._flushing_since = None
 
         now = time.perf_counter()
         with self._lock:
             self._num_batches += 1
             self._batched_queries += len(batch)
             self._answered += len(batch)
+            self._in_flight -= len(batch)
+            self._capacity.notify_all()
+            if batch and len(errors) == len(batch):
+                self._consecutive_batch_failures += 1
+            else:
+                self._consecutive_batch_failures = 0
             self._last_answer = now
             self._latencies.extend(now - p.submitted for p in batch)
             # Skip cache insertion when an invalidation raced the engine call:
@@ -524,7 +773,69 @@ class QueryService:
                 p95_latency_ms=self._latencies.percentile_ms(95.0),
                 throughput_qps=(self._answered / elapsed) if elapsed > 0 else 0.0,
                 elapsed_seconds=elapsed,
+                p99_latency_ms=self._latencies.percentile_ms(99.0),
+                shed=self._shed,
+                deadline_expired=self._deadline_expired,
             )
+
+    def probe(self) -> ServiceProbe:
+        """One consistent liveness observation (see :class:`ServiceProbe`).
+
+        Cheap (one lock acquisition, no engine calls) — the supervisor polls
+        it every interval; tests call it directly for deterministic health
+        checks.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            oldest = (
+                max(now - self._pending[0].submitted, 0.0) if self._pending else 0.0
+            )
+            flushing = (
+                max(now - self._flushing_since, 0.0)
+                if self._flushing_since is not None
+                else 0.0
+            )
+            return ServiceProbe(
+                closed=self._closed,
+                flusher_alive=self._flusher.is_alive(),
+                oldest_pending_seconds=oldest,
+                flushing_seconds=flushing,
+                consecutive_batch_failures=self._consecutive_batch_failures,
+                pending=len(self._pending),
+                in_flight=self._in_flight,
+            )
+
+    def abort(self, error: BaseException | None = None) -> int:
+        """Kill the service NOW: fail every pending future with ``error``.
+
+        The supervisor's counterpart to :meth:`close`: no drain (the engine
+        may be wedged or poisoned — running one more batch through it is
+        exactly what we must not do) and no flusher join (the flusher may
+        *be* the wedged thread).  Marks the service closed, settles every
+        enqueued future with ``error`` (default
+        :class:`~repro.exceptions.WorkerCrashedError`), wakes blocked
+        admission waiters, and detaches from the index.  Returns how many
+        futures it failed.  Idempotent: a second call returns 0.
+        """
+        if error is None:
+            error = WorkerCrashedError("<service>", "aborted")
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+            abandoned = self._pending
+            self._pending = []
+            self._in_flight -= len(abandoned)
+            self._answered += len(abandoned)
+            self._last_answer = time.perf_counter()
+            self._wakeup.notify_all()
+            self._capacity.notify_all()
+        for entry in abandoned:
+            entry.future.set_exception(error)
+        unregister = getattr(self._index, "unregister_invalidation_hook", None)
+        if unregister is not None:
+            unregister(self._invalidation_hook)
+        return len(abandoned)
 
     def close(self) -> int:
         """Flush pending queries, stop the flusher, and detach from the index.
@@ -532,12 +843,16 @@ class QueryService:
         Returns how many still-pending queries the final drain answered (0 on
         repeated close) — the hot-swap path reports it as the number of
         queries the outgoing engine answered after traffic had already moved.
+        Idempotent and safe under concurrent calls: exactly one caller drains
+        (and reports the drained count); every other call returns 0
+        immediately.
         """
         with self._lock:
             if self._closed:
                 return 0
             self._closed = True
             self._wakeup.notify_all()
+            self._capacity.notify_all()
         self._flusher.join(timeout=5.0)
         drained = self._drain()
         unregister = getattr(self._index, "unregister_invalidation_hook", None)

@@ -75,6 +75,22 @@ class ServiceStats:
     #: most recent answer).  Carried so snapshots from several service
     #: generations can be merged exactly (see :meth:`merged`).
     elapsed_seconds: float = 0.0
+    #: Tail latency over the same recent sample window as p50/p95.
+    p99_latency_ms: float = 0.0
+    #: Queries rejected at admission (``shed`` policy, or a ``block`` wait
+    #: that ran past its admission timeout).
+    shed: int = 0
+    #: Futures settled with :class:`~repro.exceptions.DeadlineExceededError`.
+    deadline_expired: int = 0
+    #: Submit attempts retried across a hot swap or worker restart (counted
+    #: by the :class:`~repro.serving.EngineHost` routing layer).
+    retries: int = 0
+    #: Answers served by a deployment's fallback engine while the primary was
+    #: unhealthy (host-level counter; 0 on a bare service).
+    degraded_answers: int = 0
+    #: Times a supervisor aborted and restarted the deployment's worker
+    #: (host-level counter; 0 on a bare service).
+    worker_restarts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -130,4 +146,10 @@ class ServiceStats:
             p95_latency_ms=_weighted("p95_latency_ms"),
             throughput_qps=(answered / elapsed) if elapsed > 0 else 0.0,
             elapsed_seconds=elapsed,
+            p99_latency_ms=_weighted("p99_latency_ms"),
+            shed=sum(p.shed for p in parts),
+            deadline_expired=sum(p.deadline_expired for p in parts),
+            retries=sum(p.retries for p in parts),
+            degraded_answers=sum(p.degraded_answers for p in parts),
+            worker_restarts=sum(p.worker_restarts for p in parts),
         )

@@ -1,0 +1,176 @@
+"""Deployment supervision: health states, detection thresholds, recovery.
+
+The :class:`~repro.serving.EngineHost` owns the actual recovery mechanics
+(it holds the deployments); this module defines the *policy* vocabulary —
+:class:`SupervisionConfig` thresholds, the :class:`HealthState` machine,
+:class:`HealthReport`/:class:`RecoveryReport` — and the :class:`Supervisor`
+daemon thread that drives periodic ``host.check()`` passes.
+
+The state machine, per deployment::
+
+    HEALTHY --incident--> DEGRADED --clean checks--> HEALTHY
+       |                      |
+       |                      +--restart budget exhausted--+
+       +--unrecoverable-------------------------------------> UNHEALTHY
+
+* An *incident* is any probe signal crossing a configured threshold: dead
+  flusher thread, a batch wedged inside the engine, pending queries aging
+  past the wedge timeout, or ``failure_threshold`` consecutive whole-batch
+  errors.  Recovery aborts the worker (failing its in-flight futures with
+  :class:`~repro.exceptions.WorkerCrashedError` — nothing ever hangs) and
+  restarts the service from the live engine; a deployment that keeps
+  crashing has a poisoned engine and is *rehydrated* from its last
+  ``host.snapshot`` instead.
+* ``DEGRADED`` means "recovering": traffic flows to the restarted worker,
+  and ``recovery_checks`` consecutive clean probes promote it back.
+* ``UNHEALTHY`` means the primary cannot serve: traffic routes to the
+  deployment's fallback engine if one was configured (answers counted as
+  ``degraded_answers``), otherwise submits fail fast with
+  :class:`~repro.exceptions.WorkerCrashedError`.  A :meth:`~EngineHost.swap`
+  installs a new engine and resets the deployment to ``HEALTHY``.
+
+Deterministic by design: ``host.check()`` is a plain synchronous pass, so
+tests drive the whole machine without the timing thread; production hosts
+pass ``supervision=SupervisionConfig(...)`` and get the background loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.host import EngineHost
+    from repro.serving.service import ServiceProbe
+
+__all__ = [
+    "HealthState",
+    "HealthReport",
+    "RecoveryReport",
+    "SupervisionConfig",
+    "Supervisor",
+]
+
+
+class HealthState(Enum):
+    """Per-deployment health (see the module docstring's state machine)."""
+
+    #: Serving normally.
+    HEALTHY = "healthy"
+    #: Recovering from an incident: a restarted (or rehydrated) worker is
+    #: serving, awaiting ``recovery_checks`` clean probes.
+    DEGRADED = "degraded"
+    #: The primary cannot serve; traffic fails fast or routes to a fallback.
+    UNHEALTHY = "unhealthy"
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Detection thresholds and recovery budgets for one host's supervisor."""
+
+    #: Period of the background supervision loop (the :class:`Supervisor`).
+    interval_ms: float = 100.0
+    #: A batch executing longer than this, or a pending query older than
+    #: this, marks the worker *wedged*.  Size it well above the deployment's
+    #: honest p99 batch time.
+    wedge_timeout_ms: float = 1000.0
+    #: Consecutive flushes in which every query failed before the engine is
+    #: considered crashing (1 = a single fully-failed batch triggers
+    #: recovery).
+    failure_threshold: int = 3
+    #: Consecutive clean probes that promote ``DEGRADED`` back to
+    #: ``HEALTHY``.
+    recovery_checks: int = 2
+    #: Restarts attempted since the deployment was last healthy before the
+    #: engine is declared poisoned and recovery escalates (snapshot
+    #: rehydration, then fallback, then ``UNHEALTHY``).
+    max_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0 or self.wedge_timeout_ms <= 0:
+            raise ValueError("interval_ms and wedge_timeout_ms must be > 0")
+        if self.failure_threshold < 1 or self.recovery_checks < 1:
+            raise ValueError("failure_threshold and recovery_checks must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One deployment's health as of the last observation."""
+
+    deployment: str
+    state: HealthState
+    #: Human-readable incident cause; None while ``HEALTHY``.
+    cause: Optional[str]
+    #: Times the supervisor restarted/rehydrated this deployment's worker.
+    worker_restarts: int
+    #: The probe the assessment was made from (None if the deployment was
+    #: assessed without probing, e.g. a parked ``UNHEALTHY`` primary).
+    probe: Optional["ServiceProbe"] = None
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery did (returned by ``host.check()`` per incident)."""
+
+    deployment: str
+    #: ``"restart"`` (new worker over the live engine), ``"rehydrate"`` (new
+    #: engine from the last snapshot), ``"fallback"`` (primary parked,
+    #: traffic routed to the fallback engine), or ``"park"`` (no recovery
+    #: path left: the deployment is ``UNHEALTHY`` and fails fast).
+    action: str
+    #: The incident that triggered recovery.
+    cause: str
+    #: In-flight futures failed with ``WorkerCrashedError`` by the abort.
+    failed_futures: int
+
+
+def _supervisor_main(
+    host_ref: "weakref.ref[EngineHost]", stop: threading.Event, interval: float
+) -> None:
+    """Supervision loop body; holds the host only for the check itself."""
+    while not stop.wait(interval):
+        host = host_ref()
+        if host is None or host.closed:
+            return
+        try:
+            host.check()
+        except Exception:  # noqa: BLE001 - supervision must never die
+            pass
+        del host
+
+
+class Supervisor:
+    """Daemon thread running ``host.check()`` every ``interval_ms``.
+
+    Holds the host only weakly (like the service's flusher holds its
+    service): an abandoned host gets garbage-collected, its supervisor
+    noticing on the next tick.  :meth:`stop` is idempotent and safe to call
+    from the supervised host's ``close()``.
+    """
+
+    def __init__(self, host: "EngineHost", config: SupervisionConfig) -> None:
+        self.config = config
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=_supervisor_main,
+            args=(weakref.ref(host), self._stop, config.interval_ms / 1000.0),
+            name="repro-engine-host-supervisor",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive() and self._thread is not threading.current_thread():
+            self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()

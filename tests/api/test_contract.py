@@ -43,6 +43,9 @@ CONTRACT_SPECS = (
     "td-astar-landmarks?num_landmarks=4",
     "tdg-tree?max_points=none&leaf_size=6",
     "snapshot:round-trip-of-the-donor",
+    # A zero fault plan is behaviourally transparent: the fault-injection
+    # wrapper must satisfy the whole contract of its inner engine.
+    "faulty:td-appro?budget_fraction=0.4&max_points=none",
 )
 
 #: What the contract snapshot engine is a saved copy of (exact, full caps).

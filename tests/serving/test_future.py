@@ -1,0 +1,171 @@
+"""ServiceFuture edge paths: settle-once semantics, callbacks, deadlines.
+
+These are the paths a load test rarely exercises but an incident always
+does: callbacks added after settlement, callbacks that raise, racing
+settlements, and futures whose deadline elapsed before anyone looked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import DeadlineExceededError
+from repro.serving.service import ServiceFuture
+
+
+def _expired_future(deadline_ms: float = 5.0) -> ServiceFuture:
+    """A future whose deadline is already in the past, unsettled."""
+    future = ServiceFuture()
+    future._arm_deadline(time.perf_counter() - 0.001, deadline_ms, None)
+    return future
+
+
+class TestSettleOnce:
+    def test_result_wins_over_late_exception(self):
+        future = ServiceFuture()
+        future.set_result(7.0)
+        future.set_exception(RuntimeError("late"))
+        assert future.result() == 7.0
+        assert future.exception() is None
+
+    def test_exception_wins_over_late_result(self):
+        future = ServiceFuture()
+        error = RuntimeError("first")
+        future.set_exception(error)
+        future.set_result(7.0)
+        assert future.exception() is error
+
+    def test_racing_settlements_produce_exactly_one_outcome(self):
+        # Many threads race set_result/set_exception on the same future; the
+        # observed outcome must be a single winner, not a torn state.
+        for trial in range(20):
+            future = ServiceFuture()
+            barrier = threading.Barrier(8)
+
+            def settle(i: int, fut: ServiceFuture = future) -> None:
+                barrier.wait()
+                if i % 2:
+                    fut.set_result(float(i))
+                else:
+                    fut.set_exception(RuntimeError(str(i)))
+
+            threads = [
+                threading.Thread(target=settle, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert future.done()
+            error = future.exception()
+            if error is None:
+                assert future.result() == float(int(future.result()))
+            else:
+                assert isinstance(error, RuntimeError)
+            # The winner is stable on every subsequent read.
+            assert future.exception() is error
+
+
+class TestCallbacks:
+    def test_callback_added_after_settlement_runs_immediately(self):
+        future = ServiceFuture()
+        future.set_result(1.0)
+        seen: list[ServiceFuture] = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_raising_callback_does_not_poison_the_others(self):
+        future = ServiceFuture()
+        order: list[str] = []
+
+        def bad(_fut: ServiceFuture) -> None:
+            order.append("bad")
+            raise RuntimeError("callback bug")
+
+        future.add_done_callback(bad)
+        future.add_done_callback(lambda _fut: order.append("good"))
+        future.set_result(2.0)  # must not raise out of the settling thread
+        assert order == ["bad", "good"]
+        # And a post-settlement raising callback doesn't break add itself.
+        future.add_done_callback(bad)
+        assert order == ["bad", "good", "bad"]
+
+    def test_callbacks_run_in_registration_order(self):
+        future = ServiceFuture()
+        order: list[int] = []
+        for i in range(5):
+            future.add_done_callback(lambda _fut, i=i: order.append(i))
+        future.set_result(0.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_callbacks_fire_exactly_once_under_racing_settlements(self):
+        for trial in range(20):
+            future = ServiceFuture()
+            fired: list[str] = []
+            future.add_done_callback(lambda _fut: fired.append("cb"))
+            barrier = threading.Barrier(4)
+
+            def settle(i: int, fut: ServiceFuture = future) -> None:
+                barrier.wait()
+                fut.set_exception(RuntimeError(str(i)))
+
+            threads = [
+                threading.Thread(target=settle, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert fired == ["cb"]
+
+    def test_callback_sees_the_settled_future(self):
+        future = ServiceFuture()
+        observed: list[float] = []
+        future.add_done_callback(lambda fut: observed.append(fut.result()))
+        future.set_result(3.5)
+        assert observed == [3.5]
+
+
+class TestElapsedDeadline:
+    def test_result_raises_deadline_error_without_blocking(self):
+        future = _expired_future(deadline_ms=12.0)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            future.result()  # no timeout argument: would block forever if buggy
+        assert time.perf_counter() - started < 0.5
+        assert excinfo.value.deadline_ms == 12.0
+
+    def test_exception_returns_deadline_error_without_blocking(self):
+        future = _expired_future()
+        error = future.exception()
+        assert isinstance(error, DeadlineExceededError)
+        assert future.done()
+
+    def test_expiry_fires_callbacks(self):
+        future = _expired_future()
+        seen: list[bool] = []
+        future.add_done_callback(lambda fut: seen.append(fut.done()))
+        with pytest.raises(DeadlineExceededError):
+            future.result()
+        assert seen == [True]
+
+    def test_expire_hook_runs_once_even_if_both_sides_expire(self):
+        hook_calls: list[int] = []
+        future = ServiceFuture()
+        future._arm_deadline(
+            time.perf_counter() - 0.001, 5.0, lambda: hook_calls.append(1)
+        )
+        future._expire()  # flusher-side expiry
+        future._expire()  # consumer-side expiry loses the settle race
+        assert hook_calls == [1]
+
+    def test_settled_future_ignores_its_elapsed_deadline(self):
+        future = ServiceFuture()
+        future._arm_deadline(time.perf_counter() + 0.005, 5.0, None)
+        future.set_result(9.0)
+        time.sleep(0.01)  # deadline passes after settlement
+        assert future.result() == 9.0
+        assert future.exception() is None

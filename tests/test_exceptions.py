@@ -44,6 +44,32 @@ class TestHierarchy:
         with pytest.raises(exceptions.ReproError):
             raise exceptions.DatasetError("unknown dataset")
 
+    def test_admission_rejected_compatibility(self):
+        error = exceptions.AdmissionRejectedError(128, "shed")
+        assert isinstance(error, exceptions.ReproError)
+        assert isinstance(error, RuntimeError)
+        assert error.max_pending == 128
+        assert error.policy == "shed"
+        assert "128" in str(error)
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        # Callers treating deadlines as plain timeouts must keep working.
+        error = exceptions.DeadlineExceededError(250.0)
+        assert isinstance(error, exceptions.ReproError)
+        assert isinstance(error, TimeoutError)
+        assert error.deadline_ms == 250.0
+        assert "250" in str(error)
+        bare = exceptions.DeadlineExceededError()
+        assert bare.deadline_ms is None
+
+    def test_worker_crashed_carries_deployment_and_cause(self):
+        error = exceptions.WorkerCrashedError("prod", "flusher thread died")
+        assert isinstance(error, exceptions.ReproError)
+        assert isinstance(error, RuntimeError)
+        assert error.deployment == "prod"
+        assert error.cause == "flusher thread died"
+        assert "prod" in str(error) and "flusher thread died" in str(error)
+
 
 class TestPackageSurface:
     def test_version_string(self):
