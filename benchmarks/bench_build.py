@@ -101,7 +101,7 @@ def test_build_phases_report():
         index = TDTreeIndex.build(
             graph, strategy="approx", use_batch_kernels=use_batch
         )
-        seconds = index.statistics().build_seconds
+        seconds = index.statistics().phase_seconds
         rows.append(
             {
                 "dataset": DATASET,

@@ -22,6 +22,13 @@ def pytest_addoption(parser):
         help="run the resilience-under-overload serving scenario "
         "(bench_serving.py; writes results/BENCH_serving_resilience.json)",
     )
+    parser.addoption(
+        "--obs",
+        action="store_true",
+        default=False,
+        help="run the observability-overhead serving scenario "
+        "(bench_serving.py; writes results/BENCH_serving_obs.json)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -93,22 +93,30 @@ class FunctionPool:
     view (used once per stored label when the tree nodes are materialised).
     """
 
-    __slots__ = ("_chunks", "_offsets")
+    __slots__ = ("_chunks", "_offsets", "_peak_chunks")
 
     def __init__(self) -> None:
         self._chunks: list[PLFBatch] = []
         self._offsets: list[int] = [0]
+        self._peak_chunks = 0
 
     @property
     def count(self) -> int:
         """Number of functions ever appended (dead rows are kept)."""
         return self._offsets[-1]
 
+    @property
+    def peak_chunks(self) -> int:
+        """Most chunks ever live at once (fragmentation high-water mark)."""
+        return self._peak_chunks
+
     def append(self, batch: PLFBatch) -> np.ndarray:
         """Store ``batch`` and return the pool rows assigned to its members."""
         start = self._offsets[-1]
         self._chunks.append(batch)
         self._offsets.append(start + batch.count)
+        if len(self._chunks) > self._peak_chunks:
+            self._peak_chunks = len(self._chunks)
         if len(self._chunks) > _MAX_CHUNKS:
             self._compact()
         return np.arange(start, start + batch.count, dtype=np.int64)
@@ -175,6 +183,12 @@ class EliminationStats:
     assembly_seconds: float = 0.0
     #: Seconds spent inside the batch kernels (compound/minimum/simplify).
     kernel_seconds: float = 0.0
+    #: Functions ever stored in the working :class:`FunctionPool`
+    #: (original edges plus every fill result; 0 for the scalar engine).
+    pool_functions: int = 0
+    #: High-water mark of live pool chunks (fragmentation before compaction;
+    #: 0 for the scalar engine).
+    pool_peak_chunks: int = 0
 
 
 #: One eliminated vertex: ``(vertex, bag, ws, wd)`` in elimination order.
@@ -462,6 +476,8 @@ def eliminate_batched(
     else:
         row_of_task = np.empty(0, dtype=np.int64)
     stats.kernel_seconds += time.perf_counter() - kernel_started
+    stats.pool_functions = pool.count
+    stats.pool_peak_chunks = pool.peak_chunks
 
     # ------------------------------------------------------------------
     # Phase 3 — resolve the recorded label references into scalar functions.

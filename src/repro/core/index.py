@@ -23,6 +23,7 @@ from repro.exceptions import IndexBuildError, IndexNotBuiltError, SelectionError
 from repro.functions.piecewise import PiecewiseLinearFunction
 from repro.graph.td_graph import TDGraph
 from repro.graph.validation import validate_graph
+from repro.obs.metrics import Gauge, get_registry
 from repro.utils.deprecation import warn_deprecated
 from repro.utils.memory import DEFAULT_MEMORY_MODEL, MemoryBreakdown, MemoryModel
 from repro.utils.timing import Timer
@@ -68,6 +69,61 @@ def _phase_seconds(timer: Timer, tree: TFPTreeDecomposition) -> dict[str, float]
     return seconds
 
 
+def _publish_build_metrics(index: "TDTreeIndex") -> None:
+    """Publish one build's telemetry into the process metrics registry.
+
+    Builds and serving share one vocabulary (see :mod:`repro.obs`): phase
+    timings land as ``repro_build_phase_seconds{phase,strategy}`` gauges,
+    the analytic footprint as ``repro_build_index_bytes`` /
+    ``repro_build_bytes_per_vertex``, and the batched elimination engine's
+    working-pool high-water marks as ``repro_build_pool_*``.  Gauges are
+    last-build-wins per strategy label — the registry reports the most
+    recent build, :class:`IndexStatistics` the specific one.
+    """
+    registry = get_registry()
+    strategy = index.strategy
+    phase_gauge = registry.gauge(
+        "repro_build_phase_seconds",
+        "Wall-clock seconds per index build phase (last build wins).",
+        ("phase", "strategy"),
+    )
+    total = 0.0
+    for phase, seconds in index._build_seconds.items():
+        phase_gauge.set(seconds, phase=phase, strategy=strategy)
+        if "/" not in phase:
+            total += seconds
+    registry.gauge(
+        "repro_build_seconds",
+        "Total wall-clock seconds of the last index build.",
+        ("strategy",),
+    ).set(total, strategy=strategy)
+    breakdown = index.memory_breakdown()
+    registry.gauge(
+        "repro_build_index_bytes",
+        "Analytic memory footprint of the last built index.",
+        ("strategy",),
+    ).set(float(breakdown.total_bytes), strategy=strategy)
+    registry.gauge(
+        "repro_build_bytes_per_vertex",
+        "Analytic index bytes per graph vertex for the last build.",
+        ("strategy",),
+    ).set(breakdown.total_bytes / max(index.graph.num_vertices, 1), strategy=strategy)
+    stats = getattr(index.tree, "elimination_stats", None)
+    if stats is not None:
+        registry.gauge(
+            "repro_build_pool_functions",
+            "Functions stored in the elimination working pool "
+            "(original edges plus fill results).",
+            ("strategy",),
+        ).set(float(stats.pool_functions), strategy=strategy)
+        registry.gauge(
+            "repro_build_pool_peak_chunks",
+            "High-water mark of live elimination-pool chunks before "
+            "compaction.",
+            ("strategy",),
+        ).set(float(stats.pool_peak_chunks), strategy=strategy)
+
+
 @dataclass
 class IndexStatistics:
     """Summary of a built index (used by the experiment tables)."""
@@ -84,12 +140,41 @@ class IndexStatistics:
     #: Per-phase wall-clock seconds.  Keys containing ``/`` are sub-phase
     #: breakdowns (e.g. ``decomposition/kernels`` inside ``decomposition``)
     #: and are excluded from :attr:`total_build_seconds` to avoid double
-    #: counting.
-    build_seconds: dict[str, float] = field(default_factory=dict)
+    #: counting.  The same numbers are published to the :mod:`repro.obs`
+    #: metrics registry as ``repro_build_phase_seconds{phase,strategy}``.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def build_seconds(self) -> dict[str, float]:
+        """Deprecated alias for :attr:`phase_seconds`.
+
+        Reads the ``repro_build_phase_seconds`` gauges back from the process
+        metrics registry (which the build published into); falls back to the
+        locally captured :attr:`phase_seconds` when the registry holds no
+        samples for this strategy (e.g. a test swapped in a fresh registry).
+        Registry gauges are last-build-wins per strategy — new code should
+        read :attr:`phase_seconds` for *this* build's timings.
+        """
+        warn_deprecated(
+            "IndexStatistics.build_seconds",
+            "IndexStatistics.build_seconds is deprecated; read phase_seconds "
+            "(or the repro_build_phase_seconds gauges exported by repro.obs) "
+            "instead",
+        )
+        gauge = get_registry().get("repro_build_phase_seconds")
+        if isinstance(gauge, Gauge) and gauge.labelnames == ("phase", "strategy"):
+            published = {
+                key[0]: value
+                for key, value in gauge.items()
+                if key[1] == self.strategy
+            }
+            if published:
+                return published
+        return dict(self.phase_seconds)
 
     @property
     def total_build_seconds(self) -> float:
-        return sum(v for k, v in self.build_seconds.items() if "/" not in k)
+        return sum(v for k, v in self.phase_seconds.items() if "/" not in k)
 
 
 class TDTreeIndex:
@@ -243,7 +328,7 @@ class TDTreeIndex:
 
         if strategy == "basic":
             selection = select_none(ShortcutCatalog({}))
-            return cls(
+            index = cls(
                 graph,
                 tree,
                 {},
@@ -254,6 +339,8 @@ class TDTreeIndex:
                 max_points=max_points,
                 tolerance=tolerance,
             )
+            _publish_build_metrics(index)
+            return index
 
         with timer.measure("shortcut_candidates"):
             catalog = build_shortcut_catalog(
@@ -281,7 +368,7 @@ class TDTreeIndex:
                 key: catalog.pairs[key] for key in selection.selected
             }
 
-        return cls(
+        index = cls(
             graph,
             tree,
             shortcuts,
@@ -292,6 +379,8 @@ class TDTreeIndex:
             max_points=max_points,
             tolerance=tolerance,
         )
+        _publish_build_metrics(index)
+        return index
 
     # ------------------------------------------------------------------
     # Queries
@@ -507,7 +596,7 @@ class TDTreeIndex:
             num_selected_pairs=len(self.shortcuts),
             selected_weight=sum(pair.weight for pair in self.shortcuts.values()),
             budget=self.selection.budget,
-            build_seconds=dict(self._build_seconds),
+            phase_seconds=dict(self._build_seconds),
         )
 
     def _check_built(self) -> None:

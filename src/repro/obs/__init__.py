@@ -1,0 +1,173 @@
+"""Unified observability: metrics registry, tracing, and structured events.
+
+``repro.obs`` is the telemetry surface for the whole stack.  Three pillars,
+each usable on its own, bundled by :class:`Observability` for wire-through:
+
+- :mod:`repro.obs.metrics` — a thread-safe registry of ``Counter`` /
+  ``Gauge`` / ``Histogram`` instruments with Prometheus-style labels,
+  exported by :func:`to_prometheus_text` and :func:`to_json_snapshot`.
+- :mod:`repro.obs.trace` — per-query span trees recorded against an
+  injectable monotonic clock, with a bounded ring of recent traces and a
+  sampled JSONL log.
+- :mod:`repro.obs.events` — a typed structured event log for control-plane
+  transitions (swaps, recoveries, sheds, fault injections).
+
+The process-wide bundle (``get_observability()``) mirrors the registry
+singleton in :mod:`repro.obs.metrics`; components accept an injected
+``Observability`` for isolated tests and fall back to the singleton.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    EVENT_ABORT,
+    EVENT_DEADLINE,
+    EVENT_DEPLOY,
+    EVENT_FAULT,
+    EVENT_HEALTH,
+    EVENT_RECOVERY,
+    EVENT_SHED,
+    EVENT_SWAP,
+    EVENT_UNDEPLOY,
+    Event,
+    EventLog,
+    read_events,
+)
+from repro.obs.export import to_json_snapshot, to_prometheus_text
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricsRegistry,
+    bucket_percentile,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    STATUS_ERROR,
+    STATUS_OK,
+    PipelineTrace,
+    Span,
+    Trace,
+    TraceLike,
+    Tracer,
+)
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+__all__ = [
+    "Observability",
+    "get_observability",
+    "set_observability",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "LATENCY_BUCKETS_MS",
+    "bucket_percentile",
+    "get_registry",
+    "set_registry",
+    # exporters
+    "to_prometheus_text",
+    "to_json_snapshot",
+    # tracing
+    "Span",
+    "PipelineTrace",
+    "Trace",
+    "TraceLike",
+    "Tracer",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    # events
+    "Event",
+    "EventLog",
+    "read_events",
+    "EVENT_DEPLOY",
+    "EVENT_SWAP",
+    "EVENT_UNDEPLOY",
+    "EVENT_RECOVERY",
+    "EVENT_HEALTH",
+    "EVENT_SHED",
+    "EVENT_DEADLINE",
+    "EVENT_FAULT",
+    "EVENT_ABORT",
+]
+
+
+def _default_tracer() -> Tracer:
+    return Tracer(clock=SYSTEM_CLOCK)
+
+
+def _default_events() -> EventLog:
+    return EventLog(clock=SYSTEM_CLOCK)
+
+
+@dataclass
+class Observability:
+    """One bundle of telemetry sinks, threaded through a component tree.
+
+    The serving layer takes one of these per host/service; build-side code
+    publishes into ``registry``.  Constructing a bundle with defaults gives
+    fully isolated sinks (ideal for tests); the process-wide bundle from
+    :func:`get_observability` shares the registry singleton.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=_default_tracer)
+    events: EventLog = field(default_factory=_default_events)
+    clock: Clock = SYSTEM_CLOCK
+    #: Master switch: components skip instrumentation entirely (no registry
+    #: children, no traces, no events) when False — the baseline the obs
+    #: overhead benchmark compares against.
+    enabled: bool = True
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A no-op bundle: components attached to it record nothing."""
+        return cls(enabled=False)
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        self.registry.refresh()
+        return to_prometheus_text(self.registry)
+
+    def metrics_json(self) -> dict[str, object]:
+        """The registry as a JSON-serialisable snapshot."""
+        self.registry.refresh()
+        return to_json_snapshot(self.registry)
+
+    def close(self) -> None:
+        """Close any file-backed sinks (idempotent)."""
+        self.tracer.close()
+        self.events.close()
+
+
+_default_obs: Observability | None = None
+_obs_lock = threading.Lock()
+
+
+def get_observability() -> Observability:
+    """The process-wide bundle (shares the registry singleton)."""
+    global _default_obs
+    with _obs_lock:
+        if _default_obs is None:
+            _default_obs = Observability(registry=get_registry())
+        return _default_obs
+
+
+def set_observability(obs: Observability) -> Observability:
+    """Replace the process-wide bundle (returns the previous one)."""
+    global _default_obs
+    with _obs_lock:
+        previous = _default_obs if _default_obs is not None else Observability(
+            registry=get_registry()
+        )
+        _default_obs = obs
+        set_registry(obs.registry)
+        return previous

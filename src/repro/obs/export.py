@@ -1,0 +1,144 @@
+"""Registry exporters: Prometheus text exposition and JSON snapshots.
+
+Both exporters are pure functions over a
+:class:`~repro.obs.metrics.MetricsRegistry` — no sockets, no frameworks.
+:func:`to_prometheus_text` produces the text exposition format
+(``text/plain; version=0.0.4``) byte-for-byte the way a ``/metrics`` route
+would serve it, so the future ASGI gateway mounts it verbatim and today's
+callers can do::
+
+    print(host.metrics_text())          # or curl the gateway once it exists
+
+:func:`to_json_snapshot` produces a stable, machine-readable dict for the
+experiment grid (ROADMAP item 5) and for test assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricsRegistry,
+)
+
+__all__ = ["to_prometheus_text", "to_json_snapshot"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample per label set; histograms emit
+    cumulative ``_bucket`` samples (with the canonical ``le`` label and a
+    ``+Inf`` bucket), plus ``_sum`` and ``_count``.  Label sets are sorted so
+    the output is deterministic — the exposition golden test pins it.
+    """
+    lines: list[str] = []
+    for instrument, samples in registry.collect():
+        lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for key, value in sorted(samples, key=lambda item: item[0]):
+            pairs = tuple(zip(instrument.labelnames, key))
+            if isinstance(instrument, (Counter, Gauge)):
+                assert isinstance(value, float)
+                lines.append(
+                    f"{instrument.name}{_format_labels(pairs)} "
+                    f"{_format_value(value)}"
+                )
+            elif isinstance(instrument, Histogram):
+                assert isinstance(value, HistogramValue)
+                cumulative = 0
+                for bound, count in zip(value.bounds, value.counts):
+                    cumulative += count
+                    bucket_pairs = pairs + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{instrument.name}_bucket"
+                        f"{_format_labels(bucket_pairs)} {cumulative}"
+                    )
+                cumulative += value.counts[-1]
+                inf_pairs = pairs + (("le", "+Inf"),)
+                lines.append(
+                    f"{instrument.name}_bucket{_format_labels(inf_pairs)} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(pairs)} "
+                    f"{_format_value(value.sum)}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_format_labels(pairs)} {cumulative}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
+    """Render ``registry`` as a JSON-serialisable snapshot.
+
+    Shape::
+
+        {"metrics": {
+            "<name>": {"kind": "counter", "help": "...",
+                       "labelnames": ["service"],
+                       "samples": [{"labels": {"service": "prod"},
+                                    "value": 42.0}, ...]},
+            "<hist>": {..., "buckets": [...],
+                       "samples": [{"labels": {...},
+                                    "counts": [...], "sum": 1.2,
+                                    "count": 7}]}}}
+    """
+    metrics: dict[str, Any] = {}
+    for instrument, samples in registry.collect():
+        entry: dict[str, Any] = {
+            "kind": instrument.kind,
+            "help": instrument.help,
+            "labelnames": list(instrument.labelnames),
+            "samples": [],
+        }
+        if isinstance(instrument, Histogram):
+            entry["buckets"] = list(instrument.bounds)
+        for key, value in sorted(samples, key=lambda item: item[0]):
+            labels = dict(zip(instrument.labelnames, key))
+            if isinstance(value, HistogramValue):
+                entry["samples"].append(
+                    {
+                        "labels": labels,
+                        "counts": list(value.counts),
+                        "sum": value.sum,
+                        "count": value.count,
+                    }
+                )
+            else:
+                entry["samples"].append({"labels": labels, "value": value})
+        metrics[instrument.name] = entry
+    return {"metrics": metrics}

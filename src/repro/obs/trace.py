@@ -1,0 +1,536 @@
+"""Per-query tracing: a lightweight span API with no external deps.
+
+A :class:`Trace` is one request's timeline — a handful of named
+:class:`Span` s recorded against an injectable monotonic clock.  The serving
+layer opens one trace per submitted query and closes spans as the future
+moves through its lifecycle (``admission`` → ``pending`` → ``engine`` →
+settle); because the spans are attached to the in-flight entry rather than
+to thread-local context, a trace survives the thread hops of the
+micro-batching pipeline (submit thread → flusher thread → whichever thread
+settles) and even a worker crash: :meth:`Trace.finish` closes every still
+open span with the final status, so crash paths yield *complete* traces with
+an ``error`` status instead of dangling ones.
+
+The :class:`Tracer` keeps a bounded in-memory ring of recent completed
+traces (``tracer.recent(n)`` — what a debug endpoint serves) and optionally
+appends every ``sample_every``-th completed trace to a JSONL file for
+offline analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from typing import IO, Any, Iterator
+
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+__all__ = ["PipelineTrace", "Span", "Trace", "TraceLike", "Tracer"]
+
+#: Span/trace terminal status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class Span:
+    """One named interval inside a trace.
+
+    Cheap on purpose (``__slots__``, two floats): the serving hot path
+    allocates several per query.  :meth:`end` is first-wins idempotent so a
+    crash-path :meth:`Trace.finish` racing a normal ``end`` cannot reopen or
+    reclose a span.
+    """
+
+    __slots__ = ("name", "parent", "started", "ended", "status", "detail")
+
+    def __init__(self, name: str, started: float, parent: "Span | None") -> None:
+        self.name = name
+        self.parent = parent
+        self.started = started
+        #: Monotonic end time; None while the span is open.
+        self.ended: float | None = None
+        #: ``"ok"`` / ``"error"``; None while the span is open.
+        self.status: str | None = None
+        #: Optional error/context note set at end time.
+        self.detail: str | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.ended is None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return 0.0 if self.ended is None else self.ended - self.started
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "parent": self.parent.name if self.parent is not None else None,
+            "started": self.started,
+            "ended": self.ended,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1000.0:.3f}ms" if not self.open else "open"
+        return f"Span({self.name!r}, {state}, status={self.status!r})"
+
+
+class Trace:
+    """One request's span tree, rooted at the span named after the trace.
+
+    Not a general-purpose distributed trace — one process, one request,
+    a few spans — which is exactly why it can be allocation-cheap enough to
+    run on every query.
+    """
+
+    __slots__ = ("name", "trace_id", "root", "spans", "attrs", "_now", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        clock: Clock,
+        tracer: "Tracer | None",
+        attrs: dict[str, Any] | None = None,
+        at: float | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        # Bound once: the hot path reads the clock several times per query.
+        self._now = clock.monotonic
+        self._tracer = tracer
+        #: Taken by reference (the tracer hands over a fresh kwargs dict).
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.root = Span(name, clock.monotonic() if at is None else at, None)
+        #: Every span of the trace, in start order (the root first).
+        self.spans: list[Span] = [self.root]
+
+    # -- span lifecycle ------------------------------------------------
+    def span(
+        self, name: str, parent: Span | None = None, at: float | None = None
+    ) -> Span:
+        """Start (and return) a child span; defaults to a child of the root.
+
+        ``at`` sets an explicit start timestamp: adjacent boundaries (the end
+        of one span, the start of the next) can share a single clock read,
+        which is what keeps per-query tracing cheap enough for the hot path.
+        """
+        span = Span(name, self._now() if at is None else at, parent or self.root)
+        self.spans.append(span)
+        return span
+
+    def end(
+        self,
+        span: Span,
+        status: str = STATUS_OK,
+        detail: str | None = None,
+        at: float | None = None,
+    ) -> None:
+        """Close ``span`` (first-wins; closing a closed span is a no-op)."""
+        if span.ended is None:
+            span.ended = self._now() if at is None else at
+            span.status = status
+            span.detail = detail
+
+    def finish(self, status: str = STATUS_OK, detail: str | None = None) -> None:
+        """Close every open span (the root included) and record the trace.
+
+        Idempotent: only the first call records into the tracer's ring —
+        exactly one completion per trace, whichever thread settles first
+        (normal answer, deadline expiry, or a worker-crash abort).
+        """
+        if self.root.ended is not None:
+            return
+        now = self._now()
+        for span in self.spans:
+            if span.ended is None:
+                span.ended = now
+                span.status = status
+                span.detail = detail
+        if self._tracer is not None:
+            self._tracer._record(self)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True when every span (root included) has been closed."""
+        return all(span.ended is not None for span in self.spans)
+
+    @property
+    def status(self) -> str | None:
+        return self.root.status
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def find(self, name: str) -> Span | None:
+        """The first span named ``name``, or None."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "attrs": self.attrs,
+            "status": self.status,
+            "duration_ms": self.duration * 1000.0,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(#{self.trace_id} {self.name!r}, spans={len(self.spans)}, "
+            f"status={self.status!r})"
+        )
+
+
+class PipelineTrace:
+    """The serving pipeline's fixed-shape trace, optimized for the hot path.
+
+    A batched query always moves through the same four stages —
+    ``query`` (root) → ``admission`` → ``pending`` → ``engine`` — so instead
+    of allocating a :class:`Span` per stage up front, this trace records the
+    stage boundaries as plain floats (one attribute write each) and
+    materializes the span tree lazily, only when somebody actually *reads*
+    it (``service.recent_traces()``, the sampled JSONL log, a test).  That
+    keeps full per-query tracing cheap enough to leave on in production.
+
+    Stage timestamps double as presence markers: a cache hit never sets
+    ``_enqueued`` (no admission/pending/engine spans), a shed query has an
+    admission span only, a deadline-expired query stops at ``pending``, and
+    a whole-batch crash leaves ``_engine_ended`` unset so :meth:`finish`
+    closes the engine span with the final error status — the same
+    crash-completeness contract as :class:`Trace`.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "service",
+        "source",
+        "target",
+        "_attrs",
+        "_tracer",
+        "_started",
+        "_enqueued",
+        "_flushed",
+        "_engine_ended",
+        "_engine_detail",
+        "_ended",
+        "_status",
+        "_detail",
+        "_spans",
+    )
+
+    # Slots left *unset* until their stage happens (``__init__`` writes the
+    # minimum); readers go through ``getattr(..., None)``.  Declared here so
+    # type checkers still see them.
+    _attrs: dict[str, Any] | None
+    _enqueued: float | None
+    _flushed: float | None
+    _engine_ended: float | None
+    _engine_detail: str | None
+    _status: str | None
+    _detail: str | None
+    _spans: list[Span] | None
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        started: float,
+        service: str,
+        source: int,
+        target: int,
+    ) -> None:
+        self.name = name
+        # Allocating the id here (rather than in a ``Tracer.pipeline``
+        # wrapper) lets the serving layer call this class directly — one
+        # Python frame per query instead of two.
+        self.trace_id = next(tracer._ids)
+        tracer._last_started = self.trace_id
+        #: Query identity, held as plain slots: the attrs *dict* is built
+        #: lazily on first read so the hot path never allocates one.
+        self.service = service
+        self.source = source
+        self.target = target
+        self._tracer = tracer
+        self._started = started
+        self._ended: float | None = None
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        """Trace attributes (query identity plus ad-hoc keys), built lazily."""
+        attrs: dict[str, Any] | None = getattr(self, "_attrs", None)
+        if attrs is None:
+            attrs = self._attrs = {
+                "service": self.service,
+                "source": self.source,
+                "target": self.target,
+            }
+        return attrs
+
+    # -- stage boundaries (the hot path: one attribute write each) ------
+    def enqueued(self, at: float) -> None:
+        """Admission passed; the query joined the pending queue at ``at``."""
+        self._enqueued = at
+
+    def flushed(self, at: float) -> None:
+        """The batch picked the query up at ``at``; the engine call begins."""
+        self._flushed = at
+
+    def engine_done(self, at: float, detail: str | None = None) -> None:
+        """The engine answered (or failed, when ``detail`` names the error)."""
+        self._engine_ended = at
+        self._engine_detail = detail
+
+    def finish(self, status: str = STATUS_OK, detail: str | None = None) -> None:
+        """Settle the trace (first-wins) and record it with the tracer.
+
+        Inlines :meth:`Tracer._record` (one frame per query saved); the
+        sampled-JSONL branch stays a call because it is the rare path.
+        """
+        if self._ended is not None:
+            return
+        tracer = self._tracer
+        self._ended = tracer._now()
+        self._status = status
+        self._detail = detail
+        completed = next(tracer._completions)
+        tracer._last_completed = completed
+        tracer._ring.append(self)  # deque appends are atomic
+        if (
+            tracer.jsonl_path is not None
+            and tracer.sample_every > 0
+            and completed % tracer.sample_every == 0
+        ):
+            tracer._write_sample(self)
+
+    # -- lazy span materialization -------------------------------------
+    def _build_spans(self) -> list[Span]:
+        ended = self._ended
+        status: str | None = getattr(self, "_status", None)
+        detail: str | None = getattr(self, "_detail", None)
+        root = Span(self.name, self._started, None)
+        root.ended, root.status, root.detail = ended, status, detail
+        spans = [root]
+        # ``cache_hit`` can only appear via an attrs mutation, so an unbuilt
+        # attrs dict means the query went through the batching pipeline.
+        attrs: dict[str, Any] | None = getattr(self, "_attrs", None)
+        if attrs is not None and attrs.get("cache_hit"):
+            return spans  # answered from cache: no admission/pending/engine
+        admission = Span("admission", self._started, root)
+        spans.append(admission)
+        enqueued: float | None = getattr(self, "_enqueued", None)
+        if enqueued is None:  # shed / closed at admission
+            admission.ended, admission.status, admission.detail = ended, status, detail
+            return spans
+        admission.ended, admission.status = enqueued, STATUS_OK
+        pending = Span("pending", enqueued, root)
+        spans.append(pending)
+        flushed: float | None = getattr(self, "_flushed", None)
+        if flushed is None:  # expired (or still waiting) in the queue
+            pending.ended, pending.status, pending.detail = ended, status, detail
+            return spans
+        pending.ended, pending.status = flushed, STATUS_OK
+        engine = Span("engine", flushed, root)
+        spans.append(engine)
+        engine_ended: float | None = getattr(self, "_engine_ended", None)
+        if engine_ended is not None:
+            engine_detail: str | None = getattr(self, "_engine_detail", None)
+            engine.ended = engine_ended
+            engine.detail = engine_detail
+            engine.status = STATUS_OK if engine_detail is None else STATUS_ERROR
+        else:  # crashed mid-call (or settled first): close with final status
+            engine.ended, engine.status, engine.detail = ended, status, detail
+        return spans
+
+    @property
+    def spans(self) -> list[Span]:
+        """The materialized span tree (root first), built on first read."""
+        spans: list[Span] | None = getattr(self, "_spans", None)
+        if spans is None:
+            spans = self._build_spans()
+            if self._ended is not None:
+                self._spans = spans  # settled: the tree is final, cache it
+        return spans
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    # -- introspection (same surface as Trace) -------------------------
+    @property
+    def complete(self) -> bool:
+        return self._ended is not None
+
+    @property
+    def status(self) -> str | None:
+        status: str | None = getattr(self, "_status", None)
+        return status
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self._ended is None else self._ended - self._started
+
+    def find(self, name: str) -> Span | None:
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "attrs": self.attrs,
+            "status": self.status,
+            "duration_ms": self.duration * 1000.0,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineTrace(#{self.trace_id} {self.name!r}, "
+            f"status={self.status!r})"
+        )
+
+
+#: What the tracer's ring holds: generic traces and pipeline traces share
+#: the whole read surface (``spans`` / ``find`` / ``status`` / ``to_dict``).
+TraceLike = Trace | PipelineTrace
+
+
+class Tracer:
+    """Creates traces and keeps a bounded ring of recently completed ones.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source shared with whatever the tracer instruments.
+    ring_size:
+        How many completed traces :meth:`recent` can look back over.
+    sample_every:
+        Write every Nth *completed* trace to ``jsonl_path`` (1 = all,
+        0 = never).  Sampling applies to the log only; the in-memory ring
+        always receives every completed trace handed to the tracer.
+    jsonl_path:
+        Append-mode JSONL sink for sampled traces (one JSON object per
+        line); None disables the file sink.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        ring_size: int = 512,
+        sample_every: int = 16,
+        jsonl_path: "str | None" = None,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables the log)")
+        self.clock = clock
+        self.sample_every = sample_every
+        self.jsonl_path = jsonl_path
+        self._now = clock.monotonic  # bound once, shared by pipeline traces
+        # Lock-free hot path: ``itertools.count`` is atomic under the GIL, so
+        # trace ids double as the started/completed totals and the only lock
+        # guards the (rare) sampled JSONL write.
+        self._ids = itertools.count(1)
+        self._completions = itertools.count(1)
+        self._last_started = 0
+        self._last_completed = 0
+        self._lock = threading.Lock()
+        self._ring: deque[TraceLike] = deque(maxlen=ring_size)
+        self._file: IO[str] | None = None
+
+    # -- creation ------------------------------------------------------
+    def trace(self, name: str, at: float | None = None, **attrs: Any) -> Trace:
+        """Open a new trace; its root span starts now (or at ``at``).
+
+        ``at`` is reserved for an explicit root-start timestamp and cannot be
+        used as an attribute name.
+        """
+        trace_id = next(self._ids)
+        self._last_started = trace_id
+        return Trace(name, trace_id, self.clock, self, attrs, at=at)
+
+    def pipeline(
+        self, name: str, at: float, service: str, source: int, target: int
+    ) -> PipelineTrace:
+        """Open a fixed-shape serving-pipeline trace (see :class:`PipelineTrace`).
+
+        Deliberately takes the query identity as positional-friendly named
+        parameters rather than ``**attrs``: skipping the kwargs-dict
+        allocation is part of what keeps always-on tracing under the
+        overhead budget.  (The serving hot path goes one step further and
+        constructs :class:`PipelineTrace` directly.)
+        """
+        return PipelineTrace(name, self, at, service, source, target)
+
+    # -- completion (called by Trace/PipelineTrace.finish) -------------
+    def _record(self, trace: TraceLike) -> None:
+        completed = next(self._completions)
+        self._last_completed = completed
+        self._ring.append(trace)  # deque appends are atomic
+        if (
+            self.jsonl_path is not None
+            and self.sample_every > 0
+            and completed % self.sample_every == 0
+        ):
+            self._write_sample(trace)
+
+    def _write_sample(self, trace: TraceLike) -> None:
+        path = self.jsonl_path
+        assert path is not None
+        with self._lock:
+            if self._file is None:
+                self._file = open(path, "a", encoding="utf-8")
+            self._file.write(json.dumps(trace.to_dict()) + "\n")
+            self._file.flush()
+
+    # -- introspection -------------------------------------------------
+    def recent(self, n: int | None = None) -> list[TraceLike]:
+        """The most recent completed traces, newest last (all by default)."""
+        while True:
+            try:
+                traces = list(self._ring)
+                break
+            except RuntimeError:  # pragma: no cover - a racing append mutated
+                continue  # the deque mid-copy; just retry
+        return traces if n is None else traces[-n:]
+
+    @property
+    def started(self) -> int:
+        return self._last_started
+
+    @property
+    def completed(self) -> int:
+        return self._last_completed
+
+    def close(self) -> None:
+        """Close the JSONL sink (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __iter__(self) -> Iterator[TraceLike]:
+        return iter(self.recent())
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(completed={self.completed}, ring={len(self.recent())}, "
+            f"sample_every={self.sample_every})"
+        )

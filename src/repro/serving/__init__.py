@@ -14,6 +14,12 @@ Three levels:
   plus deterministic fault injection to prove it works
   (:mod:`repro.serving.faults`).
 
+The whole stack reports into the unified observability layer
+(:mod:`repro.obs`): ``host.metrics_text()`` exposes a Prometheus scrape
+surface, ``service.recent_traces()`` returns per-query span trees, and
+supervision/swap/shed/fault events land in one :class:`~repro.obs.EventLog`
+timeline.  Pass ``obs=Observability.disabled()`` to run with zero telemetry.
+
 Typical deployment shape::
 
     host = EngineHost(

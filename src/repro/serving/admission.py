@@ -18,10 +18,10 @@ Two pieces live here:
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.exceptions import ServiceClosedError
+from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -83,6 +83,7 @@ def retry_submit(
     retry_on: Tuple[Type[BaseException], ...] = (ServiceClosedError,),
     seed: int = 0,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> T:
     """Call ``submit()``, retrying transient serving errors with backoff.
 
@@ -98,7 +99,9 @@ def retry_submit(
     deterministic jitter (see :func:`backoff_delays`); after ``attempts``
     tries the last error is re-raised.  ``on_retry(attempt, error)`` fires
     before each sleep — the :class:`~repro.serving.EngineHost` uses it to
-    count retries into :class:`~repro.serving.ServiceStats`.
+    count retries into :class:`~repro.serving.ServiceStats`.  Backoff sleeps
+    go through ``clock`` — inject a :class:`~repro.utils.timing.FakeClock`
+    to test the retry schedule without real waiting.
     """
     if attempts < 1:
         raise ValueError("attempts must be at least 1")
@@ -115,6 +118,6 @@ def retry_submit(
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 if delays[attempt] > 0.0:
-                    time.sleep(delays[attempt])
+                    clock.sleep(delays[attempt])
     assert last is not None  # the loop either returned or recorded an error
     raise last

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs import EVENT_FAULT, EventLog
 from repro.serving.admission import _jitter_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -137,6 +138,21 @@ class FaultyEngine:
         self.plan = plan or FaultPlan()
         self._calls = 0
         self._calls_lock = threading.Lock()
+        self._events: EventLog | None = None
+
+    def attach_event_log(self, events: "EventLog | None") -> None:
+        """Record every injected fault into ``events`` (``fault.injected``).
+
+        An :class:`~repro.serving.EngineHost` attaches its bundle's event log
+        when a faulty engine is deployed, so chaos runs leave the injected
+        faults and the recoveries they triggered in the *same* timeline.
+        """
+        self._events = events
+
+    def _record_fault(self, kind: str, call: int) -> None:
+        events = self._events
+        if events is not None:
+            events.emit(EVENT_FAULT, self.name, fault=kind, batch=call)
 
     # -- protocol ------------------------------------------------------
     def capabilities(self) -> "EngineCapabilities":
@@ -173,12 +189,16 @@ class FaultyEngine:
         plan = self.plan
         if plan.latency_every and call % plan.latency_every == 0 and plan.latency_ms > 0:
             jitter = 0.5 + 0.5 * _jitter_fraction(plan.seed, call)
+            self._record_fault("latency", call)
             time.sleep(plan.latency_ms * jitter / 1000.0)
         if plan.poison_from and call >= plan.poison_from:
+            self._record_fault("poison", call)
             raise InjectedFaultError(call, kind="poisoned-engine crash")
         if plan.crash_batch and call == plan.crash_batch:
+            self._record_fault("crash", call)
             raise InjectedFaultError(call)
         if plan.fail_batch and call == plan.fail_batch:
+            self._record_fault("transient", call)
             raise TransientInjectedFaultError(call)
         matrix = self.inner.batch_query(sources, targets, departures, options=options)
         matrix.engine = self.name

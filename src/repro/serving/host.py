@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Optional, Union, overload
@@ -60,6 +59,15 @@ from repro.exceptions import (
     UnknownDeploymentError,
     WorkerCrashedError,
 )
+from repro.obs import (
+    EVENT_DEPLOY,
+    EVENT_HEALTH,
+    EVENT_RECOVERY,
+    EVENT_SWAP,
+    EVENT_UNDEPLOY,
+    Observability,
+    get_observability,
+)
 from repro.serving.admission import retry_submit
 from repro.serving.service import QueryService, ServiceFuture
 from repro.serving.stats import ServiceStats
@@ -70,6 +78,7 @@ from repro.serving.supervision import (
     Supervisor,
     SupervisionConfig,
 )
+from repro.utils.timing import Clock
 
 __all__ = ["EngineHost", "DeploymentInfo", "SwapReport"]
 
@@ -216,7 +225,12 @@ class EngineHost:
     Parameters are the default :class:`~repro.serving.QueryService` knobs
     applied to every deployment; :meth:`deploy` accepts per-deployment
     overrides, and a swap reuses the deployment's knobs so operational
-    tuning survives engine replacements.
+    tuning survives engine replacements.  ``obs`` is the
+    :class:`~repro.obs.Observability` bundle shared by the host and every
+    deployment (default: the process-wide bundle) — each deployment's
+    service publishes metrics under its deployment name, swaps and
+    recoveries land in the bundle's event log, and :meth:`metrics_text`
+    serves the whole registry in Prometheus exposition format.
 
     Thread-safe throughout: any number of submitter threads (or one asyncio
     loop via the ``a*`` facade) may race deploys, swaps and undeploys.
@@ -234,7 +248,11 @@ class EngineHost:
         admission_timeout_ms: float | None = None,
         default_deadline_ms: float | None = None,
         supervision: SupervisionConfig | None = None,
+        obs: Observability | None = None,
+        clock: Clock | None = None,
     ) -> None:
+        self._obs = obs if obs is not None else get_observability()
+        self._clock: Clock = clock if clock is not None else self._obs.clock
         self._defaults: dict[str, Any] = {
             "max_batch_size": max_batch_size,
             "max_wait_ms": max_wait_ms,
@@ -244,7 +262,43 @@ class EngineHost:
             "admission_policy": admission_policy,
             "admission_timeout_ms": admission_timeout_ms,
             "default_deadline_ms": default_deadline_ms,
+            "obs": self._obs,
+            "clock": self._clock,
         }
+        if self._obs.enabled:
+            registry = self._obs.registry
+            self._m_swaps = registry.counter(
+                "repro_host_swaps_total",
+                "Completed zero-downtime engine swaps.",
+                ("deployment",),
+            )
+            self._m_recoveries = registry.counter(
+                "repro_host_recoveries_total",
+                "Supervision recoveries, by escalation action.",
+                ("deployment", "action"),
+            )
+            self._m_retries = registry.counter(
+                "repro_host_retries_total",
+                "Submits retried across a swap or worker restart.",
+                ("deployment",),
+            )
+            self._m_degraded = registry.counter(
+                "repro_host_degraded_answers_total",
+                "Answers served by a fallback engine while the primary was "
+                "unhealthy.",
+                ("deployment",),
+            )
+            self._m_health = registry.gauge(
+                "repro_host_health_state",
+                "Deployment health: 0=healthy, 1=degraded, 2=unhealthy.",
+                ("deployment",),
+            )
+        else:
+            self._m_swaps = None
+            self._m_recoveries = None
+            self._m_retries = None
+            self._m_degraded = None
+            self._m_health = None
         self._lock = threading.Lock()
         self._deployments: dict[str, _Deployment] = {}
         self._closed = False
@@ -260,6 +314,55 @@ class EngineHost:
     def closed(self) -> bool:
         """True once :meth:`close` has run (the supervisor loop checks it)."""
         return self._closed
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+    @property
+    def obs(self) -> Observability:
+        """The observability bundle every deployment publishes into."""
+        return self._obs
+
+    def metrics_text(self) -> str:
+        """Every registry metric in Prometheus text exposition format.
+
+        Exactly what a ``/metrics`` route would serve::
+
+            >>> print(host.metrics_text())
+            # HELP repro_service_queries_total Queries accepted by submit()...
+            # TYPE repro_service_queries_total counter
+            repro_service_queries_total{service="prod"} 1024
+            ...
+        """
+        return self._obs.metrics_text()
+
+    def metrics_json(self) -> dict[str, object]:
+        """The same registry contents as a JSON-serialisable snapshot."""
+        return self._obs.metrics_json()
+
+    _HEALTH_LEVEL = {
+        HealthState.HEALTHY: 0.0,
+        HealthState.DEGRADED: 1.0,
+        HealthState.UNHEALTHY: 2.0,
+    }
+
+    def _emit(self, kind: str, subject: str, **fields: Any) -> None:
+        if self._obs.enabled:
+            self._obs.events.emit(kind, subject, **fields)
+
+    def _note_health(
+        self, name: str, state: HealthState, cause: str | None = None
+    ) -> None:
+        """Record one health *transition* (gauge + structured event)."""
+        if self._m_health is not None:
+            self._m_health.set(self._HEALTH_LEVEL[state], deployment=name)
+        self._emit(EVENT_HEALTH, name, state=state.name.lower(), cause=cause)
+
+    def _wire_engine(self, engine: Any) -> None:
+        """Point fault-injection wrappers at the host's event sink."""
+        attach = getattr(engine, "attach_event_log", None)
+        if attach is not None and self._obs.enabled:
+            attach(self._obs.events)
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -292,15 +395,19 @@ class EngineHost:
             if name in self._deployments:
                 raise DuplicateDeploymentError(name)
         built, spec = self._resolve_engine(engine, graph)
-        options = {**self._defaults, **service_options}
+        self._wire_engine(built)
+        options = {**self._defaults, "name": name, **service_options}
         service = QueryService(built, **options)
         deployment = _Deployment(name, spec, built, service, options)
         if fallback is not None:
             fallback_built, fallback_spec = self._resolve_engine(
                 fallback, graph, fallback_graph=getattr(built, "graph", None)
             )
+            self._wire_engine(fallback_built)
             deployment.fallback_spec = fallback_spec
-            deployment.fallback_service = QueryService(fallback_built, **options)
+            deployment.fallback_service = QueryService(
+                fallback_built, **{**options, "name": f"{options['name']}-fallback"}
+            )
         with self._lock:
             if self._closed or name in self._deployments:
                 service.close()
@@ -310,6 +417,11 @@ class EngineHost:
                     raise HostError("EngineHost is closed")
                 raise DuplicateDeploymentError(name)
             self._deployments[name] = deployment
+        if self._m_health is not None:
+            self._m_health.set(0.0, deployment=name)
+        self._emit(
+            EVENT_DEPLOY, name, spec=spec, fallback=deployment.fallback_spec
+        )
         return self._info(deployment)
 
     def swap(
@@ -334,14 +446,16 @@ class EngineHost:
         deployment = self._get(name)
         with deployment.swap_lock:
             old_engine = deployment.engine
-            build_started = time.perf_counter()
+            build_started = self._clock.monotonic()
             built, spec = self._resolve_engine(
                 engine, graph, fallback_graph=getattr(old_engine, "graph", None)
             )
+            self._wire_engine(built)
             new_service = QueryService(built, **deployment.service_options)
-            build_seconds = time.perf_counter() - build_started
+            build_seconds = self._clock.monotonic() - build_started
 
-            switch_started = time.perf_counter()
+            switch_started = self._clock.monotonic()
+            was_healthy = True
             with self._lock:
                 if self._closed or self._deployments.get(name) is not deployment:
                     new_service.close()
@@ -357,6 +471,7 @@ class EngineHost:
                 # A swap installs a known-good engine: the deployment starts
                 # its health history over (an UNHEALTHY primary parked on a
                 # fallback returns to primary serving here).
+                was_healthy = deployment.health is HealthState.HEALTHY
                 deployment.health = HealthState.HEALTHY
                 deployment.health_cause = None
                 deployment.clean_checks = 0
@@ -367,13 +482,27 @@ class EngineHost:
                 # snapshot is replaced with the final one below).
                 deployment.retired_stats.append(old_service.stats())
                 retired_index = len(deployment.retired_stats) - 1
-            switch_seconds = time.perf_counter() - switch_started
+            switch_seconds = self._clock.monotonic() - switch_started
 
-            drain_started = time.perf_counter()
+            drain_started = self._clock.monotonic()
             drained = old_service.close()
-            drain_seconds = time.perf_counter() - drain_started
+            drain_seconds = self._clock.monotonic() - drain_started
             with self._lock:
                 deployment.retired_stats[retired_index] = old_service.stats()
+        if self._m_swaps is not None:
+            self._m_swaps.inc(1.0, deployment=name)
+        if not was_healthy:
+            self._note_health(name, HealthState.HEALTHY, "swap installed a fresh engine")
+        elif self._m_health is not None:
+            self._m_health.set(0.0, deployment=name)
+        self._emit(
+            EVENT_SWAP,
+            name,
+            old_spec=old_spec,
+            new_spec=spec,
+            drained_queries=drained,
+            build_seconds=build_seconds,
+        )
         return SwapReport(
             deployment=name,
             old_spec=old_spec,
@@ -393,6 +522,7 @@ class EngineHost:
         deployment.service.close()
         if deployment.fallback_service is not None:
             deployment.fallback_service.close()
+        self._emit(EVENT_UNDEPLOY, name, spec=deployment.spec)
         return self._merged_stats(deployment)
 
     # ------------------------------------------------------------------
@@ -442,6 +572,8 @@ class EngineHost:
             future = fallback.submit(source, target, departure, deadline_ms=deadline_ms)
             with self._lock:
                 entry.degraded_answers += 1
+            if self._m_degraded is not None:
+                self._m_degraded.inc(1.0, deployment=deployment)
             return future
         return entry.service.submit(source, target, departure, deadline_ms=deadline_ms)
 
@@ -450,6 +582,8 @@ class EngineHost:
             entry = self._deployments.get(deployment)
             if entry is not None:
                 entry.retries += 1
+        if self._m_retries is not None:
+            self._m_retries.inc(1.0, deployment=deployment)
 
     def query(
         self,
@@ -701,6 +835,7 @@ class EngineHost:
                     "whole-batch failures"
                 )
         if cause is None:
+            recovered = False
             with self._lock:
                 if entry.health is HealthState.DEGRADED:
                     entry.clean_checks += 1
@@ -709,6 +844,13 @@ class EngineHost:
                         entry.health_cause = None
                         entry.clean_checks = 0
                         entry.restarts_since_healthy = 0
+                        recovered = True
+            if recovered:
+                self._note_health(
+                    entry.name,
+                    HealthState.HEALTHY,
+                    f"{config.recovery_checks} clean supervision passes",
+                )
             return None
         return self._recover(entry, cause)
 
@@ -733,6 +875,7 @@ class EngineHost:
                 action = "rehydrate"
                 spec = f"snapshot:{entry.last_snapshot}"
                 engine = create_engine(spec)
+                self._wire_engine(engine)
             elif entry.fallback_service is not None:
                 action, engine, spec = "fallback", None, entry.spec
             else:
@@ -743,10 +886,12 @@ class EngineHost:
                 with self._lock:
                     entry.health = HealthState.UNHEALTHY
                     entry.health_cause = cause
+                self._note_health(entry.name, HealthState.UNHEALTHY, cause)
                 old_service = entry.service
                 failed = old_service.abort(error)
                 with self._lock:
                     entry.retired_stats.append(old_service.stats())
+                self._note_recovery(entry.name, action, cause, failed)
                 return RecoveryReport(
                     deployment=entry.name,
                     action=action,
@@ -771,9 +916,11 @@ class EngineHost:
                     entry.restarts_since_healthy = 0
                 else:
                     entry.restarts_since_healthy += 1
+            self._note_health(entry.name, HealthState.DEGRADED, cause)
             failed = old_service.abort(error)
             with self._lock:
                 entry.retired_stats.append(old_service.stats())
+            self._note_recovery(entry.name, action, cause, failed)
             return RecoveryReport(
                 deployment=entry.name,
                 action=action,
@@ -782,6 +929,16 @@ class EngineHost:
             )
         finally:
             entry.swap_lock.release()
+
+    def _note_recovery(
+        self, name: str, action: str, cause: str, failed: int
+    ) -> None:
+        """Record one completed recovery (counter + structured event)."""
+        if self._m_recoveries is not None:
+            self._m_recoveries.inc(1.0, deployment=name, action=action)
+        self._emit(
+            EVENT_RECOVERY, name, action=action, cause=cause, failed_futures=failed
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -34,7 +34,6 @@ service exact).
 from __future__ import annotations
 
 import threading
-import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,8 +48,23 @@ from repro.exceptions import (
     ServiceClosedError,
     WorkerCrashedError,
 )
+from repro.obs import (
+    EVENT_ABORT,
+    EVENT_DEADLINE,
+    EVENT_SHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    PipelineTrace,
+    TraceLike,
+    Tracer,
+    get_observability,
+)
 from repro.serving.admission import ADMISSION_POLICIES, ADMIT_SHED
 from repro.serving.stats import LatencyReservoir, ServiceStats
+from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 __all__ = ["QueryService", "ServiceFuture", "ServiceProbe"]
 
@@ -85,20 +99,35 @@ class ServiceFuture:
     caller, and a racing ``set_exception`` runs the callbacks exactly once.
     """
 
-    __slots__ = ("_done", "_value", "_error", "_event", "_callbacks", "_deadline", "_deadline_ms", "_expire_hook")
+    __slots__ = (
+        "_done",
+        "_value",
+        "_error",
+        "_event",
+        "_callbacks",
+        "_deadline",
+        "_deadline_ms",
+        "_expire_hook",
+        "_clock",
+        "_trace",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
         self._done = False
         self._value: float | None = None
         self._error: BaseException | None = None
         self._event: threading.Event | None = None
         self._callbacks: list[Callable[["ServiceFuture"], None]] | None = None
-        #: Absolute ``perf_counter`` deadline (None = no deadline).
+        #: Absolute monotonic-clock deadline (None = no deadline).
         self._deadline: float | None = None
         self._deadline_ms: float | None = None
         #: Called once if the future settles by deadline expiry (the service
         #: wires its ``deadline_expired`` counter here).
-        self._expire_hook: Callable[[], None] | None = None
+        self._expire_hook: Callable[[float], None] | None = None
+        self._clock = clock
+        #: The query's trace; whichever settlement wins finishes it, so even
+        #: a crash-failed or deadline-expired future yields a complete trace.
+        self._trace: TraceLike | None = None
 
     def set_result(self, value: float) -> None:
         self._settle(value=value)
@@ -121,6 +150,13 @@ class ServiceFuture:
             self._callbacks = None
         if event is not None:
             event.set()
+        trace = self._trace
+        if trace is not None:
+            self._trace = None  # only the settlement winner reaches here
+            if error is not None:
+                trace.finish(STATUS_ERROR, type(error).__name__)
+            else:
+                trace.finish(STATUS_OK)
         if callbacks:
             for fn in callbacks:
                 self._invoke(fn)
@@ -151,7 +187,7 @@ class ServiceFuture:
             pass
 
     def _arm_deadline(
-        self, deadline: float, deadline_ms: float, expire_hook: Callable[[], None]
+        self, deadline: float, deadline_ms: float, expire_hook: Callable[[float], None]
     ) -> None:
         """Attach an absolute deadline (service-internal, set before publish)."""
         self._deadline = deadline
@@ -160,10 +196,11 @@ class ServiceFuture:
 
     def _expire(self) -> bool:
         """Settle with :class:`DeadlineExceededError`; False if already done."""
-        settled = self._settle(error=DeadlineExceededError(self._deadline_ms))
+        deadline_ms = self._deadline_ms
+        settled = self._settle(error=DeadlineExceededError(deadline_ms))
         if settled and self._expire_hook is not None:
             try:
-                self._expire_hook()
+                self._expire_hook(deadline_ms if deadline_ms is not None else 0.0)
             finally:
                 self._expire_hook = None
         return settled
@@ -187,9 +224,9 @@ class ServiceFuture:
                 self._event = threading.Event()
         # Publish-then-recheck: if the setter raced us it either saw the
         # event (and set it) or completed before our recheck below.
-        end = None if timeout is None else time.perf_counter() + timeout
+        end = None if timeout is None else self._clock.monotonic() + timeout
         while not self._done:
-            now = time.perf_counter()
+            now = self._clock.monotonic()
             if self._deadline is not None and self._deadline - now <= 0.0:
                 # The consumer enforces its own deadline: a wedged worker can
                 # delay the answer, never the caller's unblocking.
@@ -204,10 +241,48 @@ class ServiceFuture:
             if wait_for is not None and wait_for <= 0.0:
                 break
             self._event.wait(wait_for)
-            if end is not None and time.perf_counter() >= end:
+            if end is not None and self._clock.monotonic() >= end:
                 break
         if not self._done:
             raise TimeoutError("query result not available yet")
+
+
+def _settle_batch_ok(batch: "list[_Pending]", costs: list[float]) -> None:
+    """Settle a whole error-free batch under one ``_waiter_lock`` hold.
+
+    Semantically identical to calling ``set_result`` per future — first-wins
+    against racing deadline expiries, events set and traces finished outside
+    the lock, callbacks run exactly once — but the flushed batch pays a
+    single lock round-trip instead of one per query.  The lock is only held
+    for plain slot writes, so the hold stays in the tens of microseconds even
+    for a full 512-query batch.
+    """
+    events: list[threading.Event] = []
+    traces: list[TraceLike] = []
+    callback_runs: list[tuple[ServiceFuture, list[Callable[[ServiceFuture], None]]]] = []
+    with _waiter_lock:
+        for entry, value in zip(batch, costs):
+            future = entry.future
+            if future._done:
+                continue  # a deadline expiry won the race; leave it be
+            future._value = value
+            future._done = True
+            if future._event is not None:
+                events.append(future._event)
+            if future._callbacks:
+                callback_runs.append((future, future._callbacks))
+            future._callbacks = None
+            trace = future._trace
+            if trace is not None:
+                future._trace = None
+                traces.append(trace)
+    for event in events:
+        event.set()
+    for trace in traces:
+        trace.finish(STATUS_OK)
+    for future, callbacks in callback_runs:
+        for fn in callbacks:
+            future._invoke(fn)
 
 
 class _WeakInvalidationHook:
@@ -234,6 +309,99 @@ class _WeakInvalidationHook:
             unregister = getattr(index, "unregister_invalidation_hook", None)
             if unregister is not None:
                 unregister(self)
+
+
+class _WeakRefreshHook:
+    """Registry refresh hook that does not keep the service alive.
+
+    Registered on the metrics registry so exports always see fresh counters
+    (the service publishes deltas batch-wise, not per submit).  Weak for the
+    same reason as :class:`_WeakInvalidationHook`: the process-wide registry
+    outlives every service, and must not pin dropped ones.
+    """
+
+    __slots__ = ("_service_ref", "_registry_ref")
+
+    def __init__(self, service: "QueryService", registry: MetricsRegistry) -> None:
+        self._service_ref = weakref.ref(service)
+        self._registry_ref = weakref.ref(registry)
+
+    def __call__(self) -> None:
+        service = self._service_ref()
+        if service is not None:
+            service._publish_metrics()
+            return
+        registry = self._registry_ref()
+        if registry is not None:
+            registry.unregister_refresh_hook(self)
+
+
+class _ServiceInstruments:
+    """Pre-bound registry children for one service's label set.
+
+    Bound once at construction (label resolution off the hot path); the
+    service mirrors its internal counters into these in batch-sized deltas
+    via :meth:`QueryService._publish_metrics`.
+    """
+
+    __slots__ = (
+        "submitted",
+        "answered",
+        "cache_hits",
+        "batches",
+        "shed",
+        "deadline_expired",
+        "in_flight",
+        "cache_entries",
+        "latency_ms",
+    )
+
+    def __init__(self, registry: MetricsRegistry, service: str) -> None:
+        self.submitted = registry.counter(
+            "repro_service_queries_total",
+            "Queries accepted by submit(), including still-pending ones.",
+            ("service",),
+        ).labels(service=service)
+        self.answered = registry.counter(
+            "repro_service_answered_total",
+            "Queries whose result or error has been delivered.",
+            ("service",),
+        ).labels(service=service)
+        self.cache_hits = registry.counter(
+            "repro_service_cache_hits_total",
+            "Queries answered straight from the result cache.",
+            ("service",),
+        ).labels(service=service)
+        self.batches = registry.counter(
+            "repro_service_batches_total",
+            "Micro-batches flushed through the engine.",
+            ("service",),
+        ).labels(service=service)
+        self.shed = registry.counter(
+            "repro_service_shed_total",
+            "Queries rejected at admission (shed policy or block timeout).",
+            ("service",),
+        ).labels(service=service)
+        self.deadline_expired = registry.counter(
+            "repro_service_deadline_expired_total",
+            "Futures settled with DeadlineExceededError.",
+            ("service",),
+        ).labels(service=service)
+        self.in_flight = registry.gauge(
+            "repro_service_in_flight",
+            "Queries admitted but not yet answered (pending + executing).",
+            ("service",),
+        ).labels(service=service)
+        self.cache_entries = registry.gauge(
+            "repro_service_cache_entries",
+            "Entries currently held by the result cache.",
+            ("service",),
+        ).labels(service=service)
+        self.latency_ms = registry.histogram(
+            "repro_service_latency_ms",
+            "Submit-to-answer latency in milliseconds (log-scale buckets).",
+            ("service",),
+        ).labels(service=service)
 
 
 def _flusher_main(service_ref: "weakref.ref[QueryService]") -> None:
@@ -270,19 +438,38 @@ def _resolve_compute(index: Any) -> tuple[Optional[BatchCompute], ScalarCompute]
 class _Pending:
     """One enqueued query: inputs, cache key, future, and its submit time."""
 
-    __slots__ = ("source", "target", "departure", "key", "future", "submitted", "deadline")
+    __slots__ = (
+        "source",
+        "target",
+        "departure",
+        "key",
+        "future",
+        "submitted",
+        "deadline",
+        "trace",
+    )
 
     def __init__(
-        self, source: int, target: int, departure: float, key: CacheKey, submitted: float
+        self,
+        source: int,
+        target: int,
+        departure: float,
+        key: CacheKey | None,
+        submitted: float,
+        clock: Clock = SYSTEM_CLOCK,
     ) -> None:
         self.source = source
         self.target = target
         self.departure = departure
         self.key = key
-        self.future = ServiceFuture()
+        self.future = ServiceFuture(clock)
         self.submitted = submitted
-        #: Absolute ``perf_counter`` deadline, or None (no deadline).
+        #: Absolute monotonic-clock deadline, or None (no deadline).
         self.deadline: float | None = None
+        #: The query's trace (None when tracing is disabled).  Carried on the
+        #: entry — not thread-local — because the query hops threads: submit
+        #: thread → flusher thread → whichever thread settles the batch.
+        self.trace: PipelineTrace | None = None
 
 
 @dataclass(frozen=True)
@@ -356,6 +543,19 @@ class QueryService:
         ``deadline_ms``.  A query whose deadline elapses before its answer
         settles with :class:`~repro.exceptions.DeadlineExceededError` — the
         caller is never blocked past the deadline, even by a wedged engine.
+    name:
+        The value of the ``service`` label on every metric this service
+        publishes, and the ``subject`` of its structured events.
+    obs:
+        The :class:`~repro.obs.Observability` bundle to publish into
+        (default: the process-wide bundle).  Pass
+        ``Observability.disabled()`` to strip every trace/metric/event —
+        the baseline the obs overhead benchmark compares against.
+    clock:
+        Monotonic time source for latencies, deadlines, and batch-age
+        bookkeeping (default: the bundle's clock).  Inject a
+        :class:`~repro.utils.timing.FakeClock` for deterministic
+        deadline/aging tests.
 
     Examples
     --------
@@ -377,6 +577,9 @@ class QueryService:
         admission_policy: str = "block",
         admission_timeout_ms: float | None = None,
         default_deadline_ms: float | None = None,
+        name: str = "service",
+        obs: Observability | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
@@ -407,6 +610,24 @@ class QueryService:
         self.default_deadline_ms = (
             None if default_deadline_ms is None else float(default_deadline_ms)
         )
+        self.name = str(name)
+        self._obs = obs if obs is not None else get_observability()
+        self._clock: Clock = clock if clock is not None else self._obs.clock
+        # One None-check per hot-path site is the entire cost of disabled obs.
+        self._tracer: Tracer | None = self._obs.tracer if self._obs.enabled else None
+        self._events: EventLog | None = self._obs.events if self._obs.enabled else None
+        self._metrics = (
+            _ServiceInstruments(self._obs.registry, self.name)
+            if self._obs.enabled
+            else None
+        )
+        #: Counter values already mirrored into the registry (delta publish).
+        self._published = [0, 0, 0, 0, 0, 0]
+        #: Latency bucket counts / sum already mirrored into the histogram.
+        #: The reservoir and the registry histogram share the same bucket
+        #: bounds, so publishing is a bucket-count diff — no per-query
+        #: ``observe()`` on the hot path.
+        self._published_latency: tuple[tuple[int, ...], float] = ((), 0.0)
 
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -444,6 +665,11 @@ class QueryService:
         register = getattr(index, "register_invalidation_hook", None)
         if register is not None:
             register(self._invalidation_hook)
+
+        self._refresh_hook: _WeakRefreshHook | None = None
+        if self._metrics is not None:
+            self._refresh_hook = _WeakRefreshHook(self, self._obs.registry)
+            self._obs.registry.register_refresh_hook(self._refresh_hook)
 
         self._flusher = threading.Thread(
             target=_flusher_main,
@@ -483,40 +709,69 @@ class QueryService:
         effective_deadline_ms = (
             deadline_ms if deadline_ms is not None else self.default_deadline_ms
         )
-        key = self._cache_key(source, target, departure)
-        now = time.perf_counter()
+        # The key only ever feeds cache lookups/inserts, both gated on
+        # ``cache_size`` — skip building it on cache-off services.
+        key = self._cache_key(source, target, departure) if self.cache_size else None
+        now = self._clock.monotonic()
+        tracer = self._tracer
+        trace = (
+            PipelineTrace("query", tracer, now, self.name, source, target)
+            if tracer is not None
+            else None
+        )
         batch: list[_Pending] | None = None
-        with self._lock:
-            if self._closed:
-                raise ServiceClosedError("submit")
-            if self._first_submit is None:
-                self._first_submit = now
-            self._submitted += 1
-            if self.cache_size:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    self._cache.move_to_end(key)
-                    self._cache_hits += 1
-                    self._answered += 1
-                    self._latencies.record(time.perf_counter() - now)
-                    self._last_answer = time.perf_counter()
-                    future = ServiceFuture()
-                    future.set_result(cached)
-                    return future
-            self._admit(now)
-            self._in_flight += 1
-            entry = _Pending(source, target, departure, key, now)
-            if effective_deadline_ms is not None:
-                entry.deadline = now + effective_deadline_ms / 1000.0
-                entry.future._arm_deadline(
-                    entry.deadline, effective_deadline_ms, self._note_expired
-                )
-            self._pending.append(entry)
-            if len(self._pending) >= self.max_batch_size:
-                batch = self._pending
-                self._pending = []
-            elif len(self._pending) == 1:
-                self._wakeup.notify()  # flusher arms the max-wait deadline
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("submit")
+                if self._first_submit is None:
+                    self._first_submit = now
+                self._submitted += 1
+                if key is not None:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self._cache_hits += 1
+                        self._answered += 1
+                        done = self._clock.monotonic()
+                        self._latencies.record(done - now)
+                        self._last_answer = done
+                        future = ServiceFuture(self._clock)
+                        if trace is not None:
+                            trace.attrs["cache_hit"] = True
+                            future._trace = trace  # settle finishes the trace
+                        future.set_result(cached)
+                        return future
+                self._admit(now)
+                self._in_flight += 1
+                entry = _Pending(source, target, departure, key, now, self._clock)
+                if trace is not None:
+                    # Admission can only block when the service is bounded, so
+                    # an unbounded service reuses the submit timestamp instead
+                    # of reading the clock again.  Slot write == the
+                    # ``enqueued()`` boundary, minus one frame per query.
+                    trace._enqueued = (
+                        now if self.max_pending is None else self._clock.monotonic()
+                    )
+                    entry.trace = trace
+                    entry.future._trace = trace
+                if effective_deadline_ms is not None:
+                    entry.deadline = now + effective_deadline_ms / 1000.0
+                    entry.future._arm_deadline(
+                        entry.deadline, effective_deadline_ms, self._note_expired
+                    )
+                self._pending.append(entry)
+                if len(self._pending) >= self.max_batch_size:
+                    batch = self._pending
+                    self._pending = []
+                elif len(self._pending) == 1:
+                    self._wakeup.notify()  # flusher arms the max-wait deadline
+        except ReproError as exc:
+            # No future carries this trace (shed / closed): complete it here
+            # so rejected submits still show up whole in the trace ring.
+            if trace is not None:
+                trace.finish(STATUS_ERROR, type(exc).__name__)
+            raise
         if batch is not None:
             self._run_batch(batch)
         return entry.future
@@ -534,6 +789,7 @@ class QueryService:
             return
         if self.admission_policy == ADMIT_SHED:
             self._shed += 1
+            self._emit_shed(ADMIT_SHED)
             raise AdmissionRejectedError(self.max_pending, ADMIT_SHED)
         end = None if self.admission_timeout is None else now + self.admission_timeout
         while self._in_flight >= self.max_pending:
@@ -541,15 +797,23 @@ class QueryService:
                 raise ServiceClosedError("submit")
             wait_for = None
             if end is not None:
-                wait_for = end - time.perf_counter()
+                wait_for = end - self._clock.monotonic()
                 if wait_for <= 0.0:
                     self._shed += 1
+                    self._emit_shed("block")
                     raise AdmissionRejectedError(self.max_pending, "block")
             self._capacity.wait(timeout=wait_for)
         if self._closed:
             raise ServiceClosedError("submit")
 
-    def _note_expired(self) -> None:
+    def _emit_shed(self, policy: str) -> None:
+        """Record one admission rejection in the event log (rare path)."""
+        if self._events is not None:
+            self._events.emit(
+                EVENT_SHED, self.name, policy=policy, max_pending=self.max_pending
+            )
+
+    def _note_expired(self, deadline_ms: float) -> None:
         """Expire-hook wired into deadlined futures (counts expiries only).
 
         Capacity/answered accounting happens exactly once where the entry
@@ -559,6 +823,8 @@ class QueryService:
         """
         with self._lock:
             self._deadline_expired += 1
+        if self._events is not None:
+            self._events.emit(EVENT_DEADLINE, self.name, deadline_ms=deadline_ms)
 
     def query(self, source: int, target: int, departure: float) -> float:
         """Blocking convenience wrapper: ``submit(...).result()``."""
@@ -616,7 +882,7 @@ class QueryService:
                 # pending batch to it keeps the drained-count it reports
                 # exact (and the shutdown path single).
                 return True
-            now = time.perf_counter()
+            now = self._clock.monotonic()
             if self._pending:
                 # Proactively expire overdue entries so their admission slots
                 # free up even when no consumer is blocked in result().
@@ -695,8 +961,18 @@ class QueryService:
         departures = np.fromiter((p.departure for p in batch), np.float64, len(batch))
         generation = self._cache_generation
         errors: dict[int, Exception] = {}
+        if self._tracer is not None:
+            # The whole batch leaves the queue at one instant: a single clock
+            # read timestamps every pending-end/engine-start boundary.
+            flushed = self._clock.monotonic()
+            for entry in batch:
+                trace = entry.trace
+                if trace is not None:
+                    # Slot write == the ``flushed()`` boundary, minus one
+                    # frame per query.
+                    trace._flushed = flushed
         with self._lock:
-            self._flushing_since = time.perf_counter()
+            self._flushing_since = self._clock.monotonic()
         try:
             if self._batch_compute is None:
                 costs, errors = self._per_query_costs(sources, targets, departures)
@@ -718,7 +994,18 @@ class QueryService:
             with self._lock:
                 self._flushing_since = None
 
-        now = time.perf_counter()
+        now = self._clock.monotonic()
+        if self._tracer is not None:
+            # Successful engine spans are closed by the settle-side finish();
+            # only failures need their error recorded on the span itself.
+            for i, error in errors.items():
+                trace = batch[i].trace
+                if trace is not None:
+                    trace.engine_done(now, type(error).__name__)
+        # One ``tolist`` beats a ``float(costs[i])`` numpy-scalar read per
+        # query in the settle and cache-insert loops below.
+        costs_list: list[float] = costs.tolist()
+        latencies = [now - p.submitted for p in batch]
         with self._lock:
             self._num_batches += 1
             self._batched_queries += len(batch)
@@ -730,27 +1017,92 @@ class QueryService:
             else:
                 self._consecutive_batch_failures = 0
             self._last_answer = now
-            self._latencies.extend(now - p.submitted for p in batch)
+            self._latencies.extend(latencies)
             # Skip cache insertion when an invalidation raced the engine call:
             # these costs may predate the index update that triggered it.
             if self.cache_size and generation == self._cache_generation:
                 for i, entry in enumerate(batch):
-                    if i in errors:
+                    if i in errors or entry.key is None:
                         continue
-                    self._cache[entry.key] = float(costs[i])
+                    self._cache[entry.key] = costs_list[i]
                     self._cache.move_to_end(entry.key)
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
-        for i, entry in enumerate(batch):
-            error = errors.get(i)
-            if error is not None:
-                entry.future.set_exception(error)
-            else:
-                entry.future.set_result(float(costs[i]))
+        if errors:
+            for i, entry in enumerate(batch):
+                error = errors.get(i)
+                if error is not None:
+                    entry.future.set_exception(error)
+                else:
+                    entry.future.set_result(costs_list[i])
+        else:
+            _settle_batch_ok(batch, costs_list)
+        if self._metrics is not None:
+            self._publish_metrics()
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
+    def _publish_metrics(self) -> None:
+        """Mirror counter deltas into the registry (pull-model publishing).
+
+        Called after every flushed batch and as a registry refresh hook, so
+        the hot path pays one plain-int increment per event while exports
+        still read up-to-date values.  Safe from any thread.
+        """
+        metrics = self._metrics
+        if metrics is None:
+            return
+        with self._lock:
+            current = [
+                self._submitted,
+                self._answered,
+                self._cache_hits,
+                self._num_batches,
+                self._shed,
+                self._deadline_expired,
+            ]
+            deltas = [c - p for c, p in zip(current, self._published)]
+            self._published = current
+            in_flight = self._in_flight
+            cache_entries = len(self._cache)
+            bucket_counts = self._latencies.bucket_counts
+            total_ms = self._latencies.total_ms
+            prev_counts, prev_ms = self._published_latency
+            if prev_counts:
+                bucket_deltas = [c - p for c, p in zip(bucket_counts, prev_counts)]
+            else:
+                bucket_deltas = list(bucket_counts)
+            sum_delta_ms = total_ms - prev_ms
+            self._published_latency = (bucket_counts, total_ms)
+        children = (
+            metrics.submitted,
+            metrics.answered,
+            metrics.cache_hits,
+            metrics.batches,
+            metrics.shed,
+            metrics.deadline_expired,
+        )
+        for child, delta in zip(children, deltas):
+            if delta:
+                child.inc(delta)
+        if any(bucket_deltas):
+            metrics.latency_ms.merge_counts(bucket_deltas, sum_delta_ms)
+        metrics.in_flight.set(in_flight)
+        metrics.cache_entries.set(cache_entries)
+
+    def recent_traces(self, n: int | None = None) -> list[TraceLike]:
+        """The most recently completed query traces (newest last).
+
+        Empty when the service's observability bundle is disabled.  The ring
+        lives on the bundle's tracer, so services sharing one bundle (e.g.
+        the deployments of one :class:`~repro.serving.EngineHost`) see a
+        merged ring — filter on the ``service`` attr to split it.
+        """
+        if self._tracer is None:
+            return []
+        return self._tracer.recent(n)
+
     def stats(self) -> ServiceStats:
         """A consistent snapshot of the service counters."""
         with self._lock:
@@ -776,6 +1128,7 @@ class QueryService:
                 p99_latency_ms=self._latencies.percentile_ms(99.0),
                 shed=self._shed,
                 deadline_expired=self._deadline_expired,
+                latency_bucket_counts=self._latencies.bucket_counts,
             )
 
     def probe(self) -> ServiceProbe:
@@ -785,7 +1138,7 @@ class QueryService:
         it every interval; tests call it directly for deterministic health
         checks.
         """
-        now = time.perf_counter()
+        now = self._clock.monotonic()
         with self._lock:
             oldest = (
                 max(now - self._pending[0].submitted, 0.0) if self._pending else 0.0
@@ -827,11 +1180,16 @@ class QueryService:
             self._pending = []
             self._in_flight -= len(abandoned)
             self._answered += len(abandoned)
-            self._last_answer = time.perf_counter()
+            self._last_answer = self._clock.monotonic()
             self._wakeup.notify_all()
             self._capacity.notify_all()
         for entry in abandoned:
             entry.future.set_exception(error)
+        if self._events is not None:
+            self._events.emit(
+                EVENT_ABORT, self.name, failed=len(abandoned), error=type(error).__name__
+            )
+        self._detach_obs()
         unregister = getattr(self._index, "unregister_invalidation_hook", None)
         if unregister is not None:
             unregister(self._invalidation_hook)
@@ -855,10 +1213,18 @@ class QueryService:
             self._capacity.notify_all()
         self._flusher.join(timeout=5.0)
         drained = self._drain()
+        self._detach_obs()
         unregister = getattr(self._index, "unregister_invalidation_hook", None)
         if unregister is not None:
             unregister(self._invalidation_hook)
         return drained
+
+    def _detach_obs(self) -> None:
+        """Final metrics publish, then stop refreshing for this service."""
+        self._publish_metrics()
+        if self._refresh_hook is not None:
+            self._obs.registry.unregister_refresh_hook(self._refresh_hook)
+            self._refresh_hook = None
 
     def __enter__(self) -> "QueryService":
         return self

@@ -9,34 +9,86 @@ keeps O(1) memory.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import LATENCY_BUCKETS_MS, bucket_percentile
+
 __all__ = ["ServiceStats", "LatencyReservoir"]
+
+#: The shared bucket bounds as an ndarray, for vectorized bucketing.
+_BUCKET_BOUNDS = np.asarray(LATENCY_BUCKETS_MS, dtype=np.float64)
 
 
 class LatencyReservoir:
     """Bounded store of recent latency samples (seconds).
 
+    Alongside the bounded sample window (exact percentiles over *recent*
+    traffic), the reservoir keeps lifetime counts in the fixed log-scale
+    latency buckets shared with :mod:`repro.obs.metrics`.  Bucket counts are
+    cumulative and never evicted, so snapshots from several service
+    generations can be merged *exactly* by summing them — which is what
+    :meth:`ServiceStats.merged` does.
+
     Not thread-safe on its own; the service records under its lock.
     """
 
-    __slots__ = ("_samples",)
+    __slots__ = ("_samples", "_bucket_counts", "_total_ms")
 
     def __init__(self, maxlen: int = 4096) -> None:
         self._samples: deque[float] = deque(maxlen=maxlen)
+        # One slot per bucket bound plus a trailing overflow slot.
+        self._bucket_counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self._total_ms = 0.0
 
     def record(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
+        value = float(seconds)
+        self._samples.append(value)
+        ms = value * 1000.0
+        self._bucket_counts[bisect_left(LATENCY_BUCKETS_MS, ms)] += 1
+        self._total_ms += ms
 
     def extend(self, seconds_iterable: Iterable[float]) -> None:
-        self._samples.extend(float(s) for s in seconds_iterable)
+        """Record a whole batch of latencies with vectorized bucketing.
+
+        The flushed-batch path lands here with hundreds of samples at once;
+        one ``searchsorted`` + ``bincount`` replaces a per-sample ``bisect``
+        (``side="left"`` matches :func:`bisect.bisect_left` exactly).
+        """
+        values = np.asarray(
+            seconds_iterable if isinstance(seconds_iterable, (list, tuple))
+            else list(seconds_iterable),
+            dtype=np.float64,
+        )
+        if values.size == 0:
+            return
+        ms = values * 1000.0
+        slots = np.bincount(
+            np.searchsorted(_BUCKET_BOUNDS, ms, side="left"),
+            minlength=len(self._bucket_counts),
+        )
+        counts = self._bucket_counts
+        for i in np.flatnonzero(slots):
+            counts[i] += int(slots[i])
+        self._total_ms += float(ms.sum())
+        self._samples.extend(values.tolist())
 
     def __len__(self) -> int:
         return len(self._samples)
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Lifetime latency counts per log-scale bucket (overflow last)."""
+        return tuple(self._bucket_counts)
+
+    @property
+    def total_ms(self) -> float:
+        """Lifetime sum of recorded latencies, in milliseconds."""
+        return self._total_ms
 
     def percentile_ms(self, q: float) -> float:
         """The ``q``-th percentile of the stored samples, in milliseconds."""
@@ -91,6 +143,10 @@ class ServiceStats:
     #: Times a supervisor aborted and restarted the deployment's worker
     #: (host-level counter; 0 on a bare service).
     worker_restarts: int = 0
+    #: Lifetime latency counts in the shared log-scale buckets
+    #: (:data:`~repro.obs.metrics.LATENCY_BUCKETS_MS`, overflow slot last).
+    #: Empty on snapshots that predate bucket tracking.
+    latency_bucket_counts: tuple[int, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -109,9 +165,16 @@ class ServiceStats:
         counters add exactly; ``avg_batch_size`` is recomputed from the
         summed totals; ``throughput_qps`` is total answers over total wall
         time; ``cache_entries`` reflects the *last* part (the live cache —
-        retired caches are gone); the latency percentiles are
-        answered-weighted means of the component windows, an approximation —
-        read the live service's own stats for exact recent percentiles.
+        retired caches are gone).
+
+        Latency percentiles are merged from the shared histogram buckets
+        when every part carries them: bucket counts add exactly across
+        generations, so the merged p50/p95/p99 are true percentiles of the
+        combined distribution (to bucket resolution).  Percentiles are *not*
+        averageable — a weighted mean of per-part p99s can produce a value no
+        generation ever saw, or one below a part's own p95 — so the old
+        answered-weighted mean survives only as a fallback for legacy
+        snapshots without bucket counts.
         """
         if not parts:
             return cls(0, 0, 0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
@@ -128,6 +191,25 @@ class ServiceStats:
             total = sum(getattr(p, field) * p.queries_answered for p in parts)
             return float(total / answered)
 
+        n_slots = len(LATENCY_BUCKETS_MS) + 1
+        counted = [p for p in parts if p.queries_answered > 0]
+        mergeable = bool(counted) and all(
+            len(p.latency_bucket_counts) == n_slots for p in counted
+        )
+        if mergeable:
+            merged_counts = tuple(
+                sum(p.latency_bucket_counts[i] for p in counted)
+                for i in range(n_slots)
+            )
+            p50 = bucket_percentile(LATENCY_BUCKETS_MS, merged_counts, 50.0)
+            p95 = bucket_percentile(LATENCY_BUCKETS_MS, merged_counts, 95.0)
+            p99 = bucket_percentile(LATENCY_BUCKETS_MS, merged_counts, 99.0)
+        else:
+            merged_counts = ()
+            p50 = _weighted("p50_latency_ms")
+            p95 = _weighted("p95_latency_ms")
+            p99 = _weighted("p99_latency_ms")
+
         occupancy = (
             sum(p.batch_occupancy * p.num_batches for p in parts) / num_batches
             if num_batches
@@ -142,14 +224,15 @@ class ServiceStats:
             num_batches=num_batches,
             avg_batch_size=batched / num_batches if num_batches else 0.0,
             batch_occupancy=occupancy,
-            p50_latency_ms=_weighted("p50_latency_ms"),
-            p95_latency_ms=_weighted("p95_latency_ms"),
+            p50_latency_ms=p50,
+            p95_latency_ms=p95,
             throughput_qps=(answered / elapsed) if elapsed > 0 else 0.0,
             elapsed_seconds=elapsed,
-            p99_latency_ms=_weighted("p99_latency_ms"),
+            p99_latency_ms=p99,
             shed=sum(p.shed for p in parts),
             deadline_expired=sum(p.deadline_expired for p in parts),
             retries=sum(p.retries for p in parts),
             degraded_answers=sum(p.degraded_answers for p in parts),
             worker_restarts=sum(p.worker_restarts for p in parts),
+            latency_bucket_counts=merged_counts,
         )

@@ -32,6 +32,14 @@ The state machine, per deployment::
 Deterministic by design: ``host.check()`` is a plain synchronous pass, so
 tests drive the whole machine without the timing thread; production hosts
 pass ``supervision=SupervisionConfig(...)`` and get the background loop.
+Every aging measurement the detector thresholds against
+(``oldest_pending_seconds``, ``flushing_seconds``) is taken by
+``service.probe()`` on the service's injectable monotonic clock — advance a
+:class:`~repro.utils.timing.FakeClock` and a pending query "ages" past the
+wedge timeout instantly, no real waiting.  Recoveries and health
+transitions are recorded in the host's :class:`~repro.obs.EventLog`
+(``supervision.recovery`` / ``supervision.health`` events), one event per
+transition.
 """
 
 from __future__ import annotations

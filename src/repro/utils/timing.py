@@ -1,12 +1,99 @@
-"""Lightweight timing helpers used by the experiment harness."""
+"""Timing helpers: an injectable monotonic clock plus stopwatch utilities.
+
+Everything in the library that measures or compares durations — build-phase
+timers, serving deadlines, span tracing, supervision aging, retry backoff —
+goes through one :class:`Clock` protocol instead of calling
+:func:`time.perf_counter` directly.  Production code uses the process-wide
+:data:`SYSTEM_CLOCK`; tests inject a :class:`FakeClock` and *advance time by
+assertion* instead of sleeping, which keeps chaos and trace tests both fast
+and deterministic.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
-__all__ = ["Stopwatch", "Timer", "time_call"]
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "MonotonicClock",
+    "SYSTEM_CLOCK",
+    "Stopwatch",
+    "Timer",
+    "time_call",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic time source (seconds; origin is arbitrary)."""
+
+    def monotonic(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Pause the caller for ``seconds`` (fake clocks advance instead)."""
+        ...
+
+
+class MonotonicClock:
+    """The real clock: :func:`time.perf_counter` + :func:`time.sleep`.
+
+    ``monotonic`` is :func:`time.perf_counter` itself (a staticmethod), so
+    hot paths that bind ``clock.monotonic`` once call straight into C with
+    no Python wrapper frame — the serving layer reads the clock several
+    times per query.
+    """
+
+    __slots__ = ()
+
+    monotonic = staticmethod(time.perf_counter)
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic tests.
+
+    ``sleep`` advances the fake time instead of blocking, so code paths with
+    backoff sleeps run instantly under test; ``advance`` ages pending work
+    (deadlines, wedge detection, span durations) without a real wait.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self._now:g})"
+
+
+#: Process-wide default clock; inject a :class:`FakeClock` in tests instead
+#: of monkeypatching this.
+SYSTEM_CLOCK: Clock = MonotonicClock()
 
 
 @dataclass
@@ -14,17 +101,18 @@ class Stopwatch:
     """Accumulates wall-clock time across multiple start/stop cycles."""
 
     elapsed: float = 0.0
+    clock: Clock = field(default=SYSTEM_CLOCK, repr=False)
     _started_at: float | None = field(default=None, repr=False)
 
     def start(self) -> None:
         if self._started_at is not None:
             raise RuntimeError("stopwatch is already running")
-        self._started_at = time.perf_counter()
+        self._started_at = self.clock.monotonic()
 
     def stop(self) -> float:
         if self._started_at is None:
             raise RuntimeError("stopwatch is not running")
-        delta = time.perf_counter() - self._started_at
+        delta = self.clock.monotonic() - self._started_at
         self.elapsed += delta
         self._started_at = None
         return delta
@@ -41,12 +129,13 @@ class Stopwatch:
 class Timer:
     """Named timer registry, e.g. to split index construction into phases."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
+        self._clock = clock
         self._watches: dict[str, Stopwatch] = {}
 
     @contextmanager
-    def measure(self, name: str):
-        watch = self._watches.setdefault(name, Stopwatch())
+    def measure(self, name: str) -> Iterator[Stopwatch]:
+        watch = self._watches.setdefault(name, Stopwatch(clock=self._clock))
         watch.start()
         try:
             yield watch
@@ -62,7 +151,9 @@ class Timer:
         return {name: watch.elapsed for name, watch in self._watches.items()}
 
 
-def time_call(func, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+def time_call(
+    func: Callable[..., object], *args: object, repeat: int = 1, **kwargs: object
+) -> tuple[float, object]:
     """Call ``func`` ``repeat`` times and return (average seconds, last result)."""
     if repeat < 1:
         raise ValueError("repeat must be at least 1")

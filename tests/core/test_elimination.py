@@ -206,13 +206,13 @@ class TestIndexLevel:
     def test_build_seconds_include_engine_sub_phases(self):
         graph = grid_network(4, 4, num_points=3, seed=7)
         stats = TDTreeIndex.build(graph, strategy="basic").statistics()
-        assert "decomposition" in stats.build_seconds
-        assert "decomposition/assembly" in stats.build_seconds
-        assert "decomposition/kernels" in stats.build_seconds
+        assert "decomposition" in stats.phase_seconds
+        assert "decomposition/assembly" in stats.phase_seconds
+        assert "decomposition/kernels" in stats.phase_seconds
         # Sub-phases detail the decomposition phase; the total only counts
         # top-level phases, so it stays below the naive sum of all values.
-        assert stats.total_build_seconds <= sum(stats.build_seconds.values())
-        assert stats.total_build_seconds >= stats.build_seconds["decomposition"]
+        assert stats.total_build_seconds <= sum(stats.phase_seconds.values())
+        assert stats.total_build_seconds >= stats.phase_seconds["decomposition"]
 
     def test_updates_after_batched_build(self):
         graph = grid_network(4, 4, num_points=3, seed=7)

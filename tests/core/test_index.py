@@ -61,10 +61,19 @@ class TestBuildStrategies:
 
     def test_build_seconds_recorded_per_phase(self, approx_index):
         stats = approx_index.statistics()
-        assert "decomposition" in stats.build_seconds
-        assert "shortcut_candidates" in stats.build_seconds
-        assert "selection" in stats.build_seconds
+        assert "decomposition" in stats.phase_seconds
+        assert "shortcut_candidates" in stats.phase_seconds
+        assert "selection" in stats.phase_seconds
         assert stats.total_build_seconds > 0.0
+
+    def test_build_seconds_deprecated_alias(self, approx_index):
+        stats = approx_index.statistics()
+        from repro.utils.deprecation import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        with pytest.deprecated_call():
+            alias = stats.build_seconds
+        assert set(alias) >= set(stats.phase_seconds)
 
     def test_repr(self, approx_index):
         assert "approx" in repr(approx_index)

@@ -1,0 +1,113 @@
+"""Exporters: Prometheus exposition golden test and JSON snapshots."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    to_json_snapshot,
+    to_prometheus_text,
+)
+
+#: Satellite: the exposition format is pinned byte-for-byte.  The future ASGI
+#: gateway serves this text verbatim, so accidental format drift must fail.
+GOLDEN = """\
+# HELP repro_service_queries_total Queries accepted by submit.
+# TYPE repro_service_queries_total counter
+repro_service_queries_total{service="prod"} 42
+repro_service_queries_total{service="staging"} 7
+# HELP repro_service_in_flight Queries currently in flight.
+# TYPE repro_service_in_flight gauge
+repro_service_in_flight{service="prod"} 3.5
+# HELP repro_service_latency_ms Submit-to-answer latency.
+# TYPE repro_service_latency_ms histogram
+repro_service_latency_ms_bucket{service="prod",le="1"} 0
+repro_service_latency_ms_bucket{service="prod",le="5"} 2
+repro_service_latency_ms_bucket{service="prod",le="10"} 3
+repro_service_latency_ms_bucket{service="prod",le="+Inf"} 4
+repro_service_latency_ms_sum{service="prod"} 31.5
+repro_service_latency_ms_count{service="prod"} 4
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    queries = registry.counter(
+        "repro_service_queries_total", "Queries accepted by submit.", ("service",)
+    )
+    queries.inc(42.0, service="prod")
+    queries.inc(7.0, service="staging")
+    registry.gauge(
+        "repro_service_in_flight", "Queries currently in flight.", ("service",)
+    ).set(3.5, service="prod")
+    latency = registry.histogram(
+        "repro_service_latency_ms",
+        "Submit-to-answer latency.",
+        ("service",),
+        buckets=(1.0, 5.0, 10.0),
+    )
+    latency.labels(service="prod").observe_many([2.0, 3.0, 6.5, 20.0])
+    return registry
+
+
+class TestPrometheusText:
+    def test_exposition_golden(self):
+        assert to_prometheus_text(_golden_registry()) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("s",)).inc(1.0, s='a"b\\c\nd')
+        text = to_prometheus_text(registry)
+        assert 'c_total{s="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_help_newlines_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "line one\nline two").set(1.0)
+        assert "# HELP g line one\\nline two" in to_prometheus_text(registry)
+
+    def test_label_sets_render_sorted(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("s",))
+        counter.inc(1.0, s="zebra")
+        counter.inc(1.0, s="apple")
+        text = to_prometheus_text(registry)
+        assert text.index('s="apple"') < text.index('s="zebra"')
+
+
+class TestJsonSnapshot:
+    def test_snapshot_shape_and_round_trip(self):
+        snapshot = to_json_snapshot(_golden_registry())
+        # Must survive json serialisation (the experiment grid stores these).
+        snapshot = json.loads(json.dumps(snapshot))
+        metrics = snapshot["metrics"]
+        queries = metrics["repro_service_queries_total"]
+        assert queries["kind"] == "counter"
+        assert queries["labelnames"] == ["service"]
+        assert {s["labels"]["service"]: s["value"] for s in queries["samples"]} == {
+            "prod": 42.0,
+            "staging": 7.0,
+        }
+        latency = metrics["repro_service_latency_ms"]
+        assert latency["buckets"] == [1.0, 5.0, 10.0]
+        (sample,) = latency["samples"]
+        assert sample["counts"] == [0, 2, 1, 1]
+        assert sample["count"] == 4
+
+
+class TestObservabilityBundle:
+    def test_metrics_text_refreshes_pull_sources(self):
+        obs = Observability()
+        gauge = obs.registry.gauge("pull_g")
+        obs.registry.register_refresh_hook(lambda: gauge.set(9.0))
+        assert "pull_g 9" in obs.metrics_text()
+        assert obs.metrics_json()["metrics"]["pull_g"]["samples"][0]["value"] == 9.0
+
+    def test_disabled_bundle_still_exports(self):
+        obs = Observability.disabled()
+        assert obs.enabled is False
+        assert obs.metrics_text() == ""

@@ -1,0 +1,210 @@
+"""Metrics registry: instruments, labels, buckets, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    bucket_percentile,
+    get_registry,
+    set_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("service",))
+        counter.inc(2.0, service="a")
+        counter.inc(3.0, service="a")
+        counter.inc(1.0, service="b")
+        assert counter.value(service="a") == 5.0
+        assert counter.value(service="b") == 1.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0, service="a")
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(7.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value() == 5.0
+
+    def test_labels_child_is_bound_to_one_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("service",))
+        child = counter.labels(service="prod")
+        child.inc()
+        child.inc(4.0)
+        assert child.value == 5.0
+        assert counter.value(service="prod") == 5.0
+        assert counter.value(service="other") == 0.0
+
+    def test_wrong_label_names_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("service",))
+        with pytest.raises(ValueError):
+            counter.inc(1.0, deployment="prod")
+
+    def test_histogram_observe_and_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_ms")
+        for value in (0.2, 0.2, 3.0, 80.0):
+            hist.observe(value)
+        snap = hist.value()
+        assert snap.count == 4
+        assert snap.sum == pytest.approx(83.4)
+        # p50 falls in the (0.1, 0.25] bucket the two 0.2s landed in.
+        assert 0.1 <= snap.percentile(50.0) <= 0.25
+        assert snap.percentile(100.0) <= 100.0
+
+    def test_histogram_observe_many_matches_observe(self):
+        registry = MetricsRegistry()
+        one = registry.histogram("one_ms", "", ("s",))
+        many = registry.histogram("many_ms", "", ("s",))
+        values = [0.05, 0.3, 1.5, 9.0, 9.0, 20_000.0]
+        child_one = one.labels(s="x")
+        for v in values:
+            child_one.observe(v)
+        many.labels(s="x").observe_many(values)
+        assert one.value(s="x").counts == many.value(s="x").counts
+        assert one.value(s="x").sum == pytest.approx(many.value(s="x").sum)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("service",))
+        again = registry.counter("c_total", "help", ("service",))
+        assert first is again
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "", ())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("m")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("service",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("c_total", "", ("deployment",))
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_refresh_hooks_fire_before_collect_and_swallow_errors(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        calls = []
+
+        def hook():
+            calls.append(1)
+            gauge.set(float(len(calls)))
+
+        def bad_hook():
+            raise RuntimeError("a dead source must not kill exports")
+
+        registry.register_refresh_hook(hook)
+        registry.register_refresh_hook(bad_hook)
+        list(registry.collect())
+        assert calls == [1]
+        assert gauge.value() == 1.0
+        registry.unregister_refresh_hook(hook)
+        list(registry.collect())
+        assert calls == [1]
+
+    def test_default_registry_singleton_and_reset(self):
+        previous = get_registry()
+        try:
+            mine = MetricsRegistry()
+            assert set_registry(mine) is mine
+            assert get_registry() is mine
+            fresh = set_registry(None)
+            assert fresh is not mine
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+
+class TestConcurrency:
+    def test_labeled_counter_hammer_eight_threads(self):
+        """Satellite: exact totals under 8 concurrent writers per label set."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "", ("service",))
+        hist = registry.histogram("hammer_ms", "", ("service",))
+        threads_n, per_thread = 8, 2_000
+        barrier = threading.Barrier(threads_n)
+
+        def worker(i: int) -> None:
+            label = "even" if i % 2 == 0 else "odd"
+            child = counter.labels(service=label)
+            h = hist.labels(service=label)
+            barrier.wait()
+            for j in range(per_thread):
+                child.inc()
+                h.observe(float(j % 7))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+        expected = (threads_n // 2) * per_thread
+        assert counter.value(service="even") == expected
+        assert counter.value(service="odd") == expected
+        assert hist.value(service="even").count == expected
+        assert hist.value(service="odd").count == expected
+
+
+class TestBucketPercentile:
+    def test_empty_histogram_reports_zero(self):
+        counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        assert bucket_percentile(LATENCY_BUCKETS_MS, counts, 99.0) == 0.0
+
+    def test_counts_length_must_include_overflow(self):
+        with pytest.raises(ValueError):
+            bucket_percentile(LATENCY_BUCKETS_MS, [0] * len(LATENCY_BUCKETS_MS), 50.0)
+
+    def test_q_out_of_range_rejected(self):
+        counts = [1] + [0] * len(LATENCY_BUCKETS_MS)
+        with pytest.raises(ValueError):
+            bucket_percentile(LATENCY_BUCKETS_MS, counts, 101.0)
+
+    def test_overflow_bucket_reports_largest_finite_bound(self):
+        counts = [0] * len(LATENCY_BUCKETS_MS) + [5]
+        assert bucket_percentile(LATENCY_BUCKETS_MS, counts, 99.0) == (
+            LATENCY_BUCKETS_MS[-1]
+        )
+
+    def test_interpolates_within_the_located_bucket(self):
+        # 10 observations in (1.0, 2.5]: p50 sits mid-bucket.
+        bounds = (1.0, 2.5, 5.0)
+        counts = [0, 10, 0, 0]
+        p50 = bucket_percentile(bounds, counts, 50.0)
+        assert 1.0 < p50 < 2.5
+
+    def test_merged_buckets_are_exact_percentiles_of_the_union(self):
+        bounds = LATENCY_BUCKETS_MS
+        fast = [0] * (len(bounds) + 1)
+        slow = [0] * (len(bounds) + 1)
+        fast[3] = 90  # 90 answers in (0.5, 1.0] ms
+        slow[14] = 10  # 10 answers in (2500, 10000] ms
+        merged = [a + b for a, b in zip(fast, slow)]
+        p99 = bucket_percentile(bounds, merged, 99.0)
+        assert 2_500.0 < p99 <= 10_000.0
+        p50 = bucket_percentile(bounds, merged, 50.0)
+        assert p50 <= 1.0

@@ -30,6 +30,7 @@ from repro.serving import (
     QueryService,
     SupervisionConfig,
 )
+from repro.utils.timing import FakeClock
 
 FAULT_FREE = "td-appro?budget_fraction=0.4&max_points=16"
 CRASH_ONCE = f"faulty:{FAULT_FREE}&crash_batch=1"
@@ -94,11 +95,14 @@ class TestCrashRecovery:
     def test_recovery_abort_fails_pending_futures_typed(self, small_grid):
         # The wedge signal: pending queries age past the timeout because the
         # flusher never gets a batch out (max_wait is effectively infinite).
+        # Aging rides the injectable monotonic clock, so a FakeClock advance
+        # makes the queries "old" instantly — no wall-clock sleep needed.
+        clock = FakeClock()
         config = _config(wedge_timeout_ms=40.0)
-        with EngineHost(**MANUAL, supervision=config) as host:
+        with EngineHost(**MANUAL, supervision=config, clock=clock) as host:
             host.deploy("prod", FAULT_FREE, small_grid)
             stranded = [host.submit("prod", v, 24 - v, 0.0) for v in range(3)]
-            time.sleep(0.08)
+            clock.advance(0.08)
 
             report = host.check()["prod"]
             assert report.action == "restart"

@@ -153,14 +153,12 @@ class TestElapsedDeadline:
         assert seen == [True]
 
     def test_expire_hook_runs_once_even_if_both_sides_expire(self):
-        hook_calls: list[int] = []
+        hook_calls: list[float] = []
         future = ServiceFuture()
-        future._arm_deadline(
-            time.perf_counter() - 0.001, 5.0, lambda: hook_calls.append(1)
-        )
+        future._arm_deadline(time.perf_counter() - 0.001, 5.0, hook_calls.append)
         future._expire()  # flusher-side expiry
         future._expire()  # consumer-side expiry loses the settle race
-        assert hook_calls == [1]
+        assert hook_calls == [5.0]  # once, carrying the deadline that fired
 
     def test_settled_future_ignores_its_elapsed_deadline(self):
         future = ServiceFuture()

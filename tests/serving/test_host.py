@@ -26,6 +26,7 @@ from repro.exceptions import (
     VertexNotFoundError,
 )
 from repro.serving import DeploymentInfo, EngineHost, ServiceStats, SwapReport
+from repro.serving.stats import LatencyReservoir
 
 
 def _workload(graph, count=24, seed=5):
@@ -425,3 +426,61 @@ def test_service_stats_merged_degenerate_cases():
     assert empty.queries_submitted == 0 and empty.throughput_qps == 0.0
     one = ServiceStats(1, 1, 0, 0, 0, 1, 1.0, 0.1, 0.0, 0.0, 10.0, 0.1)
     assert ServiceStats.merged([one]) == one
+
+
+def _stats_from_reservoir(answered: int, reservoir: LatencyReservoir) -> ServiceStats:
+    return ServiceStats(
+        queries_submitted=answered,
+        queries_answered=answered,
+        cache_hits=0,
+        cache_entries=0,
+        cache_invalidations=0,
+        num_batches=1,
+        avg_batch_size=float(answered),
+        batch_occupancy=1.0,
+        p50_latency_ms=reservoir.percentile_ms(50.0),
+        p95_latency_ms=reservoir.percentile_ms(95.0),
+        throughput_qps=float(answered),
+        elapsed_seconds=1.0,
+        p99_latency_ms=reservoir.percentile_ms(99.0),
+        latency_bucket_counts=reservoir.bucket_counts,
+    )
+
+
+def test_service_stats_merged_percentiles_from_buckets():
+    """Regression (PR 7): weighted-averaging percentiles is statistically wrong.
+
+    Generation one answered 90 fast queries (~0.8 ms); generation two
+    answered 10 slow ones (~3 s).  The old answered-weighted mean reported
+    p99 ≈ (1.0·90 + 3000·10) / 100 ≈ 301 ms — an *impossible* value neither
+    generation ever observed (nothing latencied between 1 ms and 3 s).  The
+    bucket merge places p99 in the slow generation's bucket, where 10% of
+    the combined traffic actually lives.
+    """
+    fast = LatencyReservoir()
+    fast.extend([0.0008] * 90)
+    slow = LatencyReservoir()
+    slow.extend([3.0] * 10)
+    merged = ServiceStats.merged(
+        [_stats_from_reservoir(90, fast), _stats_from_reservoir(10, slow)]
+    )
+    impossible = (fast.percentile_ms(99.0) * 90 + slow.percentile_ms(99.0) * 10) / 100
+    assert 1.0 < impossible < 2_500.0  # what the old weighted mean reported
+    assert merged.p99_latency_ms > 2_500.0  # inside the slow bucket
+    assert merged.p50_latency_ms <= 1.0  # the fast mass still dominates p50
+    # The merged bucket counts are the exact union of both generations.
+    assert sum(merged.latency_bucket_counts) == 100
+    assert merged.latency_bucket_counts == tuple(
+        a + b for a, b in zip(fast.bucket_counts, slow.bucket_counts)
+    )
+
+
+def test_service_stats_merged_falls_back_without_buckets():
+    """Legacy snapshots (no bucket counts) keep the old weighted behaviour."""
+    legacy = ServiceStats(10, 10, 0, 0, 0, 1, 10.0, 1.0, 1.0, 2.0, 10.0, 1.0,
+                          p99_latency_ms=4.0)
+    other = ServiceStats(30, 30, 0, 0, 0, 1, 30.0, 1.0, 3.0, 6.0, 30.0, 1.0,
+                         p99_latency_ms=8.0)
+    merged = ServiceStats.merged([legacy, other])
+    assert merged.p99_latency_ms == pytest.approx((4.0 * 10 + 8.0 * 30) / 40)
+    assert merged.latency_bucket_counts == ()
