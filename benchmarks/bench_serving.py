@@ -27,7 +27,17 @@ Three acceptance targets are *enforced* here (not just reported):
   (per-query traces, registry metrics, event log) must cost less than
   **3%** of the service's closed-loop capacity versus
   ``Observability.disabled()``.  The overhead split lands in
-  ``results/BENCH_serving_obs.json``.
+  ``results/BENCH_serving_obs.json``;
+* with ``--replicas``: the multi-process replica scaling scenario — a
+  :class:`repro.serving.ReplicaPool` of N workers rehydrating one CAL
+  snapshot (``mmap_mode="r"``) takes the Fig. 8 workload closed-loop at
+  each replica count in ``REPRO_BENCH_REPLICAS`` (default ``1,4``).
+  Enforced always: zero dropped batches and answers bit-identical to the
+  scalar oracle.  Enforced when the machine has at least as many cores as
+  replicas: **2.5x** the single-replica throughput at 4 replicas (1.3x at
+  2-3, for small CI runners); on smaller machines the run records
+  ``cpu_limited`` instead of pretending.  The qps-vs-replicas table lands
+  in ``results/BENCH_serving_replicas.json``.
 
 The tables are registered with the harness, which writes
 ``results/<name>.txt`` plus machine-readable ``results/BENCH_<name>.json``
@@ -64,6 +74,10 @@ SERVICE_METHODS = {"TD-basic": "basic", "TD-H2H": "full"}
 LOAD_SPEEDUP_TARGET = 5.0
 SERVICE_SPEEDUP_TARGET = 3.0
 OBS_OVERHEAD_LIMIT_PCT = 3.0
+#: Closed-loop throughput floor for 4+ replicas vs 1 (cores permitting).
+REPLICA_SPEEDUP_TARGET = 2.5
+#: Floor for 2-3 replicas (small CI runners).
+REPLICA_SPEEDUP_TARGET_SMALL = 1.3
 
 
 def _workload_arrays():
@@ -563,6 +577,159 @@ def test_observability_overhead(request):
         f"{OBS_OVERHEAD_LIMIT_PCT:.0f}% budget after {attempts} "
         f"measurement attempts"
     )
+
+
+def test_replica_scaling(request, tmp_path):
+    """``--replicas`` acceptance: N workers over one snapshot scale throughput.
+
+    One CAL index is snapshotted once; for each replica count a fresh
+    :class:`~repro.serving.ReplicaPool` rehydrates it (``mmap_mode="r"``,
+    so the workers share one physical copy of the PLF buffers) and takes
+    the x4 Fig. 8 workload closed-loop: ``2 x max(counts)`` submitter
+    threads drain a chunk queue, each chunk one blocking ``batch_query``
+    against the least-loaded replica.  Every chunk's costs land in a
+    preallocated result array — a chunk that errors or never answers is a
+    dropped batch and fails the run.
+
+    Enforced always: zero dropped batches, and the full result array
+    bit-identical to the scalar oracle (``index.query`` per workload
+    entry).  Enforced when the machine has at least as many cores as the
+    largest replica count: the throughput floor
+    (:data:`REPLICA_SPEEDUP_TARGET` at 4+, the small-runner floor at 2-3).
+    On machines with fewer cores than replicas the row records
+    ``cpu_limited`` and the floor is *reported*, not enforced — process
+    parallelism cannot beat the scheduler.
+    """
+    if not request.config.getoption("--replicas"):
+        pytest.skip("pass --replicas to run the multi-process replica scaling scenario")
+
+    import os
+    import queue as queue_mod
+
+    from repro.serving import ReplicaPool
+
+    counts = sorted(
+        {int(part) for part in os.environ.get("REPRO_BENCH_REPLICAS", "1,4").split(",")}
+    )
+    if 1 not in counts:
+        counts.insert(0, 1)  # the scaling ratio needs the single-replica base
+    cores = os.cpu_count() or 1
+
+    graph = load_dataset(DATASET, num_points=C)
+    index = TDTreeIndex.build(graph, strategy="basic")
+    sources, targets, departures = _workload_arrays()
+    oracle = np.array(
+        [
+            index.query(int(s), int(t), float(d)).cost
+            for s, t, d in zip(sources, targets, departures)
+        ],
+        dtype=np.float64,
+    )
+    repeat = 4  # x4 the Fig. 8 workload so each timed pass amortizes jitter
+    all_sources = np.tile(sources, repeat)
+    all_targets = np.tile(targets, repeat)
+    all_departures = np.tile(departures, repeat)
+    expected = np.tile(oracle, repeat)
+    total = int(all_sources.size)
+    chunk_size = 50
+    chunks = [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+    submitters = 2 * max(counts)
+
+    def run_pass(pool: ReplicaPool) -> tuple[float, np.ndarray, list[BaseException]]:
+        """One closed-loop pass; returns (wall seconds, costs, errors)."""
+        costs = np.full(total, np.nan, dtype=np.float64)
+        work: "queue_mod.SimpleQueue" = queue_mod.SimpleQueue()
+        for bounds in chunks:
+            work.put(bounds)
+        errors: list[BaseException] = []
+        error_lock = threading.Lock()
+
+        def submit() -> None:
+            while True:
+                try:
+                    start, stop = work.get_nowait()
+                except queue_mod.Empty:
+                    return
+                try:
+                    answer = pool.batch_query(
+                        all_sources[start:stop],
+                        all_targets[start:stop],
+                        all_departures[start:stop],
+                    )
+                except BaseException as exc:  # noqa: BLE001 - counted below
+                    with error_lock:
+                        errors.append(exc)
+                    return
+                costs[start:stop] = answer.costs
+
+        threads = [threading.Thread(target=submit) for _ in range(submitters)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        wall = time.perf_counter() - started
+        if any(thread.is_alive() for thread in threads):
+            errors.append(RuntimeError("a submitter thread never finished"))
+        return wall, costs, errors
+
+    rows = []
+    qps_by_count: dict[int, float] = {}
+    snapshot = index.save(tmp_path / "replica-bench.index")
+    for count in counts:
+        with ReplicaPool(
+            snapshot, count, mmap_mode="r", name=f"bench-{count}"
+        ) as pool:
+            run_pass(pool)  # untimed warm-up: page cache + worker label caches
+            best_wall = float("inf")
+            for _ in range(2):
+                wall, costs, errors = run_pass(pool)
+                assert not errors, (
+                    f"{count} replicas: dropped batches — {errors[:1]!r}"
+                )
+                assert np.array_equal(costs, expected), (
+                    f"{count} replicas: answers differ from the scalar oracle"
+                )
+                best_wall = min(best_wall, wall)
+            merged = pool.merged_stats()
+        qps = total / best_wall
+        qps_by_count[count] = qps
+        rows.append(
+            {
+                "dataset": DATASET,
+                "c": C,
+                "replicas": count,
+                "submitters": submitters,
+                "num_queries": total,
+                "qps": qps,
+                "speedup_vs_1": qps / qps_by_count[1],
+                "p50_latency_ms": merged.p50_latency_ms,
+                "p99_latency_ms": merged.p99_latency_ms,
+                "dropped_batches": 0,
+                "cpu_limited": cores < count,
+            }
+        )
+    register_report(
+        "serving_replicas",
+        rows,
+        title=(
+            f"ReplicaPool closed-loop scaling on {DATASET} (c={C}, "
+            f"{total} queries, {submitters} submitters, {cores} cores)"
+        ),
+    )
+    top = max(counts)
+    floor = (
+        REPLICA_SPEEDUP_TARGET if top >= 4 else REPLICA_SPEEDUP_TARGET_SMALL
+    )
+    achieved = qps_by_count[top] / qps_by_count[1]
+    if top > 1 and cores >= top:
+        assert achieved >= floor, (
+            f"{top} replicas reached only {achieved:.2f}x the single-replica "
+            f"throughput (floor {floor:.1f}x on this {cores}-core machine)"
+        )
 
 
 @pytest.mark.parametrize("strategy", ["approx"])

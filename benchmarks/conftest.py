@@ -29,6 +29,14 @@ def pytest_addoption(parser):
         help="run the observability-overhead serving scenario "
         "(bench_serving.py; writes results/BENCH_serving_obs.json)",
     )
+    parser.addoption(
+        "--replicas",
+        action="store_true",
+        default=False,
+        help="run the multi-process replica scaling scenario "
+        "(bench_serving.py; replica counts from REPRO_BENCH_REPLICAS, "
+        "default '1,4'; writes results/BENCH_serving_replicas.json)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -50,13 +51,78 @@ FIG9_DATASETS = ("SF", "COL", "FLA") if FULL_SWEEP else ("SF",)
 C_VALUES = (2, 3, 4, 5, 6) if FULL_SWEEP else (2, 3, 5)
 
 
+def _git_sha() -> str:
+    """Short commit hash of the working tree, or ``"unknown"`` outside git."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except Exception:  # noqa: BLE001 - history is best-effort metadata
+        return "unknown"
+    return probe.stdout.strip() or "unknown"
+
+
+#: Row keys worth tracking across commits (throughput and tail latency).
+_HEADLINE_MARKERS = ("qps", "p99", "speedup")
+
+
+def _headline(rows: list[dict]) -> dict:
+    """The throughput/tail-latency numbers of a report, one flat dict.
+
+    Multi-row reports (one row per method/strategy/replica count) prefix
+    each key with the row's label so the history line stays unambiguous.
+    """
+    numbers: dict = {}
+    for i, row in enumerate(rows):
+        label = (
+            row.get("method")
+            or row.get("strategy")
+            or (f"replicas={row['replicas']}" if "replicas" in row else None)
+            or (str(i) if len(rows) > 1 else None)
+        )
+        for key, value in row.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if any(marker in key for marker in _HEADLINE_MARKERS):
+                numbers[f"{label}.{key}" if label else key] = value
+    return numbers
+
+
+def append_history(name: str, rows: list[dict]) -> None:
+    """Append one report's headline numbers to ``results/BENCH_history.jsonl``.
+
+    One JSON line per registered report per run — git sha, timestamp, and
+    every qps/p99/speedup figure the rows carry — so the perf trajectory of
+    any benchmark can be plotted straight off the artifact without diffing
+    whole ``BENCH_*.json`` files across commits.
+    """
+    headline = _headline(rows)
+    if not headline:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    line = {
+        "name": name,
+        "git_sha": _git_sha(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repro_version": __version__,
+        "headline": headline,
+    }
+    with (RESULTS_DIR / "BENCH_history.jsonl").open("a", encoding="utf-8") as sink:
+        sink.write(json.dumps(line, sort_keys=True, default=float) + "\n")
+
+
 def register_report(name: str, rows: list[dict], *, title: str) -> None:
     """Store a formatted table so it is printed at the end of the run.
 
     Next to the human-readable ``results/<name>.txt`` a machine-readable
     ``results/BENCH_<name>.json`` is written with the raw rows, so the perf
     trajectory (speedups, throughput, latencies) is diffable across PRs and
-    can be collected as a CI artifact.
+    can be collected as a CI artifact.  Headline numbers additionally append
+    to ``results/BENCH_history.jsonl`` (see :func:`append_history`).
     """
     text = format_table(rows, title=title)
     REPORTS[name] = text
@@ -74,6 +140,7 @@ def register_report(name: str, rows: list[dict], *, title: str) -> None:
         json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n",
         encoding="utf-8",
     )
+    append_history(name, rows)
 
 
 def built_index(method: str, dataset: str, c: int, *, budget_fraction: float | None = None):

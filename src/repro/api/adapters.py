@@ -675,6 +675,7 @@ def build_snapshot_engine(
     *,
     path: str,
     name: str | None = None,
+    mmap_mode: str | None = None,
 ) -> Engine:
     """Load the snapshot directory ``path`` into a servable engine.
 
@@ -685,6 +686,11 @@ def build_snapshot_engine(
     written before that field existed; pass ``name=...`` to override.
     Snapshots embed their graph, so passing one is a usage error, not a
     merge.
+
+    ``mmap_mode="r"`` (spec form ``"snapshot:<dir>?mmap_mode=r"``) maps the
+    array buffers instead of copying them, so co-resident processes serving
+    the same snapshot share one physical copy — the replica workers of
+    :class:`~repro.serving.replica.ReplicaPool` rehydrate this way.
     """
     from repro.persistence import load_index, read_manifest
 
@@ -702,7 +708,7 @@ def build_snapshot_engine(
             name = _STRATEGY_SPEC_NAMES.get(
                 str(manifest.get("strategy", "")), "td-snapshot"
             )
-    return TDTreeEngine(load_index(path), name=name)
+    return TDTreeEngine(load_index(path, mmap_mode=mmap_mode), name=name)
 
 
 @register_engine(

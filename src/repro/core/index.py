@@ -556,16 +556,22 @@ class TDTreeIndex:
         return str(save_index(self, path, engine_spec=engine_spec))
 
     @classmethod
-    def load(cls, path) -> "TDTreeIndex":
+    def load(cls, path, *, mmap_mode: "str | None" = None) -> "TDTreeIndex":
         """Load a snapshot written by :meth:`save`.
 
         The loaded index is bit-identical to the saved one for every query
         flavour, and loading skips decomposition/selection entirely — one to
         two orders of magnitude cheaper than :meth:`build`.
+
+        ``mmap_mode="r"`` (or ``"c"`` for copy-on-write) memory-maps the
+        snapshot's array buffers instead of copying them onto the heap, so
+        concurrent processes loading the same snapshot share one physical
+        copy of the PLF payload via the page cache — see
+        :func:`repro.persistence.load_index`.
         """
         from repro.persistence import load_index
 
-        return load_index(path)
+        return load_index(path, mmap_mode=mmap_mode)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -3,6 +3,16 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 being able to distinguish the individual failure modes.
+
+Errors with parameterized constructors (``VertexNotFoundError(vertex)``,
+``WorkerCrashedError(deployment, cause)``, ...) define ``__reduce__``
+explicitly: the default ``Exception`` reduction replays ``self.args`` — the
+*formatted message* — into ``__init__``, which either raises ``TypeError`` or
+silently corrupts the typed attributes on unpickle.  The serving layer ships
+these errors across process boundaries (replica workers answer over
+``multiprocessing`` queues), so every typed error must survive a pickle
+round-trip with its attributes intact; ``tests/test_exceptions.py`` enforces
+this for the whole hierarchy.
 """
 
 from __future__ import annotations
@@ -60,6 +70,9 @@ class VertexNotFoundError(GraphError, KeyError):
         super().__init__(f"vertex {vertex!r} is not in the graph")
         self.vertex = vertex
 
+    def __reduce__(self):
+        return (type(self), (self.vertex,))
+
 
 class EdgeNotFoundError(GraphError, KeyError):
     """A referenced edge does not exist in the graph."""
@@ -68,6 +81,9 @@ class EdgeNotFoundError(GraphError, KeyError):
         super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
         self.source = source
         self.target = target
+
+    def __reduce__(self):
+        return (type(self), (self.source, self.target))
 
 
 class DisconnectedQueryError(ReproError):
@@ -79,6 +95,9 @@ class DisconnectedQueryError(ReproError):
         )
         self.source = source
         self.target = target
+
+    def __reduce__(self):
+        return (type(self), (self.source, self.target))
 
 
 class IndexNotBuiltError(ReproError, RuntimeError):
@@ -123,6 +142,9 @@ class UnknownEngineError(EngineError, KeyError):
         # message in quotes; show the plain message instead.
         return str(self.args[0]) if self.args else ""
 
+    def __reduce__(self):
+        return (type(self), (self.name, self.available))
+
 
 class EngineSpecError(EngineError, ValueError):
     """An engine spec string is malformed (bad name or query-string options)."""
@@ -142,6 +164,9 @@ class UnknownEngineOptionError(EngineError, TypeError):
         self.option = option
         self.accepted = accepted
 
+    def __reduce__(self):
+        return (type(self), (self.engine, self.option, self.accepted))
+
 
 class StaleRouteError(EngineError, RuntimeError):
     """A lazily-reconstructed path was requested after the index changed.
@@ -159,6 +184,9 @@ class StaleRouteError(EngineError, RuntimeError):
             "QueryOptions(want_path=True)"
         )
         self.engine = engine
+
+    def __reduce__(self):
+        return (type(self), (self.engine,))
 
 
 class ServiceClosedError(ReproError, RuntimeError):
@@ -178,6 +206,9 @@ class ServiceClosedError(ReproError, RuntimeError):
             "(a swapped-out deployment? re-resolve the service and retry)"
         )
         self.operation = operation
+
+    def __reduce__(self):
+        return (type(self), (self.operation,))
 
 
 class AdmissionRejectedError(ReproError, RuntimeError):
@@ -199,6 +230,9 @@ class AdmissionRejectedError(ReproError, RuntimeError):
         self.max_pending = max_pending
         self.policy = policy
 
+    def __reduce__(self):
+        return (type(self), (self.max_pending, self.policy))
+
 
 class DeadlineExceededError(ReproError, TimeoutError):
     """A submitted query's deadline elapsed before an answer was delivered.
@@ -215,6 +249,9 @@ class DeadlineExceededError(ReproError, TimeoutError):
             f"query deadline{detail} elapsed before an answer was delivered"
         )
         self.deadline_ms = deadline_ms
+
+    def __reduce__(self):
+        return (type(self), (self.deadline_ms,))
 
 
 class WorkerCrashedError(ReproError, RuntimeError):
@@ -233,6 +270,9 @@ class WorkerCrashedError(ReproError, RuntimeError):
         )
         self.deployment = deployment
         self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.deployment, self.cause))
 
 
 class HostError(ReproError):
@@ -254,6 +294,9 @@ class UnknownDeploymentError(HostError, KeyError):
         # KeyError.__str__ returns repr(args[0]); show the plain message.
         return str(self.args[0]) if self.args else ""
 
+    def __reduce__(self):
+        return (type(self), (self.name, self.available))
+
 
 class DuplicateDeploymentError(HostError, ValueError):
     """``deploy`` was asked to reuse a live deployment name (use ``swap``)."""
@@ -264,6 +307,9 @@ class DuplicateDeploymentError(HostError, ValueError):
             "replace its engine without downtime, or undeploy it first"
         )
         self.name = name
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
 
 
 class UnsupportedCapabilityError(EngineError, RuntimeError):
@@ -280,3 +326,6 @@ class UnsupportedCapabilityError(EngineError, RuntimeError):
         )
         self.engine = engine
         self.capability = capability
+
+    def __reduce__(self):
+        return (type(self), (self.engine, self.capability))

@@ -27,6 +27,8 @@ from repro.obs.events import (
     EVENT_DEADLINE,
     EVENT_DEPLOY,
     EVENT_FAULT,
+    EVENT_REPLICA_RESPAWN,
+    EVENT_REPLICA_SPAWN,
     EVENT_HEALTH,
     EVENT_RECOVERY,
     EVENT_SHED,
@@ -97,6 +99,8 @@ __all__ = [
     "EVENT_DEADLINE",
     "EVENT_FAULT",
     "EVENT_ABORT",
+    "EVENT_REPLICA_SPAWN",
+    "EVENT_REPLICA_RESPAWN",
 ]
 
 

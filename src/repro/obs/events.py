@@ -36,6 +36,8 @@ __all__ = [
     "EVENT_DEADLINE",
     "EVENT_FAULT",
     "EVENT_ABORT",
+    "EVENT_REPLICA_SPAWN",
+    "EVENT_REPLICA_RESPAWN",
 ]
 
 # The event vocabulary.  Emitters pass these constants; consumers filter on
@@ -57,6 +59,11 @@ EVENT_DEADLINE = "deadline"
 EVENT_FAULT = "fault.injected"
 #: A service was aborted, failing its in-flight futures (fields: failed).
 EVENT_ABORT = "abort"
+#: A replica worker process started (fields: replica, pid).
+EVENT_REPLICA_SPAWN = "replica.spawn"
+#: A dead replica worker was recovered (fields: replica, action=respawn/lost,
+#: cause, failed_requests).
+EVENT_REPLICA_RESPAWN = "replica.respawn"
 
 
 @dataclass(frozen=True)

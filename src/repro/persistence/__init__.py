@@ -9,6 +9,7 @@ from repro.persistence.snapshot import (
     ARRAYS_NAME,
     FORMAT_VERSION,
     MANIFEST_NAME,
+    MMAP_MODES,
     load_index,
     read_manifest,
     save_index,
@@ -18,6 +19,7 @@ __all__ = [
     "ARRAYS_NAME",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "MMAP_MODES",
     "load_index",
     "read_manifest",
     "save_index",

@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import uuid
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -48,7 +49,15 @@ from repro.exceptions import InvalidFunctionError, SnapshotError
 from repro.functions.batch import PLFBatch
 from repro.graph.td_graph import TDGraph
 
-__all__ = ["FORMAT_VERSION", "MANIFEST_NAME", "ARRAYS_NAME", "save_index", "load_index", "read_manifest"]
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "MMAP_MODES",
+    "save_index",
+    "load_index",
+    "read_manifest",
+]
 
 #: Major version of the on-disk layout; bumped on incompatible changes.
 FORMAT_VERSION = 1
@@ -194,8 +203,25 @@ def read_manifest(path) -> dict:
     return manifest
 
 
-def load_index(path):
+#: Memory-map modes accepted by :func:`load_index` (read-only / copy-on-write;
+#: writable maps would let a query mutate the shared snapshot under every
+#: other replica's feet).
+MMAP_MODES = ("r", "c")
+
+
+def load_index(path, *, mmap_mode: str | None = None):
     """Load a snapshot directory back into a :class:`TDTreeIndex`.
+
+    With ``mmap_mode=None`` (the default) every array is read eagerly into
+    process-private heap memory.  Pass ``mmap_mode="r"`` (read-only) or
+    ``"c"`` (copy-on-write) to memory-map the ``.npz`` members in place
+    instead: the ragged PLF buffers — the dominant payload — then live in the
+    OS page cache, shared physically between every process that maps the same
+    snapshot.  That is what makes N-replica serving
+    (:class:`~repro.serving.replica.ReplicaPool`) cost one index's worth of
+    RAM instead of N.  ``np.load`` silently ignores ``mmap_mode`` for ``.npz``
+    archives, so the mapping is done member-by-member here — ``np.savez``
+    stores members uncompressed, which keeps their byte ranges mappable.
 
     Raises :class:`~repro.exceptions.SnapshotError` when the snapshot is
     missing, malformed, fails the manifest count cross-checks, or was written
@@ -206,15 +232,23 @@ def load_index(path):
     from repro.core.shortcuts import unpack_shortcut_pairs
     from repro.core.tree_decomposition import TFPTreeDecomposition
 
+    if mmap_mode is not None and mmap_mode not in MMAP_MODES:
+        raise SnapshotError(
+            f"unsupported mmap_mode {mmap_mode!r}: snapshot arrays may only be "
+            f"mapped read-only ('r') or copy-on-write ('c')"
+        )
     directory = Path(path)
     manifest = read_manifest(directory)
     arrays_path = directory / str(manifest.get("arrays_file", ARRAYS_NAME))
     if not arrays_path.is_file():
         raise SnapshotError(f"snapshot at {directory} is missing {arrays_path.name}")
     try:
-        with np.load(arrays_path) as archive:
-            arrays = {name: archive[name] for name in archive.files}
-    except (OSError, ValueError) as exc:
+        if mmap_mode is not None:
+            arrays = _mmap_npz(arrays_path, mmap_mode)
+        else:
+            with np.load(arrays_path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise SnapshotError(f"unreadable snapshot arrays at {arrays_path}: {exc}") from exc
 
     expected_token = manifest.get("snapshot_token")
@@ -276,6 +310,75 @@ def _check_count(counts: dict, key: str, actual: int, directory: Path) -> None:
             f"snapshot at {directory} is inconsistent: manifest says "
             f"{key}={expected}, arrays contain {actual}"
         )
+
+
+def _mmap_npz(path: Path, mode: str) -> dict[str, np.ndarray]:
+    """Map every member of an ``.npz`` archive without copying the payload.
+
+    ``np.savez`` writes a plain ZIP of ``.npy`` members with ``ZIP_STORED``
+    (no compression), so each member's array body is a contiguous byte range
+    of the archive file — directly mappable once its offset is known.  For
+    each member this parses the ZIP local file header (the central directory's
+    ``header_offset`` points at it; the 30-byte fixed part carries the name
+    and extra-field lengths at offsets 26 and 28) and then the ``.npy`` header
+    to find dtype/shape/order and the first payload byte.
+
+    Members that cannot be mapped — compressed (not produced by ``np.savez``,
+    but tolerated), zero-size (``mmap`` rejects empty ranges), or object-dtype
+    — fall back to an eager read.  Returned arrays are plain ``ndarray`` views
+    whose ``.base`` is the underlying :class:`numpy.memmap`, so callers (and
+    tests) can tell mapped from copied.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            member = info.filename
+            key = member[: -len(".npy")] if member.endswith(".npy") else member
+            if info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as handle:
+                    arrays[key] = np.lib.format.read_array(handle)
+                continue
+            arrays[key] = _mmap_member(path, info, mode)
+    return arrays
+
+
+def _mmap_member(path: Path, info: zipfile.ZipInfo, mode: str) -> np.ndarray:
+    """Map one stored ``.npy`` member of ``path`` as an ndarray view."""
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise SnapshotError(
+                f"corrupt snapshot archive {path}: member {info.filename!r} "
+                f"has no local file header at offset {info.header_offset}"
+            )
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:  # pragma: no cover - np.savez only emits 1.0/2.0 headers
+            raise SnapshotError(
+                f"cannot map snapshot member {info.filename!r}: "
+                f"unsupported .npy format version {version}"
+            )
+        data_offset = handle.tell()
+        if dtype.hasobject or int(np.prod(shape)) == 0:
+            # Object arrays need pickle; empty ranges cannot be mmapped.
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            return np.lib.format.read_array(handle)
+    mapped: np.memmap = np.memmap(
+        path,
+        dtype=dtype,
+        mode=mode,
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+    return mapped.view(np.ndarray)
 
 
 def _unpack_graph(arrays: dict) -> TDGraph:

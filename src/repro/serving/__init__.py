@@ -12,7 +12,13 @@ Three levels:
 * the resilience layer — supervised recovery of dead/wedged workers with
   health reporting and fallback routing (:mod:`repro.serving.supervision`),
   plus deterministic fault injection to prove it works
-  (:mod:`repro.serving.faults`).
+  (:mod:`repro.serving.faults`);
+* :class:`ReplicaPool` — multi-process scale-out under a deployment: ``N``
+  worker processes each rehydrate the deployment's snapshot with
+  ``mmap_mode="r"`` so they share one physical copy of the index arrays,
+  and micro-batches spread over them by least load
+  (:mod:`repro.serving.replica`; enable with
+  ``host.deploy(name, spec, replicas=N)``).
 
 The whole stack reports into the unified observability layer
 (:mod:`repro.obs`): ``host.metrics_text()`` exposes a Prometheus scrape
@@ -51,6 +57,7 @@ from repro.serving.faults import (
     TransientInjectedFaultError,
 )
 from repro.serving.host import DeploymentInfo, EngineHost, SwapReport
+from repro.serving.replica import ReplicaInfo, ReplicaPool, ReplicaRecovery
 from repro.serving.service import QueryService, ServiceFuture, ServiceProbe
 from repro.serving.stats import LatencyReservoir, ServiceStats
 from repro.serving.supervision import (
@@ -87,4 +94,8 @@ __all__ = [
     "RecoveryReport",
     "SupervisionConfig",
     "Supervisor",
+    # multi-process replicas
+    "ReplicaPool",
+    "ReplicaInfo",
+    "ReplicaRecovery",
 ]

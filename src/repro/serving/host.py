@@ -47,6 +47,8 @@ Example
 from __future__ import annotations
 
 import asyncio
+import shutil
+import tempfile
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -103,6 +105,9 @@ class DeploymentInfo:
     fallback_spec: Optional[str] = None
     #: Health at the time of the description.
     health: HealthState = HealthState.HEALTHY
+    #: Replica worker processes serving this deployment (0 means the engine
+    #: runs in-process, the pre-replica default).
+    replicas: int = 0
 
 
 @dataclass(frozen=True)
@@ -154,6 +159,8 @@ class _Deployment:
         "fallback_spec",
         "fallback_service",
         "last_snapshot",
+        "replica_pool",
+        "owned_snapshot_dir",
     )
 
     def __init__(
@@ -192,6 +199,14 @@ class _Deployment:
         #: Where host.snapshot() last saved this deployment's index; the
         #: rehydration source when the live engine is poisoned.
         self.last_snapshot: Path | None = None
+        #: The multi-process worker pool when the deployment was provisioned
+        #: with ``replicas=N`` (the pool doubles as ``engine``); None for
+        #: ordinary in-process deployments.
+        self.replica_pool: Any = None
+        #: Snapshot directory the host materialised for the pool (owned:
+        #: deleted on undeploy/swap/close).  None when the deployment was
+        #: provisioned from a caller-supplied ``snapshot:<dir>`` spec.
+        self.owned_snapshot_dir: Path | None = None
 
 
 def _bridge_future(
@@ -374,6 +389,8 @@ class EngineHost:
         graph: Any = None,
         *,
         fallback: Optional[EngineOrSpec] = None,
+        replicas: Optional[int] = None,
+        mmap_mode: str = "r",
         **service_options: Any,
     ) -> DeploymentInfo:
         """Provision a deployment ``name`` serving ``engine``.
@@ -389,38 +406,71 @@ class EngineHost:
         ``"td-dijkstra"``) provisions a standby the host routes to while the
         primary is ``UNHEALTHY`` — answers served this way are counted as
         ``degraded_answers`` in the deployment's stats.
+
+        ``replicas=N`` serves the deployment from ``N`` worker *processes*
+        instead of the in-process engine: each replica rehydrates the
+        deployment's snapshot with ``mmap_mode`` (default ``"r"``), so all
+        replicas share one physical copy of the index arrays through the
+        page cache, and micro-batches are spread over the pool by least
+        load.  A ``"snapshot:<dir>"`` spec is handed to the workers as-is
+        (nothing is built in this process); any other spec or engine object
+        is built once, spilled to a host-owned snapshot directory, and
+        mapped from there.  Replica liveness is folded into :meth:`check` /
+        :meth:`health`; a dead replica is respawned from the snapshot.
         """
         self._check_open()
         with self._lock:
             if name in self._deployments:
                 raise DuplicateDeploymentError(name)
-        built, spec = self._resolve_engine(engine, graph)
-        self._wire_engine(built)
-        options = {**self._defaults, "name": name, **service_options}
-        service = QueryService(built, **options)
-        deployment = _Deployment(name, spec, built, service, options)
-        if fallback is not None:
-            fallback_built, fallback_spec = self._resolve_engine(
-                fallback, graph, fallback_graph=getattr(built, "graph", None)
+        pool: Any = None
+        owned_dir: Path | None = None
+        snapshot_dir: Path | None = None
+        if replicas is not None:
+            pool, spec, snapshot_dir, owned_dir = self._provision_replicas(
+                name, engine, graph, replicas, mmap_mode
             )
-            self._wire_engine(fallback_built)
-            deployment.fallback_spec = fallback_spec
-            deployment.fallback_service = QueryService(
-                fallback_built, **{**options, "name": f"{options['name']}-fallback"}
-            )
-        with self._lock:
-            if self._closed or name in self._deployments:
-                service.close()
-                if deployment.fallback_service is not None:
-                    deployment.fallback_service.close()
-                if self._closed:
-                    raise HostError("EngineHost is closed")
-                raise DuplicateDeploymentError(name)
-            self._deployments[name] = deployment
+            built = pool
+        else:
+            built, spec = self._resolve_engine(engine, graph)
+            self._wire_engine(built)
+        try:
+            options = {**self._defaults, "name": name, **service_options}
+            service = QueryService(built, **options)
+            deployment = _Deployment(name, spec, built, service, options)
+            deployment.replica_pool = pool
+            deployment.owned_snapshot_dir = owned_dir
+            if snapshot_dir is not None:
+                # The pool's snapshot is also the rehydration source.
+                deployment.last_snapshot = snapshot_dir
+            if fallback is not None:
+                fallback_built, fallback_spec = self._resolve_engine(
+                    fallback, graph, fallback_graph=getattr(built, "graph", None)
+                )
+                self._wire_engine(fallback_built)
+                deployment.fallback_spec = fallback_spec
+                deployment.fallback_service = QueryService(
+                    fallback_built, **{**options, "name": f"{options['name']}-fallback"}
+                )
+            with self._lock:
+                if self._closed or name in self._deployments:
+                    service.close()
+                    if deployment.fallback_service is not None:
+                        deployment.fallback_service.close()
+                    if self._closed:
+                        raise HostError("EngineHost is closed")
+                    raise DuplicateDeploymentError(name)
+                self._deployments[name] = deployment
+        except BaseException:
+            self._dispose_pool(pool, owned_dir)
+            raise
         if self._m_health is not None:
             self._m_health.set(0.0, deployment=name)
         self._emit(
-            EVENT_DEPLOY, name, spec=spec, fallback=deployment.fallback_spec
+            EVENT_DEPLOY,
+            name,
+            spec=spec,
+            fallback=deployment.fallback_spec,
+            replicas=replicas or 0,
         )
         return self._info(deployment)
 
@@ -442,16 +492,41 @@ class EngineHost:
         result cache, so no answer computed against the old network
         survives.  Swaps on the same deployment serialize; swaps on
         different deployments run concurrently.
+
+        A deployment provisioned with ``replicas=N`` stays multi-process
+        across the swap: the replacement is snapshotted and a fresh pool of
+        the same size (and ``mmap_mode``) spawns over it while the old pool
+        keeps answering; the old pool and its host-owned snapshot directory
+        are torn down only after the drain.
         """
         deployment = self._get(name)
         with deployment.swap_lock:
             old_engine = deployment.engine
+            old_pool = deployment.replica_pool
+            new_pool: Any = None
+            new_owned: Path | None = None
+            new_snapshot: Path | None = None
             build_started = self._clock.monotonic()
-            built, spec = self._resolve_engine(
-                engine, graph, fallback_graph=getattr(old_engine, "graph", None)
-            )
-            self._wire_engine(built)
-            new_service = QueryService(built, **deployment.service_options)
+            if old_pool is not None:
+                new_pool, spec, new_snapshot, new_owned = self._provision_replicas(
+                    name,
+                    engine,
+                    graph,
+                    old_pool.size,
+                    old_pool.mmap_mode,
+                    fallback_graph=getattr(old_engine, "graph", None),
+                )
+                built = new_pool
+            else:
+                built, spec = self._resolve_engine(
+                    engine, graph, fallback_graph=getattr(old_engine, "graph", None)
+                )
+                self._wire_engine(built)
+            try:
+                new_service = QueryService(built, **deployment.service_options)
+            except BaseException:
+                self._dispose_pool(new_pool, new_owned)
+                raise
             build_seconds = self._clock.monotonic() - build_started
 
             switch_started = self._clock.monotonic()
@@ -459,14 +534,24 @@ class EngineHost:
             with self._lock:
                 if self._closed or self._deployments.get(name) is not deployment:
                     new_service.close()
+                    self._dispose_pool(new_pool, new_owned)
                     if self._closed:
                         raise HostError("EngineHost is closed")
                     raise UnknownDeploymentError(name, tuple(self._deployments))
                 old_service = deployment.service
                 old_spec = deployment.spec
+                old_owned = deployment.owned_snapshot_dir
                 deployment.service = new_service
                 deployment.engine = built
                 deployment.spec = spec
+                deployment.replica_pool = new_pool
+                deployment.owned_snapshot_dir = new_owned
+                if new_snapshot is not None:
+                    deployment.last_snapshot = new_snapshot
+                elif old_owned is not None and deployment.last_snapshot == old_owned:
+                    # The old host-owned snapshot dies with the drain below;
+                    # it must not linger as a rehydration source.
+                    deployment.last_snapshot = None
                 deployment.swap_count += 1
                 # A swap installs a known-good engine: the deployment starts
                 # its health history over (an UNHEALTHY primary parked on a
@@ -489,6 +574,8 @@ class EngineHost:
             drain_seconds = self._clock.monotonic() - drain_started
             with self._lock:
                 deployment.retired_stats[retired_index] = old_service.stats()
+            # The drain is done: nothing routes to the old pool any more.
+            self._dispose_pool(old_pool, old_owned)
         if self._m_swaps is not None:
             self._m_swaps.inc(1.0, deployment=name)
         if not was_healthy:
@@ -522,8 +609,10 @@ class EngineHost:
         deployment.service.close()
         if deployment.fallback_service is not None:
             deployment.fallback_service.close()
+        stats = self._merged_stats(deployment)
+        self._dispose_pool(deployment.replica_pool, deployment.owned_snapshot_dir)
         self._emit(EVENT_UNDEPLOY, name, spec=deployment.spec)
-        return self._merged_stats(deployment)
+        return stats
 
     # ------------------------------------------------------------------
     # Traffic
@@ -704,6 +793,37 @@ class EngineHost:
             live = list(self._deployments.values())
         return {d.name: self._deployment_stats(d) for d in live}
 
+    def replica_stats(self, deployment: str) -> list[ServiceStats]:
+        """Per-replica worker stats of a ``replicas=N`` deployment.
+
+        One :class:`ServiceStats` per worker process (dead workers report
+        :meth:`ServiceStats.empty`), mergeable with
+        :meth:`ServiceStats.merged`.  These describe the *backend* workers;
+        :meth:`stats` already counts every query at the front service, so
+        the two views must not be added together.  Raises
+        :class:`~repro.exceptions.HostError` on a deployment without
+        replicas.
+        """
+        entry = self._get(deployment)
+        pool = entry.replica_pool
+        if pool is None:
+            raise HostError(
+                f"deployment {deployment!r} has no replica pool "
+                "(deploy it with replicas=N)"
+            )
+        return list(pool.stats())
+
+    def replicas(self, deployment: str) -> list[Any]:
+        """Liveness/identity of each replica worker (``ReplicaInfo`` list).
+
+        Empty for deployments without a replica pool.
+        """
+        entry = self._get(deployment)
+        pool = entry.replica_pool
+        if pool is None:
+            return []
+        return list(pool.replicas())
+
     def snapshot(self, deployment: str, path: Any) -> Path:
         """Snapshot a deployment's engine, recording its originating spec.
 
@@ -721,11 +841,24 @@ class EngineHost:
         rebuilds from this snapshot (see :meth:`check`).
         """
         from repro.api import parse_engine_spec
-        from repro.persistence import save_index
+        from repro.persistence import load_index, read_manifest, save_index
 
         entry = self._get(deployment)
         spec = entry.spec
         engine = entry.engine
+        pool = entry.replica_pool
+        if pool is not None:
+            # The pool is not an index; its snapshot directory holds the
+            # authoritative copy.  Round-trip it so the written snapshot is
+            # a fresh, self-contained directory with current manifest.
+            manifest = read_manifest(pool.snapshot_path)
+            engine_spec = manifest.get("engine_spec") or None
+            written = save_index(
+                load_index(pool.snapshot_path), path, engine_spec=engine_spec
+            )
+            with self._lock:
+                entry.last_snapshot = written
+            return written
         scheme = parse_engine_spec(spec)[0]
         if scheme == "faulty":
             inner = getattr(engine, "inner", None)
@@ -769,6 +902,7 @@ class EngineHost:
             state = entry.health
             cause = entry.health_cause
             restarts = entry.worker_restarts
+            pool = entry.replica_pool
         probe = None
         if state is not HealthState.UNHEALTHY:
             probe = entry.service.probe()
@@ -778,6 +912,8 @@ class EngineHost:
             cause=cause,
             worker_restarts=restarts,
             probe=probe,
+            replicas=pool.size if pool is not None else 0,
+            replicas_alive=pool.alive_count if pool is not None else None,
         )
 
     def check(self, deployment: Optional[str] = None) -> dict[str, RecoveryReport]:
@@ -813,6 +949,9 @@ class EngineHost:
             state = entry.health
         if state is HealthState.UNHEALTHY:
             return None  # parked: only swap() brings the primary back
+        pool_report = self._check_pool(entry)
+        if pool_report is not None:
+            return pool_report
         probe = entry.service.probe()
         cause: str | None = None
         if not probe.closed:
@@ -854,6 +993,53 @@ class EngineHost:
             return None
         return self._recover(entry, cause)
 
+    def _check_pool(self, entry: _Deployment) -> Optional[RecoveryReport]:
+        """Fold replica liveness into one supervision pass.
+
+        The pool respawns its own dead workers from the deployment's
+        snapshot; the host folds the outcome into the deployment's health
+        ladder: a respawn marks the deployment ``DEGRADED`` (clean passes
+        promote it back, exactly like a service restart), while a pool with
+        no live replica left escalates through the ordinary recovery rungs
+        — skipping ``"restart"``, which would only re-front the dead pool —
+        to rehydrate in-process from the last snapshot, fall back, or park.
+        """
+        pool = entry.replica_pool
+        if pool is None or pool.closed:
+            return None
+        recoveries = pool.check()
+        if not recoveries:
+            return None
+        respawned = sum(1 for r in recoveries if r.action == "respawn")
+        failed = sum(r.failed_requests for r in recoveries)
+        cause = recoveries[0].cause
+        if respawned:
+            with self._lock:
+                entry.worker_restarts += respawned
+        if pool.alive_count == 0:
+            with self._lock:
+                entry.restarts_since_healthy = max(
+                    entry.restarts_since_healthy, self._supervision.max_restarts
+                )
+            return self._recover(
+                entry,
+                f"all {pool.size} replica workers are dead and could not be "
+                f"respawned ({cause})",
+            )
+        with self._lock:
+            if entry.health is HealthState.HEALTHY:
+                entry.health = HealthState.DEGRADED
+            entry.health_cause = f"replica worker died: {cause}"
+            entry.clean_checks = 0
+        self._note_health(entry.name, HealthState.DEGRADED, cause)
+        self._note_recovery(entry.name, "respawn", cause, failed)
+        return RecoveryReport(
+            deployment=entry.name,
+            action="respawn",
+            cause=cause,
+            failed_futures=failed,
+        )
+
     def _recover(self, entry: _Deployment, cause: str) -> Optional[RecoveryReport]:
         """Abort the failed worker and bring the deployment back (or park it)."""
         config = self._supervision
@@ -883,6 +1069,11 @@ class EngineHost:
 
             if engine is None:
                 # No recovery path for the primary: park it UNHEALTHY.
+                if entry.replica_pool is not None:
+                    # Workers are already dead; free queues and stragglers.
+                    # References (and the owned snapshot dir) stay so a
+                    # later swap() re-provisions the pool at full size.
+                    entry.replica_pool.close()
                 with self._lock:
                     entry.health = HealthState.UNHEALTHY
                     entry.health_cause = cause
@@ -902,11 +1093,18 @@ class EngineHost:
             # Build the replacement worker first, then flip: submitters never
             # observe a window with no live service.
             new_service = QueryService(engine, **entry.service_options)
+            dead_pool = None
             with self._lock:
                 old_service = entry.service
                 entry.service = new_service
                 entry.engine = engine
                 entry.spec = spec
+                if action == "rehydrate" and entry.replica_pool is not None:
+                    # The replacement serves in-process; the dead pool is
+                    # done.  Its owned snapshot dir survives — it *is* the
+                    # deployment's last_snapshot — until undeploy/close.
+                    dead_pool = entry.replica_pool
+                    entry.replica_pool = None
                 entry.health = HealthState.DEGRADED
                 entry.health_cause = cause
                 entry.clean_checks = 0
@@ -918,6 +1116,8 @@ class EngineHost:
                     entry.restarts_since_healthy += 1
             self._note_health(entry.name, HealthState.DEGRADED, cause)
             failed = old_service.abort(error)
+            if dead_pool is not None:
+                dead_pool.close()
             with self._lock:
                 entry.retired_stats.append(old_service.stats())
             self._note_recovery(entry.name, action, cause, failed)
@@ -962,6 +1162,9 @@ class EngineHost:
             deployment.service.close()
             if deployment.fallback_service is not None:
                 deployment.fallback_service.close()
+            self._dispose_pool(
+                deployment.replica_pool, deployment.owned_snapshot_dir
+            )
 
     def __enter__(self) -> "EngineHost":
         return self
@@ -994,6 +1197,7 @@ class EngineHost:
         return self._get(name).service
 
     def _info(self, deployment: _Deployment) -> DeploymentInfo:
+        pool = deployment.replica_pool
         return DeploymentInfo(
             name=deployment.name,
             spec=deployment.spec,
@@ -1001,6 +1205,7 @@ class EngineHost:
             swap_count=deployment.swap_count,
             fallback_spec=deployment.fallback_spec,
             health=deployment.health,
+            replicas=pool.size if pool is not None else 0,
         )
 
     def _deployment_stats(self, deployment: _Deployment) -> ServiceStats:
@@ -1046,3 +1251,86 @@ class EngineHost:
                 "already carries its own"
             )
         return engine, str(getattr(engine, "name", type(engine).__name__))
+
+    def _provision_replicas(
+        self,
+        name: str,
+        engine: EngineOrSpec,
+        graph: Any,
+        replicas: int,
+        mmap_mode: str,
+        *,
+        fallback_graph: Any = None,
+    ) -> tuple[Any, str, Path, Optional[Path]]:
+        """Materialise a snapshot for ``engine`` and spawn a pool over it.
+
+        Returns ``(pool, spec, snapshot_dir, owned_dir)``; ``owned_dir`` is
+        the temp directory the host must delete when the pool retires (None
+        when the caller's own ``snapshot:<dir>`` was used directly — that
+        path stays shared and untouched, preserving page-cache sharing with
+        anything else mapping it).
+        """
+        from repro.serving.replica import ReplicaPool
+
+        if replicas < 1:
+            raise HostError("replicas must be >= 1")
+        owned_dir: Optional[Path] = None
+        if isinstance(engine, str):
+            from repro.api import parse_engine_spec
+
+            scheme, spec_options = parse_engine_spec(engine)
+            if scheme == "snapshot":
+                # The snapshot already exists on disk: hand the directory to
+                # the workers as-is — nothing is built (or even loaded) in
+                # this process.
+                snapshot_dir = Path(spec_options["path"])
+                spec = engine
+            else:
+                built, spec = self._resolve_engine(
+                    engine, graph, fallback_graph=fallback_graph
+                )
+                snapshot_dir = owned_dir = self._spill_snapshot(name, built, spec)
+        else:
+            built, spec = self._resolve_engine(engine, graph)
+            snapshot_dir = owned_dir = self._spill_snapshot(name, built, spec)
+        try:
+            pool = ReplicaPool(
+                snapshot_dir,
+                replicas,
+                mmap_mode=mmap_mode,
+                name=name,
+                obs=self._obs,
+            )
+        except BaseException:
+            if owned_dir is not None:
+                shutil.rmtree(owned_dir, ignore_errors=True)
+            raise
+        return pool, spec, snapshot_dir, owned_dir
+
+    def _spill_snapshot(self, name: str, built: Any, spec: str) -> Path:
+        """Persist a freshly built engine's index for replicas to map.
+
+        The directory is host-owned (``tempfile.mkdtemp``) and deleted when
+        the deployment (or the swapped-out generation) retires.
+        """
+        from repro.persistence import save_index
+
+        index = getattr(built, "index", built)
+        target = Path(tempfile.mkdtemp(prefix=f"repro-replicas-{name}-"))
+        try:
+            return save_index(index, target, engine_spec=spec)
+        except BaseException:
+            shutil.rmtree(target, ignore_errors=True)
+            raise
+
+    @staticmethod
+    def _dispose_pool(pool: Any, owned_dir: Optional[Path]) -> None:
+        """Tear down a retired replica pool and its host-owned snapshot.
+
+        Both halves are optional (a rehydrated deployment has an owned dir
+        but no pool any more) and idempotent.
+        """
+        if pool is not None:
+            pool.close()
+        if owned_dir is not None:
+            shutil.rmtree(owned_dir, ignore_errors=True)

@@ -679,6 +679,16 @@ class QueryService:
         )
         self._flusher.start()
 
+    @property
+    def engine(self) -> Any:
+        """The engine (or index) this service computes against.
+
+        The :class:`~repro.serving.EngineHost` uses this to reach through a
+        deployment's front service to its compute backend — e.g. the
+        :class:`~repro.serving.ReplicaPool` of a multi-process deployment.
+        """
+        return self._index
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------

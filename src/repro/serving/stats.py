@@ -156,6 +156,20 @@ class ServiceStats:
         return self.cache_hits / self.queries_answered
 
     @classmethod
+    def empty(cls) -> "ServiceStats":
+        """An all-zero snapshot with (zeroed) bucket counts.
+
+        What a spawned-but-unqueried (or dead) replica contributes to a
+        pool-wide merge: carrying the full-length zero bucket tuple keeps
+        the merged percentiles on the exact histogram path instead of
+        tripping the legacy weighted fallback.
+        """
+        return cls(
+            0, 0, 0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            latency_bucket_counts=(0,) * (len(LATENCY_BUCKETS_MS) + 1),
+        )
+
+    @classmethod
     def merged(cls, parts: Sequence["ServiceStats"]) -> "ServiceStats":
         """Aggregate snapshots from successive service generations.
 

@@ -119,6 +119,11 @@ class HealthReport:
     #: The probe the assessment was made from (None if the deployment was
     #: assessed without probing, e.g. a parked ``UNHEALTHY`` primary).
     probe: Optional["ServiceProbe"] = None
+    #: Configured replica workers (0 for a single-process deployment).
+    replicas: int = 0
+    #: Replica workers currently alive (None for a single-process
+    #: deployment — liveness there is the flusher thread, see ``probe``).
+    replicas_alive: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -128,8 +133,10 @@ class RecoveryReport:
     deployment: str
     #: ``"restart"`` (new worker over the live engine), ``"rehydrate"`` (new
     #: engine from the last snapshot), ``"fallback"`` (primary parked,
-    #: traffic routed to the fallback engine), or ``"park"`` (no recovery
-    #: path left: the deployment is ``UNHEALTHY`` and fails fast).
+    #: traffic routed to the fallback engine), ``"park"`` (no recovery path
+    #: left: the deployment is ``UNHEALTHY`` and fails fast), or
+    #: ``"respawn"`` (dead replica worker processes were respawned from the
+    #: deployment's snapshot; the pool itself stayed up).
     action: str
     #: The incident that triggered recovery.
     cause: str

@@ -244,3 +244,98 @@ def test_load_rejects_mixed_generations(approx_index, basic_index, tmp_path):
     with pytest.raises(SnapshotError, match="torn"):
         load_index(directory)
     load_index(other)  # the untouched snapshot still loads
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped loading (mmap_mode="r"/"c")
+# ----------------------------------------------------------------------
+class TestMmapLoading:
+    """``load_index(..., mmap_mode=...)``: shared pages, identical answers.
+
+    The replica serving layer (:mod:`repro.serving.replica`) depends on two
+    properties proven here: the mapped arrays really are memory-mapped (their
+    ``.base`` is a :class:`numpy.memmap`, so N processes mapping one snapshot
+    share one physical copy through the page cache), and a mapped load is
+    **bit-identical** to an eager one on every buffer and every query.
+    """
+
+    def test_mapped_arrays_are_memmap_backed_and_bit_identical(
+        self, approx_index, tmp_path
+    ):
+        from repro.persistence.snapshot import _mmap_npz
+
+        directory = approx_index.save(tmp_path / "snap")
+        arrays_path = tmp_path / "snap" / ARRAYS_NAME
+        mapped = _mmap_npz(arrays_path, "r")
+        with np.load(arrays_path) as archive:
+            eager = {name: archive[name] for name in archive.files}
+
+        assert set(mapped) == set(eager)
+        mapped_count = 0
+        for name, arr in mapped.items():
+            assert np.array_equal(arr, eager[name]), name
+            if arr.dtype.hasobject or arr.size == 0:
+                continue  # documented eager fallback for unmappable members
+            assert isinstance(arr.base, np.memmap), name
+            mapped_count += 1
+        # The dominant payload (the ragged PLF buffers) must actually map.
+        assert mapped_count > 0
+        for key in ("tree_ws_plf_times", "graph_weight_times"):
+            matches = [n for n in mapped if n.endswith(key)]
+            assert matches, key
+            assert all(
+                mapped[n].size == 0 or isinstance(mapped[n].base, np.memmap)
+                for n in matches
+            )
+
+    @pytest.mark.parametrize("mode", ["r", "c"])
+    def test_mmap_load_is_bit_identical_on_costs(self, approx_index, tmp_path, mode):
+        directory = approx_index.save(tmp_path / "snap")
+        eager = load_index(directory)
+        mapped = load_index(directory, mmap_mode=mode)
+        sources, targets, departures = _workload(approx_index.graph)
+        assert np.array_equal(
+            mapped.batch_query(sources, targets, departures).costs,
+            eager.batch_query(sources, targets, departures).costs,
+        )
+        for s, t, d in zip(sources[:8], targets[:8], departures[:8]):
+            assert (
+                mapped.query(int(s), int(t), float(d)).cost
+                == eager.query(int(s), int(t), float(d)).cost
+            )
+
+    def test_index_load_passes_mmap_mode_through(self, basic_index, tmp_path):
+        directory = basic_index.save(tmp_path / "snap")
+        mapped = TDTreeIndex.load(directory, mmap_mode="r")
+        sources, targets, departures = _workload(basic_index.graph)
+        assert np.array_equal(
+            mapped.batch_query(sources, targets, departures).costs,
+            basic_index.batch_query(sources, targets, departures).costs,
+        )
+
+    def test_invalid_mmap_mode_is_refused(self, basic_index, tmp_path):
+        directory = basic_index.save(tmp_path / "snap")
+        # Writable maps would let one replica corrupt the shared snapshot.
+        for mode in ("r+", "w+", "x", ""):
+            with pytest.raises(SnapshotError, match="mmap_mode"):
+                load_index(directory, mmap_mode=mode)
+
+    def test_compressed_member_falls_back_to_eager_read(self, basic_index, tmp_path):
+        """Foreign (compressed) archives still load correctly, just unmapped."""
+        import zipfile
+
+        from repro.persistence.snapshot import _mmap_npz
+
+        directory = basic_index.save(tmp_path / "snap")
+        arrays_path = tmp_path / "snap" / ARRAYS_NAME
+        recompressed = tmp_path / "compressed.npz"
+        with np.load(arrays_path) as archive:
+            data = {name: archive[name] for name in archive.files}
+        np.savez_compressed(recompressed, **data)
+        with zipfile.ZipFile(recompressed) as archive:
+            assert any(
+                i.compress_type != zipfile.ZIP_STORED for i in archive.infolist()
+            )
+        mapped = _mmap_npz(recompressed, "r")
+        for name, arr in mapped.items():
+            assert np.array_equal(arr, data[name]), name

@@ -89,3 +89,95 @@ class TestPackageSurface:
         import repro.utils
 
         assert repro.core.TDTreeIndex is repro.TDTreeIndex
+
+
+class TestPickleRoundTrips:
+    """Every typed error must survive a pickle round-trip with args intact.
+
+    Replica workers (:mod:`repro.serving.replica`) ship engine errors to the
+    parent over ``multiprocessing`` queues; the default ``Exception``
+    reduction replays ``self.args`` — the *formatted message* — into
+    ``__init__``, which either raises ``TypeError`` at unpickle time or
+    silently corrupts the typed attributes.  The parameterized classes define
+    ``__reduce__`` explicitly; this suite locks the contract for the whole
+    hierarchy.
+    """
+
+    #: (instance, attributes that must survive) for every parameterized error.
+    CASES = [
+        (exceptions.VertexNotFoundError(42), {"vertex": 42}),
+        (exceptions.EdgeNotFoundError(1, 2), {"source": 1, "target": 2}),
+        (exceptions.DisconnectedQueryError(3, 9), {"source": 3, "target": 9}),
+        (
+            exceptions.UnknownEngineError("nope", ("td-basic", "td-appro")),
+            {"name": "nope", "available": ("td-basic", "td-appro")},
+        ),
+        (
+            exceptions.UnknownEngineOptionError("td-appro", "bogus", ("budget",)),
+            {"engine": "td-appro", "option": "bogus", "accepted": ("budget",)},
+        ),
+        (exceptions.StaleRouteError("td-appro"), {"engine": "td-appro"}),
+        (exceptions.ServiceClosedError("batch_query"), {"operation": "batch_query"}),
+        (
+            exceptions.AdmissionRejectedError(128, "shed"),
+            {"max_pending": 128, "policy": "shed"},
+        ),
+        (exceptions.DeadlineExceededError(250.0), {"deadline_ms": 250.0}),
+        (exceptions.DeadlineExceededError(), {"deadline_ms": None}),
+        (
+            exceptions.WorkerCrashedError("prod", "replica 2 exited with code -9"),
+            {"deployment": "prod", "cause": "replica 2 exited with code -9"},
+        ),
+        (
+            exceptions.UnknownDeploymentError("prod", ("staging",)),
+            {"name": "prod", "available": ("staging",)},
+        ),
+        (exceptions.DuplicateDeploymentError("prod"), {"name": "prod"}),
+        (
+            exceptions.UnsupportedCapabilityError("td-dijkstra", "batch_query"),
+            {"engine": "td-dijkstra", "capability": "batch_query"},
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "error, attrs", CASES, ids=[type(e).__name__ for e, _ in CASES]
+    )
+    def test_parameterized_errors_survive_pickle(self, error, attrs):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        for attr, expected in attrs.items():
+            assert getattr(clone, attr) == expected, attr
+
+    def test_every_parameterized_error_is_covered(self):
+        """Any new __reduce__ must come with a round-trip case above."""
+        covered = {type(e) for e, _ in self.CASES}
+        for name in exceptions.__all__:
+            cls = getattr(exceptions, name)
+            if "__reduce__" in cls.__dict__:
+                assert cls in covered, f"{name} lacks a pickle round-trip case"
+
+    def test_message_only_errors_survive_pickle(self):
+        import pickle
+
+        for name in exceptions.__all__:
+            cls = getattr(exceptions, name)
+            if "__reduce__" in cls.__dict__ or cls.__init__ is not Exception.__init__:
+                continue
+            error = cls("something went wrong")
+            clone = pickle.loads(pickle.dumps(error))
+            assert type(clone) is type(error), name
+            assert str(clone) == str(error), name
+
+    def test_default_reduction_would_corrupt(self):
+        """Documents *why* __reduce__ exists: args-replay breaks 2-arg inits."""
+        import pickle
+
+        error = exceptions.WorkerCrashedError("prod", "boom")
+        # One formatted-message arg; replaying it into __init__(deployment,
+        # cause) would raise TypeError without the explicit __reduce__.
+        assert len(error.args) == 1
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.deployment == "prod" and clone.cause == "boom"
