@@ -1,0 +1,171 @@
+"""A minimal asyncio HTTP/1.1 client for the gateway's tests and benchmarks.
+
+Deliberately tiny — JSON in, JSON (or NDJSON) out, keep-alive, chunked
+decoding — because the open-loop benchmark needs *many concurrent
+connections with per-request control*, which ``urllib`` cannot do and no
+third-party client is allowed to provide (the stack stays stdlib-only).
+One :class:`GatewayClient` is one connection: the benchmark opens hundreds
+of them, exactly like hundreds of remote callers would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+__all__ = ["GatewayClient", "GatewayResponse"]
+
+
+class GatewayResponse:
+    """One decoded HTTP response."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        #: Header names lower-cased; last value wins on duplicates.
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+    def ndjson(self) -> list[Any]:
+        """The body as a list of JSON values, one per non-empty line."""
+        return [
+            json.loads(line)
+            for line in self.body.split(b"\n")
+            if line.strip()
+        ]
+
+    @property
+    def retry_after_ms(self) -> float | None:
+        """The precise backoff hint, if the gateway attached one."""
+        raw = self.headers.get("retry-after-ms")
+        return float(raw) if raw is not None else None
+
+    def __repr__(self) -> str:
+        return f"GatewayResponse(status={self.status}, bytes={len(self.body)})"
+
+
+class GatewayClient:
+    """One keep-alive connection to a gateway.
+
+    Connects lazily on the first request and transparently reconnects if the
+    server closed the connection between requests.  Not safe for concurrent
+    ``request`` calls on the same instance — use one client per in-flight
+    request (that is the point: each simulated user is one connection).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._reader, self._writer = reader, writer
+        return reader, writer
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        payload: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> GatewayResponse:
+        """Send one request and read the full response (chunked or plain)."""
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        lines = [f"{method} {path} HTTP/1.1".encode("latin-1")]
+        lines.append(f"host: {self.host}:{self.port}".encode("latin-1"))
+        if payload is not None:
+            lines.append(b"content-type: application/json")
+        lines.append(f"content-length: {len(body)}".encode("latin-1"))
+        if headers:
+            for name, value in headers.items():
+                lines.append(f"{name}: {value}".encode("latin-1"))
+        wire = b"\r\n".join(lines) + b"\r\n\r\n" + body
+
+        fresh = self._reader is None
+        if self._reader is None or self._writer is None:
+            reader, writer = await self._connect()
+        else:
+            reader, writer = self._reader, self._writer
+        try:
+            writer.write(wire)
+            await writer.drain()
+            return await self._read_response(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            await self.aclose()
+            if fresh:
+                raise
+            # The server retired a kept-alive connection between requests;
+            # one reconnect is safe (the request never reached a handler).
+            reader, writer = await self._connect()
+            writer.write(wire)
+            await writer.drain()
+            return await self._read_response(reader)
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> GatewayResponse:
+        status_line = await reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").strip().split(" ", 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readuntil(b"\r\n")
+            stripped = line.strip()
+            if not stripped:
+                break
+            name, _, value = stripped.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            body = await _read_chunked(reader)
+        else:
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return GatewayResponse(status, headers, body)
+
+    async def aclose(self) -> None:
+        writer = self._writer
+        self._reader = None
+        self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
+        await self.aclose()
+
+
+async def _read_chunked(reader: asyncio.StreamReader) -> bytes:
+    """Decode a chunked body into one bytes blob."""
+    chunks: list[bytes] = []
+    while True:
+        size_line = await reader.readuntil(b"\r\n")
+        size = int(size_line.strip().split(b";")[0], 16)
+        if size == 0:
+            await reader.readuntil(b"\r\n")  # trailing CRLF after last chunk
+            return b"".join(chunks)
+        chunks.append(await reader.readexactly(size))
+        await reader.readexactly(2)  # chunk-terminating CRLF

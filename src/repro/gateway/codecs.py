@@ -1,0 +1,166 @@
+"""Wire codecs: JSON parsing/validation between HTTP bodies and host calls.
+
+All request decoding lives here so the app's route handlers stay pure
+control flow, every validation failure raises the same typed
+:class:`~repro.gateway.errors.BadRequestError` (→ 400 with a
+machine-readable body), and the checks are unit-testable without a socket.
+
+Floats cross the wire through :mod:`json`, which formats them with
+``repr`` — a lossless round-trip — so a cost decoded from a gateway
+response compares *bit-identical* to the engine's own answer.  The
+benchmark's oracle check leans on exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.gateway.errors import BadRequestError
+
+__all__ = [
+    "json_bytes",
+    "parse_json_body",
+    "parse_query_payload",
+    "parse_batch_payload",
+    "parse_profile_payload",
+    "parse_swap_payload",
+    "parse_timeout_ms",
+]
+
+
+def json_bytes(payload: Mapping[str, Any]) -> bytes:
+    """Encode one response body (compact separators, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def parse_json_body(body: bytes) -> dict[str, Any]:
+    """Decode a request body into a JSON object (``{}`` for an empty body)."""
+    if not body:
+        return {}
+    try:
+        decoded = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise BadRequestError(
+            f"request body must be a JSON object, got {type(decoded).__name__}"
+        )
+    return decoded
+
+
+def _require_int(payload: Mapping[str, Any], field: str) -> int:
+    """An integer field (bools are rejected — JSON ``true`` is not a vertex)."""
+    if field not in payload:
+        raise BadRequestError(f"missing required field {field!r}")
+    value = payload[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(
+            f"field {field!r} must be an integer, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_float(payload: Mapping[str, Any], field: str) -> float:
+    if field not in payload:
+        raise BadRequestError(f"missing required field {field!r}")
+    value = payload[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(
+            f"field {field!r} must be a number, got {type(value).__name__}"
+        )
+    return float(value)
+
+
+def _optional_str(payload: Mapping[str, Any], field: str) -> str | None:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise BadRequestError(
+            f"field {field!r} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def parse_query_payload(
+    payload: Mapping[str, Any],
+) -> tuple[int, int, float, str | None]:
+    """``POST /v1/query`` body → ``(source, target, departure, deployment)``."""
+    return (
+        _require_int(payload, "source"),
+        _require_int(payload, "target"),
+        _require_float(payload, "departure"),
+        _optional_str(payload, "deployment"),
+    )
+
+
+def parse_batch_payload(
+    payload: Mapping[str, Any], *, max_queries: int
+) -> tuple[list[tuple[int, int, float]], str | None]:
+    """``POST /v1/batch`` body → ``(queries, deployment)``.
+
+    ``queries`` must be a non-empty list of query objects, bounded by
+    ``max_queries`` so one request cannot monopolise the host.
+    """
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise BadRequestError(
+            "field 'queries' must be a non-empty list of "
+            "{source, target, departure} objects"
+        )
+    if len(queries) > max_queries:
+        raise BadRequestError(
+            f"batch of {len(queries)} queries exceeds the per-request "
+            f"limit of {max_queries}"
+        )
+    parsed: list[tuple[int, int, float]] = []
+    for i, item in enumerate(queries):
+        if not isinstance(item, dict):
+            raise BadRequestError(
+                f"queries[{i}] must be an object, got {type(item).__name__}"
+            )
+        parsed.append(
+            (
+                _require_int(item, "source"),
+                _require_int(item, "target"),
+                _require_float(item, "departure"),
+            )
+        )
+    return parsed, _optional_str(payload, "deployment")
+
+
+def parse_profile_payload(
+    payload: Mapping[str, Any],
+) -> tuple[int, int, str | None]:
+    """``POST /v1/profile`` body → ``(source, target, deployment)``."""
+    return (
+        _require_int(payload, "source"),
+        _require_int(payload, "target"),
+        _optional_str(payload, "deployment"),
+    )
+
+
+def parse_swap_payload(payload: Mapping[str, Any]) -> str:
+    """``POST /v1/deployments/{name}/swap`` body → the engine spec string."""
+    spec = payload.get("engine")
+    if not isinstance(spec, str) or not spec:
+        raise BadRequestError(
+            "field 'engine' must be a non-empty engine spec string"
+        )
+    return spec
+
+
+def parse_timeout_ms(raw: str | None) -> float | None:
+    """The ``timeout-ms`` request header → a per-request deadline (ms)."""
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BadRequestError(
+            f"timeout-ms header must be a number, got {raw!r}"
+        ) from None
+    if value <= 0.0:
+        raise BadRequestError("timeout-ms header must be positive")
+    return value

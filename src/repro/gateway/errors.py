@@ -1,0 +1,163 @@
+"""Typed serving errors mapped to stable HTTP statuses and wire bodies.
+
+The gateway's error contract: every :class:`~repro.exceptions.ReproError`
+subclass has an *explicit* entry in :data:`STATUS_BY_ERROR` — the registry
+table test in ``tests/gateway/test_errors.py`` fails the moment a new public
+exception class appears without a mapping, mirroring the ``__reduce__``
+pickling guard from PR 8.  Clients therefore get the same status for the
+same failure mode across releases, and can branch on the machine-readable
+body (:func:`error_body`) instead of parsing prose.
+
+Status philosophy: caller mistakes are 4xx (unknown deployment → 404, bad
+payload → 400, disconnected OD pair → 422), overload and transient serving
+failures are 5xx the caller should retry (shed → 503, worker crash → 503,
+deadline → 504), and capability gaps are 501.  Anything retryable carries a
+``Retry-After`` hint derived from the shared backoff schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DatasetError,
+    DeadlineExceededError,
+    DisconnectedQueryError,
+    DuplicateDeploymentError,
+    EdgeNotFoundError,
+    EngineError,
+    EngineSpecError,
+    GraphError,
+    HostError,
+    IndexBuildError,
+    IndexNotBuiltError,
+    InvalidFunctionError,
+    ReproError,
+    SelectionError,
+    SerializationError,
+    ServiceClosedError,
+    SnapshotError,
+    StaleRouteError,
+    UnknownDeploymentError,
+    UnknownEngineError,
+    UnknownEngineOptionError,
+    UnsupportedCapabilityError,
+    VertexNotFoundError,
+    WorkerCrashedError,
+)
+
+__all__ = [
+    "BadRequestError",
+    "STATUS_BY_ERROR",
+    "RETRYABLE_STATUSES",
+    "status_for",
+    "error_body",
+    "retry_after_headers",
+]
+
+
+class BadRequestError(ReproError, ValueError):
+    """An HTTP request the gateway could not even hand to the host.
+
+    Malformed JSON, a missing/ill-typed field, an oversized body, a
+    ``timeout-ms`` header that is not a positive number — anything the
+    gateway rejects before touching a deployment.  Mapped to 400.
+    """
+
+
+#: Explicit HTTP status per public error class.  Lookup walks the MRO
+#: (:func:`status_for`), so subclasses inherit their parent's status unless
+#: listed — but every *public* class is listed anyway, on purpose: the table
+#: test forces a deliberate decision for each new exception type.
+STATUS_BY_ERROR: dict[type[BaseException], int] = {
+    # caller mistakes ------------------------------------------------ 4xx
+    BadRequestError: 400,
+    InvalidFunctionError: 400,
+    GraphError: 400,
+    VertexNotFoundError: 404,
+    EdgeNotFoundError: 404,
+    DisconnectedQueryError: 422,
+    SelectionError: 400,
+    DatasetError: 400,
+    UnknownEngineError: 400,
+    EngineSpecError: 400,
+    UnknownEngineOptionError: 400,
+    UnknownDeploymentError: 404,
+    DuplicateDeploymentError: 409,
+    StaleRouteError: 409,
+    UnsupportedCapabilityError: 501,
+    # serving-side failures ------------------------------------------ 5xx
+    ReproError: 500,
+    IndexNotBuiltError: 503,
+    IndexBuildError: 500,
+    SerializationError: 500,
+    SnapshotError: 500,
+    EngineError: 500,
+    HostError: 500,
+    ServiceClosedError: 503,
+    AdmissionRejectedError: 503,
+    WorkerCrashedError: 503,
+    DeadlineExceededError: 504,
+}
+
+#: Statuses a well-behaved client may retry with backoff.  429 is the
+#: rate limiter's (it never appears in :data:`STATUS_BY_ERROR` — no
+#: exception class maps to it; the limiter denies before any error exists).
+RETRYABLE_STATUSES = frozenset({429, 503, 504})
+
+
+def status_for(error: BaseException) -> int:
+    """The HTTP status for ``error``: nearest registered class in its MRO.
+
+    Unregistered exception types (including non-:class:`ReproError` ones)
+    fall through to 500 — an internal error the gateway still answers with a
+    machine-readable body instead of a dropped connection.
+    """
+    for cls in type(error).__mro__:
+        status = STATUS_BY_ERROR.get(cls)
+        if status is not None:
+            return status
+    return 500
+
+
+def error_body(
+    error: BaseException, *, retry_after_ms: float | None = None
+) -> dict[str, object]:
+    """The machine-readable JSON body the gateway sends for ``error``.
+
+    Shape::
+
+        {"error": {"type": "AdmissionRejectedError",
+                   "message": "...", "status": 503,
+                   "retryable": true, "retry_after_ms": 12.5}}
+
+    ``type`` is the exception class name — stable across releases because
+    the classes are the public API.  ``retry_after_ms`` appears only when
+    the gateway attached a backoff hint.
+    """
+    status = status_for(error)
+    detail: dict[str, object] = {
+        "type": type(error).__name__,
+        "message": str(error),
+        "status": status,
+        "retryable": status in RETRYABLE_STATUSES,
+    }
+    if retry_after_ms is not None:
+        detail["retry_after_ms"] = float(retry_after_ms)
+    return {"error": detail}
+
+
+def retry_after_headers(retry_after_ms: float) -> list[tuple[str, str]]:
+    """The header pair for one backoff hint.
+
+    ``Retry-After`` is spec-bound to integer seconds — useless at
+    millisecond serving scale, so it is rounded *up* (never 0 unless the
+    hint itself is 0) and the precise value rides alongside in the
+    non-standard ``retry-after-ms``.
+    """
+    ms = max(float(retry_after_ms), 0.0)
+    return [
+        ("retry-after", str(int(math.ceil(ms / 1000.0)))),
+        ("retry-after-ms", f"{ms:g}"),
+    ]

@@ -1,0 +1,170 @@
+"""Per-client token-bucket rate limiting for the HTTP gateway.
+
+The host's admission queue protects the *engine* from overload; this module
+protects the *host* from any single client.  Each client id (API key,
+``x-client-id`` header, or the anonymous fallback) gets its own token
+bucket: tokens refill continuously at ``rate_per_second`` up to ``burst``,
+one request costs one token, and an empty bucket means a 429.
+
+Denials carry a ``Retry-After`` hint built from two signals, whichever is
+larger: the bucket's exact time-to-next-token (physics — earlier retry
+*cannot* succeed), and an escalating advisory from the shared
+:func:`~repro.serving.admission.backoff_delays` schedule keyed by the
+client's consecutive-denial count — a client that keeps hammering is told to
+back off harder, deterministically (the jitter seed is a stable CRC of the
+client id, so runs reproduce).
+
+Bucket state is bounded: at most ``max_clients`` buckets live at once,
+evicted least-recently-used, so an open endpoint scanning random API keys
+cannot grow gateway memory without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.serving.admission import backoff_delays
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+__all__ = ["RateDecision", "RateLimiter", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """One admission verdict from the limiter."""
+
+    #: Whether the request may proceed.
+    allowed: bool
+    #: Backoff hint in milliseconds (0.0 when allowed).
+    retry_after_ms: float
+    #: Consecutive denials for this client including this one (0 when
+    #: allowed — an allowed request resets the streak).
+    denials: int = 0
+
+
+class TokenBucket:
+    """One client's continuously-refilling token bucket.
+
+    Not thread-safe on its own; :class:`RateLimiter` locks around it.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at", "denials")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+        #: Consecutive denials since the last allowed request.
+        self.denials = 0
+
+    def refill(self, now: float) -> None:
+        elapsed = max(now - self.updated_at, 0.0)
+        self.tokens = min(self.tokens + elapsed * self.rate, self.burst)
+        self.updated_at = now
+
+    def try_take(self, now: float) -> bool:
+        self.refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.denials = 0
+            return True
+        self.denials += 1
+        return False
+
+    def seconds_to_token(self) -> float:
+        """Time until one full token exists (0.0 if one already does)."""
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe per-client token-bucket limiter with LRU-bounded state.
+
+    Parameters
+    ----------
+    rate_per_second:
+        Steady-state requests per second allowed per client.
+    burst:
+        Bucket capacity — how many requests a quiet client may fire at once.
+    max_clients:
+        Bucket-map bound; the least-recently-seen client's bucket is evicted
+        past it (an evicted client restarts with a full bucket — the bound
+        trades perfect fairness for bounded memory).
+    clock:
+        Time source; inject a :class:`~repro.utils.timing.FakeClock` for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        *,
+        max_clients: int = 10_000,
+        clock: Clock = SYSTEM_CLOCK,
+    ) -> None:
+        if rate_per_second <= 0.0:
+            raise ValueError("rate_per_second must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = int(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def check(self, client: str) -> RateDecision:
+        """Admit or deny one request from ``client``."""
+        now = self._clock.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_second, float(self.burst), now)
+                self._buckets[client] = bucket
+                if len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            if bucket.try_take(now):
+                return RateDecision(allowed=True, retry_after_ms=0.0)
+            denials = bucket.denials
+            physics_ms = bucket.seconds_to_token() * 1000.0
+        advisory_ms = _advisory_ms(client, denials)
+        return RateDecision(
+            allowed=False,
+            retry_after_ms=max(physics_ms, advisory_ms),
+            denials=denials,
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+def _advisory_ms(client: str, denials: int) -> float:
+    """The escalating backoff advisory for a client's ``denials``-th denial.
+
+    Reuses the serving layer's deterministic jittered schedule: denial *n*
+    is told to wait the *n*-th delay of a :func:`backoff_delays` ladder
+    seeded by a stable CRC of the client id (``zlib.crc32``, not ``hash()``
+    — the builtin is salted per process and would desynchronise runs).
+    """
+    if denials < 1:
+        return 0.0
+    seed = zlib.crc32(client.encode("utf-8", errors="replace"))
+    # attempts = denials + 1 yields exactly `denials` delays; take the last.
+    # The ladder saturates at max_delay_ms after ~8 doublings, so computing
+    # past that is waste — clamp the streak before building the schedule.
+    rung = min(denials, 16)
+    delays = backoff_delays(
+        rung + 1, base_delay_ms=5.0, max_delay_ms=1000.0, seed=seed
+    )
+    return delays[-1] * 1000.0

@@ -1,0 +1,484 @@
+"""A bundled asyncio HTTP/1.1 server for the gateway — no uvicorn required.
+
+The ASGI app in :mod:`repro.gateway.app` runs under any ASGI server; this
+module is the zero-dependency transport the tests, benchmarks, and examples
+use so the whole stack stays importable in a bare interpreter.  It speaks
+enough HTTP/1.1 for the gateway's contract and nothing more:
+
+* request parsing: request line, headers, ``Content-Length`` bodies
+  (chunked *request* bodies are answered with 411 — no gateway route needs
+  them);
+* response framing: ``Content-Length`` for single-message bodies,
+  ``Transfer-Encoding: chunked`` the moment the app sends a body message
+  with ``more_body=True`` (the streamed ``/v1/profile`` route);
+* keep-alive: connections persist across requests per HTTP/1.1 default,
+  closing on ``Connection: close`` or a parse error.
+
+:func:`serve_in_background` is the test/benchmark entry point: it runs the
+server on a dedicated thread with its own event loop and returns a handle
+with the bound address and a ``close()`` — callers need no asyncio of their
+own to stand a real socket up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Awaitable, Callable, MutableMapping
+
+__all__ = ["GatewayServer", "ServerHandle", "serve_in_background"]
+
+Message = MutableMapping[str, Any]
+ASGIApp = Callable[
+    [MutableMapping[str, Any], Callable[[], Awaitable[Message]], Callable[[Message], Awaitable[None]]],
+    Awaitable[None],
+]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_BYTES = 65536
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _ParseError(Exception):
+    """A malformed request; carries the status the connection dies with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class GatewayServer:
+    """Serve an ASGI app over ``asyncio.start_server``.
+
+    Usage (inside a running loop)::
+
+        server = GatewayServer(app)
+        await server.start()          # binds; server.port is now real
+        ...
+        await server.aclose()
+
+    ``port=0`` binds an ephemeral port — the tests' default, so parallel
+    suites never collide.
+    """
+
+    def __init__(
+        self,
+        app: ASGIApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def aclose(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.close()
+        await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _ParseError as exc:
+                    await _write_error(writer, exc.status, str(exc))
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Loop shutdown cancelled an idle keep-alive connection: close it
+            # quietly.  (Returning instead of re-raising keeps the stdlib
+            # streams connection_made callback from logging the cancellation
+            # as an error — 3.11 inspects task.exception() unguarded.)
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # pragma: no cover - teardown race
+
+    async def _dispatch(self, request: "_Request", writer: asyncio.StreamWriter) -> bool:
+        """Run the app for one request; returns whether to keep the connection."""
+        scope: MutableMapping[str, Any] = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": request.method,
+            "scheme": "http",
+            "path": request.path,
+            "raw_path": request.raw_path,
+            "query_string": request.query_string,
+            "root_path": "",
+            "headers": request.headers,
+            "client": writer.get_extra_info("peername"),
+            "server": writer.get_extra_info("sockname"),
+        }
+        body_sent = False
+
+        async def receive() -> Message:
+            nonlocal body_sent
+            if not body_sent:
+                body_sent = True
+                return {
+                    "type": "http.request",
+                    "body": request.body,
+                    "more_body": False,
+                }
+            return {"type": "http.disconnect"}
+
+        sender = _ResponseWriter(writer, keep_alive=request.keep_alive)
+        try:
+            await self._app(scope, receive, sender.send)
+            await sender.finalize()
+        except Exception:
+            # The app's own error mapping failed (or the transport broke):
+            # answer 500 if the response has not started, else drop the
+            # connection — a half-written body cannot be repaired.
+            if not sender.started:
+                await _write_error(writer, 500, "internal gateway error")
+            return False
+        return sender.keep_alive
+
+
+class _Request:
+    __slots__ = (
+        "method",
+        "path",
+        "raw_path",
+        "query_string",
+        "headers",
+        "body",
+        "keep_alive",
+    )
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        raw_path: bytes,
+        query_string: bytes,
+        headers: list[tuple[bytes, bytes]],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.raw_path = raw_path
+        self.query_string = query_string
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    """Parse one request off the stream; None on clean EOF before any byte."""
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    if len(request_line) > _MAX_REQUEST_LINE:
+        raise _ParseError(400, "request line too long")
+    parts = request_line.decode("latin-1").strip().split(" ")
+    if len(parts) != 3:
+        raise _ParseError(400, "malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise _ParseError(400, f"unsupported protocol {version}")
+    raw_path, _, raw_query = target.partition("?")
+
+    headers: list[tuple[bytes, bytes]] = []
+    header_bytes = 0
+    content_length = 0
+    keep_alive = version != "HTTP/1.0"
+    chunked = False
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise _ParseError(400, "headers too large")
+        stripped = line.strip()
+        if not stripped:
+            break
+        name, sep, value = stripped.partition(b":")
+        if not sep:
+            raise _ParseError(400, "malformed header line")
+        lowered = name.strip().lower()
+        cleaned = value.strip()
+        headers.append((lowered, cleaned))
+        if lowered == b"content-length":
+            try:
+                content_length = int(cleaned)
+            except ValueError:
+                raise _ParseError(400, "invalid Content-Length") from None
+            if content_length < 0:
+                raise _ParseError(400, "invalid Content-Length")
+        elif lowered == b"transfer-encoding":
+            chunked = b"chunked" in cleaned.lower()
+        elif lowered == b"connection":
+            token = cleaned.lower()
+            if token == b"close":
+                keep_alive = False
+            elif token == b"keep-alive":
+                keep_alive = True
+    if chunked:
+        raise _ParseError(411, "chunked request bodies are not supported")
+    body = await reader.readexactly(content_length) if content_length else b""
+    return _Request(
+        method=method.upper(),
+        path=raw_path,
+        raw_path=raw_path.encode("latin-1"),
+        query_string=raw_query.encode("latin-1"),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+class _ResponseWriter:
+    """Translate ASGI response messages into HTTP/1.1 framing.
+
+    The framing decision is deferred until the body shape is known: a
+    single body message (``more_body`` false) goes out with
+    ``Content-Length`` in one write; the first ``more_body=True`` message
+    switches to ``Transfer-Encoding: chunked`` and flushes each chunk as it
+    arrives — that is what makes ``/v1/profile`` stream instead of
+    buffering the whole cost function.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, *, keep_alive: bool) -> None:
+        self._writer = writer
+        self.keep_alive = keep_alive
+        self.started = False
+        self._status = 200
+        self._headers: list[tuple[bytes, bytes]] = []
+        self._chunked = False
+        self._head_written = False
+        self._done = False
+
+    async def send(self, message: Message) -> None:
+        kind = message["type"]
+        if kind == "http.response.start":
+            if self.started:
+                raise RuntimeError("response already started")
+            self.started = True
+            self._status = int(message["status"])
+            self._headers = [
+                (bytes(name), bytes(value))
+                for name, value in message.get("headers", [])
+            ]
+            return
+        if kind != "http.response.body":
+            raise RuntimeError(f"unexpected ASGI message {kind!r}")
+        if not self.started:
+            raise RuntimeError("http.response.body before http.response.start")
+        body = bytes(message.get("body", b""))
+        more = bool(message.get("more_body", False))
+        if not self._head_written:
+            if more:
+                self._chunked = True
+                self._write_head(content_length=None)
+                self._write_chunk(body)
+            else:
+                self._write_head(content_length=len(body))
+                self._writer.write(body)
+                self._done = True
+            await self._writer.drain()
+            return
+        if self._chunked:
+            self._write_chunk(body)
+            if not more:
+                self._writer.write(b"0\r\n\r\n")
+                self._done = True
+            await self._writer.drain()
+        elif body:
+            raise RuntimeError("body after a Content-Length response completed")
+
+    async def finalize(self) -> None:
+        """Close out the response after the app returns."""
+        if not self.started:
+            raise RuntimeError("the app completed without a response")
+        if self._chunked and not self._done:
+            self._writer.write(b"0\r\n\r\n")
+            self._done = True
+            await self._writer.drain()
+
+    def _write_head(self, *, content_length: int | None) -> None:
+        reason = _REASONS.get(self._status, "Unknown")
+        lines = [f"HTTP/1.1 {self._status} {reason}\r\n".encode("latin-1")]
+        for name, value in self._headers:
+            lines.append(name + b": " + value + b"\r\n")
+        if content_length is not None:
+            lines.append(f"content-length: {content_length}\r\n".encode("latin-1"))
+        else:
+            lines.append(b"transfer-encoding: chunked\r\n")
+        lines.append(
+            b"connection: keep-alive\r\n" if self.keep_alive else b"connection: close\r\n"
+        )
+        lines.append(b"\r\n")
+        self._writer.write(b"".join(lines))
+        self._head_written = True
+
+    def _write_chunk(self, body: bytes) -> None:
+        if body:
+            self._writer.write(
+                f"{len(body):x}\r\n".encode("latin-1") + body + b"\r\n"
+            )
+
+
+async def _write_error(
+    writer: asyncio.StreamWriter, status: int, message: str
+) -> None:
+    """A last-resort plain-text error response (parse failures, app crashes)."""
+    body = message.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"content-type: text/plain; charset=utf-8\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionError, OSError):  # pragma: no cover - peer already gone
+        pass
+
+
+class ServerHandle:
+    """A background gateway server: address + ``close()``, nothing else.
+
+    Returned by :func:`serve_in_background`; the server runs on its own
+    thread with a private event loop, so synchronous tests and benchmark
+    drivers can hit a real socket without owning any asyncio plumbing.
+    Also a context manager (``with serve_in_background(app) as handle:``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        stop: asyncio.Event,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._stop = stop
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+def serve_in_background(
+    app: ASGIApp, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start a gateway server on a dedicated thread; returns its handle.
+
+    Blocks only until the socket is bound (the handle's ``port`` is the real
+    one even with ``port=0``).  Startup failures (port in use, bad host)
+    re-raise here, on the caller's thread.
+    """
+    ready = threading.Event()
+    state: dict[str, Any] = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            server = GatewayServer(app, host=host, port=port)
+            stop = asyncio.Event()
+            try:
+                await server.start()
+            except BaseException as exc:  # surface bind errors to the caller
+                state["error"] = exc
+                ready.set()
+                return
+            state["port"] = server.port
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = stop
+            ready.set()
+            try:
+                await stop.wait()
+            finally:
+                await server.aclose()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, name="repro-gateway", daemon=True)
+    thread.start()
+    ready.wait()
+    error = state.get("error")
+    if error is not None:
+        thread.join()
+        raise error
+    return ServerHandle(
+        host=host,
+        port=int(state["port"]),
+        thread=thread,
+        loop=state["loop"],
+        stop=state["stop"],
+    )

@@ -27,6 +27,8 @@ from repro.obs.events import (
     EVENT_DEADLINE,
     EVENT_DEPLOY,
     EVENT_FAULT,
+    EVENT_GATEWAY_SHED,
+    EVENT_RATE_LIMITED,
     EVENT_REPLICA_RESPAWN,
     EVENT_REPLICA_SPAWN,
     EVENT_HEALTH,
@@ -38,7 +40,11 @@ from repro.obs.events import (
     EventLog,
     read_events,
 )
-from repro.obs.export import to_json_snapshot, to_prometheus_text
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    to_json_snapshot,
+    to_prometheus_text,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_MS,
     Counter,
@@ -76,6 +82,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     # exporters
+    "PROMETHEUS_CONTENT_TYPE",
     "to_prometheus_text",
     "to_json_snapshot",
     # tracing
@@ -101,6 +108,8 @@ __all__ = [
     "EVENT_ABORT",
     "EVENT_REPLICA_SPAWN",
     "EVENT_REPLICA_RESPAWN",
+    "EVENT_RATE_LIMITED",
+    "EVENT_GATEWAY_SHED",
 ]
 
 

@@ -38,6 +38,8 @@ __all__ = [
     "EVENT_ABORT",
     "EVENT_REPLICA_SPAWN",
     "EVENT_REPLICA_RESPAWN",
+    "EVENT_RATE_LIMITED",
+    "EVENT_GATEWAY_SHED",
 ]
 
 # The event vocabulary.  Emitters pass these constants; consumers filter on
@@ -64,6 +66,12 @@ EVENT_REPLICA_SPAWN = "replica.spawn"
 #: A dead replica worker was recovered (fields: replica, action=respawn/lost,
 #: cause, failed_requests).
 EVENT_REPLICA_RESPAWN = "replica.respawn"
+#: The gateway rate-limited a client's HTTP request (fields: client, route,
+#: retry_after_ms).
+EVENT_RATE_LIMITED = "gateway.rate_limited"
+#: The gateway shed an HTTP request at its own admission bound (fields:
+#: route, in_flight, max_in_flight, retry_after_ms).
+EVENT_GATEWAY_SHED = "gateway.shed"
 
 
 @dataclass(frozen=True)

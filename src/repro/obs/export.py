@@ -26,7 +26,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 
-__all__ = ["to_prometheus_text", "to_json_snapshot"]
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "to_prometheus_text", "to_json_snapshot"]
+
+#: The Content-Type a scrape endpoint must declare when serving
+#: :func:`to_prometheus_text` output (the text exposition format version the
+#: Prometheus server content-negotiates on).  The gateway's ``/metrics``
+#: route sends exactly this; anything else mounting the exporter should too.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _escape_help(text: str) -> str:

@@ -47,6 +47,7 @@ from repro.serving.admission import (
     ADMISSION_POLICIES,
     ADMIT_BLOCK,
     ADMIT_SHED,
+    aretry_submit,
     backoff_delays,
     retry_submit,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "ADMISSION_POLICIES",
     "ADMIT_BLOCK",
     "ADMIT_SHED",
+    "aretry_submit",
     "backoff_delays",
     "retry_submit",
     # fault injection

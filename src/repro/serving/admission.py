@@ -18,7 +18,8 @@ Two pieces live here:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple, Type, TypeVar
+import asyncio
+from typing import Awaitable, Callable, Optional, Tuple, Type, TypeVar
 
 from repro.exceptions import ServiceClosedError
 from repro.utils.timing import SYSTEM_CLOCK, Clock
@@ -27,6 +28,7 @@ __all__ = [
     "ADMISSION_POLICIES",
     "ADMIT_BLOCK",
     "ADMIT_SHED",
+    "aretry_submit",
     "backoff_delays",
     "retry_submit",
 ]
@@ -119,5 +121,49 @@ def retry_submit(
                     on_retry(attempt, exc)
                 if delays[attempt] > 0.0:
                     clock.sleep(delays[attempt])
+    assert last is not None  # the loop either returned or recorded an error
+    raise last
+
+
+async def aretry_submit(
+    submit: Callable[[], Awaitable[T]],
+    *,
+    attempts: int = 8,
+    base_delay_ms: float = 0.5,
+    max_delay_ms: float = 50.0,
+    retry_on: Tuple[Type[BaseException], ...] = (ServiceClosedError,),
+    seed: int = 0,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+) -> T:
+    """Await ``submit()``, retrying transient serving errors with backoff.
+
+    The asyncio twin of :func:`retry_submit`, for callers already on the
+    event loop (the HTTP gateway, ``EngineHost.aquery`` wrappers): identical
+    schedule (:func:`backoff_delays`, same deterministic jitter for the same
+    ``seed``), but backoff waits are ``await``-ed instead of blocking the
+    thread, so one slow retry never stalls unrelated in-flight requests.
+    ``submit`` must be a zero-argument coroutine factory that re-resolves its
+    target on every call, exactly like the sync variant.  ``sleep`` defaults
+    to :func:`asyncio.sleep`; inject a recording fake to test the schedule
+    without real waiting.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    do_sleep = asyncio.sleep if sleep is None else sleep
+    delays = backoff_delays(
+        attempts, base_delay_ms=base_delay_ms, max_delay_ms=max_delay_ms, seed=seed
+    )
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return await submit()
+        except retry_on as exc:
+            last = exc
+            if attempt < len(delays):
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if delays[attempt] > 0.0:
+                    await do_sleep(delays[attempt])
     assert last is not None  # the loop either returned or recorded an error
     raise last

@@ -155,6 +155,35 @@ class ServiceStats:
             return 0.0
         return self.cache_hits / self.queries_answered
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable snapshot (the gateway's ``/stats`` payload).
+
+        Plain field values plus the derived ``cache_hit_rate``; the bucket
+        tuple becomes a list so ``json.dumps`` takes it unmodified.
+        """
+        return {
+            "queries_submitted": self.queries_submitted,
+            "queries_answered": self.queries_answered,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_entries": self.cache_entries,
+            "cache_invalidations": self.cache_invalidations,
+            "num_batches": self.num_batches,
+            "avg_batch_size": self.avg_batch_size,
+            "batch_occupancy": self.batch_occupancy,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "throughput_qps": self.throughput_qps,
+            "elapsed_seconds": self.elapsed_seconds,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "retries": self.retries,
+            "degraded_answers": self.degraded_answers,
+            "worker_restarts": self.worker_restarts,
+            "latency_bucket_counts": list(self.latency_bucket_counts),
+        }
+
     @classmethod
     def empty(cls) -> "ServiceStats":
         """An all-zero snapshot with (zeroed) bucket counts.

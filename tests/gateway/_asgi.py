@@ -1,0 +1,85 @@
+"""In-process ASGI driver shared by the gateway test suite.
+
+Calling the app directly with a fabricated scope keeps the fast suite off
+the network: failures point at the application, not the transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+
+class ASGIResult:
+    """A fully-drained ASGI response: status, headers, body, raw messages."""
+
+    def __init__(self, messages: list[dict[str, Any]]) -> None:
+        assert messages, "the app sent no messages"
+        assert messages[0]["type"] == "http.response.start"
+        self.messages = messages
+        self.status = int(messages[0]["status"])
+        self.headers = {
+            name.decode("latin-1"): value.decode("latin-1")
+            for name, value in messages[0].get("headers", [])
+        }
+        self.body = b"".join(bytes(m.get("body", b"")) for m in messages[1:])
+        #: How many body messages arrived (streamed routes send several).
+        self.body_messages = len(messages) - 1
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+    def ndjson(self) -> list[Any]:
+        return [
+            json.loads(line) for line in self.body.split(b"\n") if line.strip()
+        ]
+
+
+async def asgi_request(
+    app: Any,
+    method: str,
+    path: str,
+    *,
+    payload: Mapping[str, Any] | None = None,
+    headers: Mapping[str, str] | None = None,
+) -> ASGIResult:
+    """Drive one request through the bare ASGI callable."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    scope: dict[str, Any] = {
+        "type": "http",
+        "asgi": {"version": "3.0"},
+        "http_version": "1.1",
+        "method": method,
+        "scheme": "http",
+        "path": path,
+        "raw_path": path.encode("latin-1"),
+        "query_string": b"",
+        "headers": [
+            (name.lower().encode("latin-1"), value.encode("latin-1"))
+            for name, value in (headers or {}).items()
+        ],
+        "client": ("127.0.0.1", 54321),
+        "server": ("127.0.0.1", 80),
+    }
+    delivered = False
+
+    async def receive() -> dict[str, Any]:
+        nonlocal delivered
+        if not delivered:
+            delivered = True
+            return {"type": "http.request", "body": body, "more_body": False}
+        return {"type": "http.disconnect"}
+
+    messages: list[dict[str, Any]] = []
+
+    async def send(message: dict[str, Any]) -> None:
+        messages.append(dict(message))
+
+    await app(scope, receive, send)
+    return ASGIResult(messages)
+
+
+def call(app: Any, method: str, path: str, **kwargs: Any) -> ASGIResult:
+    """Synchronous convenience wrapper around :func:`asgi_request`."""
+    return asyncio.run(asgi_request(app, method, path, **kwargs))

@@ -1,0 +1,135 @@
+"""The gateway error contract: registry completeness, MRO lookup, bodies.
+
+The registry-style table test is the load-bearing one: it walks every
+public name in :mod:`repro.exceptions` and demands an *explicit*
+``STATUS_BY_ERROR`` entry for each ``ReproError`` subclass.  Adding a new
+exception class without deciding its HTTP status fails this test — the
+same forcing function as the pickling table test in PR 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.exceptions as exceptions_module
+from repro.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    UnknownDeploymentError,
+    VertexNotFoundError,
+    WorkerCrashedError,
+)
+from repro.gateway import (
+    RETRYABLE_STATUSES,
+    STATUS_BY_ERROR,
+    BadRequestError,
+    error_body,
+    retry_after_headers,
+    status_for,
+)
+
+PUBLIC_ERROR_CLASSES = [
+    getattr(exceptions_module, name)
+    for name in exceptions_module.__all__
+    if isinstance(getattr(exceptions_module, name), type)
+    and issubclass(getattr(exceptions_module, name), BaseException)
+]
+
+
+class TestRegistryCompleteness:
+    def test_the_public_surface_is_nonempty(self):
+        # Guard against the registry test passing vacuously.
+        assert len(PUBLIC_ERROR_CLASSES) >= 20
+
+    @pytest.mark.parametrize(
+        "cls", PUBLIC_ERROR_CLASSES, ids=lambda cls: cls.__name__
+    )
+    def test_every_public_error_has_an_explicit_status(self, cls):
+        assert cls in STATUS_BY_ERROR, (
+            f"{cls.__name__} has no explicit HTTP status: add it to "
+            "repro.gateway.errors.STATUS_BY_ERROR (MRO fallback is for "
+            "private/third-party classes, not the public surface)"
+        )
+
+    def test_gateway_own_error_is_registered(self):
+        assert STATUS_BY_ERROR[BadRequestError] == 400
+
+    def test_registry_holds_only_valid_http_statuses(self):
+        for cls, status in STATUS_BY_ERROR.items():
+            assert isinstance(status, int)
+            assert 400 <= status <= 599, f"{cls.__name__} -> {status}"
+
+    def test_registry_keys_are_repro_errors(self):
+        for cls in STATUS_BY_ERROR:
+            assert issubclass(cls, ReproError)
+
+    def test_429_is_reserved_for_the_rate_limiter(self):
+        # No exception maps to 429 — the limiter denies before any error
+        # object exists, so 429 bodies are synthesised, never raised.
+        assert 429 not in STATUS_BY_ERROR.values()
+        assert 429 in RETRYABLE_STATUSES
+
+
+class TestStatusLookup:
+    def test_exact_class_match(self):
+        assert status_for(UnknownDeploymentError("prod", ())) == 404
+        assert status_for(DeadlineExceededError(5.0)) == 504
+
+    def test_unlisted_subclass_inherits_parent_status(self):
+        class PrivateVertexError(VertexNotFoundError):
+            pass
+
+        assert PrivateVertexError not in STATUS_BY_ERROR
+        assert status_for(PrivateVertexError(3)) == 404
+
+    def test_mro_picks_the_nearest_registered_ancestor(self):
+        class NearCrash(WorkerCrashedError):
+            pass
+
+        class Nearest(NearCrash):
+            pass
+
+        # WorkerCrashedError (503) is nearer than ReproError (500).
+        assert status_for(Nearest("prod", 123)) == 503
+
+    def test_foreign_exceptions_fall_through_to_500(self):
+        assert status_for(KeyError("boom")) == 500
+        assert status_for(RuntimeError("boom")) == 500
+
+
+class TestErrorBody:
+    def test_shape_and_retryability(self):
+        body = error_body(UnknownDeploymentError("prod", ("a", "b")))
+        detail = body["error"]
+        assert detail["type"] == "UnknownDeploymentError"
+        assert detail["status"] == 404
+        assert detail["retryable"] is False
+        assert "prod" in detail["message"]
+        assert "retry_after_ms" not in detail
+
+    def test_retryable_statuses_flagged(self):
+        body = error_body(WorkerCrashedError("prod", 41))
+        assert body["error"]["status"] == 503
+        assert body["error"]["retryable"] is True
+
+    def test_retry_after_hint_is_attached_when_given(self):
+        body = error_body(
+            WorkerCrashedError("prod", 41), retry_after_ms=12.5
+        )
+        assert body["error"]["retry_after_ms"] == 12.5
+
+
+class TestRetryAfterHeaders:
+    def test_seconds_round_up_ms_stays_precise(self):
+        headers = dict(retry_after_headers(1500.0))
+        assert headers["retry-after"] == "2"
+        assert headers["retry-after-ms"] == "1500"
+
+    def test_sub_second_hints_never_round_to_zero(self):
+        headers = dict(retry_after_headers(3.5))
+        assert headers["retry-after"] == "1"
+        assert headers["retry-after-ms"] == "3.5"
+
+    def test_zero_and_negative_clamp_to_zero(self):
+        assert dict(retry_after_headers(0.0))["retry-after"] == "0"
+        assert dict(retry_after_headers(-10.0))["retry-after"] == "0"

@@ -1,0 +1,157 @@
+"""Token-bucket rate limiter: refill physics, escalation, LRU bounds.
+
+Every test drives the limiter with a :class:`FakeClock`, so refill timing
+is exact — no sleeps, no flakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import RateLimiter
+from repro.gateway.ratelimit import _advisory_ms
+from repro.utils.timing import FakeClock
+
+
+def make_limiter(rate=10.0, burst=5, **kwargs):
+    clock = FakeClock()
+    limiter = RateLimiter(rate, burst, clock=clock, **kwargs)
+    return limiter, clock
+
+
+class TestBucketPhysics:
+    def test_burst_allows_exactly_burst_then_denies(self):
+        limiter, _ = make_limiter(rate=1.0, burst=3)
+        verdicts = [limiter.check("alice").allowed for _ in range(5)]
+        assert verdicts == [True, True, True, False, False]
+
+    def test_allowed_decisions_carry_no_backoff(self):
+        limiter, _ = make_limiter()
+        decision = limiter.check("alice")
+        assert decision.allowed
+        assert decision.retry_after_ms == 0.0
+        assert decision.denials == 0
+
+    def test_tokens_refill_continuously(self):
+        limiter, clock = make_limiter(rate=10.0, burst=1)
+        assert limiter.check("alice").allowed
+        assert not limiter.check("alice").allowed
+        clock.advance(0.1)  # exactly one token at 10/s
+        assert limiter.check("alice").allowed
+
+    def test_refill_caps_at_burst(self):
+        limiter, clock = make_limiter(rate=100.0, burst=2)
+        for _ in range(2):
+            assert limiter.check("alice").allowed
+        clock.advance(60.0)  # would refill 6000 tokens uncapped
+        verdicts = [limiter.check("alice").allowed for _ in range(3)]
+        assert verdicts == [True, True, False]
+
+    def test_retry_after_covers_time_to_next_token(self):
+        limiter, clock = make_limiter(rate=2.0, burst=1)
+        assert limiter.check("alice").allowed
+        decision = limiter.check("alice")
+        assert not decision.allowed
+        # Physics floor: a full token takes 500ms at 2/s; the hint can be
+        # larger (advisory) but never promises an earlier success.
+        assert decision.retry_after_ms >= 500.0
+        clock.advance(decision.retry_after_ms / 1000.0)
+        assert limiter.check("alice").allowed
+
+    def test_clients_have_independent_buckets(self):
+        limiter, _ = make_limiter(rate=1.0, burst=1)
+        assert limiter.check("alice").allowed
+        assert not limiter.check("alice").allowed
+        assert limiter.check("bob").allowed
+
+
+class TestEscalation:
+    def test_denial_streak_counts_up_and_resets(self):
+        limiter, clock = make_limiter(rate=10.0, burst=1)
+        assert limiter.check("alice").allowed
+        streaks = [limiter.check("alice").denials for _ in range(3)]
+        assert streaks == [1, 2, 3]
+        clock.advance(1.0)
+        assert limiter.check("alice").allowed
+        assert limiter.check("alice").denials == 1  # streak reset
+
+    def test_persistent_offenders_get_longer_advisories(self):
+        # The advisory ladder doubles per denial, saturating at 1000ms with
+        # jitter in [0.5, 1.0) — by the 10th consecutive denial the hint is
+        # at least 500ms even though the physics floor is only 100ms.
+        limiter, _ = make_limiter(rate=10.0, burst=1)
+        limiter.check("alice")
+        last = 0.0
+        for _ in range(10):
+            last = limiter.check("alice").retry_after_ms
+        assert last >= 500.0
+
+    def test_advisory_is_deterministic_per_client(self):
+        assert _advisory_ms("alice", 4) == _advisory_ms("alice", 4)
+        assert _advisory_ms("alice", 0) == 0.0
+
+    def test_advisory_differs_across_clients(self):
+        # CRC-seeded jitter decorrelates clients so a synchronized fleet of
+        # rejected callers does not retry in lockstep.
+        hints = {_advisory_ms(f"client-{i}", 3) for i in range(8)}
+        assert len(hints) > 1
+
+    def test_advisory_streak_is_clamped(self):
+        # Huge streaks must not make the hint (or the work) unbounded.
+        assert _advisory_ms("alice", 10_000) == _advisory_ms("alice", 16)
+        assert _advisory_ms("alice", 10_000) <= 1000.0
+
+    def test_full_decision_sequence_is_reproducible(self):
+        def run():
+            limiter, clock = make_limiter(rate=5.0, burst=2)
+            out = []
+            for i in range(20):
+                decision = limiter.check("alice")
+                out.append((decision.allowed, decision.retry_after_ms))
+                clock.advance(0.05 * (i % 3))
+            return out
+
+        assert run() == run()
+
+
+class TestBoundedState:
+    def test_lru_eviction_bounds_the_bucket_map(self):
+        limiter, _ = make_limiter(max_clients=2)
+        limiter.check("a")
+        limiter.check("b")
+        limiter.check("c")
+        assert len(limiter) == 2
+
+    def test_recently_seen_clients_survive_eviction(self):
+        limiter, _ = make_limiter(rate=1.0, burst=3, max_clients=2)
+        limiter.check("a")
+        limiter.check("b")
+        limiter.check("a")  # refresh a; b is now least-recent
+        limiter.check("c")  # evicts b
+        # a kept its partially drained bucket: one token left of burst=3.
+        assert limiter.check("a").allowed
+        assert not limiter.check("a").allowed
+
+    def test_evicted_clients_restart_with_a_full_bucket(self):
+        limiter, _ = make_limiter(rate=1.0, burst=1, max_clients=1)
+        assert limiter.check("a").allowed
+        assert not limiter.check("a").allowed
+        limiter.check("b")  # evicts a
+        assert limiter.check("a").allowed  # fresh bucket, full burst
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_second": 0.0},
+            {"rate_per_second": -1.0},
+            {"burst": 0},
+            {"max_clients": 0},
+        ],
+        ids=["zero-rate", "negative-rate", "zero-burst", "zero-clients"],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        merged = {"rate_per_second": 1.0, "burst": 1, **kwargs}
+        with pytest.raises(ValueError):
+            RateLimiter(
+                merged.pop("rate_per_second"), merged.pop("burst"), **merged
+            )

@@ -1,0 +1,201 @@
+"""Socket-level tests: the bundled HTTP/1.1 server + client over real TCP.
+
+Everything here crosses a loopback socket — wire framing, keep-alive,
+chunked streaming, concurrent connections, malformed bytes — the parts the
+ASGI-level suite cannot see.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro import create_engine
+from repro.gateway import GatewayApp, GatewayClient, serve_in_background
+
+
+@pytest.fixture()
+def server(gateway_app):
+    handle = serve_in_background(gateway_app)
+    yield handle
+    handle.close()
+
+
+def _request(server, method, path, **kwargs):
+    async def run():
+        async with GatewayClient(server.host, server.port) as client:
+            return await client.request(method, path, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestWireContract:
+    def test_query_over_the_socket_matches_the_oracle(
+        self, server, small_grid
+    ):
+        oracle = create_engine("td-h2h", small_grid)
+        vertices = sorted(small_grid.vertices())
+        source, target = vertices[0], vertices[-1]
+        response = _request(
+            server,
+            "POST",
+            "/v1/query",
+            payload={"source": source, "target": target, "departure": 42.0},
+        )
+        assert response.status == 200
+        assert (
+            response.json()["cost"] == oracle.query(source, target, 42.0).cost
+        )
+
+    def test_keep_alive_serves_many_requests_on_one_connection(
+        self, server, small_grid
+    ):
+        vertices = sorted(small_grid.vertices())
+
+        async def run():
+            async with GatewayClient(server.host, server.port) as client:
+                statuses = []
+                for i in range(5):
+                    response = await client.request(
+                        "POST",
+                        "/v1/query",
+                        payload={
+                            "source": vertices[i],
+                            "target": vertices[-1 - i],
+                            "departure": float(i),
+                        },
+                    )
+                    statuses.append(response.status)
+                return statuses
+
+        assert asyncio.run(run()) == [200] * 5
+
+    def test_profile_streams_chunked_over_the_wire(self, server, small_grid):
+        vertices = sorted(small_grid.vertices())
+        response = _request(
+            server,
+            "POST",
+            "/v1/profile",
+            payload={"source": vertices[0], "target": vertices[-1]},
+        )
+        assert response.status == 200
+        assert response.headers.get("transfer-encoding") == "chunked"
+        lines = response.ndjson()
+        assert lines[0]["breakpoints"] == len(lines) - 1
+
+    def test_error_bodies_cross_the_wire_typed(self, server):
+        response = _request(
+            server,
+            "POST",
+            "/v1/query",
+            payload={"source": 999_999, "target": 0, "departure": 0.0},
+        )
+        assert response.status == 404
+        assert response.json()["error"]["type"] == "VertexNotFoundError"
+
+    def test_metrics_and_health_roundtrip(self, server):
+        health = _request(server, "GET", "/health")
+        assert health.status == 200
+        assert health.json()["status"] == "ok"
+        metrics = _request(server, "GET", "/metrics")
+        assert metrics.status == 200
+        assert b"repro_" in metrics.body
+
+    def test_concurrent_clients_each_get_their_own_answer(
+        self, server, small_grid
+    ):
+        vertices = sorted(small_grid.vertices())
+        oracle = create_engine("td-h2h", small_grid)
+        pairs = [
+            (vertices[i], vertices[-1 - i], float(i * 900))
+            for i in range(8)
+        ]
+
+        async def one(source, target, departure):
+            async with GatewayClient(server.host, server.port) as client:
+                response = await client.request(
+                    "POST",
+                    "/v1/query",
+                    payload={
+                        "source": source,
+                        "target": target,
+                        "departure": departure,
+                    },
+                )
+                return response.json()["cost"]
+
+        async def run():
+            return await asyncio.gather(*(one(*p) for p in pairs))
+
+        costs = asyncio.run(run())
+        for (source, target, departure), cost in zip(pairs, costs):
+            assert cost == oracle.query(source, target, departure).cost
+
+
+class TestProtocolEdges:
+    def test_connection_close_is_honored(self, server):
+        response = _request(
+            server, "GET", "/health", headers={"connection": "close"}
+        )
+        assert response.status == 200
+        assert response.headers["connection"] == "close"
+
+    def test_malformed_request_line_gets_400(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_unsupported_protocol_gets_400(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(b"GET /health SPDY/99\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+    def test_chunked_request_bodies_get_411(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/query HTTP/1.1\r\n"
+                b"transfer-encoding: chunked\r\n\r\n"
+            )
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 411 ")
+
+    def test_http10_defaults_to_connection_close(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(b"GET /health HTTP/1.0\r\n\r\n")
+            chunks = []
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        reply = b"".join(chunks)
+        assert reply.startswith(b"HTTP/1.1 200 ")
+        assert b"connection: close" in reply.lower()
+
+
+class TestLifecycle:
+    def test_handle_close_is_idempotent(self, gateway_app):
+        handle = serve_in_background(gateway_app)
+        handle.close()
+        handle.close()
+
+    def test_bind_errors_surface_on_the_caller_thread(self, gateway_app):
+        with serve_in_background(gateway_app) as running:
+            with pytest.raises(OSError):
+                serve_in_background(gateway_app, port=running.port)
+
+    def test_url_reports_the_bound_ephemeral_port(self, server):
+        assert server.url == f"http://{server.host}:{server.port}"
+        assert server.port != 0

@@ -1,0 +1,212 @@
+"""Shared contract tests for the sync and async retry helpers.
+
+``retry_submit`` and ``aretry_submit`` must be the *same* policy over two
+call styles — identical backoff schedule, identical jitter for the same
+seed, identical retry/raise semantics — so every test here runs against
+both through one driver abstraction: the sync driver records sleeps via a
+:class:`FakeClock`, the async driver via an injected recording coroutine.
+A behaviour difference between the twins fails the same parametrized test
+twice, pointing straight at the diverging variant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+import pytest
+
+from repro.exceptions import AdmissionRejectedError, ServiceClosedError
+from repro.serving import aretry_submit, backoff_delays, retry_submit
+from repro.utils.timing import FakeClock
+
+
+class SyncDriver:
+    """Run ``retry_submit`` with a sleep-recording fake clock."""
+
+    name = "sync"
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+        outer = self
+
+        class _RecordingClock(FakeClock):
+            def sleep(self, seconds: float) -> None:
+                outer.sleeps.append(seconds)
+                super().sleep(seconds)
+
+        self._clock = _RecordingClock()
+
+    def run(self, submit: Callable[[], Any], **kwargs: Any) -> Any:
+        return retry_submit(submit, clock=self._clock, **kwargs)
+
+
+class AsyncDriver:
+    """Run ``aretry_submit`` with a sleep-recording coroutine."""
+
+    name = "async"
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+
+    def run(self, submit: Callable[[], Any], **kwargs: Any) -> Any:
+        async def _sleep(seconds: float) -> None:
+            self.sleeps.append(seconds)
+
+        async def _submit() -> Any:
+            return submit()
+
+        async def _main() -> Any:
+            return await aretry_submit(_submit, sleep=_sleep, **kwargs)
+
+        return asyncio.run(_main())
+
+
+@pytest.fixture(params=[SyncDriver, AsyncDriver], ids=["sync", "async"])
+def driver(request: pytest.FixtureRequest) -> Any:
+    return request.param()
+
+
+class _FailThenSucceed:
+    def __init__(self, failures: int, error: BaseException) -> None:
+        self.remaining = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error
+        return "answer"
+
+
+class TestSharedRetryContract:
+    def test_first_try_success_never_sleeps(self, driver):
+        target = _FailThenSucceed(0, ServiceClosedError())
+        assert driver.run(target) == "answer"
+        assert target.calls == 1
+        assert driver.sleeps == []
+
+    def test_sleeps_match_the_published_schedule(self, driver):
+        target = _FailThenSucceed(3, ServiceClosedError())
+        assert driver.run(target, attempts=8, seed=11) == "answer"
+        assert target.calls == 4
+        expected = list(backoff_delays(8, seed=11)[:3])
+        assert driver.sleeps == expected
+
+    def test_exhaustion_raises_the_last_error(self, driver):
+        target = _FailThenSucceed(99, ServiceClosedError())
+        with pytest.raises(ServiceClosedError):
+            driver.run(target, attempts=3, seed=5)
+        assert target.calls == 3
+        assert driver.sleeps == list(backoff_delays(3, seed=5))
+
+    def test_zero_retry_edge_single_attempt(self, driver):
+        target = _FailThenSucceed(1, ServiceClosedError())
+        with pytest.raises(ServiceClosedError):
+            driver.run(target, attempts=1)
+        assert target.calls == 1
+        assert driver.sleeps == []
+
+    def test_attempts_below_one_rejected(self, driver):
+        with pytest.raises(ValueError, match="at least 1"):
+            driver.run(lambda: "never", attempts=0)
+
+    def test_max_delay_bound_honored(self, driver):
+        target = _FailThenSucceed(6, ServiceClosedError())
+        driver.run(
+            target, attempts=8, base_delay_ms=1.0, max_delay_ms=2.0, seed=0
+        )
+        # Every sleep stays under the cap (jitter only shrinks delays).
+        assert driver.sleeps
+        assert all(s < 2.0 / 1000.0 for s in driver.sleeps)
+
+    def test_deterministic_jitter_same_seed_same_sleeps(self, driver):
+        first = type(driver)()
+        second = type(driver)()
+        for d in (first, second):
+            with pytest.raises(ServiceClosedError):
+                d.run(
+                    _FailThenSucceed(99, ServiceClosedError()),
+                    attempts=5,
+                    seed=42,
+                )
+        assert first.sleeps == second.sleeps
+
+    def test_non_retryable_error_propagates_immediately(self, driver):
+        target = _FailThenSucceed(1, KeyError("boom"))
+        with pytest.raises(KeyError):
+            driver.run(target, attempts=8)
+        assert target.calls == 1
+        assert driver.sleeps == []
+
+    def test_retry_on_extends_the_retryable_set(self, driver):
+        error = AdmissionRejectedError(4, "shed")
+        target = _FailThenSucceed(2, error)
+        result = driver.run(
+            target,
+            attempts=4,
+            retry_on=(ServiceClosedError, AdmissionRejectedError),
+        )
+        assert result == "answer"
+        assert target.calls == 3
+
+    def test_on_retry_callback_sees_each_attempt(self, driver):
+        seen: list[tuple[int, str]] = []
+        target = _FailThenSucceed(2, ServiceClosedError())
+        driver.run(
+            target,
+            attempts=5,
+            on_retry=lambda attempt, exc: seen.append(
+                (attempt, type(exc).__name__)
+            ),
+        )
+        assert seen == [
+            (0, "ServiceClosedError"),
+            (1, "ServiceClosedError"),
+        ]
+
+
+class TestAsyncOnly:
+    def test_default_sleep_is_asyncio(self):
+        """Without an injected sleep the helper awaits ``asyncio.sleep``."""
+        attempts: list[int] = []
+
+        async def _submit() -> str:
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ServiceClosedError()
+            return "ok"
+
+        async def _main() -> str:
+            return await aretry_submit(
+                _submit, attempts=3, base_delay_ms=0.01, max_delay_ms=0.01
+            )
+
+        assert asyncio.run(_main()) == "ok"
+        assert len(attempts) == 2
+
+    def test_submit_is_called_fresh_each_attempt(self):
+        """The coroutine factory is re-invoked — never re-awaited."""
+        coroutines: list[object] = []
+
+        async def _make() -> str:
+            if len(coroutines) < 3:
+                raise ServiceClosedError()
+            return "ok"
+
+        def _factory() -> Any:
+            coroutine = _make()
+            coroutines.append(coroutine)
+            return coroutine
+
+        async def _sleep(seconds: float) -> None:
+            return None
+
+        async def _main() -> str:
+            return await aretry_submit(_factory, attempts=5, sleep=_sleep)
+
+        assert asyncio.run(_main()) == "ok"
+        assert len(coroutines) == 3
+        assert len(set(map(id, coroutines))) == 3
