@@ -15,9 +15,9 @@ subsystems are built for:
    (optionally bucketing departure times) absorbing repeated questions,
 4. when traffic conditions change, ``update_edges`` repairs the index in
    place and automatically invalidates the service's result cache.  (For a
-   multi-threaded deployment prefer the ``EngineHost`` hot-swap pattern in
-   ``examples/hot_swap_update.py`` — patch a clone, swap, never mutate under
-   readers.)
+   multi-threaded deployment prefer the ``repro.traffic`` control loop in
+   ``examples/live_traffic.py`` — stream events in, let the policy patch a
+   clone or swap, never mutate under readers.)
 
 Run it with::
 

@@ -43,6 +43,8 @@ __all__ = [
     "HostError",
     "UnknownDeploymentError",
     "DuplicateDeploymentError",
+    "TrafficControlError",
+    "NoTrafficControllerError",
 ]
 
 
@@ -310,6 +312,39 @@ class DuplicateDeploymentError(HostError, ValueError):
 
     def __reduce__(self):
         return (type(self), (self.name,))
+
+
+class TrafficControlError(ReproError, RuntimeError):
+    """Base class for errors raised by the :mod:`repro.traffic` control loop."""
+
+
+class NoTrafficControllerError(TrafficControlError, KeyError):
+    """An update was routed to a deployment with no attached controller.
+
+    The gateway's ``POST /v1/deployments/{name}/updates`` route only works
+    for deployments whose :class:`~repro.traffic.TrafficController` was
+    registered with ``GatewayApp.attach_controller``; everything else gets
+    this typed 404 instead of a silent drop.
+    """
+
+    def __init__(self, deployment: str, available: tuple[str, ...] = ()):
+        hint = (
+            f"; deployments with controllers: {', '.join(available)}"
+            if available
+            else "; no traffic controllers are attached"
+        )
+        super().__init__(
+            f"no traffic controller attached for deployment {deployment!r}{hint}"
+        )
+        self.deployment = deployment
+        self.available = available
+
+    def __str__(self) -> str:
+        # KeyError.__str__ returns repr(args[0]); show the plain message.
+        return str(self.args[0]) if self.args else ""
+
+    def __reduce__(self):
+        return (type(self), (self.deployment, self.available))
 
 
 class UnsupportedCapabilityError(EngineError, RuntimeError):

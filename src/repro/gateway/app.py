@@ -12,6 +12,7 @@ POST     ``/v1/query``                      one scalar cost query
 POST     ``/v1/batch``                      many queries, per-item errors inline
 POST     ``/v1/profile``                    whole cost function, streamed NDJSON
 POST     ``/v1/deployments/{name}/swap``    zero-downtime engine swap
+POST     ``/v1/deployments/{name}/updates``  ingest live edge-weight updates
 GET      ``/v1/deployments``                active deployments + specs
 GET      ``/health``                        per-deployment health states
 GET      ``/stats``                         per-deployment ``ServiceStats``
@@ -36,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, AsyncIterator, Awaitable, Callable, MutableMapping
 
 from repro.exceptions import (
+    NoTrafficControllerError,
     ServiceClosedError,
     UnknownDeploymentError,
     UnsupportedCapabilityError,
@@ -48,6 +50,7 @@ from repro.gateway.codecs import (
     parse_query_payload,
     parse_swap_payload,
     parse_timeout_ms,
+    parse_updates_payload,
 )
 from repro.gateway.errors import (
     BadRequestError,
@@ -98,6 +101,8 @@ class GatewayConfig:
     max_body_bytes: int = 1_048_576
     #: Largest accepted ``/v1/batch`` query list.
     max_batch_queries: int = 1024
+    #: Largest accepted ``/v1/deployments/{name}/updates`` batch.
+    max_updates: int = 4096
     #: Breakpoints per streamed chunk on ``/v1/profile``.
     profile_chunk: int = 256
     #: Deployment used when a request names none; None falls back to the
@@ -167,6 +172,10 @@ class GatewayApp:
         self._host = host
         self._config = config if config is not None else GatewayConfig()
         self._obs = obs if obs is not None else host.obs
+        #: Deployment name → attached TrafficController (the ``/updates``
+        #: ingest route).  Typed ``Any`` so the gateway package never imports
+        #: :mod:`repro.traffic` — attachment is the caller's choice.
+        self._controllers: dict[str, Any] = {}
         self._limiter = RateLimiter(
             self._config.rate_limit_qps,
             self._config.rate_limit_burst,
@@ -214,6 +223,32 @@ class GatewayApp:
             self._m_in_flight = None
             self._m_rate_limited = None
             self._m_shed = None
+
+    # ------------------------------------------------------------------
+    # Traffic controller attachment
+    # ------------------------------------------------------------------
+    def attach_controller(self, controller: Any) -> None:
+        """Expose a :class:`~repro.traffic.TrafficController` over HTTP.
+
+        After attachment, ``POST /v1/deployments/{name}/updates`` feeds the
+        controller for ``controller.deployment``.  The gateway does not own
+        the controller's lifecycle (start/stop/close stay with the caller),
+        mirroring how it fronts but does not own the host.
+        """
+        self._controllers[str(controller.deployment)] = controller
+
+    def detach_controller(self, name: str) -> Any:
+        """Unregister the controller for ``name`` and return it."""
+        controller = self._controllers.pop(name, None)
+        if controller is None:
+            raise NoTrafficControllerError(name, tuple(sorted(self._controllers)))
+        return controller
+
+    def _controller(self, name: str) -> Any:
+        controller = self._controllers.get(name)
+        if controller is None:
+            raise NoTrafficControllerError(name, tuple(sorted(self._controllers)))
+        return controller
 
     # ------------------------------------------------------------------
     # ASGI entry point
@@ -429,6 +464,19 @@ class GatewayApp:
                     return await self._swap(name, body)
 
                 return route, _swap_bound, True
+        if path.startswith("/v1/deployments/") and path.endswith("/updates"):
+            name = path[len("/v1/deployments/") : -len("/updates")]
+            if name and "/" not in name:
+                route = "/v1/deployments/{name}/updates"
+                if method != "POST":
+                    return route, None, False
+
+                async def _updates_bound(
+                    headers: dict[str, str], body: bytes, _path: str
+                ) -> _Response:
+                    return await self._updates(name, body)
+
+                return route, _updates_bound, True
         exact = _EXACT_ROUTES.get((method, path))
         if exact is not None:
             handler_name, guarded = exact
@@ -550,6 +598,48 @@ class GatewayApp:
                 "total_seconds": report.total_seconds,
             },
         )
+
+    async def _updates(self, name: str, body: bytes) -> _Response:
+        updates, apply_now = parse_updates_payload(
+            parse_json_body(body), max_updates=self._config.max_updates
+        )
+        controller = self._controller(name)
+
+        # Ingestion touches graph state (baseline capture) and locks; the
+        # optional synchronous step runs a full control action.  Both stay
+        # off the event loop so concurrent query traffic keeps flowing.
+        def _ingest() -> int:
+            for source, target, delay, weight in updates:
+                if weight is not None:
+                    controller.stream.emit(source, target, weight)
+                else:
+                    controller.emit_delay(source, target, float(delay or 0.0))
+            return len(updates)
+
+        ingested = await asyncio.to_thread(_ingest)
+        payload: dict[str, Any] = {
+            "deployment": name,
+            "ingested": ingested,
+            "pending_stream": controller.stream.pending,
+            "pending_edges": controller.pending_edges,
+        }
+        if not apply_now:
+            # Accepted for the controller's own loop to apply — 202.
+            return _json_response(202, payload)
+        report = await asyncio.to_thread(controller.step)
+        if report is not None:
+            payload["applied"] = {
+                "action": report.action,
+                "reason": report.reason,
+                "raw_updates": report.raw_updates,
+                "coalesced_edges": report.coalesced_edges,
+                "dirty_estimate": report.dirty_estimate,
+                "seconds": report.seconds,
+                "staleness_p50_s": report.staleness_p50_s,
+                "staleness_max_s": report.staleness_max_s,
+            }
+            payload["pending_edges"] = controller.pending_edges
+        return _json_response(200, payload)
 
     async def _deployments(
         self, headers: dict[str, str], body: bytes, _path: str

@@ -25,6 +25,7 @@ __all__ = [
     "parse_batch_payload",
     "parse_profile_payload",
     "parse_swap_payload",
+    "parse_updates_payload",
     "parse_timeout_ms",
 ]
 
@@ -149,6 +150,73 @@ def parse_swap_payload(payload: Mapping[str, Any]) -> str:
             "field 'engine' must be a non-empty engine spec string"
         )
     return spec
+
+
+def parse_updates_payload(
+    payload: Mapping[str, Any], *, max_updates: int
+) -> tuple[list[tuple[int, int, float | None, Any]], bool]:
+    """``POST /v1/deployments/{name}/updates`` body → ``(updates, apply)``.
+
+    ``updates`` must be a non-empty list of edge-update objects, each either
+    the *delay form* ``{source, target, delay}`` (seconds added to the
+    edge's baseline weight; ``0`` clears) or the *explicit form*
+    ``{source, target, times, costs}`` carrying the full new weight
+    function.  Returns ``(source, target, delay, weight)`` tuples — exactly
+    one of ``delay``/``weight`` is set per entry.  ``apply: true`` asks the
+    gateway to run a synchronous control step after ingesting (the default
+    leaves application to the controller's own loop).
+    """
+    from repro.functions.piecewise import PiecewiseLinearFunction
+
+    updates = payload.get("updates")
+    if not isinstance(updates, list) or not updates:
+        raise BadRequestError(
+            "field 'updates' must be a non-empty list of "
+            "{source, target, delay} or {source, target, times, costs} objects"
+        )
+    if len(updates) > max_updates:
+        raise BadRequestError(
+            f"batch of {len(updates)} updates exceeds the per-request "
+            f"limit of {max_updates}"
+        )
+    apply_now = payload.get("apply", False)
+    if not isinstance(apply_now, bool):
+        raise BadRequestError(
+            f"field 'apply' must be a boolean, got {type(apply_now).__name__}"
+        )
+    parsed: list[tuple[int, int, float | None, Any]] = []
+    for i, item in enumerate(updates):
+        if not isinstance(item, dict):
+            raise BadRequestError(
+                f"updates[{i}] must be an object, got {type(item).__name__}"
+            )
+        source = _require_int(item, "source")
+        target = _require_int(item, "target")
+        has_delay = "delay" in item
+        has_function = "times" in item or "costs" in item
+        if has_delay == has_function:
+            raise BadRequestError(
+                f"updates[{i}] must carry either 'delay' or 'times'+'costs', "
+                "not both and not neither"
+            )
+        if has_delay:
+            parsed.append((source, target, _require_float(item, "delay"), None))
+            continue
+        times = item.get("times")
+        costs = item.get("costs")
+        for field, value in (("times", times), ("costs", costs)):
+            if not isinstance(value, list) or not value or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in value
+            ):
+                raise BadRequestError(
+                    f"updates[{i}].{field} must be a non-empty list of numbers"
+                )
+        # Construction validates shape/monotonicity/non-negativity and
+        # raises InvalidFunctionError (→ 400) on bad input.
+        weight = PiecewiseLinearFunction(times, costs)
+        parsed.append((source, target, None, weight))
+    return parsed, apply_now
 
 
 def parse_timeout_ms(raw: str | None) -> float | None:

@@ -33,6 +33,7 @@ from repro.exceptions import (
     IndexBuildError,
     IndexNotBuiltError,
     InvalidFunctionError,
+    NoTrafficControllerError,
     ReproError,
     SelectionError,
     SerializationError,
@@ -40,6 +41,7 @@ from repro.exceptions import (
     SnapshotError,
     StaleRouteError,
     UnknownDeploymentError,
+    TrafficControlError,
     UnknownEngineError,
     UnknownEngineOptionError,
     UnsupportedCapabilityError,
@@ -84,6 +86,7 @@ STATUS_BY_ERROR: dict[type[BaseException], int] = {
     EngineSpecError: 400,
     UnknownEngineOptionError: 400,
     UnknownDeploymentError: 404,
+    NoTrafficControllerError: 404,
     DuplicateDeploymentError: 409,
     StaleRouteError: 409,
     UnsupportedCapabilityError: 501,
@@ -95,6 +98,7 @@ STATUS_BY_ERROR: dict[type[BaseException], int] = {
     SnapshotError: 500,
     EngineError: 500,
     HostError: 500,
+    TrafficControlError: 500,
     ServiceClosedError: 503,
     AdmissionRejectedError: 503,
     WorkerCrashedError: 503,

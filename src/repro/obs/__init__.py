@@ -35,7 +35,10 @@ from repro.obs.events import (
     EVENT_RECOVERY,
     EVENT_SHED,
     EVENT_SWAP,
+    EVENT_TRAFFIC_ACTION,
+    EVENT_TRAFFIC_INGEST,
     EVENT_UNDEPLOY,
+    EVENT_UPDATE,
     Event,
     EventLog,
     read_events,
@@ -100,6 +103,9 @@ __all__ = [
     "EVENT_DEPLOY",
     "EVENT_SWAP",
     "EVENT_UNDEPLOY",
+    "EVENT_UPDATE",
+    "EVENT_TRAFFIC_INGEST",
+    "EVENT_TRAFFIC_ACTION",
     "EVENT_RECOVERY",
     "EVENT_HEALTH",
     "EVENT_SHED",

@@ -30,6 +30,9 @@ __all__ = [
     "EVENT_DEPLOY",
     "EVENT_SWAP",
     "EVENT_UNDEPLOY",
+    "EVENT_UPDATE",
+    "EVENT_TRAFFIC_INGEST",
+    "EVENT_TRAFFIC_ACTION",
     "EVENT_RECOVERY",
     "EVENT_HEALTH",
     "EVENT_SHED",
@@ -48,6 +51,15 @@ EVENT_DEPLOY = "deploy"
 #: A zero-downtime engine swap completed (fields: old_spec, new_spec, ...).
 EVENT_SWAP = "swap"
 EVENT_UNDEPLOY = "undeploy"
+#: A live engine was patched in place (fields: changed_edges,
+#: dirty_vertices, seconds).
+EVENT_UPDATE = "update"
+#: The traffic controller accepted edge-weight updates into its pending
+#: batch (fields: updates, pending_edges).
+EVENT_TRAFFIC_INGEST = "traffic.ingest"
+#: The traffic controller executed a policy action (fields: action, reason,
+#: raw_updates, coalesced_edges, dirty_estimate, seconds, staleness_p50).
+EVENT_TRAFFIC_ACTION = "traffic.action"
 #: A supervision recovery ran (fields: action=restart/rehydrate/fallback/park,
 #: cause, failed_futures).
 EVENT_RECOVERY = "supervision.recovery"

@@ -52,13 +52,14 @@ import tempfile
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Optional, Union, overload
+from typing import Any, Mapping, Optional, Union, overload
 
 from repro.exceptions import (
     DuplicateDeploymentError,
     HostError,
     ServiceClosedError,
     UnknownDeploymentError,
+    UnsupportedCapabilityError,
     WorkerCrashedError,
 )
 from repro.obs import (
@@ -67,6 +68,7 @@ from repro.obs import (
     EVENT_RECOVERY,
     EVENT_SWAP,
     EVENT_UNDEPLOY,
+    EVENT_UPDATE,
     Observability,
     get_observability,
 )
@@ -308,12 +310,18 @@ class EngineHost:
                 "Deployment health: 0=healthy, 1=degraded, 2=unhealthy.",
                 ("deployment",),
             )
+            self._m_updates = registry.counter(
+                "repro_host_updates_total",
+                "Edge-weight changes patched into live engines in place.",
+                ("deployment",),
+            )
         else:
             self._m_swaps = None
             self._m_recoveries = None
             self._m_retries = None
             self._m_degraded = None
             self._m_health = None
+            self._m_updates = None
         self._lock = threading.Lock()
         self._deployments: dict[str, _Deployment] = {}
         self._closed = False
@@ -479,13 +487,19 @@ class EngineHost:
         name: str,
         engine: EngineOrSpec,
         graph: Any = None,
+        *,
+        spec: Optional[str] = None,
     ) -> SwapReport:
         """Replace deployment ``name``'s engine with zero downtime.
 
         The replacement is built (or loaded) while the old engine keeps
         serving — pass a spec string to rebuild (``graph`` defaults to the
         current engine's graph; ``"snapshot:<dir>"`` specs load their own),
-        or a ready engine to make the flip the only work left.  Traffic is
+        or a ready engine to make the flip the only work left.  When the
+        replacement is a ready engine, ``spec`` records its originating
+        build spec; without it the deployment's recorded spec degrades to
+        the engine's bare name, silently dropping options such as
+        ``?max_points=none`` from later rebuilds and snapshot manifests.  Traffic is
         then atomically re-pointed, the retired service drains its in-flight
         batches through the *old* engine (those queries were submitted
         before the swap completed), and the replacement starts with a fresh
@@ -500,6 +514,7 @@ class EngineHost:
         are torn down only after the drain.
         """
         deployment = self._get(name)
+        recorded_spec = spec
         with deployment.swap_lock:
             old_engine = deployment.engine
             old_pool = deployment.replica_pool
@@ -522,6 +537,8 @@ class EngineHost:
                     engine, graph, fallback_graph=getattr(old_engine, "graph", None)
                 )
                 self._wire_engine(built)
+            if recorded_spec is not None:
+                spec = str(recorded_spec)
             try:
                 new_service = QueryService(built, **deployment.service_options)
             except BaseException:
@@ -599,6 +616,60 @@ class EngineHost:
             drain_seconds=drain_seconds,
             drained_queries=drained,
         )
+
+    def apply_updates(
+        self,
+        name: str,
+        changes: Mapping[tuple[int, int], Any],
+    ) -> Any:
+        """Patch deployment ``name``'s live engine **in place** (no swap).
+
+        The cheap end of the update spectrum: for a handful of changed edges
+        the incremental repair (:func:`repro.core.update.apply_edge_updates`,
+        reached through the engine's ``update_edges`` capability) costs far
+        less than cloning and swapping, at the price of transiently mixed
+        answers while the repair runs — queries in flight during the patch
+        may reflect either the old or the new weights, so callers gate this
+        on low traffic (see :class:`repro.traffic.TrafficController`).  Once
+        the call returns, every subsequent answer reflects the new weights
+        and the result cache has been invalidated.
+
+        Holds the deployment's swap lock for the duration: a patch can never
+        race :meth:`swap` and land on a retired engine, and the end-of-update
+        invalidation always fires into the *live* generation's cache.
+        Returns the engine's :class:`~repro.core.update.UpdateReport`.
+
+        Raises
+        ------
+        UnsupportedCapabilityError
+            When the live engine does not advertise the ``update``
+            capability (e.g. a multi-process replica pool — patch a clone
+            and :meth:`swap` instead).
+        """
+        from repro.api import engine_supports
+
+        deployment = self._get(name)
+        with deployment.swap_lock:
+            with self._lock:
+                self._check_open()
+                if self._deployments.get(name) is not deployment:
+                    raise UnknownDeploymentError(name, tuple(self._deployments))
+                engine = deployment.engine
+            if not engine_supports(engine, "update"):
+                raise UnsupportedCapabilityError(
+                    str(getattr(engine, "name", deployment.spec)), "update"
+                )
+            report = engine.update_edges(dict(changes))
+        if self._m_updates is not None:
+            self._m_updates.inc(float(len(changes)), deployment=name)
+        self._emit(
+            EVENT_UPDATE,
+            name,
+            changed_edges=len(changes),
+            dirty_vertices=int(getattr(report, "num_dirty_vertices", 0)),
+            seconds=float(getattr(report, "seconds", 0.0)),
+        )
+        return report
 
     def undeploy(self, name: str) -> ServiceStats:
         """Retire a deployment; returns its final aggregated stats."""
@@ -754,10 +825,17 @@ class EngineHost:
         )
 
     async def aswap(
-        self, name: str, engine: EngineOrSpec, graph: Any = None
+        self,
+        name: str,
+        engine: EngineOrSpec,
+        graph: Any = None,
+        *,
+        spec: Optional[str] = None,
     ) -> SwapReport:
         """:meth:`swap`, off the event loop (the build runs in a thread)."""
-        return await asyncio.to_thread(self.swap, name, engine, graph)
+        return await asyncio.to_thread(
+            lambda: self.swap(name, engine, graph, spec=spec)
+        )
 
     # ------------------------------------------------------------------
     # Introspection

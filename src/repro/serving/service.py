@@ -871,6 +871,13 @@ class QueryService:
     def invalidate_cache(self) -> None:
         """Drop every cached result (wired into the index's update path)."""
         with self._lock:
+            if self._closed:
+                # A retired generation's cache is about to be garbage; updates
+                # aimed at the live generation must not count invalidations
+                # against this one (the hook list is snapshotted by
+                # ``notify_invalidation``, so an in-flight notify can still
+                # reach a service whose hook was just unregistered).
+                return
             self._cache.clear()
             self._cache_generation += 1
             self._invalidations += 1
@@ -1028,9 +1035,15 @@ class QueryService:
                 self._consecutive_batch_failures = 0
             self._last_answer = now
             self._latencies.extend(latencies)
-            # Skip cache insertion when an invalidation raced the engine call:
-            # these costs may predate the index update that triggered it.
-            if self.cache_size and generation == self._cache_generation:
+            # Skip cache insertion when an invalidation raced the engine call
+            # (these costs may predate the index update that triggered it) or
+            # the service retired mid-batch — invalidate_cache() no-ops once
+            # closed, so a torn insert would never be cleared.
+            if (
+                self.cache_size
+                and not self._closed
+                and generation == self._cache_generation
+            ):
                 for i, entry in enumerate(batch):
                     if i in errors or entry.key is None:
                         continue
@@ -1193,6 +1206,11 @@ class QueryService:
             self._last_answer = self._clock.monotonic()
             self._wakeup.notify_all()
             self._capacity.notify_all()
+        # Same ordering rationale as close(): detach from the index first so
+        # a racing update cannot fire into this retired generation's cache.
+        unregister = getattr(self._index, "unregister_invalidation_hook", None)
+        if unregister is not None:
+            unregister(self._invalidation_hook)
         for entry in abandoned:
             entry.future.set_exception(error)
         if self._events is not None:
@@ -1200,9 +1218,6 @@ class QueryService:
                 EVENT_ABORT, self.name, failed=len(abandoned), error=type(error).__name__
             )
         self._detach_obs()
-        unregister = getattr(self._index, "unregister_invalidation_hook", None)
-        if unregister is not None:
-            unregister(self._invalidation_hook)
         return len(abandoned)
 
     def close(self) -> int:
@@ -1221,12 +1236,17 @@ class QueryService:
             self._closed = True
             self._wakeup.notify_all()
             self._capacity.notify_all()
-        self._flusher.join(timeout=5.0)
-        drained = self._drain()
-        self._detach_obs()
+        # Detach from the index BEFORE the drain, not after: during a hot
+        # swap the successor service is already registered on the (shared or
+        # cloned) index, and an update racing this close would otherwise fire
+        # our hook mid-drain and bill the invalidation to the retired
+        # generation's cache.
         unregister = getattr(self._index, "unregister_invalidation_hook", None)
         if unregister is not None:
             unregister(self._invalidation_hook)
+        self._flusher.join(timeout=5.0)
+        drained = self._drain()
+        self._detach_obs()
         return drained
 
     def _detach_obs(self) -> None:

@@ -1,0 +1,78 @@
+"""Dirty-cone estimation: how much index would an update touch?
+
+The policy layer must predict the cost of patching in place *before*
+committing to it.  The incremental repair in
+:func:`repro.core.update.apply_edge_updates` walks dirty vertices bottom-up
+in elimination order, propagating through tree-decomposition bags whenever a
+recomputed bag function actually changed.  :func:`estimate_dirty_vertices`
+simulates exactly that walk *structurally* — assuming every dirty recompute
+changes — so it is a **sound upper bound** on the repair's
+``num_dirty_vertices`` for any update, and **exact** for saturating updates
+(changes large enough that every recomputed bag function moves, e.g. a
+closure or a large incident delay), because then the structural cone and the
+value cone coincide.
+
+The simulation costs set operations over bag members only — no PLF
+arithmetic — so it is orders of magnitude cheaper than the repair it
+predicts, cheap enough to run on every control step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable
+
+__all__ = ["estimate_dirty_vertices"]
+
+
+def estimate_dirty_vertices(
+    tree: Any, changed_edges: Iterable[tuple[int, int]]
+) -> int:
+    """Upper-bound the vertices :func:`apply_edge_updates` would process.
+
+    Parameters
+    ----------
+    tree:
+        The built index's tree decomposition
+        (:attr:`repro.core.index.TDTreeIndex.tree`), read-only.
+    changed_edges:
+        The ``(source, target)`` pairs of the update batch (direction
+        irrelevant; both orientations are seeded, as in the repair).
+
+    Mirrors the repair's heap loop structure for structure: seed the lower
+    endpoint of every changed edge, pop in elimination order, and whenever a
+    popped vertex holds a dirty bag function assume the recompute changed —
+    dirtying all bag-pair edges and enqueueing unprocessed bag members.
+    """
+    dirty_edges: set[tuple[int, int]] = set()
+    seeds: set[int] = set()
+    for source, target in changed_edges:
+        dirty_edges.add((source, target))
+        dirty_edges.add((target, source))
+        seeds.add(min((source, target), key=lambda v: tree.nodes[v].order))
+    if not seeds:
+        return 0
+
+    heap: list[tuple[int, int]] = [(tree.nodes[v].order, v) for v in seeds]
+    heapq.heapify(heap)
+    queued: set[int] = set(seeds)
+    processed: set[int] = set()
+    while heap:
+        _, vertex = heapq.heappop(heap)
+        processed.add(vertex)
+        node = tree.nodes[vertex]
+        touched = any(
+            (vertex, b) in dirty_edges or (b, vertex) in dirty_edges
+            for b in node.bag
+        )
+        if not touched:
+            continue
+        for a in node.bag:
+            for b in node.bag:
+                if a != b:
+                    dirty_edges.add((a, b))
+        for b in node.bag:
+            if b not in processed and b not in queued:
+                heapq.heappush(heap, (tree.nodes[b].order, b))
+                queued.add(b)
+    return len(processed)

@@ -1,0 +1,250 @@
+"""Seeded traffic scenarios: the workload side of the control loop.
+
+Real road networks degrade in patterns — a crash closes one edge for
+minutes, rush hour slows whole neighbourhoods in waves, maintenance crews
+roll a closure along a corridor.  :class:`ScenarioDriver` generates those
+patterns deterministically (seeded) as :class:`ScenarioEvent` timelines, and
+replays them as :class:`~repro.traffic.EdgeUpdate` streams for tests,
+examples, and ``benchmarks/bench_traffic.py``.
+
+Perturbations are **shifts** of the edge's captured baseline function
+(``baseline.shift(delay)``): a constant added travel time preserves slopes
+and therefore the FIFO property, where scaling can break it.  A ``delay`` of
+``0.0`` restores the baseline exactly — that is how incidents clear — so any
+scenario that ends with clearing events leaves the network bit-identical to
+where it started.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.exceptions import TrafficControlError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.traffic.stream import EdgeUpdate
+from repro.utils.timing import SYSTEM_CLOCK
+
+__all__ = ["ScenarioEvent", "ScenarioDriver"]
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled perturbation: edge, offset, added delay."""
+
+    #: Seconds after scenario start the event happens.
+    at: float
+    source: int
+    target: int
+    #: Added travel time in seconds; ``0.0`` restores the baseline weight.
+    delay: float
+
+
+class ScenarioDriver:
+    """Deterministic scenario generator over one graph's edge set.
+
+    Captures every edge's baseline weight at construction, so repeated
+    scenario runs against a mutated graph still perturb (and restore)
+    relative to the original network.
+    """
+
+    def __init__(self, graph: Any, *, seed: int = 0) -> None:
+        self._baseline: dict[tuple[int, int], PiecewiseLinearFunction] = {
+            (source, target): weight for source, target, weight in graph.edges()
+        }
+        if not self._baseline:
+            raise TrafficControlError("cannot drive scenarios over an empty graph")
+        self._edges: list[tuple[int, int]] = sorted(self._baseline)
+        self._adjacency: dict[int, list[int]] = {}
+        for source, target in self._edges:
+            self._adjacency.setdefault(source, []).append(target)
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    @property
+    def edges(self) -> Sequence[tuple[int, int]]:
+        """Every directed edge the driver may perturb (sorted, stable)."""
+        return tuple(self._edges)
+
+    def baseline(self, source: int, target: int) -> PiecewiseLinearFunction:
+        """The captured original weight of one edge."""
+        return self._baseline[(source, target)]
+
+    def weight_for(self, event: ScenarioEvent) -> PiecewiseLinearFunction:
+        """The absolute weight function an event resolves to."""
+        base = self._baseline[(event.source, event.target)]
+        return base.shift(event.delay) if event.delay else base
+
+    # ------------------------------------------------------------------
+    # Scenario generators
+    # ------------------------------------------------------------------
+    def flash_incident(
+        self,
+        *,
+        at: float = 0.0,
+        edges: int = 3,
+        delay: float = 600.0,
+        clear_after: Optional[float] = None,
+    ) -> list[ScenarioEvent]:
+        """A sudden localized incident: a few edges jump, optionally clear.
+
+        Picks one random edge and grows the incident site along adjacency
+        (a crash blocks a junction, not scattered random streets).
+        """
+        site = self._adjacent_sample(max(1, edges))
+        events = [
+            ScenarioEvent(at=at, source=s, target=t, delay=delay) for s, t in site
+        ]
+        if clear_after is not None:
+            events.extend(
+                ScenarioEvent(at=at + clear_after, source=s, target=t, delay=0.0)
+                for s, t in site
+            )
+        return events
+
+    def rush_hour(
+        self,
+        *,
+        start: float = 0.0,
+        waves: int = 3,
+        edges_per_wave: int = 5,
+        peak_delay: float = 300.0,
+        wave_spacing: float = 1.0,
+    ) -> list[ScenarioEvent]:
+        """Network-wide congestion building in waves, then ebbing away.
+
+        Delay ramps up to ``peak_delay`` over the waves and back down to a
+        final clearing wave at the baseline — the classic commute curve.
+        """
+        if waves < 1:
+            raise ValueError("waves must be >= 1")
+        events: list[ScenarioEvent] = []
+        touched: list[tuple[int, int]] = []
+        for wave in range(waves):
+            ramp = (wave + 1) / waves
+            chosen = self._rng.sample(
+                self._edges, min(edges_per_wave, len(self._edges))
+            )
+            touched.extend(chosen)
+            at = start + wave * wave_spacing
+            events.extend(
+                ScenarioEvent(at=at, source=s, target=t, delay=peak_delay * ramp)
+                for s, t in chosen
+            )
+        clearing_at = start + waves * wave_spacing
+        seen: set[tuple[int, int]] = set()
+        for s, t in touched:
+            if (s, t) in seen:
+                continue
+            seen.add((s, t))
+            events.append(ScenarioEvent(at=clearing_at, source=s, target=t, delay=0.0))
+        return events
+
+    def rolling_closure(
+        self,
+        *,
+        start: float = 0.0,
+        length: int = 5,
+        delay: float = 1800.0,
+        spacing: float = 1.0,
+    ) -> list[ScenarioEvent]:
+        """A closure rolling along a corridor: each edge closes, the
+        previous one reopens — exactly one segment is blocked at a time.
+        """
+        corridor = self._walk(max(1, length))
+        events: list[ScenarioEvent] = []
+        for i, (s, t) in enumerate(corridor):
+            at = start + i * spacing
+            events.append(ScenarioEvent(at=at, source=s, target=t, delay=delay))
+            if i > 0:
+                prev_s, prev_t = corridor[i - 1]
+                events.append(
+                    ScenarioEvent(at=at, source=prev_s, target=prev_t, delay=0.0)
+                )
+        last_s, last_t = corridor[-1]
+        events.append(
+            ScenarioEvent(
+                at=start + len(corridor) * spacing,
+                source=last_s,
+                target=last_t,
+                delay=0.0,
+            )
+        )
+        return events
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def updates(
+        self, events: Sequence[ScenarioEvent], *, origin: Optional[float] = None
+    ) -> Iterator[EdgeUpdate]:
+        """Resolve a timeline into prepared events, stamped from ``origin``.
+
+        ``origin`` anchors the timeline on the monotonic clock (defaults to
+        "now"); pass an explicit value when replaying against a fake clock.
+        Yields in time order; feed straight into
+        :meth:`UpdateStream.extend` for instant replay, or pace the
+        iteration against a clock for real-time playback.
+        """
+        if origin is None:
+            origin = SYSTEM_CLOCK.monotonic()
+        for event in sorted(events, key=lambda e: e.at):
+            yield EdgeUpdate(
+                source=event.source,
+                target=event.target,
+                weight=self.weight_for(event),
+                event_at=origin + event.at,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _adjacent_sample(self, count: int) -> list[tuple[int, int]]:
+        """A connected-ish edge cluster grown from one random edge."""
+        first = self._rng.choice(self._edges)
+        site = [first]
+        frontier = [first[0], first[1]]
+        seen = {first}
+        while len(site) < count and frontier:
+            vertex = frontier.pop(0)
+            for neighbor in self._adjacency.get(vertex, ()):
+                edge = (vertex, neighbor)
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                site.append(edge)
+                frontier.append(neighbor)
+                if len(site) == count:
+                    return site
+        while len(site) < count and len(seen) < len(self._edges):
+            extra = self._rng.choice(self._edges)
+            if extra not in seen:
+                seen.add(extra)
+                site.append(extra)
+        return site
+
+    def _walk(self, length: int) -> list[tuple[int, int]]:
+        """A corridor: consecutive edges where each starts at the last end."""
+        source, target = self._rng.choice(self._edges)
+        corridor = [(source, target)]
+        visited = {source, target}
+        current = target
+        while len(corridor) < length:
+            options = [
+                n for n in self._adjacency.get(current, ()) if n not in visited
+            ]
+            if not options:
+                options = list(self._adjacency.get(current, ()))
+                if not options:
+                    break
+            nxt = self._rng.choice(options)
+            corridor.append((current, nxt))
+            visited.add(nxt)
+            current = nxt
+        return corridor
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioDriver(edges={len(self._edges)}, seed={self.seed})"
+        )

@@ -1,0 +1,181 @@
+"""Streaming edge-weight updates: the ingestion edge of the control loop.
+
+Producers (an incident feed, a scenario driver, the gateway's ``/updates``
+route) hand timestamped :class:`EdgeUpdate` events to an :class:`UpdateStream`;
+the :class:`~repro.traffic.TrafficController` drains the stream on each control
+step and decides how to fold the batch into the serving index.  The stream is
+the only hand-off point between producer threads and the control loop, so it
+is the one piece that must be thread-safe — everything downstream runs under
+the controller's step lock.
+
+Ingestion styles
+----------------
+* **Callback**: producers call :meth:`UpdateStream.emit` (or pass
+  :meth:`UpdateStream.as_callback` into code that wants a plain callable);
+  the stream stamps ``event_at`` from its clock when the producer did not.
+* **Iterator**: :meth:`UpdateStream.extend` consumes any iterable of
+  prepared :class:`EdgeUpdate` objects (e.g. a scenario replay).
+
+Staleness is measured from ``event_at`` — the moment the real-world change
+happened — to the moment a servable answer reflects it, so producers that
+know the true event time should stamp it themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, Optional
+
+from repro.exceptions import TrafficControlError
+from repro.functions.piecewise import PiecewiseLinearFunction
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+__all__ = ["EdgeUpdate", "UpdateStream"]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One timestamped edge-weight change event."""
+
+    #: Directed edge the new weight applies to.
+    source: int
+    target: int
+    #: The edge's new travel-cost function (replaces, not perturbs).
+    weight: PiecewiseLinearFunction
+    #: Monotonic-clock time the change happened in the world.  Staleness is
+    #: measured from here, so late ingestion shows up as staleness — which
+    #: is the point.
+    event_at: float
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        """The ``(source, target)`` coalescing key."""
+        return (self.source, self.target)
+
+
+class UpdateStream:
+    """Thread-safe buffer between update producers and the controller.
+
+    Unbounded by default; pass ``max_pending`` to bound it, in which case
+    the *oldest* events are dropped first (the controller coalesces per
+    edge anyway, so a newer event for the same edge supersedes the dropped
+    one; drops are counted in :attr:`dropped` for visibility).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[Clock] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        self._clock: Clock = clock if clock is not None else SYSTEM_CLOCK
+        self._lock = threading.Lock()
+        self._pending: Deque[EdgeUpdate] = deque(maxlen=max_pending)
+        self._closed = False
+        self._total = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def push(self, update: EdgeUpdate) -> None:
+        """Enqueue one prepared event."""
+        with self._lock:
+            self._check_open()
+            if (
+                self._pending.maxlen is not None
+                and len(self._pending) == self._pending.maxlen
+            ):
+                self._dropped += 1
+            self._pending.append(update)
+            self._total += 1
+
+    def emit(
+        self,
+        source: int,
+        target: int,
+        weight: PiecewiseLinearFunction,
+        *,
+        event_at: Optional[float] = None,
+    ) -> EdgeUpdate:
+        """Build and enqueue one event, stamping ``event_at`` if not given."""
+        at = self._clock.monotonic() if event_at is None else float(event_at)
+        update = EdgeUpdate(source=source, target=target, weight=weight, event_at=at)
+        self.push(update)
+        return update
+
+    def extend(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Consume an iterable of prepared events; returns how many."""
+        count = 0
+        for update in updates:
+            self.push(update)
+            count += 1
+        return count
+
+    def as_callback(
+        self,
+    ) -> Callable[[int, int, PiecewiseLinearFunction], EdgeUpdate]:
+        """A plain callable producer handle (for code that takes a sink fn)."""
+
+        def _sink(
+            source: int, target: int, weight: PiecewiseLinearFunction
+        ) -> EdgeUpdate:
+            return self.emit(source, target, weight)
+
+        return _sink
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def drain(self) -> list[EdgeUpdate]:
+        """Atomically take every pending event (oldest first)."""
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+            return drained
+
+    @property
+    def pending(self) -> int:
+        """Events currently buffered (not yet drained)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def total_pushed(self) -> int:
+        """Lifetime events accepted by :meth:`push`."""
+        with self._lock:
+            return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ``max_pending`` bound (0 when unbounded)."""
+        with self._lock:
+            return self._dropped
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse further pushes; pending events stay drainable."""
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TrafficControlError(
+                "cannot push: this UpdateStream has been closed"
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"UpdateStream(pending={len(self._pending)}, "
+                f"total={self._total}, closed={self._closed})"
+            )

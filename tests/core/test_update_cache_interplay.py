@@ -9,11 +9,14 @@ built from scratch over the updated graph — the strongest oracle available.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro import TDTreeIndex
-from repro.serving import QueryService
+from repro.api import create_engine
+from repro.serving import EngineHost, QueryService
 
 
 def _workload(graph, count=25, seed=77):
@@ -106,3 +109,109 @@ def test_repeated_updates_keep_all_layers_consistent(small_grid):
             ]
             assert np.array_equal(batch_costs, np.asarray(looped))
             assert served == looped
+
+
+# ----------------------------------------------------------------------
+# Swap-race regressions: invalidation hooks must never fire on a retired
+# generation's cache, and in-place updates must serialize against swaps.
+# ----------------------------------------------------------------------
+def _build_service(small_grid):
+    index = TDTreeIndex.build(small_grid.copy(), strategy="basic", max_points=None)
+    return index, QueryService(index, max_batch_size=8, max_wait_ms=5.0)
+
+
+def test_invalidation_racing_close_does_not_bill_retired_cache(
+    small_grid, monkeypatch
+):
+    """An update landing while close() drains must not touch the retired cache.
+
+    During a hot swap the successor service is already registered on the
+    index; the outgoing generation detaches its hook *before* the final
+    drain.  Regression: the hook used to be unregistered last, so an update
+    racing the drain fired into the retired cache and skewed its stats.
+    """
+    index, service = _build_service(small_grid)
+    service.query(0, 24, 0.0)
+    before = service.stats().cache_invalidations
+
+    original_drain = service._drain
+
+    def racing_drain() -> int:
+        # Simulates apply_edge_updates() finishing on another thread exactly
+        # while close() is mid-drain.
+        index.notify_invalidation()
+        return original_drain()
+
+    monkeypatch.setattr(service, "_drain", racing_drain)
+    service.close()
+    assert service.stats().cache_invalidations == before
+
+
+def test_invalidate_cache_is_noop_on_closed_service(small_grid):
+    index, service = _build_service(small_grid)
+    service.query(0, 24, 0.0)
+    service.close()
+    before = service.stats().cache_invalidations
+    service.invalidate_cache()  # a straggling notify after retirement
+    assert service.stats().cache_invalidations == before
+
+
+def test_abort_unregisters_hook_before_settling(small_grid):
+    index, service = _build_service(small_grid)
+    service.query(0, 24, 0.0)
+    service.abort()
+    before = service.stats().cache_invalidations
+    index.notify_invalidation()
+    assert service.stats().cache_invalidations == before
+
+
+def test_host_apply_updates_serializes_against_swap(small_grid):
+    """host.apply_updates must wait for a concurrent swap, never interleave.
+
+    Holding the deployment's swap lock (what ``swap`` does while it builds
+    and flips) must park apply_updates entirely; once released, the patch
+    lands on whatever engine is live, and answers converge to the
+    fresh-rebuild oracle.
+    """
+    with EngineHost(max_batch_size=16, max_wait_ms=1.0) as host:
+        host.deploy("prod", "td-h2h", small_grid.copy())
+        entry = host._deployments["prod"]
+        graph = host.deployment("prod").engine.graph
+        edges = sorted(graph.edges(), key=lambda e: (e[0], e[1]))
+        u, v, weight = edges[0]
+        changes = {(u, v): weight.shift(300.0)}
+
+        applied = threading.Event()
+
+        def worker() -> None:
+            host.apply_updates("prod", changes)
+            applied.set()
+
+        entry.swap_lock.acquire()
+        try:
+            thread = threading.Thread(target=worker, daemon=True)
+            thread.start()
+            assert not applied.wait(0.3), "apply_updates ran inside a swap"
+        finally:
+            entry.swap_lock.release()
+        assert applied.wait(10.0), "apply_updates never completed after swap"
+        thread.join(timeout=10.0)
+
+        fresh = create_engine("td-h2h", graph.copy())
+        for s, t, d in [(0, 24, 0.0), (u, v, 1_000.0), (24, 0, 43_200.0)]:
+            assert host.query("prod", s, t, d) == fresh.query(s, t, d).cost
+
+
+def test_host_apply_updates_lands_on_live_generation_after_swap(small_grid):
+    """Updates submitted after a swap patch the new engine, not the retired one."""
+    with EngineHost(max_batch_size=16, max_wait_ms=1.0) as host:
+        host.deploy("prod", "td-h2h", small_grid.copy())
+        host.swap("prod", "td-h2h", small_grid.copy())
+        graph = host.deployment("prod").engine.graph
+        edges = sorted(graph.edges(), key=lambda e: (e[0], e[1]))
+        u, v, weight = edges[2]
+        report = host.apply_updates("prod", {(u, v): weight.shift(120.0)})
+        assert report.num_dirty_vertices >= 1
+
+        fresh = create_engine("td-h2h", graph.copy())
+        assert host.query("prod", u, v, 0.0) == fresh.query(u, v, 0.0).cost

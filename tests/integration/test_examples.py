@@ -18,7 +18,7 @@ EXAMPLE_FILES = [
     "quickstart.py",
     "commute_planner.py",
     "fleet_dispatch.py",
-    "hot_swap_update.py",
+    "live_traffic.py",
     "index_tuning.py",
     "serving_walkthrough.py",
 ]

@@ -156,6 +156,25 @@ def test_swap_answers_match_replacement_engine(host, small_grid):
         assert host.query("prod", s, t, d) == replacement.query(s, t, d).cost
 
 
+def test_swap_with_ready_engine_records_spec_override(host, small_grid):
+    """``spec=`` keeps the deployment's recorded spec truthful.
+
+    Without it, swapping in a ready engine degrades the recorded spec to the
+    engine's bare name, and later rebuilds/snapshots silently lose build
+    options such as ``?max_points=none``.
+    """
+    host.deploy("prod", "td-h2h?max_points=none", small_grid)
+    replacement = create_engine("td-h2h?max_points=none", small_grid.copy())
+
+    report = host.swap("prod", replacement, spec="td-h2h?max_points=none")
+    assert report.new_spec == "td-h2h?max_points=none"
+    assert host.deployment("prod").spec == "td-h2h?max_points=none"
+
+    # Default behavior (no override) records the engine's bare name.
+    host.swap("prod", create_engine("td-h2h?max_points=none", small_grid.copy()))
+    assert host.deployment("prod").spec == "td-h2h"
+
+
 def test_swap_from_spec_reuses_current_graph(host, small_grid):
     host.deploy("prod", "td-basic", small_grid)
     report = host.swap("prod", "td-appro?budget_fraction=0.4")

@@ -137,6 +137,10 @@ class TestPickleRoundTrips:
             exceptions.UnsupportedCapabilityError("td-dijkstra", "batch_query"),
             {"engine": "td-dijkstra", "capability": "batch_query"},
         ),
+        (
+            exceptions.NoTrafficControllerError("prod", ("staging",)),
+            {"deployment": "prod", "available": ("staging",)},
+        ),
     ]
 
     @pytest.mark.parametrize(

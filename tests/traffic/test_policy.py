@@ -1,0 +1,135 @@
+"""Policy layer: cost EWMAs and the patch/clone/rebuild decision rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic import (
+    ACTION_CLONE_SWAP,
+    ACTION_PATCH,
+    ACTION_REBUILD,
+    ACTIONS,
+    AdaptivePolicy,
+    CostModel,
+    FixedPolicy,
+    PolicyObservation,
+)
+
+
+def _obs(
+    *,
+    dirty: int,
+    vertices: int = 100,
+    qps: float = 0.0,
+    expected_cost=None,
+) -> PolicyObservation:
+    kwargs = {}
+    if expected_cost is not None:
+        kwargs["expected_cost"] = expected_cost
+    return PolicyObservation(
+        raw_updates=dirty,
+        coalesced_edges=dirty,
+        dirty_estimate=dirty,
+        num_vertices=vertices,
+        qps=qps,
+        backlog_age_seconds=0.0,
+        **kwargs,
+    )
+
+
+class TestCostModel:
+    def test_unmeasured_actions_return_none(self):
+        model = CostModel()
+        assert model.expect(ACTION_PATCH) is None
+        assert model.observations(ACTION_PATCH) == 0
+
+    def test_first_observation_seeds_the_ewma(self):
+        model = CostModel(alpha=0.5)
+        model.observe(ACTION_PATCH, 2.0)
+        assert model.expect(ACTION_PATCH) == 2.0
+
+    def test_ewma_folds_with_alpha(self):
+        model = CostModel(alpha=0.5)
+        model.observe(ACTION_PATCH, 2.0)
+        model.observe(ACTION_PATCH, 4.0)
+        assert model.expect(ACTION_PATCH) == pytest.approx(3.0)
+        assert model.observations(ACTION_PATCH) == 2
+
+    def test_snapshot_is_immutable_and_detached(self):
+        model = CostModel()
+        model.observe(ACTION_REBUILD, 1.5)
+        snap = model.snapshot()
+        assert snap[ACTION_REBUILD] == 1.5
+        with pytest.raises(TypeError):
+            snap[ACTION_PATCH] = 0.0  # type: ignore[index]
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostModel(alpha=1.5)
+
+
+class TestPolicyObservation:
+    def test_dirty_fraction_clamped(self):
+        assert _obs(dirty=250, vertices=100).dirty_fraction == 1.0
+        assert _obs(dirty=10, vertices=100).dirty_fraction == pytest.approx(0.1)
+
+    def test_empty_graph_counts_as_fully_dirty(self):
+        assert _obs(dirty=1, vertices=0).dirty_fraction == 1.0
+
+
+class TestAdaptivePolicy:
+    def test_small_cone_light_traffic_patches(self):
+        decision = AdaptivePolicy().decide(_obs(dirty=5, qps=10.0))
+        assert decision.action == ACTION_PATCH
+
+    def test_small_cone_heavy_traffic_clones(self):
+        decision = AdaptivePolicy().decide(_obs(dirty=5, qps=500.0))
+        assert decision.action == ACTION_CLONE_SWAP
+        assert "qps" in decision.reason
+
+    def test_large_cone_rebuilds_regardless_of_traffic(self):
+        decision = AdaptivePolicy().decide(_obs(dirty=80, qps=0.0))
+        assert decision.action == ACTION_REBUILD
+
+    def test_middle_band_defaults_to_clone_swap(self):
+        decision = AdaptivePolicy().decide(_obs(dirty=30, qps=10.0))
+        assert decision.action == ACTION_CLONE_SWAP
+
+    def test_middle_band_prefers_measured_cheaper_rebuild(self):
+        costs = {ACTION_CLONE_SWAP: 2.0, ACTION_REBUILD: 0.5}
+        decision = AdaptivePolicy().decide(
+            _obs(dirty=30, qps=10.0, expected_cost=costs)
+        )
+        assert decision.action == ACTION_REBUILD
+
+    def test_middle_band_ignores_half_measured_costs(self):
+        # Only rebuild measured: no comparison possible, stay on clone_swap.
+        decision = AdaptivePolicy().decide(
+            _obs(dirty=30, qps=10.0, expected_cost={ACTION_REBUILD: 0.1})
+        )
+        assert decision.action == ACTION_CLONE_SWAP
+
+    def test_threshold_ordering_validated(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(patch_dirty_fraction=0.6, rebuild_dirty_fraction=0.5)
+
+    def test_every_decision_names_a_known_action_with_a_reason(self):
+        policy = AdaptivePolicy()
+        for dirty in (0, 5, 15, 49, 50, 99, 200):
+            for qps in (0.0, 49.0, 51.0, 10_000.0):
+                decision = policy.decide(_obs(dirty=dirty, qps=qps))
+                assert decision.action in ACTIONS
+                assert decision.reason
+
+
+class TestFixedPolicy:
+    @pytest.mark.parametrize("action", ACTIONS)
+    def test_always_returns_its_action(self, action):
+        decision = FixedPolicy(action).decide(_obs(dirty=50))
+        assert decision.action == action
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPolicy("defragment")

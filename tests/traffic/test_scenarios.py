@@ -1,0 +1,118 @@
+"""ScenarioDriver: deterministic traffic patterns that clear back to baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TrafficControlError
+from repro.graph import TDGraph
+from repro.traffic import ScenarioDriver
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(TrafficControlError):
+        ScenarioDriver(TDGraph())
+
+
+def test_same_seed_same_events(small_grid):
+    events_a = ScenarioDriver(small_grid, seed=11).rush_hour()
+    events_b = ScenarioDriver(small_grid, seed=11).rush_hour()
+    assert events_a == events_b
+
+
+def test_different_seeds_differ(small_grid):
+    events_a = ScenarioDriver(small_grid, seed=1).flash_incident(edges=5)
+    events_b = ScenarioDriver(small_grid, seed=2).flash_incident(edges=5)
+    assert events_a != events_b
+
+
+def test_baseline_captured_before_mutation(small_grid):
+    graph = small_grid.copy()
+    driver = ScenarioDriver(graph, seed=0)
+    source, target = driver.edges[0]
+    original = driver.baseline(source, target)
+    graph.set_weight(source, target, original.shift(500.0))
+    # The driver still restores relative to the captured original.
+    assert driver.baseline(source, target) is original
+
+
+class TestFlashIncident:
+    def test_site_is_connected_and_clears(self, small_grid):
+        driver = ScenarioDriver(small_grid, seed=5)
+        events = driver.flash_incident(edges=4, delay=600.0, clear_after=30.0)
+        hits = [e for e in events if e.delay > 0.0]
+        clears = [e for e in events if e.delay == 0.0]
+        assert len(hits) == 4
+        assert {(e.source, e.target) for e in hits} == {
+            (e.source, e.target) for e in clears
+        }
+        assert all(e.at == hits[0].at + 30.0 for e in clears)
+        # Grown along adjacency: the site shares vertices.
+        site_vertices = {v for e in hits for v in (e.source, e.target)}
+        assert len(site_vertices) < 2 * len(hits)
+
+    def test_no_clear_when_not_asked(self, small_grid):
+        events = ScenarioDriver(small_grid, seed=5).flash_incident(edges=2)
+        assert all(e.delay > 0.0 for e in events)
+
+
+class TestRushHour:
+    def test_ramps_then_clears_every_touched_edge(self, small_grid):
+        driver = ScenarioDriver(small_grid, seed=9)
+        events = driver.rush_hour(waves=3, edges_per_wave=4, peak_delay=300.0)
+        delays = sorted({e.delay for e in events})
+        assert delays == [0.0, 100.0, 200.0, 300.0]
+        perturbed = {(e.source, e.target) for e in events if e.delay > 0.0}
+        cleared = {(e.source, e.target) for e in events if e.delay == 0.0}
+        assert perturbed == cleared
+
+    def test_waves_validated(self, small_grid):
+        with pytest.raises(ValueError):
+            ScenarioDriver(small_grid, seed=9).rush_hour(waves=0)
+
+
+class TestRollingClosure:
+    def test_one_segment_blocked_at_a_time(self, small_grid):
+        driver = ScenarioDriver(small_grid, seed=3)
+        events = driver.rolling_closure(length=5, delay=1800.0, spacing=1.0)
+        blocked: set[tuple[int, int]] = set()
+        max_blocked = 0
+        for event in sorted(events, key=lambda e: e.at):
+            edge = (event.source, event.target)
+            if event.delay > 0.0:
+                blocked.add(edge)
+            else:
+                blocked.discard(edge)
+            max_blocked = max(max_blocked, len(blocked))
+        assert not blocked  # the corridor fully reopens
+        assert max_blocked <= 2  # close-at-t and reopen-at-t interleave
+
+    def test_corridor_is_contiguous(self, small_grid):
+        driver = ScenarioDriver(small_grid, seed=3)
+        events = driver.rolling_closure(length=5)
+        closures = [e for e in sorted(events, key=lambda ev: ev.at) if e.delay > 0]
+        for previous, current in zip(closures, closures[1:]):
+            assert current.source == previous.target
+
+
+class TestReplay:
+    def test_updates_resolve_weights_and_anchor_origin(self, small_grid):
+        driver = ScenarioDriver(small_grid, seed=7)
+        events = driver.flash_incident(at=2.0, edges=2, delay=120.0, clear_after=3.0)
+        updates = list(driver.updates(events, origin=1000.0))
+        assert [u.event_at for u in updates] == [1002.0, 1002.0, 1005.0, 1005.0]
+        for update, event in zip(updates, sorted(events, key=lambda e: e.at)):
+            base = driver.baseline(event.source, event.target)
+            if event.delay:
+                assert update.weight.allclose(base.shift(event.delay))
+            else:
+                assert update.weight is base
+
+    def test_clearing_restores_baseline_exactly(self, small_grid):
+        graph = small_grid.copy()
+        driver = ScenarioDriver(graph, seed=13)
+        events = driver.rush_hour(waves=2, edges_per_wave=3)
+        for update in driver.updates(events, origin=0.0):
+            graph.set_weight(update.source, update.target, update.weight)
+        for source, target in driver.edges:
+            assert graph.weight(source, target) is driver.baseline(source, target)

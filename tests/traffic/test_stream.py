@@ -1,0 +1,107 @@
+"""UpdateStream: the thread-safe hand-off between producers and the loop."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import TrafficControlError
+from repro.functions import PiecewiseLinearFunction
+from repro.traffic import EdgeUpdate, UpdateStream
+from repro.utils.timing import FakeClock
+
+
+def _weight(cost: float = 10.0) -> PiecewiseLinearFunction:
+    return PiecewiseLinearFunction.constant(cost)
+
+
+class TestEdgeUpdate:
+    def test_edge_key(self):
+        update = EdgeUpdate(source=3, target=7, weight=_weight(), event_at=1.0)
+        assert update.edge == (3, 7)
+
+    def test_frozen(self):
+        update = EdgeUpdate(source=3, target=7, weight=_weight(), event_at=1.0)
+        with pytest.raises(AttributeError):
+            update.source = 4  # type: ignore[misc]
+
+
+class TestUpdateStream:
+    def test_emit_stamps_event_time_from_clock(self):
+        clock = FakeClock(start=100.0)
+        stream = UpdateStream(clock=clock)
+        update = stream.emit(0, 1, _weight())
+        assert update.event_at == 100.0
+        clock.advance(5.0)
+        assert stream.emit(0, 1, _weight()).event_at == 105.0
+
+    def test_explicit_event_time_wins(self):
+        stream = UpdateStream(clock=FakeClock(start=100.0))
+        assert stream.emit(0, 1, _weight(), event_at=42.0).event_at == 42.0
+
+    def test_drain_takes_everything_oldest_first(self):
+        stream = UpdateStream(clock=FakeClock())
+        for i in range(5):
+            stream.emit(i, i + 1, _weight(), event_at=float(i))
+        assert stream.pending == 5
+        drained = stream.drain()
+        assert [u.source for u in drained] == [0, 1, 2, 3, 4]
+        assert stream.pending == 0
+        assert stream.drain() == []
+        assert stream.total_pushed == 5
+
+    def test_extend_consumes_iterables(self):
+        stream = UpdateStream(clock=FakeClock())
+        updates = (
+            EdgeUpdate(source=i, target=i + 1, weight=_weight(), event_at=float(i))
+            for i in range(3)
+        )
+        assert stream.extend(updates) == 3
+        assert stream.pending == 3
+
+    def test_callback_producer(self):
+        stream = UpdateStream(clock=FakeClock(start=7.0))
+        sink = stream.as_callback()
+        update = sink(1, 2, _weight(55.0))
+        assert stream.pending == 1
+        assert update.event_at == 7.0
+        assert update.edge == (1, 2)
+
+    def test_bounded_stream_drops_oldest_and_counts(self):
+        stream = UpdateStream(clock=FakeClock(), max_pending=2)
+        for i in range(4):
+            stream.emit(i, i + 1, _weight(), event_at=float(i))
+        assert stream.pending == 2
+        assert stream.dropped == 2
+        assert stream.total_pushed == 4
+        # Oldest gone: the survivors are the newest two.
+        assert [u.source for u in stream.drain()] == [2, 3]
+
+    def test_closed_stream_refuses_pushes_but_stays_drainable(self):
+        stream = UpdateStream(clock=FakeClock())
+        stream.emit(0, 1, _weight())
+        stream.close()
+        assert stream.closed
+        with pytest.raises(TrafficControlError):
+            stream.emit(0, 1, _weight())
+        assert len(stream.drain()) == 1
+
+    def test_concurrent_producers_lose_nothing(self):
+        stream = UpdateStream(clock=FakeClock())
+        per_thread = 200
+
+        def produce(worker: int) -> None:
+            for i in range(per_thread):
+                stream.emit(worker, i, _weight(), event_at=float(i))
+
+        threads = [
+            threading.Thread(target=produce, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stream.pending == 4 * per_thread
+        assert stream.total_pushed == 4 * per_thread
+        assert stream.dropped == 0
